@@ -1,0 +1,137 @@
+// Ablations of the reproduction's own design choices (DESIGN.md calls
+// these out): ghost-ring depth for particle methods, multilevel-refinement
+// passes in the k-way partitioner, octree leaf granularity, and the
+// collision-operator cost difference. Each table shows what the choice
+// buys and what it costs.
+
+#include "common.hpp"
+#include "multires/octree.hpp"
+#include "vis/sampler.hpp"
+#include "vis/streamlines.hpp"
+
+int main() {
+  using namespace hemobench;
+  const auto lattice = makeAneurysm(0.12);
+  std::printf("workload: aneurysm vessel, %llu fluid sites\n",
+              static_cast<unsigned long long>(lattice.numFluidSites()));
+
+  // --- ghost-ring depth --------------------------------------------------------
+  // rings=2 buys bitwise rank-invariant RK4 streamlines; what does the
+  // wider halo cost per refresh?
+  printHeader("Ablation: ghost-ring depth (8 ranks)");
+  std::printf("%-8s %14s %16s %18s\n", "rings", "ghost sites",
+              "refresh KB", "refresh KB/rank");
+  for (const int rings : {1, 2, 3}) {
+    const auto part = kwayPartition(lattice, 8);
+    std::uint64_t ghosts = 0;
+    PhaseSummary summary;
+    comm::Runtime rt(8);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lattice, part, comm.rank());
+      lb::SolverD3Q19 solver(domain, comm, flowParams());
+      solver.run(20);
+      vis::GhostedField field(domain, comm, rings);
+      const auto g = comm.allreduceSum(field.ghostCount());
+      comm.barrier();
+      const auto sample = measurePhase(
+          comm, [&] { field.refresh(solver.macro(), comm); });
+      const auto s = summarizePhase(comm, sample);
+      if (comm.rank() == 0) {
+        ghosts = g;
+        summary = s;
+      }
+    });
+    std::printf("%-8d %14llu %16.1f %18.1f\n", rings,
+                static_cast<unsigned long long>(ghosts),
+                static_cast<double>(summary.totalBytes) / 1e3,
+                static_cast<double>(summary.maxRankBytes) / 1e3);
+  }
+
+  // --- k-way refinement passes ----------------------------------------------------
+  printHeader("Ablation: k-way boundary-refinement passes (8 parts)");
+  std::printf("%-8s %12s %12s %12s\n", "passes", "edge cut", "imbalance",
+              "time ms");
+  const auto graph = partition::buildSiteGraph(lattice);
+  for (const int passes : {0, 1, 2, 4, 8}) {
+    partition::MultilevelKWayPartitioner::Options opt;
+    opt.refinementPasses = passes;
+    partition::MultilevelKWayPartitioner kway(opt);
+    WallTimer timer;
+    const auto p = kway.partition(graph, 8);
+    const double ms = timer.seconds() * 1e3;
+    const auto m = partition::evaluatePartition(graph, p);
+    std::printf("%-8d %12llu %12.3f %12.2f\n", passes,
+                static_cast<unsigned long long>(m.edgeCut), m.imbalance, ms);
+  }
+
+  // --- octree leaf granularity -------------------------------------------------------
+  printHeader("Ablation: octree leaf cell width (serial)");
+  std::printf("%-12s %12s %14s %16s\n", "leaf voxels", "leaf nodes",
+              "update ms", "leaf-level err");
+  {
+    partition::Partition part;
+    part.numParts = 1;
+    part.partOfSite.assign(lattice.numFluidSites(), 0);
+    comm::Runtime rt(1);
+    rt.run([&](comm::Communicator& comm) {
+      (void)comm;
+      lb::DomainMap domain(lattice, part, 0);
+      std::vector<double> scalar(domain.numOwned());
+      std::vector<Vec3d> u(domain.numOwned());
+      for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+        const Vec3d w = lattice.siteWorld(domain.globalOf(l));
+        scalar[l] = std::sin(w.x) * std::cos(w.y);
+        u[l] = {scalar[l], 0, 0};
+      }
+      for (const int leafLog2 : {0, 1, 2}) {
+        multires::FieldOctree tree(domain, leafLog2);
+        WallTimer timer;
+        for (int rep = 0; rep < 20; ++rep) tree.update(scalar, u);
+        const double ms = timer.seconds() * 1e3 / 20;
+        const double err =
+            multires::levelError(tree, tree.leafLevel(), scalar);
+        std::printf("%-12d %12zu %14.3f %16.4f\n", 1 << leafLog2,
+                    tree.level(tree.leafLevel()).size(), ms, err);
+      }
+    });
+  }
+
+  // --- collision-operator cost --------------------------------------------------------
+  printHeader("Ablation: collision operator cost (serial, 40 steps)");
+  std::printf("%-22s %12s\n", "operator", "busy s");
+  {
+    partition::Partition part;
+    part.numParts = 1;
+    part.partOfSite.assign(lattice.numFluidSites(), 0);
+    struct Case {
+      const char* name;
+      lb::LbParams params;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"BGK", flowParams()});
+    {
+      auto p = flowParams();
+      p.collision = lb::LbParams::Collision::kTrt;
+      cases.push_back({"TRT", p});
+    }
+    cases.push_back({"BGK + stress", flowParams(true)});
+    for (const auto& c : cases) {
+      comm::Runtime rt(1);
+      double busy = 0.0;
+      rt.run([&](comm::Communicator& comm) {
+        lb::DomainMap domain(lattice, part, 0);
+        lb::SolverD3Q19 solver(domain, comm, c.params);
+        solver.run(5);
+        const auto sample = measurePhase(comm, [&] { solver.run(40); });
+        busy = sample.busySeconds;
+      });
+      std::printf("%-22s %12.4f\n", c.name, busy);
+    }
+  }
+  std::printf("\nexpected shapes: ghost cost grows ~linearly with ring depth "
+              "(rings=2 is\nthe price of deterministic tracing); most of the "
+              "k-way cut improvement\narrives in the first passes; coarser "
+              "octree leaves trade accuracy for\nupdate speed; TRT and the "
+              "stress moment each add a modest collide cost.\n");
+  return 0;
+}

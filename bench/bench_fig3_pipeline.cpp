@@ -1,0 +1,100 @@
+// Reproduces **Fig 3** — the post-processing pipeline with user
+// interaction — as a stage-cost experiment: where does an in situ pass
+// spend its time (extraction / filtering / mapping / rendering), and how
+// do the stage costs respond to the knobs a user steers (image size, seed
+// count, multires context level)?
+
+#include "common.hpp"
+#include "core/driver.hpp"
+
+namespace {
+
+using namespace hemobench;
+
+struct StageCosts {
+  double extract = 0, filter = 0, map = 0, render = 0;
+};
+
+StageCosts measure(const geometry::SparseLattice& lattice,
+                   const partition::Partition& part, int ranks, int imageSize,
+                   int seeds, int contextLevel, int passes) {
+  StageCosts costs;
+  comm::Runtime rt(ranks);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    core::DriverConfig cfg;
+    cfg.lb = flowParams(true);
+    cfg.visEvery = 0;
+    cfg.statusEvery = 0;
+    cfg.render.width = imageSize;
+    cfg.render.height = imageSize;
+    cfg.render.camera.position = {2.5, 1.0, 8.0};
+    cfg.render.camera.target = {2.5, 0.5, 0.0};
+    cfg.contextLevel = contextLevel;
+    if (seeds > 0) {
+      cfg.streamSeeds = vis::discSeeds({0.3, 0, 0}, {1, 0, 0}, 0.8, seeds);
+    }
+    core::SimulationDriver driver(domain, comm, cfg);
+    driver.run(60);
+    driver.pipeline().resetTimers();
+    for (int p = 0; p < passes; ++p) driver.runPipelineNow();
+    // Max across ranks of each stage's CPU time = the stage's critical
+    // path.
+    auto& pipe = driver.pipeline();
+    const double e = comm.allreduceMax(pipe.stageSeconds(0));
+    const double f = comm.allreduceMax(pipe.stageSeconds(1));
+    const double m = comm.allreduceMax(pipe.stageSeconds(2));
+    const double r = comm.allreduceMax(pipe.stageSeconds(3));
+    if (comm.rank() == 0) {
+      costs.extract = e * 1e3 / passes;
+      costs.filter = f * 1e3 / passes;
+      costs.map = m * 1e3 / passes;
+      costs.render = r * 1e3 / passes;
+    }
+  });
+  return costs;
+}
+
+void printRow(const char* label, const StageCosts& c) {
+  const double total = c.extract + c.filter + c.map + c.render;
+  std::printf("%-26s %9.2f %9.2f %9.2f %9.2f %9.2f\n", label, c.extract,
+              c.filter, c.map, c.render, total);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hemobench;
+  const auto lattice = makeAneurysm(0.12);
+  const int ranks = 4;
+  const auto part = kwayPartition(lattice, ranks);
+  std::printf("workload: aneurysm vessel, %llu sites, %d ranks; per-stage "
+              "cost in ms (max across ranks, mean of 5 passes)\n",
+              static_cast<unsigned long long>(lattice.numFluidSites()),
+              ranks);
+
+  printHeader("Fig 3: pipeline stage costs under steered parameters");
+  std::printf("%-26s %9s %9s %9s %9s %9s\n", "configuration", "extract",
+              "filter", "map", "render", "total");
+
+  printRow("baseline (128px,32 seeds)",
+           measure(lattice, part, ranks, 128, 32, 2, 5));
+  printRow("image 256px",
+           measure(lattice, part, ranks, 256, 32, 2, 5));
+  printRow("image 512px",
+           measure(lattice, part, ranks, 512, 32, 2, 5));
+  printRow("seeds 128",
+           measure(lattice, part, ranks, 128, 128, 2, 5));
+  printRow("seeds 512",
+           measure(lattice, part, ranks, 128, 512, 2, 5));
+  printRow("no streamlines",
+           measure(lattice, part, ranks, 128, 0, 2, 5));
+  printRow("context level 4",
+           measure(lattice, part, ranks, 128, 32, 4, 5));
+
+  std::printf("\nexpected shape: render cost tracks the image area, map "
+              "cost tracks the\nseed count, extract/filter are steady — the "
+              "pipeline exposes exactly\nthe knobs the Fig 3 user loop "
+              "turns.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces the **§I/§IV.C motivating claim** (I1): "As computation
+// approaches the exascale, it will no longer be possible to write and
+// store the full-sized data set. In situ data analysis and scientific
+// visualisation provide feasible solutions."
+//
+// Runs the same simulation twice over a fixed number of steps:
+//   (a) the traditional workflow — dump the full distribution state to
+//       disk at every analysis point (checkpoint-style full write);
+//   (b) the in situ workflow — run the Fig 3 pipeline at the same points
+//       and emit only its products (image + statistics + context nodes).
+// Reports bytes produced, and the ratio as the analysis cadence rises
+// (interactivity pushes the cadence up — exactly where full dumps die).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/driver.hpp"
+#include "lb/checkpoint.hpp"
+
+int main() {
+  using namespace hemobench;
+  const auto lattice = makeAneurysm(0.1);
+  const int ranks = 4;
+  const auto part = kwayPartition(lattice, ranks);
+  const int steps = 60;
+  std::printf("workload: aneurysm vessel, %llu sites, %d ranks, %d steps\n",
+              static_cast<unsigned long long>(lattice.numFluidSites()),
+              ranks, steps);
+
+  printHeader("I1: full-state dumps vs in situ reduction");
+  std::printf("%-10s %18s %18s %12s\n", "cadence", "dump MB total",
+              "in situ KB total", "ratio");
+
+  for (const int every : {20, 10, 5}) {
+    // (a) full dumps.
+    std::uint64_t dumpBytes = 0;
+    {
+      comm::Runtime rt(ranks);
+      rt.run([&](comm::Communicator& comm) {
+        lb::DomainMap domain(lattice, part, comm.rank());
+        lb::SolverD3Q19 solver(domain, comm, flowParams());
+        std::uint64_t written = 0;
+        for (int s = 1; s <= steps; ++s) {
+          solver.step();
+          if (s % every == 0) {
+            written += lb::writeCheckpoint("/tmp/hemo_bench_dump.bin",
+                                           solver, comm);
+          }
+        }
+        if (comm.rank() == 0) dumpBytes = written;
+      });
+      std::remove("/tmp/hemo_bench_dump.bin");
+    }
+
+    // (b) in situ pipeline at the same cadence; output = image + stats +
+    //     context level nodes.
+    std::uint64_t insituBytes = 0;
+    {
+      comm::Runtime rt(ranks);
+      rt.run([&](comm::Communicator& comm) {
+        lb::DomainMap domain(lattice, part, comm.rank());
+        core::DriverConfig cfg;
+        cfg.lb = flowParams(true);
+        cfg.computeWss = true;
+        cfg.visEvery = every;
+        cfg.statusEvery = 0;
+        cfg.render.width = 128;
+        cfg.render.height = 128;
+        cfg.render.camera.position = {2.5, 1.0, 8.0};
+        cfg.render.camera.target = {2.5, 0.5, 0.0};
+        core::SimulationDriver driver(domain, comm, cfg);
+        std::uint64_t produced = 0;
+        int done = 0;
+        while (done < steps) {
+          driver.run(every);
+          done += every;
+          const auto& out = driver.lastOutputs();
+          if (comm.rank() == 0) {
+            produced += out.volumeImage.numPixels() * 3;  // RGB8 frame
+            produced += out.contextNodes.size() * sizeof(multires::OctreeNode);
+            produced += 6 * sizeof(double);  // the reduced statistics
+          }
+        }
+        if (comm.rank() == 0) insituBytes = produced;
+      });
+    }
+
+    std::printf("1/%-8d %18.2f %18.1f %11.0fx\n", every,
+                static_cast<double>(dumpBytes) / 1e6,
+                static_cast<double>(insituBytes) / 1e3,
+                static_cast<double>(dumpBytes) /
+                    static_cast<double>(insituBytes));
+  }
+  // The claim's core: the gap *widens with resolution*, because the dump
+  // scales with the state while the in situ products are resolution-free.
+  printHeader("I1 series: ratio vs lattice resolution (cadence 1/10)");
+  std::printf("%-12s %12s %18s %18s %10s\n", "voxel", "sites",
+              "dump MB/analysis", "in situ KB/frame", "ratio");
+  for (const double voxel : {0.2, 0.15, 0.1}) {
+    const auto lat = makeAneurysm(voxel);
+    const auto p = kwayPartition(lat, ranks);
+    // One dump = header + ids + Q distributions.
+    const double dumpMb =
+        static_cast<double>(lat.numFluidSites()) * (8 + 19 * 8) / 1e6;
+    // One in situ product = frame + context nodes + stats (constants).
+    const double insituKb =
+        (128.0 * 128.0 * 3.0 + 64 * sizeof(multires::OctreeNode) + 48) / 1e3;
+    std::printf("%-12.2f %12llu %18.2f %18.1f %9.0fx\n", voxel,
+                static_cast<unsigned long long>(lat.numFluidSites()), dumpMb,
+                insituKb, dumpMb * 1e3 / insituKb);
+    (void)p;
+  }
+  std::printf("\nexpected shape: dumps scale with (state size x cadence); in "
+              "situ output\nscales with (image + reduced stats) only. The "
+              "gap is orders of magnitude\nand widens with resolution — the "
+              "paper's reason to process in situ.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Kernel microbenchmarks (google-benchmark): the per-operation costs that
+// anchor the co-design performance model — LB step throughput (MLUPS),
+// collision-operator and velocity-set variants, octree update, partitioner
+// cost and voxelisation. These are the "busy seconds" inputs the postal
+// model combines with the measured traffic.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "multires/octree.hpp"
+#include "vis/volume.hpp"
+
+namespace {
+
+using namespace hemobench;
+
+struct SerialSetup {
+  geometry::SparseLattice lattice;
+  partition::Partition part;
+
+  explicit SerialSetup(double voxel) : lattice(makeTube(voxel, 6.0)) {
+    part.numParts = 1;
+    part.partOfSite.assign(lattice.numFluidSites(), 0);
+  }
+};
+
+template <typename Lattice>
+void stepBench(benchmark::State& state, lb::LbParams params) {
+  static SerialSetup setup(0.15);
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(setup.lattice, setup.part, 0);
+    lb::Solver<Lattice> solver(domain, comm, params);
+    for (auto _ : state) {
+      solver.step();
+      benchmark::DoNotOptimize(solver.macro().rho.data());
+    }
+    state.counters["MLUPS"] = benchmark::Counter(
+        static_cast<double>(setup.lattice.numFluidSites()) *
+            static_cast<double>(state.iterations()) / 1e6,
+        benchmark::Counter::kIsRate);
+    state.counters["sites"] =
+        static_cast<double>(setup.lattice.numFluidSites());
+  });
+}
+
+void BM_StepD3Q19Bgk(benchmark::State& state) {
+  stepBench<lb::D3Q19>(state, flowParams());
+}
+BENCHMARK(BM_StepD3Q19Bgk)->Unit(benchmark::kMillisecond);
+
+void BM_StepD3Q19Trt(benchmark::State& state) {
+  auto p = flowParams();
+  p.collision = lb::LbParams::Collision::kTrt;
+  stepBench<lb::D3Q19>(state, p);
+}
+BENCHMARK(BM_StepD3Q19Trt)->Unit(benchmark::kMillisecond);
+
+void BM_StepD3Q15Bgk(benchmark::State& state) {
+  stepBench<lb::D3Q15>(state, flowParams());
+}
+BENCHMARK(BM_StepD3Q15Bgk)->Unit(benchmark::kMillisecond);
+
+void BM_StepD3Q27Bgk(benchmark::State& state) {
+  stepBench<lb::D3Q27>(state, flowParams());
+}
+BENCHMARK(BM_StepD3Q27Bgk)->Unit(benchmark::kMillisecond);
+
+void BM_StepD3Q19WithStress(benchmark::State& state) {
+  stepBench<lb::D3Q19>(state, flowParams(true));
+}
+BENCHMARK(BM_StepD3Q19WithStress)->Unit(benchmark::kMillisecond);
+
+void BM_OctreeUpdate(benchmark::State& state) {
+  static SerialSetup setup(0.15);
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    (void)comm;
+    lb::DomainMap domain(setup.lattice, setup.part, 0);
+    multires::FieldOctree tree(domain, static_cast<int>(state.range(0)));
+    std::vector<double> scalar(domain.numOwned(), 1.0);
+    std::vector<Vec3d> u(domain.numOwned(), Vec3d{0.01, 0, 0});
+    for (auto _ : state) {
+      tree.update(scalar, u);
+      benchmark::DoNotOptimize(tree.level(0).data());
+    }
+    state.counters["sites/s"] = benchmark::Counter(
+        static_cast<double>(domain.numOwned()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+  });
+}
+BENCHMARK(BM_OctreeUpdate)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_PartitionKway(benchmark::State& state) {
+  static SerialSetup setup(0.15);
+  const auto graph = partition::buildSiteGraph(setup.lattice);
+  partition::MultilevelKWayPartitioner kway;
+  for (auto _ : state) {
+    auto p = kway.partition(graph, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(p.partOfSite.data());
+  }
+}
+BENCHMARK(BM_PartitionKway)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionHilbert(benchmark::State& state) {
+  static SerialSetup setup(0.15);
+  const auto graph = partition::buildSiteGraph(setup.lattice);
+  partition::HilbertPartitioner hilbert;
+  for (auto _ : state) {
+    auto p = hilbert.partition(graph, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(p.partOfSite.data());
+  }
+}
+BENCHMARK(BM_PartitionHilbert)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Voxelize(benchmark::State& state) {
+  const auto scene = geometry::makeAneurysmVessel(5.0, 1.0, 1.2);
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  for (auto _ : state) {
+    auto lat = geometry::voxelize(scene, opt);
+    benchmark::DoNotOptimize(lat.numFluidSites());
+  }
+}
+BENCHMARK(BM_Voxelize)->Unit(benchmark::kMillisecond);
+
+void BM_RenderLocal(benchmark::State& state) {
+  static SerialSetup setup(0.15);
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(setup.lattice, setup.part, 0);
+    lb::SolverD3Q19 solver(domain, comm, flowParams());
+    solver.run(20);
+    vis::VolumeRenderOptions vro;
+    vro.width = static_cast<int>(state.range(0));
+    vro.height = vro.width;
+    vro.camera.position = {3.0, 0.5, 7.0};
+    vro.camera.target = {3.0, 0, 0};
+    for (auto _ : state) {
+      auto img = vis::renderLocal(domain, solver.macro(), vro);
+      benchmark::DoNotOptimize(img.pixels().data());
+    }
+    state.counters["rays/s"] = benchmark::Counter(
+        static_cast<double>(vro.width) * vro.height *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+  });
+}
+BENCHMARK(BM_RenderLocal)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Reproduces the **§V multi-resolution claims** (M1): "Multi-resolution
+// data analysis will be our only way to largely reduce the data size, to
+// provide insight and to navigate through the whole data set."
+//
+// Measures, on a developed aneurysm flow field:
+//   * per-level data size and reconstruction error (reduction vs fidelity),
+//   * octree build and in situ update cost,
+//   * ROI query latency by level (hierarchical-index traversal),
+//   * the progressive context+detail drill-down's data movement vs
+//     shipping the full-resolution field.
+
+#include "common.hpp"
+#include "multires/octree.hpp"
+#include "multires/roi.hpp"
+
+int main() {
+  using namespace hemobench;
+  const auto lattice = makeAneurysm(0.1);
+  std::printf("workload: aneurysm vessel, %llu fluid sites\n",
+              static_cast<unsigned long long>(lattice.numFluidSites()));
+
+  // Serial tree over a developed flow field for the level metrics.
+  partition::Partition serialPart;
+  serialPart.numParts = 1;
+  serialPart.partOfSite.assign(lattice.numFluidSites(), 0);
+
+  comm::Runtime rt1(1);
+  rt1.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, serialPart, 0);
+    lb::SolverD3Q19 solver(domain, comm, flowParams());
+    solver.run(200);
+
+    WallTimer buildTimer;
+    multires::FieldOctree tree(domain, 0);
+    const double buildMs = buildTimer.seconds() * 1e3;
+
+    std::vector<double> speed(domain.numOwned());
+    for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+      speed[l] = solver.macro().u[l].norm();
+    }
+    WallTimer updateTimer;
+    tree.update(speed, solver.macro().u);
+    const double updateMs = updateTimer.seconds() * 1e3;
+
+    printHeader("M1: level size vs reconstruction error (velocity "
+                "magnitude)");
+    std::printf("structure build %.2f ms, in situ update %.2f ms\n\n",
+                buildMs, updateMs);
+    std::printf("%-7s %10s %12s %12s %14s\n", "level", "nodes", "KB",
+                "reduction", "rel. L2 err");
+    const std::uint64_t fullBytes = tree.levelBytes(tree.leafLevel());
+    for (int l = 0; l < tree.numLevels(); ++l) {
+      const double err = multires::levelError(tree, l, speed);
+      std::printf("%-7d %10zu %12.1f %11.0fx %14.4f\n", l,
+                  tree.level(l).size(),
+                  static_cast<double>(tree.levelBytes(l)) / 1e3,
+                  static_cast<double>(fullBytes) /
+                      static_cast<double>(tree.levelBytes(l)),
+                  err);
+    }
+
+    printHeader("M1: ROI query latency by level (hierarchical Z-order "
+                "index)");
+    const Vec3i c{lattice.dims().x / 2, lattice.dims().y / 2,
+                  lattice.dims().z / 2};
+    const BoxI roi{{c.x - 8, c.y - 8, c.z - 8}, {c.x + 8, c.y + 8, c.z + 8}};
+    std::printf("%-7s %10s %14s\n", "level", "hits", "query us");
+    for (int l = 0; l < tree.numLevels(); ++l) {
+      WallTimer qt;
+      std::size_t hits = 0;
+      for (int rep = 0; rep < 50; ++rep) {
+        hits = tree.query(l, roi).size();
+      }
+      std::printf("%-7d %10zu %14.1f\n", l, hits, qt.seconds() * 1e6 / 50);
+    }
+  });
+
+  // Distributed drill-down: context + progressive ROI refinement.
+  printHeader("M1: progressive context+detail drill-down (8 ranks)");
+  const auto part = kwayPartition(lattice, 8);
+  comm::Runtime rt(8);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    lb::SolverD3Q19 solver(domain, comm, flowParams());
+    solver.run(100);
+    multires::FieldOctree tree(domain, 0);
+    std::vector<double> speed(domain.numOwned());
+    for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+      speed[l] = solver.macro().u[l].norm();
+    }
+    tree.update(speed, solver.macro().u);
+    const Vec3i c{lattice.dims().x / 2, lattice.dims().y * 2 / 3,
+                  lattice.dims().z / 2};
+    const BoxI roi{{c.x - 5, c.y - 5, c.z - 5}, {c.x + 5, c.y + 5, c.z + 5}};
+    const auto drill = multires::progressiveDrilldown(
+        comm, tree, 2, tree.leafLevel(), roi);
+    if (comm.rank() == 0) {
+      std::printf("%-8s %10s %14s\n", "stage", "nodes", "KB moved");
+      std::uint64_t cumulative = 0;
+      for (std::size_t s = 0; s < drill.nodesPerStage.size(); ++s) {
+        cumulative += drill.bytesPerStage[s];
+        std::printf("%-8zu %10zu %14.1f\n", s, drill.nodesPerStage[s],
+                    static_cast<double>(drill.bytesPerStage[s]) / 1e3);
+      }
+      const double fullKb =
+          static_cast<double>(lattice.numFluidSites()) *
+          sizeof(multires::OctreeNode) / 1e3;
+      std::printf("\ndrill-down total: %.1f KB vs %.1f KB for the full "
+                  "field (%.0fx less)\n",
+                  static_cast<double>(cumulative) / 1e3, fullKb,
+                  fullKb * 1e3 / static_cast<double>(cumulative));
+    }
+  });
+  std::printf("\nexpected shape: ~8x size reduction per level with smoothly "
+              "growing\nerror; ROI stages move a tiny fraction of the full "
+              "field — the §V\npath to interactive exploration at scale.\n");
+  return 0;
+}

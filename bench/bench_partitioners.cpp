@@ -1,0 +1,73 @@
+// Reproduces the **§IV.B decomposition study** (P2): HemeLB's block-level
+// initial balance vs a real partitioner (ParMETIS in the paper, the
+// multilevel k-way stand-in here), plus the geometric alternatives the
+// related work lists (SFC, RCB, greedy growing), on three vessel
+// geometries. Also probes §I's "open question" of partitioner scaling by
+// sweeping the part count.
+
+#include "common.hpp"
+#include "partition/metrics.hpp"
+
+int main() {
+  using namespace hemobench;
+
+  struct Workload {
+    const char* name;
+    geometry::SparseLattice lattice;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"tube", makeTube(0.12)});
+  workloads.push_back({"bifurcation", makeBifurc(0.12)});
+  workloads.push_back({"aneurysm", makeAneurysm(0.12)});
+
+  for (const auto& w : workloads) {
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "P2: partitioner quality on '%s' (%llu sites, 8 parts)",
+                  w.name,
+                  static_cast<unsigned long long>(w.lattice.numFluidSites()));
+    printHeader(title);
+    std::printf("%-8s %10s %10s %12s %12s %12s %10s\n", "name", "imbalance",
+                "edge cut", "boundary", "comm vol", "nbr parts", "time ms");
+    const auto graph = partition::buildSiteGraph(w.lattice);
+    for (const auto& partitioner :
+         partition::makeAllPartitioners(w.lattice)) {
+      WallTimer timer;
+      const auto p = partitioner->partition(graph, 8);
+      const double seconds = timer.seconds();
+      const auto m = partition::evaluatePartition(graph, p);
+      std::printf("%-8s %10.3f %10llu %12llu %12llu %12.2f %10.2f\n",
+                  partitioner->name(), m.imbalance,
+                  static_cast<unsigned long long>(m.edgeCut),
+                  static_cast<unsigned long long>(m.boundaryVertices),
+                  static_cast<unsigned long long>(m.commVolume),
+                  m.avgNeighborParts, seconds * 1e3);
+    }
+  }
+
+  // Part-count sweep on the aneurysm: edge cut growth + partitioner cost.
+  printHeader("P2 series: k-way vs block scan as the part count grows "
+              "(aneurysm)");
+  std::printf("%-7s %14s %14s %14s %14s\n", "parts", "kway cut",
+              "block cut", "kway imbal", "kway ms");
+  const auto graph = partition::buildSiteGraph(workloads[2].lattice);
+  partition::MultilevelKWayPartitioner kway;
+  partition::BlockPartitioner block(workloads[2].lattice);
+  for (const int parts : {2, 4, 8, 16, 32, 64}) {
+    WallTimer timer;
+    const auto pk = kway.partition(graph, parts);
+    const double ms = timer.seconds() * 1e3;
+    const auto mk = partition::evaluatePartition(graph, pk);
+    const auto mb =
+        partition::evaluatePartition(graph, block.partition(graph, parts));
+    std::printf("%-7d %14llu %14llu %14.3f %14.2f\n", parts,
+                static_cast<unsigned long long>(mk.edgeCut),
+                static_cast<unsigned long long>(mb.edgeCut), mk.imbalance,
+                ms);
+  }
+  std::printf("\nexpected shape: the multilevel partitioner cuts "
+              "substantially fewer\nedges than the coarse block scan at "
+              "every part count — why HemeLB\ncalls ParMETIS — while its "
+              "cost grows with the part count (§I's\nscalability question).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Reproduces **Table I** — "Pros and cons of the visualisation techniques".
+//
+// The paper ranks volume rendering, line integrals, particle tracing and
+// LIC qualitatively on communication cost, load balance and ease of
+// parallelisation. Here each technique runs on the same developed aneurysm
+// flow and the same decomposition, and the three columns are *measured*:
+//
+//   communication cost       -> total bytes + messages the technique moved
+//   load balance             -> busy-time imbalance (max/mean across ranks)
+//   ease of parallelisation  -> modeled parallel efficiency vs the 1-rank
+//                               run of the same technique (postal model,
+//                               see core/perf_model.hpp)
+//
+// Expected shape (paper): volume rendering low comm/easy; line integrals &
+// particle tracing high comm/hard; LIC in between.
+//
+// Scale note: at exascale the data dwarfs any image, so the image-sized
+// compositing traffic of volume rendering is "low". The bench keeps that
+// regime by pairing a ~13k-site lattice with a fixed 96x96 image.
+
+#include "common.hpp"
+#include "vis/lic.hpp"
+#include "vis/particles.hpp"
+#include "vis/sampler.hpp"
+#include "vis/streamlines.hpp"
+#include "vis/volume.hpp"
+
+namespace {
+
+using namespace hemobench;
+
+struct TechniqueResult {
+  std::string name;
+  PhaseSummary summary;
+  double serialBusy = 0.0;
+};
+
+/// Run the four techniques on `ranks` ranks; returns per-technique
+/// summaries (identical on every rank).
+std::vector<TechniqueResult> runAll(const geometry::SparseLattice& lattice,
+                                    int ranks) {
+  const auto part = kwayPartition(lattice, ranks);
+  std::vector<TechniqueResult> results;
+  comm::Runtime rt(ranks);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    lb::SolverD3Q19 solver(domain, comm, flowParams());
+    solver.run(120);  // develop the flow
+    vis::GhostedField ghosts(domain, comm, 2);
+    ghosts.refresh(solver.macro(), comm);
+
+    vis::VolumeRenderOptions vro;
+    vro.width = 96;
+    vro.height = 96;
+    vro.camera.position = {2.5, 0.8, 8.0};
+    vro.camera.target = {2.5, 0.4, 0.0};
+    vro.transfer = vis::TransferFunction::bloodFlow(0.f, 0.005f);
+
+    const auto seeds = vis::discSeeds({0.4, 0, 0}, {1, 0, 0}, 0.7, 64);
+    vis::StreamlineParams sp;
+    sp.maxVertices = 600;
+
+    vis::LicOptions lic;
+    lic.axis = 2;
+    lic.sliceIndex = lattice.dims().z / 2;
+
+    std::vector<std::pair<std::string, std::function<void()>>> techniques;
+    techniques.emplace_back("volume rendering", [&] {
+      vis::renderVolume(comm, domain, solver.macro(), vro);
+    });
+    techniques.emplace_back("line integral", [&] {
+      vis::traceStreamlines(comm, ghosts, seeds, sp);
+    });
+    techniques.emplace_back("particle tracing", [&] {
+      vis::TracerSwarm swarm(ghosts);
+      swarm.inject(comm, vis::discSeeds({0.4, 0, 0}, {1, 0, 0}, 0.7, 256));
+      for (int s = 0; s < 120; ++s) swarm.advect(comm);
+      swarm.gather(comm);
+    });
+    techniques.emplace_back("LIC", [&] {
+      vis::computeLicSlice(comm, domain, solver.macro(), lic);
+    });
+
+    for (auto& [name, fn] : techniques) {
+      comm.barrier();
+      const auto sample = measurePhase(comm, fn);
+      const auto summary = summarizePhase(comm, sample);
+      if (comm.rank() == 0) results.push_back({name, summary, 0.0});
+    }
+  });
+  return results;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hemobench;
+  const auto lattice = makeAneurysm(0.12);
+  std::printf("workload: aneurysm vessel, %llu fluid sites\n",
+              static_cast<unsigned long long>(lattice.numFluidSites()));
+
+  const auto serial = runAll(lattice, 1);
+
+  for (const int ranks : {4, 8}) {
+    auto parallel = runAll(lattice, ranks);
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      parallel[i].serialBusy = serial[i].summary.maxBusy;
+    }
+
+    char title[128];
+    std::snprintf(title, sizeof title,
+                  "TABLE I (measured), %d ranks — pros and cons of the "
+                  "visualisation techniques", ranks);
+    printHeader(title);
+    std::printf("%-18s %12s %9s %12s %12s %10s\n", "technique", "comm KB",
+                "msgs", "imbalance", "mod.speedup", "efficiency");
+    for (const auto& r : parallel) {
+      const double modeled = r.summary.modeledSeconds();
+      const double speedup = modeled > 0.0 ? r.serialBusy / modeled : 0.0;
+      std::printf("%-18s %12.1f %9llu %12.3f %12.2f %9.0f%%\n",
+                  r.name.c_str(),
+                  static_cast<double>(r.summary.totalBytes) / 1e3,
+                  static_cast<unsigned long long>(r.summary.totalMessages),
+                  r.summary.imbalance, speedup,
+                  100.0 * speedup / ranks);
+    }
+    std::printf("\npaper's qualitative ranking for comparison:\n");
+    std::printf("%-18s %12s %12s %14s\n", "technique", "comm cost",
+                "load balance", "parallelise");
+    std::printf("%-18s %12s %12s %14s\n", "volume rendering", "low",
+                "can optimise", "easy");
+    std::printf("%-18s %12s %12s %14s\n", "line integral", "high", "-",
+                "hard");
+    std::printf("%-18s %12s %12s %14s\n", "particle tracing", "high", "-",
+                "hard");
+    std::printf("%-18s %12s %12s %14s\n", "LIC", "medium", "good",
+                "moderate");
+  }
+  return 0;
+}

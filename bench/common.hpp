@@ -1,0 +1,135 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared helpers for the paper-reproduction benchmarks: standard
+/// workload geometries, a developed-flow setup, busy-time collection and
+/// table printing. Every bench prints the measured table for its paper
+/// anchor (see DESIGN.md §4) and exits; absolute numbers are machine
+/// dependent, shapes are the reproduction target.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/perf_model.hpp"
+#include "core/preprocess.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "lb/solver.hpp"
+#include "partition/partitioners.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace hemobench {
+
+using namespace hemo;
+
+inline geometry::SparseLattice makeAneurysm(double voxel = 0.2) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = voxel;
+  return geometry::voxelize(geometry::makeAneurysmVessel(5.0, 1.0, 1.2), opt);
+}
+
+inline geometry::SparseLattice makeTube(double voxel = 0.2,
+                                        double length = 6.0) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = voxel;
+  return geometry::voxelize(geometry::makeStraightTube(length, 1.0), opt);
+}
+
+inline geometry::SparseLattice makeBifurc(double voxel = 0.2) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = voxel;
+  return geometry::voxelize(
+      geometry::makeBifurcation(4.0, 1.0, 4.0, 0.75, 0.5), opt);
+}
+
+inline partition::Partition kwayPartition(
+    const geometry::SparseLattice& lattice, int parts) {
+  const auto graph = partition::buildSiteGraph(lattice);
+  partition::MultilevelKWayPartitioner kway;
+  return kway.partition(graph, parts);
+}
+
+/// Default solver parameters producing a developed low-Mach flow.
+inline lb::LbParams flowParams(bool stress = false) {
+  lb::LbParams p;
+  p.tau = 0.8;
+  p.bodyForce = {1e-5, 0, 0};
+  p.computeStress = stress;
+  return p;
+}
+
+/// Per-rank cost sample of one measured phase.
+struct PhaseSample {
+  double busySeconds = 0.0;
+  std::uint64_t bytes = 0;      ///< sent, all classes, during the phase
+  std::uint64_t messages = 0;   ///< sent, all classes, during the phase
+  std::uint64_t recvBytes = 0;  ///< received during the phase
+};
+
+/// Aggregate of a phase across ranks.
+struct PhaseSummary {
+  int ranks = 0;
+  double maxBusy = 0.0;
+  double sumBusy = 0.0;
+  double imbalance = 1.0;  ///< busy-time max/mean
+  std::uint64_t totalBytes = 0;
+  std::uint64_t totalMessages = 0;
+  std::uint64_t maxRankBytes = 0;
+  std::uint64_t maxRankMessages = 0;
+  std::uint64_t maxRankRecvBytes = 0;
+
+  core::RankCost maxRankCost() const {
+    return {maxBusy, maxRankMessages, maxRankBytes};
+  }
+
+  /// Modeled parallel seconds under the postal model.
+  double modeledSeconds(const core::CostModel& model = {}) const {
+    return core::modeledParallelSeconds(
+        {core::RankCost{maxBusy, maxRankMessages, maxRankBytes}}, model);
+  }
+};
+
+/// Collective: merge every rank's PhaseSample. Identical result everywhere.
+inline PhaseSummary summarizePhase(comm::Communicator& comm,
+                                   const PhaseSample& mine) {
+  PhaseSummary s;
+  s.ranks = comm.size();
+  const auto busies = comm.allgather(mine.busySeconds);
+  for (const double b : busies) {
+    s.maxBusy = std::max(s.maxBusy, b);
+    s.sumBusy += b;
+  }
+  s.imbalance = s.sumBusy > 0.0
+                    ? s.maxBusy * static_cast<double>(s.ranks) / s.sumBusy
+                    : 1.0;
+  s.totalBytes = comm.allreduceSum(mine.bytes);
+  s.totalMessages = comm.allreduceSum(mine.messages);
+  s.maxRankBytes = comm.allreduceMax(mine.bytes);
+  s.maxRankMessages = comm.allreduceMax(mine.messages);
+  s.maxRankRecvBytes = comm.allreduceMax(mine.recvBytes);
+  return s;
+}
+
+/// Measure `phase` on this rank: busy CPU seconds + traffic delta.
+inline PhaseSample measurePhase(comm::Communicator& comm,
+                                const std::function<void()>& phase) {
+  const auto before = comm.counters().total();
+  const double cpu0 = threadCpuSeconds();
+  phase();
+  const double cpu1 = threadCpuSeconds();
+  const auto after = comm.counters().total();
+  return {cpu1 - cpu0, after.bytesSent - before.bytesSent,
+          after.messagesSent - before.messagesSent,
+          after.bytesReceived - before.bytesReceived};
+}
+
+inline void printHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace hemobench

@@ -1,0 +1,168 @@
+// Computational steering session — closing the loop (paper Fig 2, §IV.C.3).
+//
+// A scripted "scientist" drives a live simulation over the steering
+// channel: watches status reports, moves the camera, requests frames,
+// drills into a region of interest, changes a physical parameter
+// (inlet pressure) mid-run, pauses to inspect, and finally terminates.
+// Every client action and simulation response is printed as a transcript.
+//
+// Run:  ./steering_session   (writes steering_frame_*.ppm)
+
+#include <cstdio>
+#include <thread>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "core/preprocess.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "io/ppm.hpp"
+#include "steer/server.hpp"
+
+int main() {
+  using namespace hemo;
+
+  geometry::VoxelizeOptions vox;
+  vox.voxelSize = 0.2;
+  const auto lattice = geometry::voxelize(
+      geometry::makeAneurysmVessel(5.0, 1.0, 1.1), vox);
+  core::PreprocessConfig pre;
+  const auto report = core::preprocess(lattice, 4, pre);
+
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+
+  // --- the scripted user -----------------------------------------------------
+  std::thread user([clientEnd = clientEnd]() mutable {
+    steer::SteeringClient client(clientEnd);
+    auto say = [](const char* msg) { std::printf("[client] %s\n", msg); };
+    steer::Command c;
+
+    say("requesting status...");
+    c.type = steer::MsgType::kRequestStatus;
+    client.send(c);
+    if (auto s = client.awaitStatus()) {
+      std::printf("[client] status: step %llu, %llu sites, mass %.1f, "
+                  "eta %.1fs, consistency %s\n",
+                  static_cast<unsigned long long>(s->step),
+                  static_cast<unsigned long long>(s->totalSites),
+                  s->totalMass, s->etaSeconds,
+                  s->consistencyOk ? "OK" : "BAD");
+    }
+
+    say("setting viewpoint above the aneurysm dome");
+    c = {};
+    c.type = steer::MsgType::kSetCamera;
+    c.camera.position = {2.5, 2.5, 7.0};
+    c.camera.target = {2.5, 0.8, 0.0};
+    client.send(c);
+
+    say("requesting a frame");
+    c = {};
+    c.type = steer::MsgType::kRequestFrame;
+    client.send(c);
+    if (auto f = client.awaitImage()) {
+      io::writePpm("steering_frame_1.ppm", f->width, f->height, f->rgb);
+      std::printf("[client] got %dx%d frame at step %llu -> "
+                  "steering_frame_1.ppm\n",
+                  f->width, f->height,
+                  static_cast<unsigned long long>(f->step));
+    }
+
+    say("raising inlet pressure (steering a simulation parameter)");
+    c = {};
+    c.type = steer::MsgType::kSetIoletDensity;
+    c.ioletId = 0;
+    c.value = 1.006;
+    client.send(c);
+
+    say("drilling into the dome region (multires ROI)");
+    c = {};
+    c.type = steer::MsgType::kSetRoi;
+    c.roi = {{8, 8, 0}, {28, 32, 24}};
+    c.roiLevel = 3;
+    client.send(c);
+    if (auto roi = client.awaitRoi()) {
+      std::printf("[client] ROI level %d: %zu octree nodes at step %llu\n",
+                  roi->level, roi->nodes.size(),
+                  static_cast<unsigned long long>(roi->step));
+    }
+
+    say("asking for the mean WSS over the dome region only");
+    c = {};
+    c.type = steer::MsgType::kRequestObservable;
+    c.observable = static_cast<std::uint8_t>(steer::ObservableKind::kMeanWss);
+    c.roi = {{8, 8, 0}, {28, 32, 24}};
+    client.send(c);
+    if (auto obs = client.awaitObservable()) {
+      std::printf("[client] mean WSS in ROI: %.3e over %llu wall sites "
+                  "(step %llu)\n",
+                  obs->value,
+                  static_cast<unsigned long long>(obs->siteCount),
+                  static_cast<unsigned long long>(obs->step));
+    }
+
+    say("pausing the simulation for a closer look");
+    c = {};
+    c.type = steer::MsgType::kPause;
+    client.send(c);
+    c = {};
+    c.type = steer::MsgType::kRequestStatus;
+    client.send(c);
+    if (auto s = client.awaitStatus()) {
+      std::printf("[client] paused at step %llu (paused=%d)\n",
+                  static_cast<unsigned long long>(s->step), s->paused);
+    }
+
+    say("resuming");
+    c = {};
+    c.type = steer::MsgType::kResume;
+    client.send(c);
+
+    say("one more frame after the pressure change");
+    c = {};
+    c.type = steer::MsgType::kRequestFrame;
+    client.send(c);
+    if (auto f = client.awaitImage()) {
+      io::writePpm("steering_frame_2.ppm", f->width, f->height, f->rgb);
+      std::printf("[client] got frame at step %llu -> steering_frame_2.ppm\n",
+                  static_cast<unsigned long long>(f->step));
+    }
+
+    say("terminating the run");
+    c = {};
+    c.type = steer::MsgType::kTerminate;
+    client.send(c);
+  });
+
+  // --- the simulation ---------------------------------------------------------
+  comm::Runtime rt(4);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, report.partition, comm.rank());
+    core::DriverConfig cfg;
+    cfg.lb.tau = 0.8;
+    cfg.lb.computeStress = true;
+    cfg.visEvery = 0;
+    cfg.statusEvery = 0;
+    cfg.plannedSteps = 100000;
+    cfg.render.width = 256;
+    cfg.render.height = 192;
+    cfg.render.transfer = vis::TransferFunction::bloodFlow(0.f, 0.02f);
+    core::SimulationDriver driver(
+        domain, comm, cfg,
+        comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    const int executed = driver.run(100000000);
+    if (comm.rank() == 0) {
+      std::printf("[sim] terminated by client after %d steps; final inlet "
+                  "density %.4f, tau %.2f\n",
+                  executed, driver.solver().ioletDensity(0),
+                  driver.solver().params().tau);
+    }
+  });
+  user.join();
+
+  const auto steerTraffic = rt.totalCounters().of(comm::Traffic::kSteer);
+  std::printf("steering fan-out traffic: %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(steerTraffic.messagesSent),
+              static_cast<unsigned long long>(steerTraffic.bytesSent));
+  return 0;
+}

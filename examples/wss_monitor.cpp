@@ -1,0 +1,101 @@
+// WSS hotspot monitoring — the paper's motivating clinical scenario:
+// "real-time risk assessment of cerebral aneurysm rupture" (§I).
+//
+// Simulates pulsatile-like flow through an aneurysm vessel (the inlet
+// pressure is modulated over time), and in situ per cycle:
+//   * records the global observable time series (mass, speeds, WSS) to CSV,
+//   * extracts connected WSS-hotspot *features* on the wall (regions whose
+//     wall shear stress exceeds a running threshold) and reports their
+//     size, location and peak value — the reduced "risk report" a clinician
+//     would watch instead of terabytes of fields.
+//
+// Run:  ./wss_monitor   (writes wss_timeseries.csv)
+
+#include <cmath>
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/preprocess.hpp"
+#include "core/timeseries.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "lb/solver.hpp"
+#include "lb/wss.hpp"
+#include "vis/features.hpp"
+
+int main() {
+  using namespace hemo;
+
+  geometry::VoxelizeOptions vox;
+  vox.voxelSize = 0.18;
+  const auto lattice = geometry::voxelize(
+      geometry::makeAneurysmVessel(6.0, 1.0, 1.3, 0.4), vox);
+  std::printf("aneurysm vessel: %llu fluid sites\n",
+              static_cast<unsigned long long>(lattice.numFluidSites()));
+
+  core::PreprocessConfig pre;
+  const auto report = core::preprocess(lattice, 4, pre);
+
+  comm::Runtime rt(4);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, report.partition, comm.rank());
+    lb::LbParams params;
+    params.tau = 0.8;
+    params.computeStress = true;
+    lb::SolverD3Q19 solver(domain, comm, params);
+
+    core::ObservableSeries series;
+    const int cycles = 6;
+    const int stepsPerCycle = 120;
+    if (comm.rank() == 0) {
+      std::printf("\n%-7s %12s %12s %12s %s\n", "cycle", "inlet rho",
+                  "mean WSS", "max WSS", "hotspots (size@x, peak)");
+    }
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      // Pulsatile driving: inlet pressure swings around the baseline.
+      const double phase = 2.0 * 3.14159265 * cycle / cycles;
+      const double inletRho = 1.0 + 0.004 + 0.002 * std::sin(phase);
+      solver.setIoletDensity(0, inletRho);
+      solver.setIoletDensity(1, 0.996);
+      solver.run(stepsPerCycle);
+      series.sample(comm, domain, solver.macro(), solver.stepsDone());
+
+      // Project WSS onto the owned sites (0 away from walls), then extract
+      // hotspot features above 60% of the cycle's global maximum.
+      std::vector<double> wssField(domain.numOwned(), 0.0);
+      double localMax = 0.0;
+      for (const auto& w :
+           lb::computeWallShearStress(domain, solver.macro())) {
+        const auto l = domain.localOf(w.siteId);
+        wssField[static_cast<std::size_t>(l)] = w.wss;
+        localMax = std::max(localMax, w.wss);
+      }
+      const double threshold = 0.6 * comm.allreduceMax(localMax);
+      const auto hotspots =
+          vis::extractFeatures(comm, domain, wssField, threshold);
+
+      if (comm.rank() == 0) {
+        const auto& row = series.rows().back();
+        std::printf("%-7d %12.4f %12.3e %12.3e ", cycle, inletRho,
+                    row.meanWss, row.maxWss);
+        for (std::size_t i = 0; i < hotspots.size() && i < 3; ++i) {
+          std::printf(" [%llu sites @ x=%.2f, peak %.2e]",
+                      static_cast<unsigned long long>(hotspots[i].sizeSites),
+                      hotspots[i].centroid.x, hotspots[i].maxValue);
+        }
+        std::printf("\n");
+      }
+    }
+    if (comm.rank() == 0) {
+      if (series.writeCsv("wss_timeseries.csv")) {
+        std::printf("\nwrote wss_timeseries.csv (%zu rows)\n",
+                    series.rows().size());
+      }
+      std::printf("in situ risk report: %zu numbers per cycle instead of "
+                  "%.1f MB of raw fields\n",
+                  static_cast<std::size_t>(7),
+                  static_cast<double>(lattice.numFluidSites()) * 160 / 1e6);
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "comm/channel.hpp"
+
+namespace hemo::comm {
+
+bool ChannelEnd::send(std::vector<std::byte> frame) {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  if (out_->closed) return false;
+  out_->bytesPushed += frame.size();
+  ++out_->framesPushed;
+  out_->frames.push_back(std::move(frame));
+  out_->cv.notify_all();
+  return true;
+}
+
+std::optional<std::vector<std::byte>> ChannelEnd::recv() {
+  std::unique_lock<std::mutex> lock(in_->mutex);
+  in_->cv.wait(lock, [this] { return !in_->frames.empty() || in_->closed; });
+  if (in_->frames.empty()) return std::nullopt;
+  auto frame = std::move(in_->frames.front());
+  in_->frames.pop_front();
+  return frame;
+}
+
+std::optional<std::vector<std::byte>> ChannelEnd::tryRecv() {
+  std::lock_guard<std::mutex> lock(in_->mutex);
+  if (in_->frames.empty()) return std::nullopt;
+  auto frame = std::move(in_->frames.front());
+  in_->frames.pop_front();
+  return frame;
+}
+
+void ChannelEnd::close() {
+  {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    out_->closed = true;
+  }
+  out_->cv.notify_all();
+}
+
+std::uint64_t ChannelEnd::framesSent() const {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  return out_->framesPushed;
+}
+
+std::uint64_t ChannelEnd::bytesSent() const {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  return out_->bytesPushed;
+}
+
+std::pair<ChannelEnd, ChannelEnd> makeChannelPair() {
+  auto a2b = std::make_shared<detail::FrameQueue>();
+  auto b2a = std::make_shared<detail::FrameQueue>();
+  return {ChannelEnd(a2b, b2a), ChannelEnd(b2a, a2b)};
+}
+
+}  // namespace hemo::comm

@@ -1,0 +1,68 @@
+#pragma once
+/// \file channel.hpp
+/// \brief In-memory duplex framed byte channel.
+///
+/// The paper's steering client talks to the simulation master over a socket.
+/// We reproduce the framing and flow (client ⇄ master) over an in-process
+/// channel with identical semantics: ordered, reliable, message-framed,
+/// usable from different threads. The transport is swappable — everything
+/// above (the steer protocol) only sees ChannelEnd.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace hemo::comm {
+
+namespace detail {
+/// One direction of the duplex pipe.
+struct FrameQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::vector<std::byte>> frames;
+  bool closed = false;
+  std::uint64_t framesPushed = 0;
+  std::uint64_t bytesPushed = 0;
+};
+}  // namespace detail
+
+/// One endpoint of a duplex channel. Copyable handle (shared pipe state).
+class ChannelEnd {
+ public:
+  ChannelEnd() = default;
+  ChannelEnd(std::shared_ptr<detail::FrameQueue> out,
+             std::shared_ptr<detail::FrameQueue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  bool valid() const { return out_ && in_; }
+
+  /// Send one frame. Returns false if the peer closed.
+  bool send(std::vector<std::byte> frame);
+
+  /// Blocking receive; nullopt when the peer closed and the queue drained.
+  std::optional<std::vector<std::byte>> recv();
+
+  /// Non-blocking receive.
+  std::optional<std::vector<std::byte>> tryRecv();
+
+  /// Close the outgoing direction; peer receives drain then see EOF.
+  void close();
+
+  /// Frames/bytes ever sent from this end (steering traffic accounting).
+  std::uint64_t framesSent() const;
+  std::uint64_t bytesSent() const;
+
+ private:
+  std::shared_ptr<detail::FrameQueue> out_;
+  std::shared_ptr<detail::FrameQueue> in_;
+};
+
+/// Create a connected pair of endpoints.
+std::pair<ChannelEnd, ChannelEnd> makeChannelPair();
+
+}  // namespace hemo::comm

@@ -1,0 +1,343 @@
+#pragma once
+/// \file communicator.hpp
+/// \brief MPI-style communicator over the in-process thread-rank runtime.
+///
+/// The paper's target is an MPI code on an exascale machine; this session has
+/// neither MPI nor multiple nodes, so the runtime realises the same
+/// programming model in one process: every rank is a thread, point-to-point
+/// sends are buffered pushes into the destination's mailbox, and the full
+/// collective set is implemented *on top of point-to-point* with the textbook
+/// algorithms (dissemination barrier, binomial broadcast/reduce, pairwise
+/// all-to-all). Building collectives from p2p means the traffic profiler sees
+/// realistic message/byte counts for them too — which is exactly what the
+/// Table I communication-cost comparison needs.
+
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "comm/envelope.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/profiler.hpp"
+#include "util/check.hpp"
+
+namespace hemo::comm {
+
+class Runtime;
+
+namespace detail {
+/// Mix for deriving split-communicator context ids deterministically.
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+/// Handle to a group of ranks. Cheap to copy. All collective members must
+/// call collectives in the same order (standard MPI contract).
+class Communicator {
+ public:
+  Communicator(Runtime* rt, std::uint64_t context, int groupRank,
+               std::vector<int> groupToWorld)
+      : rt_(rt),
+        context_(context),
+        rank_(groupRank),
+        groupToWorld_(std::move(groupToWorld)) {}
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(groupToWorld_.size()); }
+  int worldRank() const { return groupToWorld_[static_cast<std::size_t>(rank_)]; }
+  std::uint64_t context() const { return context_; }
+
+  /// Traffic class applied to subsequent sends/receives on this handle.
+  void setTraffic(Traffic t) { traffic_ = t; }
+  Traffic traffic() const { return traffic_; }
+
+  /// RAII traffic-class scope.
+  class TrafficScope {
+   public:
+    TrafficScope(Communicator& comm, Traffic t)
+        : comm_(comm), saved_(comm.traffic_) {
+      comm_.traffic_ = t;
+    }
+    ~TrafficScope() { comm_.traffic_ = saved_; }
+    TrafficScope(const TrafficScope&) = delete;
+    TrafficScope& operator=(const TrafficScope&) = delete;
+
+   private:
+    Communicator& comm_;
+    Traffic saved_;
+  };
+
+  // --- point to point -------------------------------------------------
+
+  /// Buffered send: copies `n` bytes into the destination mailbox. Never
+  /// blocks. `dest` is a rank in this communicator's group.
+  void sendBytes(int dest, int tag, const void* data, std::size_t n);
+
+  /// Blocking matched receive; returns the payload. `source` may be
+  /// kAnySource; `sourceOut` (optional) receives the actual sender.
+  std::vector<std::byte> recvBytes(int source, int tag,
+                                   int* sourceOut = nullptr);
+
+  /// Non-blocking receive; true and fills `payload` if a match was queued.
+  bool tryRecvBytes(int source, int tag, std::vector<std::byte>& payload,
+                    int* sourceOut = nullptr);
+
+  /// True if a matching message is waiting (MPI_Iprobe analogue).
+  bool probe(int source, int tag) const;
+
+  /// Typed send/recv of trivially copyable values.
+  template <typename T>
+  void send(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendBytes(dest, tag, &value, sizeof(T));
+  }
+
+  template <typename T>
+  T recv(int source, int tag, int* sourceOut = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto payload = recvBytes(source, tag, sourceOut);
+    HEMO_CHECK_MSG(payload.size() == sizeof(T),
+                   "typed recv size mismatch: got " << payload.size()
+                                                    << " want " << sizeof(T));
+    T value;
+    std::memcpy(&value, payload.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void sendVec(int dest, int tag, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sendBytes(dest, tag, values.data(), values.size() * sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recvVec(int source, int tag, int* sourceOut = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto payload = recvBytes(source, tag, sourceOut);
+    HEMO_CHECK(payload.size() % sizeof(T) == 0);
+    std::vector<T> values(payload.size() / sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(values.data(), payload.data(), payload.size());
+    }
+    return values;
+  }
+
+  // --- collectives -----------------------------------------------------
+  // All ranks of the group must participate, in the same call order.
+
+  /// Dissemination barrier: ceil(log2 n) rounds.
+  void barrier();
+
+  /// Binomial-tree broadcast of a byte buffer (resized on non-roots).
+  void bcastBytes(std::vector<std::byte>& buffer, int root);
+
+  template <typename T>
+  void bcast(T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(sizeof(T));
+    if (rank_ == root) std::memcpy(buf.data(), &value, sizeof(T));
+    bcastBytes(buf, root);
+    std::memcpy(&value, buf.data(), sizeof(T));
+  }
+
+  template <typename T>
+  void bcastVec(std::vector<T>& values, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf;
+    if (rank_ == root) {
+      buf.resize(values.size() * sizeof(T));
+      if (!values.empty()) std::memcpy(buf.data(), values.data(), buf.size());
+    }
+    bcastBytes(buf, root);
+    values.resize(buf.size() / sizeof(T));
+    if (!values.empty()) std::memcpy(values.data(), buf.data(), buf.size());
+  }
+
+  /// Binomial-tree reduction of an element-wise operation. On return the
+  /// root's `values` holds the reduction; other ranks' buffers are
+  /// unspecified. All ranks must pass equal-sized vectors.
+  template <typename T, typename Op>
+  void reduceVec(std::vector<T>& values, int root, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = size();
+    const int tag = nextCollectiveTag();
+    const int vrank = (rank_ - root + n) % n;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (vrank & mask) {
+        const int parent = ((vrank - mask) + root) % n;
+        sendVec(parent, tag, values);
+        return;
+      }
+      const int childV = vrank + mask;
+      if (childV < n) {
+        const int child = (childV + root) % n;
+        const auto incoming = recvVec<T>(child, tag);
+        HEMO_CHECK(incoming.size() == values.size());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          values[i] = op(values[i], incoming[i]);
+        }
+      }
+    }
+  }
+
+  template <typename T, typename Op>
+  T allreduce(T value, Op op) {
+    std::vector<T> v{value};
+    reduceVec(v, 0, op);
+    bcastVec(v, 0);
+    return v[0];
+  }
+
+  template <typename T>
+  T allreduceSum(T value) {
+    return allreduce(value, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduceMax(T value) {
+    return allreduce(value, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T allreduceMin(T value) {
+    return allreduce(value, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  template <typename T, typename Op>
+  void allreduceVec(std::vector<T>& values, Op op) {
+    reduceVec(values, 0, op);
+    bcastVec(values, 0);
+  }
+
+  /// Gather one value per rank to root; returns size() values at root
+  /// (ordered by rank), empty elsewhere.
+  template <typename T>
+  std::vector<T> gather(const T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = nextCollectiveTag();
+    if (rank_ != root) {
+      send(root, tag, value);
+      return {};
+    }
+    std::vector<T> all(static_cast<std::size_t>(size()));
+    all[static_cast<std::size_t>(rank_)] = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      all[static_cast<std::size_t>(r)] = recv<T>(r, tag);
+    }
+    return all;
+  }
+
+  /// Gather variable-length vectors to root; result[r] is rank r's vector.
+  template <typename T>
+  std::vector<std::vector<T>> gatherVec(const std::vector<T>& values,
+                                        int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = nextCollectiveTag();
+    if (rank_ != root) {
+      sendVec(root, tag, values);
+      return {};
+    }
+    std::vector<std::vector<T>> all(static_cast<std::size_t>(size()));
+    all[static_cast<std::size_t>(rank_)] = values;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      all[static_cast<std::size_t>(r)] = recvVec<T>(r, tag);
+    }
+    return all;
+  }
+
+  /// Allgather of one value per rank (gather to 0 + broadcast).
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    auto all = gather(value, 0);
+    bcastVec(all, 0);
+    return all;
+  }
+
+  /// Allgather of variable-length vectors; result[r] is rank r's vector.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherVec(const std::vector<T>& values) {
+    auto all = gatherVec(values, 0);
+    // Flatten + counts for one broadcast instead of size() broadcasts.
+    std::vector<std::uint64_t> counts;
+    std::vector<T> flat;
+    if (rank_ == 0) {
+      counts.reserve(all.size());
+      for (const auto& v : all) {
+        counts.push_back(v.size());
+        flat.insert(flat.end(), v.begin(), v.end());
+      }
+    }
+    bcastVec(counts, 0);
+    bcastVec(flat, 0);
+    std::vector<std::vector<T>> result(static_cast<std::size_t>(size()));
+    std::size_t off = 0;
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      result[r].assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                       flat.begin() + static_cast<std::ptrdiff_t>(off + counts[r]));
+      off += counts[r];
+    }
+    return result;
+  }
+
+  /// Personalised all-to-all: `toSend[d]` goes to rank d; returns one vector
+  /// received from each rank. Pairwise exchange pattern.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallVec(
+      const std::vector<std::vector<T>>& toSend) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = size();
+    HEMO_CHECK(static_cast<int>(toSend.size()) == n);
+    const int tag = nextCollectiveTag();
+    std::vector<std::vector<T>> received(static_cast<std::size_t>(n));
+    received[static_cast<std::size_t>(rank_)] =
+        toSend[static_cast<std::size_t>(rank_)];
+    for (int offset = 1; offset < n; ++offset) {
+      const int dest = (rank_ + offset) % n;
+      const int src = (rank_ - offset + n) % n;
+      sendVec(dest, tag, toSend[static_cast<std::size_t>(dest)]);
+      received[static_cast<std::size_t>(src)] = recvVec<T>(src, tag);
+    }
+    return received;
+  }
+
+  /// Inclusive prefix sum over ranks (linear chain).
+  template <typename T>
+  T scanSum(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = nextCollectiveTag();
+    T acc = value;
+    if (rank_ > 0) acc = static_cast<T>(recv<T>(rank_ - 1, tag) + value);
+    if (rank_ + 1 < size()) send(rank_ + 1, tag, acc);
+    return acc;
+  }
+
+  /// Split into sub-communicators by color; ranks ordered by (key, rank).
+  Communicator split(int color, int key);
+
+  // --- profiling --------------------------------------------------------
+
+  /// This rank's world-level traffic counters (shared across split comms).
+  TrafficCounters& counters();
+  const TrafficCounters& counters() const;
+
+ private:
+  int nextCollectiveTag() {
+    // Distinct tag per collective instance; FIFO matching per (ctx,src,tag)
+    // makes wrap-around safe.
+    return kMaxUserTag + static_cast<int>(collectiveSeq_++ % 4096);
+  }
+
+  Runtime* rt_;
+  std::uint64_t context_;
+  int rank_;
+  std::vector<int> groupToWorld_;
+  std::uint64_t collectiveSeq_ = 0;
+  Traffic traffic_ = Traffic::kOther;
+};
+
+}  // namespace hemo::comm

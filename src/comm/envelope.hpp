@@ -1,0 +1,27 @@
+#pragma once
+/// \file envelope.hpp
+/// \brief The unit of transfer between ranks: a tagged byte payload.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hemo::comm {
+
+/// Matching constants (MPI_ANY_SOURCE analogue). Tags must be explicit.
+inline constexpr int kAnySource = -1;
+
+/// User point-to-point tags must stay below this; higher tags are reserved
+/// for internal collective sequencing.
+inline constexpr int kMaxUserTag = 1 << 20;
+
+/// A message in flight. `context` separates communicators (like an MPI
+/// context id) so traffic on split communicators can never cross-match.
+struct Envelope {
+  std::uint64_t context = 0;
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace hemo::comm

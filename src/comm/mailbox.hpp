@@ -1,0 +1,111 @@
+#pragma once
+/// \file mailbox.hpp
+/// \brief Per-rank buffered message queue with MPI-style (source, tag)
+/// matching. Sends never block (buffered semantics); receives block until a
+/// matching envelope arrives or the runtime aborts.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "comm/envelope.hpp"
+
+namespace hemo::comm {
+
+/// Thrown out of blocked receives when another rank failed and the runtime
+/// is shutting the group down, or when a receive waits past the deadlock
+/// timeout.
+class AbortError : public std::runtime_error {
+ public:
+  explicit AbortError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Mailbox {
+ public:
+  /// Deliver an envelope (called from the sending rank's thread).
+  void push(Envelope&& env) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(env));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocking matched receive. `source` may be kAnySource; tag and context
+  /// must match exactly. FIFO order is preserved per (context, source, tag).
+  Envelope pop(std::uint64_t context, int source, int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (aborted_.load(std::memory_order_relaxed)) {
+        throw AbortError("receive aborted: runtime shutting down");
+      }
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (matches(*it, context, source, tag)) {
+          Envelope env = std::move(*it);
+          queue_.erase(it);
+          return env;
+        }
+      }
+      if (cv_.wait_for(lock, kDeadlockTimeout) == std::cv_status::timeout) {
+        throw AbortError("receive timed out (likely deadlock): tag=" +
+                         std::to_string(tag));
+      }
+    }
+  }
+
+  /// Non-blocking matched receive.
+  bool tryPop(std::uint64_t context, int source, int tag, Envelope& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, context, source, tag)) {
+        out = std::move(*it);
+        queue_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if a matching message is queued (MPI_Iprobe analogue).
+  bool probe(std::uint64_t context, int source, int tag) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& env : queue_) {
+      if (matches(env, context, source, tag)) return true;
+    }
+    return false;
+  }
+
+  /// Number of queued envelopes (any match). Diagnostic only.
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Wake all blocked receivers with AbortError.
+  void abort() {
+    aborted_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+  }
+
+  void resetAbort() { aborted_.store(false, std::memory_order_relaxed); }
+
+ private:
+  static bool matches(const Envelope& env, std::uint64_t context, int source,
+                      int tag) {
+    return env.context == context && env.tag == tag &&
+           (source == kAnySource || env.source == source);
+  }
+
+  // Generous: the in-process runtime timeshares many ranks on few cores.
+  static constexpr std::chrono::seconds kDeadlockTimeout{120};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace hemo::comm

@@ -1,0 +1,82 @@
+#pragma once
+/// \file profiler.hpp
+/// \brief Per-rank, per-traffic-class communication counters.
+///
+/// Table I of the paper ranks visualisation techniques by communication
+/// cost. The runtime counts every byte and message a rank sends, classified
+/// by what the code was doing (halo exchange, collective, visualisation,
+/// steering, I/O redistribution, partitioning), so benchmarks can report
+/// exact communication volumes rather than wall-clock proxies.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hemo::comm {
+
+enum class Traffic {
+  kOther = 0,
+  kHalo,        ///< LB distribution halo exchange
+  kCollective,  ///< internal collective traffic
+  kVis,         ///< visualisation (compositing, particle migration, ...)
+  kSteer,       ///< steering command/report fan-out
+  kIo,          ///< geometry read + redistribution
+  kPartition,   ///< partitioner traffic
+  kCount_
+};
+
+inline const char* trafficName(Traffic t) {
+  switch (t) {
+    case Traffic::kOther: return "other";
+    case Traffic::kHalo: return "halo";
+    case Traffic::kCollective: return "collective";
+    case Traffic::kVis: return "vis";
+    case Traffic::kSteer: return "steer";
+    case Traffic::kIo: return "io";
+    case Traffic::kPartition: return "partition";
+    default: return "?";
+  }
+}
+
+inline constexpr int kNumTrafficClasses = static_cast<int>(Traffic::kCount_);
+
+/// Counters for one rank. Only ever written by that rank's own thread while
+/// it is running; read by others after Runtime::run() joins.
+struct TrafficCounters {
+  struct PerClass {
+    std::uint64_t messagesSent = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t messagesReceived = 0;
+    std::uint64_t bytesReceived = 0;
+
+    PerClass& operator+=(const PerClass& o) {
+      messagesSent += o.messagesSent;
+      bytesSent += o.bytesSent;
+      messagesReceived += o.messagesReceived;
+      bytesReceived += o.bytesReceived;
+      return *this;
+    }
+  };
+
+  std::array<PerClass, kNumTrafficClasses> perClass{};
+
+  PerClass& of(Traffic t) { return perClass[static_cast<int>(t)]; }
+  const PerClass& of(Traffic t) const {
+    return perClass[static_cast<int>(t)];
+  }
+
+  PerClass total() const {
+    PerClass sum;
+    for (const auto& c : perClass) sum += c;
+    return sum;
+  }
+
+  TrafficCounters& operator+=(const TrafficCounters& o) {
+    for (int i = 0; i < kNumTrafficClasses; ++i) perClass[i] += o.perClass[i];
+    return *this;
+  }
+
+  void reset() { perClass.fill(PerClass{}); }
+};
+
+}  // namespace hemo::comm

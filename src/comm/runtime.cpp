@@ -1,0 +1,215 @@
+#include "comm/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hemo::comm {
+
+// --- Communicator methods needing Runtime ---------------------------------
+
+void Communicator::sendBytes(int dest, int tag, const void* data,
+                             std::size_t n) {
+  HEMO_CHECK_MSG(dest >= 0 && dest < size(), "bad dest rank " << dest);
+  Envelope env;
+  env.context = context_;
+  env.source = rank_;
+  env.tag = tag;
+  env.payload.resize(n);
+  if (n > 0) std::memcpy(env.payload.data(), data, n);
+  auto& c = counters().of(traffic_);
+  ++c.messagesSent;
+  c.bytesSent += n;
+  rt_->mailbox(groupToWorld_[static_cast<std::size_t>(dest)])
+      .push(std::move(env));
+}
+
+std::vector<std::byte> Communicator::recvBytes(int source, int tag,
+                                               int* sourceOut) {
+  Envelope env = rt_->mailbox(worldRank()).pop(context_, source, tag);
+  auto& c = counters().of(traffic_);
+  ++c.messagesReceived;
+  c.bytesReceived += env.payload.size();
+  if (sourceOut != nullptr) *sourceOut = env.source;
+  return std::move(env.payload);
+}
+
+bool Communicator::tryRecvBytes(int source, int tag,
+                                std::vector<std::byte>& payload,
+                                int* sourceOut) {
+  Envelope env;
+  if (!rt_->mailbox(worldRank()).tryPop(context_, source, tag, env)) {
+    return false;
+  }
+  auto& c = counters().of(traffic_);
+  ++c.messagesReceived;
+  c.bytesReceived += env.payload.size();
+  if (sourceOut != nullptr) *sourceOut = env.source;
+  payload = std::move(env.payload);
+  return true;
+}
+
+bool Communicator::probe(int source, int tag) const {
+  return rt_->mailbox(groupToWorld_[static_cast<std::size_t>(rank_)])
+      .probe(context_, source, tag);
+}
+
+void Communicator::barrier() {
+  // Internal collective traffic defaults to kCollective but inherits a more
+  // specific class the caller set (e.g. steering fan-out counts as kSteer).
+  TrafficScope scope(*this, traffic_ == Traffic::kOther
+                                ? Traffic::kCollective
+                                : traffic_);
+  const int n = size();
+  const int tag = nextCollectiveTag();
+  const std::byte token{0};
+  for (int k = 1; k < n; k <<= 1) {
+    sendBytes((rank_ + k) % n, tag, &token, 1);
+    recvBytes((rank_ - k + n) % n, tag);
+  }
+}
+
+void Communicator::bcastBytes(std::vector<std::byte>& buffer, int root) {
+  TrafficScope scope(*this, traffic_ == Traffic::kOther
+                                ? Traffic::kCollective
+                                : traffic_);
+  const int n = size();
+  HEMO_CHECK(root >= 0 && root < n);
+  if (n == 1) return;
+  const int tag = nextCollectiveTag();
+  const int vrank = (rank_ - root + n) % n;
+  // Receive from the parent (clear the vrank's lowest set bit).
+  int highestMask = 1;
+  while (highestMask < n) highestMask <<= 1;
+  if (vrank != 0) {
+    int mask = 1;
+    while (!(vrank & mask)) mask <<= 1;
+    const int parent = ((vrank & ~mask) + root) % n;
+    buffer = recvBytes(parent, tag);
+  }
+  // Forward to children: vrank + m for each m below our lowest set bit
+  // (root forwards for every m < n), highest first.
+  int lowBit = highestMask;
+  if (vrank != 0) {
+    lowBit = 1;
+    while (!(vrank & lowBit)) lowBit <<= 1;
+  }
+  for (int m = lowBit >> 1; m >= 1; m >>= 1) {
+    const int childV = vrank + m;
+    if (childV < n) {
+      sendBytes((childV + root) % n, tag, buffer.data(), buffer.size());
+    }
+  }
+}
+
+Communicator Communicator::split(int color, int key) {
+  struct Triple {
+    int color, key, groupRank;
+  };
+  std::uint64_t seq;
+  std::vector<Triple> all;
+  {
+    TrafficScope scope(*this, Traffic::kCollective);
+    seq = collectiveSeq_;
+    all = allgather(Triple{color, key, rank_});
+  }
+  std::vector<Triple> mine;
+  for (const auto& t : all) {
+    if (t.color == color) mine.push_back(t);
+  }
+  std::stable_sort(mine.begin(), mine.end(), [](const Triple& a,
+                                                const Triple& b) {
+    return a.key != b.key ? a.key < b.key : a.groupRank < b.groupRank;
+  });
+  std::vector<int> newGroupToWorld;
+  int newRank = -1;
+  for (const auto& t : mine) {
+    if (t.groupRank == rank_) newRank = static_cast<int>(newGroupToWorld.size());
+    newGroupToWorld.push_back(
+        groupToWorld_[static_cast<std::size_t>(t.groupRank)]);
+  }
+  HEMO_CHECK(newRank >= 0);
+  // All members derive the identical context id; disjoint colors (and
+  // successive splits) get distinct ids.
+  const std::uint64_t ctx = detail::mix64(
+      detail::mix64(context_, seq), static_cast<std::uint64_t>(color) + 1);
+  return Communicator(rt_, ctx, newRank, std::move(newGroupToWorld));
+}
+
+TrafficCounters& Communicator::counters() { return rt_->counters(worldRank()); }
+
+const TrafficCounters& Communicator::counters() const {
+  return rt_->counters(groupToWorld_[static_cast<std::size_t>(rank_)]);
+}
+
+// --- Runtime ----------------------------------------------------------------
+
+Runtime::Runtime(int size) : size_(size) {
+  HEMO_CHECK_MSG(size >= 1, "runtime needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  counters_.resize(static_cast<std::size_t>(size));
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
+  for (auto& mb : mailboxes_) mb->resetAbort();
+
+  std::vector<int> worldGroup(static_cast<std::size_t>(size_));
+  std::iota(worldGroup.begin(), worldGroup.end(), 0);
+
+  std::mutex errMutex;
+  std::exception_ptr firstError;
+
+  auto threadMain = [&](int rank) {
+    setThreadLogRank(rank);
+    Communicator comm(this, /*context=*/1, rank, worldGroup);
+    try {
+      rankMain(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(errMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+      // Wake every blocked receive so the group can unwind.
+      for (auto& mb : mailboxes_) mb->abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back(threadMain, r);
+  }
+  for (auto& t : threads) t.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+const TrafficCounters& Runtime::counters(int worldRank) const {
+  return counters_[static_cast<std::size_t>(worldRank)];
+}
+
+TrafficCounters& Runtime::counters(int worldRank) {
+  return counters_[static_cast<std::size_t>(worldRank)];
+}
+
+TrafficCounters Runtime::totalCounters() const {
+  TrafficCounters sum;
+  for (const auto& c : counters_) sum += c;
+  return sum;
+}
+
+void Runtime::resetCounters() {
+  for (auto& c : counters_) c.reset();
+}
+
+}  // namespace hemo::comm

@@ -1,0 +1,59 @@
+#pragma once
+/// \file runtime.hpp
+/// \brief Thread-rank runtime: spawns N ranks as threads, gives each a world
+/// communicator, joins them, and propagates the first rank failure.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/profiler.hpp"
+
+namespace hemo::comm {
+
+/// Owns the mailboxes and traffic counters for a group of thread-ranks.
+/// A Runtime may execute several run() "jobs" sequentially; counters
+/// accumulate until resetCounters().
+class Runtime {
+ public:
+  explicit Runtime(int size);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int size() const { return size_; }
+
+  /// Run `rankMain(comm)` on every rank concurrently and join. If any rank
+  /// throws, all blocked receives are aborted and the first exception is
+  /// rethrown here after all threads have joined.
+  void run(const std::function<void(Communicator&)>& rankMain);
+
+  /// Convenience: one-shot runtime.
+  static void runOnce(int size,
+                      const std::function<void(Communicator&)>& rankMain) {
+    Runtime rt(size);
+    rt.run(rankMain);
+  }
+
+  /// Per-world-rank counters (valid to read once run() returned).
+  const TrafficCounters& counters(int worldRank) const;
+  TrafficCounters& counters(int worldRank);
+
+  /// Sum over all ranks.
+  TrafficCounters totalCounters() const;
+
+  void resetCounters();
+
+  Mailbox& mailbox(int worldRank) {
+    return *mailboxes_[static_cast<std::size_t>(worldRank)];
+  }
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<TrafficCounters> counters_;
+};
+
+}  // namespace hemo::comm

@@ -1,0 +1,313 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "lb/wss.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hemo::core {
+
+SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
+                                   comm::Communicator& comm,
+                                   const DriverConfig& config,
+                                   comm::ChannelEnd steerEnd)
+    : domain_(&domain),
+      comm_(&comm),
+      config_(config),
+      solver_(std::make_unique<lb::SolverD3Q19>(domain, comm, config.lb)),
+      ghosts_(domain, comm, /*rings=*/2),
+      octree_(domain, config.octreeLeafLog2),
+      server_(std::move(steerEnd)) {
+  HEMO_CHECK_MSG(!config.computeWss || config.lb.computeStress,
+                 "computeWss requires LbParams::computeStress");
+  if (config.adaptiveVisBudget > 0.0) {
+    scheduler_ = AdaptiveVisScheduler(config.adaptiveVisBudget);
+  }
+  pipeline_.addStage(std::make_unique<ExtractStage>());
+  pipeline_.addStage(std::make_unique<FilterStage>(config.contextLevel));
+  pipeline_.addStage(std::make_unique<MapStage>(
+      config.streamSeeds, config.streamParams, config.computeWss));
+  auto render = std::make_unique<RenderStage>(
+      config.render, /*drawLines=*/!config.streamSeeds.empty(),
+      config.enableLic, config.lic);
+  renderStage_ = render.get();
+  pipeline_.addStage(std::move(render));
+
+  initialMass_ = comm.allreduceSum(solver_->localMass());
+}
+
+void SimulationDriver::runPipelineNow() {
+  PipelineContext ctx;
+  ctx.comm = comm_;
+  ctx.domain = domain_;
+  ctx.macro = &solver_->macro();
+  ctx.ghosts = &ghosts_;
+  ctx.octree = &octree_;
+  ctx.step = solver_->stepsDone();
+  lastOutputs_ = pipeline_.run(ctx);
+
+  // Push the fresh frame to the steering client (loop step 6 of §IV.C.1).
+  if (comm_->rank() == 0 && lastOutputs_.volumeImage.numPixels() > 0) {
+    steer::ImageFrame frame;
+    frame.step = lastOutputs_.step;
+    frame.width = lastOutputs_.volumeImage.width();
+    frame.height = lastOutputs_.volumeImage.height();
+    frame.rgb = lastOutputs_.volumeImage.toRgb8();
+    server_.sendImage(*comm_, frame);
+  }
+}
+
+steer::StatusReport SimulationDriver::computeStatus() {
+  steer::StatusReport s;
+  s.step = solver_->stepsDone();
+  s.totalSites = comm_->allreduceSum<std::uint64_t>(domain_->numOwned());
+  s.totalMass = comm_->allreduceSum(solver_->localMass());
+  double maxSpeed = 0.0;
+  for (const auto& u : solver_->macro().u) {
+    maxSpeed = std::max(maxSpeed, u.norm());
+  }
+  s.maxSpeed = comm_->allreduceMax(maxSpeed);
+
+  // Busy-time imbalance: the quantity repartitioning acts on.
+  const double busy = solver_->collideTimer().total() +
+                      solver_->streamTimer().total();
+  const auto allBusy = comm_->allgather(busy);
+  double sum = 0.0, mx = 0.0;
+  for (const double b : allBusy) {
+    sum += b;
+    mx = std::max(mx, b);
+  }
+  s.loadImbalance = sum > 0.0
+                        ? mx * static_cast<double>(allBusy.size()) / sum
+                        : 1.0;
+
+  // Throughput + remaining-runtime estimate (master's clock, broadcast for
+  // determinism of the report seen by every rank).
+  double rate = 0.0;
+  if (comm_->rank() == 0 && stepsThisRun_ > 0) {
+    const double elapsed = runTimer_.seconds();
+    rate = elapsed > 0.0 ? static_cast<double>(stepsThisRun_) / elapsed : 0.0;
+  }
+  comm_->bcast(rate, 0);
+  s.stepsPerSecond = rate;
+  const auto remaining =
+      config_.plannedSteps > 0
+          ? std::max<std::int64_t>(
+                0, config_.plannedSteps -
+                       static_cast<std::int64_t>(solver_->stepsDone()))
+          : 0;
+  s.etaSeconds = rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+
+  // Consistency checks: mass conservation and a Mach-number sanity bound.
+  const bool massOk =
+      initialMass_ <= 0.0 ||
+      std::abs(s.totalMass - initialMass_) <= 0.02 * initialMass_;
+  const bool machOk = s.maxSpeed < 0.3;
+  s.consistencyOk = (massOk && machOk) ? 1 : 0;
+  s.paused = paused_ ? 1 : 0;
+  lastStatus_ = s;
+  return s;
+}
+
+void SimulationDriver::applyCommand(const steer::Command& cmd) {
+  using steer::MsgType;
+  switch (cmd.type) {
+    case MsgType::kSetCamera:
+      renderStage_->options().camera = cmd.camera;
+      break;
+    case MsgType::kSetField:
+      renderStage_->options().field =
+          static_cast<vis::RenderField>(cmd.renderField);
+      break;
+    case MsgType::kSetVisRate:
+      config_.visEvery = std::max(1, cmd.visRate);
+      break;
+    case MsgType::kSetRenderClip: {
+      // ROI rendering: clip the volume render to the requested lattice
+      // box; an empty box clears the clip.
+      if (cmd.roi.isEmpty()) {
+        renderStage_->options().clipBox.reset();
+      } else {
+        const auto& lat = domain_->lattice();
+        const double h = lat.voxelSize();
+        BoxD world;
+        world.lo = lat.origin() + cmd.roi.lo.cast<double>() * h;
+        world.hi = lat.origin() + cmd.roi.hi.cast<double>() * h;
+        renderStage_->options().clipBox = world;
+      }
+      break;
+    }
+    case MsgType::kSetTau:
+      solver_->setTau(cmd.value);
+      break;
+    case MsgType::kSetBodyForce:
+      solver_->setBodyForce(cmd.force);
+      break;
+    case MsgType::kSetIoletDensity:
+      solver_->setIoletDensity(static_cast<std::size_t>(cmd.ioletId),
+                               cmd.value);
+      break;
+    case MsgType::kSetIoletVelocity:
+      solver_->setIoletVelocity(static_cast<std::size_t>(cmd.ioletId),
+                                cmd.force);
+      break;
+    case MsgType::kPause:
+      paused_ = true;
+      break;
+    case MsgType::kResume:
+      paused_ = false;
+      break;
+    case MsgType::kRequestStatus:
+      server_.sendStatus(*comm_, computeStatus());
+      break;
+    case MsgType::kRequestFrame:
+      runPipelineNow();
+      break;
+    case MsgType::kSetRoi: {
+      // Extract + gather the requested detail region (§V drill-down).
+      PipelineContext ctx;
+      ctx.comm = comm_;
+      ctx.domain = domain_;
+      ctx.macro = &solver_->macro();
+      ctx.ghosts = &ghosts_;
+      ctx.octree = &octree_;
+      ctx.step = solver_->stepsDone();
+      ExtractStage().run(ctx);
+      const int level = std::clamp(cmd.roiLevel, 0, octree_.leafLevel());
+      auto nodes = multires::gatherRoi(*comm_, octree_, level, cmd.roi);
+      steer::RoiData roi;
+      roi.step = solver_->stepsDone();
+      roi.level = level;
+      roi.nodes = std::move(nodes);
+      server_.sendRoi(*comm_, roi);
+      break;
+    }
+    case MsgType::kRequestObservable: {
+      // Hydrodynamic observable over a user-defined subset (§I). The roi
+      // box is in lattice coordinates; empty boxes mean the whole domain.
+      const bool wholeDomain = cmd.roi.isEmpty();
+      const auto& lat = domain_->lattice();
+      const auto& macro = solver_->macro();
+      double localAcc = 0.0;
+      double localMax = 0.0;
+      std::uint64_t localCount = 0;
+      std::vector<lb::WssSample> wss;
+      const auto kind = static_cast<steer::ObservableKind>(cmd.observable);
+      if (kind == steer::ObservableKind::kMeanWss) {
+        wss = lb::computeWallShearStress(*domain_, macro);
+      }
+      if (kind == steer::ObservableKind::kMeanWss) {
+        for (const auto& w : wss) {
+          const Vec3i p = lat.sitePosition(w.siteId);
+          if (!wholeDomain && !cmd.roi.contains(p)) continue;
+          localAcc += w.wss;
+          ++localCount;
+        }
+      } else {
+        for (std::uint32_t l = 0; l < domain_->numOwned(); ++l) {
+          const Vec3i p = lat.sitePosition(domain_->globalOf(l));
+          if (!wholeDomain && !cmd.roi.contains(p)) continue;
+          ++localCount;
+          switch (kind) {
+            case steer::ObservableKind::kMeanSpeed:
+              localAcc += macro.u[l].norm();
+              break;
+            case steer::ObservableKind::kMaxSpeed:
+              localMax = std::max(localMax, macro.u[l].norm());
+              break;
+            case steer::ObservableKind::kMassFluxX:
+              localAcc += macro.rho[l] * macro.u[l].x;
+              break;
+            case steer::ObservableKind::kMass:
+              localAcc += macro.rho[l];
+              break;
+            default:
+              break;
+          }
+        }
+      }
+      const auto count = comm_->allreduceSum(localCount);
+      double value = 0.0;
+      switch (kind) {
+        case steer::ObservableKind::kMaxSpeed:
+          value = comm_->allreduceMax(localMax);
+          break;
+        case steer::ObservableKind::kMeanSpeed:
+        case steer::ObservableKind::kMeanWss:
+          value = count > 0 ? comm_->allreduceSum(localAcc) /
+                                  static_cast<double>(count)
+                            : 0.0;
+          break;
+        default:
+          value = comm_->allreduceSum(localAcc);
+          break;
+      }
+      steer::ObservableReport report;
+      report.step = solver_->stepsDone();
+      report.kind = cmd.observable;
+      report.value = value;
+      report.siteCount = count;
+      server_.sendObservable(*comm_, report);
+      break;
+    }
+    case MsgType::kTerminate:
+      terminated_ = true;
+      break;
+    default:
+      HEMO_LOG_WARN() << "ignoring unexpected steering frame type "
+                      << static_cast<int>(cmd.type);
+      break;
+  }
+  server_.sendAck(*comm_, cmd.commandId);
+}
+
+void SimulationDriver::pollSteering() {
+  for (const auto& cmd : server_.poll(*comm_)) {
+    applyCommand(cmd);
+  }
+}
+
+int SimulationDriver::run(int steps) {
+  runTimer_.reset();
+  stepsThisRun_ = 0;
+  int executed = 0;
+  while (executed < steps && !terminated_) {
+    pollSteering();
+    if (terminated_) break;
+    if (paused_) {
+      // Paused: keep servicing steering commands without advancing.
+      std::this_thread::yield();
+      continue;
+    }
+    {
+      WallTimer stepTimer;
+      solver_->step();
+      lastStepSeconds_ = stepTimer.seconds();
+    }
+    ++executed;
+    ++stepsThisRun_;
+    const auto done = solver_->stepsDone();
+    if (config_.visEvery > 0 && done % static_cast<std::uint64_t>(
+                                           config_.visEvery) == 0) {
+      WallTimer pipeTimer;
+      runPipelineNow();
+      if (config_.adaptiveVisBudget > 0.0) {
+        // Rank 0 owns the clock; the chosen cadence is broadcast so every
+        // rank's pipeline keeps firing on the same steps.
+        scheduler_.observe(lastStepSeconds_, pipeTimer.seconds());
+        int every = scheduler_.recommendedEvery();
+        comm_->bcast(every, 0);
+        config_.visEvery = every;
+      }
+    }
+    if (config_.statusEvery > 0 &&
+        done % static_cast<std::uint64_t>(config_.statusEvery) == 0) {
+      server_.sendStatus(*comm_, computeStatus());
+    }
+  }
+  return executed;
+}
+
+}  // namespace hemo::core

@@ -1,0 +1,104 @@
+#pragma once
+/// \file driver.hpp
+/// \brief The closed co-design loop of Fig 2: pre-processed simulation +
+/// concurrent in situ post-processing + computational steering, running
+/// until completion or a terminate command.
+///
+/// Per step the driver (on every rank, collectively):
+///   1. polls the steering server — commands broadcast from the master and
+///      applied identically everywhere (vis parameters, sim parameters,
+///      pause/resume, ROI requests, frame requests, terminate);
+///   2. advances the LB solver one step (unless paused);
+///   3. every `visEvery` steps runs the Fig 3 pipeline and pushes the
+///      resulting image to the steering client;
+///   4. every `statusEvery` steps emits a status report (runtime estimate,
+///      consistency checks — §I's "status informations").
+
+#include <memory>
+#include <optional>
+
+#include "comm/channel.hpp"
+#include "core/pipeline.hpp"
+#include "core/scheduler.hpp"
+#include "lb/solver.hpp"
+#include "steer/server.hpp"
+#include "util/timer.hpp"
+
+namespace hemo::core {
+
+struct DriverConfig {
+  lb::LbParams lb;
+  int visEvery = 10;
+  int statusEvery = 25;
+  /// Volume rendering settings (camera steerable at runtime).
+  vis::VolumeRenderOptions render;
+  /// Streamline seeds (empty disables the map stage's tracing).
+  std::vector<Vec3d> streamSeeds;
+  vis::StreamlineParams streamParams;
+  bool computeWss = true;
+  bool enableLic = false;
+  vis::LicOptions lic;
+  /// Octree context level gathered by the filter stage.
+  int contextLevel = 2;
+  /// Octree leaf cell width log2 (coarser leaves = cheaper updates).
+  int octreeLeafLog2 = 0;
+  /// Total steps the user intends to run (for the ETA estimate).
+  int plannedSteps = 0;
+  /// If > 0: adapt visEvery automatically so the in situ pipeline consumes
+  /// at most this fraction of the runtime (scheduling, §III challenge 4).
+  double adaptiveVisBudget = 0.0;
+};
+
+class SimulationDriver {
+ public:
+  /// Collective construction. `steerEnd` is the master-side channel end of
+  /// the steering connection; pass a default ChannelEnd to disable
+  /// steering (e.g. batch runs).
+  SimulationDriver(const lb::DomainMap& domain, comm::Communicator& comm,
+                   const DriverConfig& config,
+                   comm::ChannelEnd steerEnd = {});
+
+  /// Run up to `steps` further steps; returns the number actually executed
+  /// (a terminate command stops early).
+  int run(int steps);
+
+  bool terminated() const { return terminated_; }
+  int currentVisEvery() const { return config_.visEvery; }
+  lb::SolverD3Q19& solver() { return *solver_; }
+  const PipelineOutputs& lastOutputs() const { return lastOutputs_; }
+  const steer::StatusReport& lastStatus() const { return lastStatus_; }
+  InSituPipeline& pipeline() { return pipeline_; }
+  const DriverConfig& config() const { return config_; }
+
+  /// Run the in situ pipeline immediately (collective).
+  void runPipelineNow();
+
+  /// Compute a status report (collective).
+  steer::StatusReport computeStatus();
+
+ private:
+  void applyCommand(const steer::Command& cmd);
+  void pollSteering();
+
+  const lb::DomainMap* domain_;
+  comm::Communicator* comm_;
+  DriverConfig config_;
+  std::unique_ptr<lb::SolverD3Q19> solver_;
+  vis::GhostedField ghosts_;
+  multires::FieldOctree octree_;
+  InSituPipeline pipeline_;
+  RenderStage* renderStage_ = nullptr;  // owned by pipeline_
+  steer::SteeringServer server_;
+
+  PipelineOutputs lastOutputs_;
+  steer::StatusReport lastStatus_;
+  AdaptiveVisScheduler scheduler_{0.5};
+  double lastStepSeconds_ = 0.0;
+  double initialMass_ = 0.0;
+  bool paused_ = false;
+  bool terminated_ = false;
+  WallTimer runTimer_;
+  std::uint64_t stepsThisRun_ = 0;
+};
+
+}  // namespace hemo::core

@@ -1,0 +1,74 @@
+#pragma once
+/// \file perf_model.hpp
+/// \brief Co-design performance model.
+///
+/// The thread-rank runtime timeshares one machine, so wall clock measures
+/// contention, not parallel time. The benchmarks therefore reconstruct the
+/// time a real cluster would take from quantities that *are* faithful here:
+/// each rank's busy CPU time and its exact communication volume. The model
+/// is the standard postal one:
+///
+///   T = max_r busy_r + alpha · max_r msgs_r + beta · max_r bytes_r
+///
+/// with (alpha, beta) defaults resembling a commodity cluster (1 µs
+/// latency, 10 GB/s links). Speedup shapes — who wins, where crossovers
+/// fall — are robust to the exact constants; EXPERIMENTS.md discusses this.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "comm/profiler.hpp"
+#include "util/check.hpp"
+
+namespace hemo::core {
+
+struct CostModel {
+  double alphaPerMessage = 1e-6;  ///< seconds per message (latency)
+  double betaPerByte = 1e-10;     ///< seconds per byte (1/bandwidth)
+};
+
+struct RankCost {
+  double busySeconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Modeled parallel execution time of one phase.
+inline double modeledParallelSeconds(const std::vector<RankCost>& ranks,
+                                     const CostModel& model = {}) {
+  HEMO_CHECK(!ranks.empty());
+  double busy = 0.0, msgs = 0.0, bytes = 0.0;
+  for (const auto& r : ranks) {
+    busy = std::max(busy, r.busySeconds);
+    msgs = std::max(msgs, static_cast<double>(r.messages));
+    bytes = std::max(bytes, static_cast<double>(r.bytes));
+  }
+  return busy + model.alphaPerMessage * msgs + model.betaPerByte * bytes;
+}
+
+/// Convenience: build RankCosts from measured busy seconds and the traffic
+/// counters of a runtime (per rank, sent side).
+inline std::vector<RankCost> makeRankCosts(
+    const std::vector<double>& busySeconds,
+    const std::vector<comm::TrafficCounters>& counters) {
+  HEMO_CHECK(busySeconds.size() == counters.size());
+  std::vector<RankCost> out(busySeconds.size());
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    out[r].busySeconds = busySeconds[r];
+    const auto total = counters[r].total();
+    out[r].messages = total.messagesSent;
+    out[r].bytes = total.bytesSent;
+  }
+  return out;
+}
+
+/// Modeled speedup of a parallel phase against a serial baseline.
+inline double modeledSpeedup(double serialBusySeconds,
+                             const std::vector<RankCost>& ranks,
+                             const CostModel& model = {}) {
+  const double t = modeledParallelSeconds(ranks, model);
+  return t > 0.0 ? serialBusySeconds / t : 0.0;
+}
+
+}  // namespace hemo::core

@@ -1,0 +1,55 @@
+#include "core/preprocess.hpp"
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hemo::core {
+
+std::unique_ptr<partition::Partitioner> makePartitioner(
+    const std::string& name, const geometry::SparseLattice& lattice) {
+  if (name == "block") {
+    return std::make_unique<partition::BlockPartitioner>(lattice);
+  }
+  if (name == "sfc") return std::make_unique<partition::SfcPartitioner>();
+  if (name == "hilbert") {
+    return std::make_unique<partition::HilbertPartitioner>();
+  }
+  if (name == "rcb") return std::make_unique<partition::RcbPartitioner>();
+  if (name == "greedy") {
+    return std::make_unique<partition::GreedyGrowingPartitioner>();
+  }
+  if (name == "kway") {
+    return std::make_unique<partition::MultilevelKWayPartitioner>();
+  }
+  HEMO_CHECK_MSG(false, "unknown partitioner '" << name << "'");
+}
+
+std::vector<double> makeSiteCosts(const geometry::SparseLattice& lattice,
+                                  const PreprocessConfig& config) {
+  std::vector<double> cost(lattice.numFluidSites(), 1.0);
+  if (config.visAware && config.visRegion) {
+    for (std::uint64_t g = 0; g < lattice.numFluidSites(); ++g) {
+      if (config.visRegion(lattice.siteWorld(g))) {
+        cost[static_cast<std::size_t>(g)] += config.visCostFactor;
+      }
+    }
+  }
+  return cost;
+}
+
+PreprocessReport preprocess(const geometry::SparseLattice& lattice,
+                            int numParts, const PreprocessConfig& config) {
+  auto graph = partition::buildSiteGraph(lattice);
+  graph.vertexWeight = makeSiteCosts(lattice, config);
+
+  PreprocessReport report;
+  report.partitionerName = config.partitioner;
+  const auto partitioner = makePartitioner(config.partitioner, lattice);
+  WallTimer timer;
+  report.partition = partitioner->partition(graph, numParts);
+  report.seconds = timer.seconds();
+  report.metrics = partition::evaluatePartition(graph, report.partition);
+  return report;
+}
+
+}  // namespace hemo::core

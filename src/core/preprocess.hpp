@@ -1,0 +1,52 @@
+#pragma once
+/// \file preprocess.hpp
+/// \brief The pre-processing chain of §IV.B: build the site graph, weight
+/// it (optionally folding visualisation cost into the balance equation —
+/// the paper's central pre-processing argument), partition it with a chosen
+/// algorithm, and report the decomposition quality.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "geometry/sparse_lattice.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioners.hpp"
+
+namespace hemo::core {
+
+struct PreprocessConfig {
+  /// One of: block | sfc | hilbert | rcb | greedy | kway.
+  std::string partitioner = "kway";
+  /// Fold per-site visualisation cost into the vertex weights before
+  /// partitioning ("these costs ... must be involved in the balance
+  /// equation", §IV.B).
+  bool visAware = false;
+  /// Relative extra cost of a vis-active site (measured or estimated).
+  double visCostFactor = 3.0;
+  /// Which sites carry visualisation work (e.g. the steered ROI). Called
+  /// with the site's world position.
+  std::function<bool(const Vec3d&)> visRegion;
+};
+
+struct PreprocessReport {
+  partition::Partition partition;
+  partition::PartitionMetrics metrics;
+  double seconds = 0.0;  ///< partitioner wall time
+  std::string partitionerName;
+};
+
+/// Instantiate a partitioner by name (throws on unknown names).
+std::unique_ptr<partition::Partitioner> makePartitioner(
+    const std::string& name, const geometry::SparseLattice& lattice);
+
+/// Per-site cost vector for the current config: 1.0 everywhere, plus
+/// visCostFactor for sites inside the vis region.
+std::vector<double> makeSiteCosts(const geometry::SparseLattice& lattice,
+                                  const PreprocessConfig& config);
+
+/// Run the full pre-processing chain.
+PreprocessReport preprocess(const geometry::SparseLattice& lattice,
+                            int numParts, const PreprocessConfig& config);
+
+}  // namespace hemo::core

@@ -1,0 +1,34 @@
+#include "core/refine.hpp"
+
+namespace hemo::core {
+
+GlobalMacro gatherGlobalMacro(comm::Communicator& comm,
+                              const lb::DomainMap& domain,
+                              const lb::MacroFields& macro) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kIo);
+  // Pack (globalId, rho, ux, uy, uz) rows, allgather, scatter into the
+  // globally-indexed arrays.
+  std::vector<double> rows;
+  rows.reserve(domain.numOwned() * 5);
+  for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+    rows.push_back(static_cast<double>(domain.globalOf(l)));
+    rows.push_back(macro.rho[static_cast<std::size_t>(l)]);
+    rows.push_back(macro.u[static_cast<std::size_t>(l)].x);
+    rows.push_back(macro.u[static_cast<std::size_t>(l)].y);
+    rows.push_back(macro.u[static_cast<std::size_t>(l)].z);
+  }
+  const auto all = comm.allgatherVec(rows);
+  GlobalMacro out;
+  out.rho.assign(domain.lattice().numFluidSites(), 1.0);
+  out.u.assign(domain.lattice().numFluidSites(), Vec3d{});
+  for (const auto& blob : all) {
+    for (std::size_t i = 0; i < blob.size(); i += 5) {
+      const auto g = static_cast<std::size_t>(blob[i]);
+      out.rho[g] = blob[i + 1];
+      out.u[g] = {blob[i + 2], blob[i + 3], blob[i + 4]};
+    }
+  }
+  return out;
+}
+
+}  // namespace hemo::core

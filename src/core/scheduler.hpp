@@ -1,0 +1,72 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Adaptive in situ scheduling.
+///
+/// §III lists scheduling as a core exascale post-processing challenge, and
+/// the steering client may "increase the visualisation rate" at will. The
+/// scheduler closes that loop automatically: given a budget for the
+/// fraction of runtime the in situ pipeline may consume, it picks the
+/// visualisation cadence from the *measured* step and pipeline costs.
+///
+/// With the pipeline running every N steps, its runtime share is
+/// f = P / (N·S + P); solving f <= budget gives
+/// N >= P(1 − budget) / (budget · S).
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hemo::core {
+
+class AdaptiveVisScheduler {
+ public:
+  /// `budget` is the admissible in-situ share of total runtime, in (0,1).
+  explicit AdaptiveVisScheduler(double budget, int minEvery = 1,
+                                int maxEvery = 10000)
+      : budget_(budget), minEvery_(minEvery), maxEvery_(maxEvery) {
+    HEMO_CHECK(budget > 0.0 && budget < 1.0);
+    HEMO_CHECK(minEvery >= 1 && maxEvery >= minEvery);
+  }
+
+  /// Feed measured costs (seconds per solver step, seconds per pipeline
+  /// execution). Exponentially smoothed so one noisy sample cannot flap
+  /// the cadence.
+  void observe(double stepSeconds, double pipelineSeconds) {
+    if (stepSeconds <= 0.0 || pipelineSeconds < 0.0) return;
+    if (stepCost_ <= 0.0) {
+      stepCost_ = stepSeconds;
+      pipeCost_ = pipelineSeconds;
+    } else {
+      constexpr double kAlpha = 0.3;
+      stepCost_ += kAlpha * (stepSeconds - stepCost_);
+      pipeCost_ += kAlpha * (pipelineSeconds - pipeCost_);
+    }
+  }
+
+  /// Cadence keeping the pipeline share at or below the budget.
+  int recommendedEvery() const {
+    if (stepCost_ <= 0.0) return minEvery_;
+    const double n =
+        pipeCost_ * (1.0 - budget_) / (budget_ * stepCost_);
+    return std::clamp(static_cast<int>(std::ceil(n)), minEvery_, maxEvery_);
+  }
+
+  /// Pipeline share of runtime at a given cadence under current estimates.
+  double predictedShare(int every) const {
+    if (stepCost_ <= 0.0 || every < 1) return 0.0;
+    return pipeCost_ / (every * stepCost_ + pipeCost_);
+  }
+
+  double budget() const { return budget_; }
+  double stepCostEstimate() const { return stepCost_; }
+  double pipelineCostEstimate() const { return pipeCost_; }
+
+ private:
+  double budget_;
+  int minEvery_, maxEvery_;
+  double stepCost_ = 0.0;
+  double pipeCost_ = 0.0;
+};
+
+}  // namespace hemo::core

@@ -1,0 +1,89 @@
+#pragma once
+/// \file timeseries.hpp
+/// \brief Reduced-observable time series.
+///
+/// The steering client can ask for one observable at a time; long-running
+/// monitoring instead records a row of reduced observables at a fixed
+/// cadence — the in situ product that replaces writing fields to disk for
+/// later time-series analysis. Rows live on rank 0 and export to CSV.
+
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "io/csv.hpp"
+#include "lb/domain_map.hpp"
+#include "lb/wss.hpp"
+
+namespace hemo::core {
+
+/// One sampled row of global flow observables.
+struct ObservableRow {
+  std::uint64_t step = 0;
+  double totalMass = 0.0;
+  double meanSpeed = 0.0;
+  double maxSpeed = 0.0;
+  double massFluxX = 0.0;
+  double meanWss = 0.0;
+  double maxWss = 0.0;
+};
+
+class ObservableSeries {
+ public:
+  /// Collective: reduce the current fields into one row (stored on rank 0;
+  /// returned on every rank for convenience).
+  ObservableRow sample(comm::Communicator& comm, const lb::DomainMap& domain,
+                       const lb::MacroFields& macro, std::uint64_t step) {
+    ObservableRow row;
+    row.step = step;
+    double mass = 0.0, speedSum = 0.0, speedMax = 0.0, flux = 0.0;
+    for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+      const double s = macro.u[l].norm();
+      mass += macro.rho[l];
+      speedSum += s;
+      speedMax = std::max(speedMax, s);
+      flux += macro.rho[l] * macro.u[l].x;
+    }
+    double wssSum = 0.0, wssMax = 0.0;
+    std::uint64_t wssCount = 0;
+    if (!macro.stress.empty()) {
+      for (const auto& w : lb::computeWallShearStress(domain, macro)) {
+        wssSum += w.wss;
+        wssMax = std::max(wssMax, w.wss);
+        ++wssCount;
+      }
+    }
+    const auto sites = comm.allreduceSum<std::uint64_t>(domain.numOwned());
+    row.totalMass = comm.allreduceSum(mass);
+    row.meanSpeed =
+        sites > 0 ? comm.allreduceSum(speedSum) / static_cast<double>(sites)
+                  : 0.0;
+    row.maxSpeed = comm.allreduceMax(speedMax);
+    row.massFluxX = comm.allreduceSum(flux);
+    const auto wallSites = comm.allreduceSum(wssCount);
+    row.meanWss = wallSites > 0 ? comm.allreduceSum(wssSum) /
+                                      static_cast<double>(wallSites)
+                                : 0.0;
+    row.maxWss = comm.allreduceMax(wssMax);
+    if (comm.rank() == 0) rows_.push_back(row);
+    return row;
+  }
+
+  const std::vector<ObservableRow>& rows() const { return rows_; }
+
+  /// Export the recorded series (rank 0).
+  bool writeCsv(const std::string& path) const {
+    io::CsvWriter csv({"step", "mass", "mean_speed", "max_speed",
+                       "mass_flux_x", "mean_wss", "max_wss"});
+    for (const auto& r : rows_) {
+      csv.addRow(r.step, r.totalMass, r.meanSpeed, r.maxSpeed, r.massFluxX,
+                 r.meanWss, r.maxWss);
+    }
+    return csv.writeFile(path);
+  }
+
+ private:
+  std::vector<ObservableRow> rows_;
+};
+
+}  // namespace hemo::core

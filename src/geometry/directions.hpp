@@ -1,0 +1,52 @@
+#pragma once
+/// \file directions.hpp
+/// \brief The 26-neighbour direction set shared by the geometry file format,
+/// the voxelizer and the LB lattices.
+///
+/// The geometry description is lattice-independent (like HemeLB's gmy
+/// format): every fluid site stores cut information for all 26 lattice
+/// links; a specific LB velocity set (D3Q15/D3Q19) then maps its directions
+/// onto this set.
+
+#include <array>
+
+#include "util/vec.hpp"
+
+namespace hemo::geometry {
+
+inline constexpr int kNumDirections = 26;
+
+namespace detail {
+constexpr std::array<Vec3i, kNumDirections> makeDirections() {
+  std::array<Vec3i, kNumDirections> dirs{};
+  int k = 0;
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        dirs[static_cast<std::size_t>(k++)] = Vec3i{dx, dy, dz};
+      }
+    }
+  }
+  return dirs;
+}
+}  // namespace detail
+
+/// All 26 unit-cube directions in lexicographic (dx,dy,dz) order.
+inline constexpr std::array<Vec3i, kNumDirections> kDirections =
+    detail::makeDirections();
+
+/// Index of the opposite direction. The lexicographic ordering of the
+/// symmetric set means negation reverses the order.
+constexpr int oppositeDirection(int d) { return kNumDirections - 1 - d; }
+
+/// Find the direction index of a given offset vector; -1 if not a neighbour
+/// offset.
+constexpr int directionIndex(const Vec3i& d) {
+  for (int i = 0; i < kNumDirections; ++i) {
+    if (kDirections[static_cast<std::size_t>(i)] == d) return i;
+  }
+  return -1;
+}
+
+}  // namespace hemo::geometry

@@ -1,0 +1,50 @@
+#pragma once
+/// \file parallel_reader.hpp
+/// \brief Parallel geometry input: a configurable subset of "reading cores"
+/// fetches block payloads from the file system and redistributes them to the
+/// block owners.
+///
+/// This is the pre-processing step of the paper's §IV.B verbatim: "A subset
+/// of the cores then read the detailed geometry data and distribute the data
+/// to those cores that require it. This approach minimises stress on the
+/// filesystem. Additionally, the number of reading cores enables control
+/// over the balance between file I/O and distribution communication." The
+/// reader-count sweep of bench P1 measures exactly that trade-off.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "geometry/sgmy.hpp"
+
+namespace hemo::geometry {
+
+struct ParallelReadResult {
+  SgmyHeader header;
+  /// block-table index -> owning rank, from the coarse fluid-volume balance.
+  std::vector<int> blockOwner;
+  /// Sites owned by this rank, decoded.
+  std::vector<DecodedSite> ownedSites;
+  /// Bytes this rank read from the file system (0 for non-readers).
+  std::uint64_t bytesReadFromDisk = 0;
+  /// True if this rank was one of the reading cores.
+  bool wasReader = false;
+};
+
+/// Contiguous block->rank assignment balancing per-block fluid counts — the
+/// "initial approximate load balance" computed from the coarse table alone.
+std::vector<int> assignBlocksByFluidVolume(const SgmyHeader& header,
+                                           int numParts);
+
+/// Collective: all ranks of `comm` participate. `numReaders` reading cores
+/// — the leader rank of each owner group — read disjoint contiguous payload
+/// ranges; payloads travel to their owners over the communicator
+/// (classified as Traffic::kIo). With numReaders == size every rank reads
+/// its own blocks (maximum file-system stress, no redistribution); with one
+/// reader the file is touched once and everything crosses the network.
+ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
+                                       const std::string& path,
+                                       int numReaders);
+
+}  // namespace hemo::geometry

@@ -1,0 +1,91 @@
+#pragma once
+/// \file sgmy.hpp
+/// \brief The two-level sparse geometry file format (.sgmy).
+///
+/// Mirrors the structure the paper describes for HemeLB's input: a coarse
+/// block table that "describes blocks solely by the volume of fluid within
+/// each one" — readable without touching site data, and used for the initial
+/// approximate load balance — followed by per-block site payloads that a
+/// subset of reading cores fetches and redistributes.
+///
+/// Layout (little-endian):
+///   magic "SGMY", version u32
+///   dims 3×i32, blockSize i32, voxelSize f64, origin 3×f64
+///   iolet table: count u32, then per iolet: kind u8, bc u8, center 3×f64,
+///     normal 3×f64, radius f64, density f64, speed f64
+///   block table: count u64, then per non-empty block:
+///     blockLinear u64, fluidCount u32, payloadOffset u64, payloadBytes u64
+///   block payloads (offsets relative to payload section start):
+///     per fluid site: localIndex u16, then 26 links (kind u8;
+///     wall/inlet/outlet add distance f32; inlet/outlet add ioletId u16),
+///     then hasNormal u8 (+ 3×f32 normal if set)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/sparse_lattice.hpp"
+
+namespace hemo::geometry {
+
+struct SgmyBlockEntry {
+  std::uint64_t blockLinear = 0;
+  std::uint32_t fluidCount = 0;
+  std::uint64_t payloadOffset = 0;  ///< relative to payload section start
+  std::uint64_t payloadBytes = 0;
+};
+
+struct SgmyHeader {
+  Vec3i dims;
+  int blockSize = 8;
+  double voxelSize = 0.0;
+  Vec3d origin;
+  std::vector<Iolet> iolets;
+  std::vector<SgmyBlockEntry> blockTable;
+  /// Absolute file offset where block payloads start.
+  std::uint64_t payloadStart = 0;
+
+  Vec3i blockDims() const {
+    return {(dims.x + blockSize - 1) / blockSize,
+            (dims.y + blockSize - 1) / blockSize,
+            (dims.z + blockSize - 1) / blockSize};
+  }
+
+  std::uint64_t totalFluidSites() const {
+    std::uint64_t n = 0;
+    for (const auto& b : blockTable) n += b.fluidCount;
+    return n;
+  }
+};
+
+/// A decoded fluid site from a block payload.
+struct DecodedSite {
+  Vec3i position;
+  SiteRecord record;
+};
+
+/// Write a finalized lattice to disk. Returns false on I/O failure.
+bool writeSgmy(const std::string& path, const SparseLattice& lattice);
+
+/// Read only the header + coarse block table (cheap; what every rank does).
+SgmyHeader readSgmyHeader(const std::string& path);
+
+/// Encode one block's sites to its payload bytes (exposed for testing and
+/// for the parallel reader's redistribution).
+std::vector<std::byte> encodeBlockPayload(
+    const SparseLattice& lattice, const SparseLattice::BlockInfo& block);
+
+/// Decode a block payload. `blockCoord` locates the sites in the lattice.
+std::vector<DecodedSite> decodeBlockPayload(const SgmyHeader& header,
+                                            std::uint64_t blockLinear,
+                                            const std::vector<std::byte>& payload);
+
+/// Read the raw payload bytes of block-table entries [first, last).
+std::vector<std::vector<std::byte>> readSgmyBlockPayloads(
+    const std::string& path, const SgmyHeader& header, std::size_t first,
+    std::size_t last);
+
+/// Full serial read back into a lattice (tests, single-rank tools).
+SparseLattice readSgmy(const std::string& path);
+
+}  // namespace hemo::geometry

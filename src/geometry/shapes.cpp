@@ -1,0 +1,164 @@
+#include "geometry/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hemo::geometry {
+
+void Scene::addShape(std::unique_ptr<Shape> shape) {
+  bounds_.expand(shape->bounds());
+  shapes_.push_back(std::move(shape));
+}
+
+double Scene::sdf(const Vec3d& p) const {
+  double d = std::numeric_limits<double>::infinity();
+  for (const auto& s : shapes_) d = std::min(d, s->sdf(p));
+  return d;
+}
+
+bool Scene::isFluid(const Vec3d& p) const {
+  if (sdf(p) >= 0.0) return false;
+  for (const auto& io : iolets_) {
+    if ((p - io.center).dot(io.normal) < 0.0) return false;
+  }
+  return true;
+}
+
+Vec3d Scene::sdfGradient(const Vec3d& p, double h) const {
+  const Vec3d dx{h, 0, 0}, dy{0, h, 0}, dz{0, 0, h};
+  return Vec3d{sdf(p + dx) - sdf(p - dx), sdf(p + dy) - sdf(p - dy),
+               sdf(p + dz) - sdf(p - dz)} /
+         (2.0 * h);
+}
+
+Scene makeStraightTube(double length, double radius) {
+  HEMO_CHECK(length > 0 && radius > 0);
+  Scene scene;
+  // Extend the capsule slightly past the caps so the iolet planes cut a
+  // clean circular disc rather than the capsule's hemispherical ends.
+  const double pad = radius * 1.5;
+  scene.addShape(std::make_unique<CapsuleShape>(
+      Vec3d{-pad, 0, 0}, Vec3d{length + pad, 0, 0}, radius));
+  Iolet in;
+  in.kind = Iolet::Kind::kInlet;
+  in.center = {0, 0, 0};
+  in.normal = {1, 0, 0};
+  in.radius = radius;
+  Iolet out;
+  out.kind = Iolet::Kind::kOutlet;
+  out.center = {length, 0, 0};
+  out.normal = {-1, 0, 0};
+  out.radius = radius;
+  scene.addIolet(in);
+  scene.addIolet(out);
+  return scene;
+}
+
+Scene makeBentTube(double limbLength, double bendRadius, double angleRad,
+                   double tubeRadius) {
+  HEMO_CHECK(limbLength >= 0 && bendRadius > tubeRadius && angleRad > 0);
+  Scene scene;
+  // Arc centred at the origin in the xy-plane, from angle 0 to angleRad.
+  auto arc = std::make_unique<ArcTubeShape>(Vec3d{0, 0, 0}, Vec3d{1, 0, 0},
+                                            Vec3d{0, 1, 0}, bendRadius,
+                                            angleRad, tubeRadius);
+  const Vec3d startPoint = arc->arcPoint(0.0);
+  const Vec3d startTan = arc->arcTangent(0.0);
+  const Vec3d endPoint = arc->arcPoint(angleRad);
+  const Vec3d endTan = arc->arcTangent(angleRad);
+  scene.addShape(std::move(arc));
+
+  const double pad = tubeRadius * 1.5;
+  const Vec3d inletCenter = startPoint - startTan * limbLength;
+  const Vec3d outletCenter = endPoint + endTan * limbLength;
+  scene.addShape(std::make_unique<CapsuleShape>(
+      inletCenter - startTan * pad, startPoint, tubeRadius));
+  scene.addShape(std::make_unique<CapsuleShape>(
+      endPoint, outletCenter + endTan * pad, tubeRadius));
+
+  Iolet in;
+  in.kind = Iolet::Kind::kInlet;
+  in.center = inletCenter;
+  in.normal = startTan;
+  in.radius = tubeRadius;
+  Iolet out;
+  out.kind = Iolet::Kind::kOutlet;
+  out.center = outletCenter;
+  out.normal = -endTan;
+  out.radius = tubeRadius;
+  scene.addIolet(in);
+  scene.addIolet(out);
+  return scene;
+}
+
+Scene makeBifurcation(double parentLength, double parentRadius,
+                      double childLength, double childRadius,
+                      double angleRad) {
+  HEMO_CHECK(parentLength > 0 && childLength > 0);
+  HEMO_CHECK(parentRadius > 0 && childRadius > 0);
+  Scene scene;
+  const Vec3d junction{parentLength, 0, 0};
+  const double pad = parentRadius * 1.5;
+  scene.addShape(std::make_unique<CapsuleShape>(Vec3d{-pad, 0, 0}, junction,
+                                                parentRadius));
+  const Vec3d dirA{std::cos(angleRad), std::sin(angleRad), 0};
+  const Vec3d dirB{std::cos(angleRad), -std::sin(angleRad), 0};
+  const Vec3d endA = junction + dirA * childLength;
+  const Vec3d endB = junction + dirB * childLength;
+  scene.addShape(std::make_unique<CapsuleShape>(junction, endA + dirA * pad,
+                                                childRadius));
+  scene.addShape(std::make_unique<CapsuleShape>(junction, endB + dirB * pad,
+                                                childRadius));
+
+  Iolet in;
+  in.kind = Iolet::Kind::kInlet;
+  in.center = {0, 0, 0};
+  in.normal = {1, 0, 0};
+  in.radius = parentRadius;
+  scene.addIolet(in);
+  Iolet outA;
+  outA.kind = Iolet::Kind::kOutlet;
+  outA.center = endA;
+  outA.normal = -dirA;
+  outA.radius = childRadius;
+  scene.addIolet(outA);
+  Iolet outB = outA;
+  outB.center = endB;
+  outB.normal = -dirB;
+  scene.addIolet(outB);
+  return scene;
+}
+
+Scene makeAneurysmVessel(double length, double vesselRadius,
+                         double aneurysmRadius, double neckInset) {
+  HEMO_CHECK(length > 0 && vesselRadius > 0 && aneurysmRadius > 0);
+  Scene scene;
+  const double pad = vesselRadius * 1.5;
+  scene.addShape(std::make_unique<CapsuleShape>(
+      Vec3d{-pad, 0, 0}, Vec3d{length + pad, 0, 0}, vesselRadius));
+  // The dome centre sits above the wall; neckInset pulls it towards the
+  // axis so the sphere and tube overlap into an open neck.
+  const double centerY =
+      vesselRadius + aneurysmRadius * (1.0 - 2.0 * neckInset);
+  scene.addShape(std::make_unique<SphereShape>(
+      Vec3d{length * 0.5, centerY, 0}, aneurysmRadius));
+
+  Iolet in;
+  in.kind = Iolet::Kind::kInlet;
+  in.center = {0, 0, 0};
+  in.normal = {1, 0, 0};
+  in.radius = vesselRadius;
+  Iolet out;
+  out.kind = Iolet::Kind::kOutlet;
+  out.center = {length, 0, 0};
+  out.normal = {-1, 0, 0};
+  out.radius = vesselRadius;
+  scene.addIolet(in);
+  scene.addIolet(out);
+  return scene;
+}
+
+}  // namespace hemo::geometry

@@ -1,0 +1,184 @@
+#pragma once
+/// \file shapes.hpp
+/// \brief Signed-distance-function vessel geometry.
+///
+/// The paper's workloads are patient-specific vessel trees with aneurysms —
+/// data we do not have. The substitution (see DESIGN.md §2) is an analytic
+/// vessel construction kit producing the same kind of sparse, tubular,
+/// thin-walled fluid domains: capsules (straight segments), arc tubes
+/// (bends), spheres (saccular aneurysms), composed by union into a scene
+/// that is capped by inlet/outlet planes.
+
+#include <memory>
+#include <vector>
+
+#include "geometry/site.hpp"
+#include "util/bbox.hpp"
+#include "util/vec.hpp"
+
+namespace hemo::geometry {
+
+/// A solid region described by a signed distance function (negative inside).
+class Shape {
+ public:
+  virtual ~Shape() = default;
+  virtual double sdf(const Vec3d& p) const = 0;
+  /// Conservative world-space bounds of the inside region.
+  virtual BoxD bounds() const = 0;
+};
+
+/// Sphere — models a saccular aneurysm dome.
+class SphereShape final : public Shape {
+ public:
+  SphereShape(const Vec3d& center, double radius)
+      : center_(center), radius_(radius) {}
+  double sdf(const Vec3d& p) const override {
+    return (p - center_).norm() - radius_;
+  }
+  BoxD bounds() const override {
+    const Vec3d r{radius_, radius_, radius_};
+    return {center_ - r, center_ + r};
+  }
+
+ private:
+  Vec3d center_;
+  double radius_;
+};
+
+/// Capsule (cylinder with hemispherical ends) — a straight vessel segment.
+class CapsuleShape final : public Shape {
+ public:
+  CapsuleShape(const Vec3d& a, const Vec3d& b, double radius)
+      : a_(a), b_(b), radius_(radius) {}
+  double sdf(const Vec3d& p) const override {
+    const Vec3d ab = b_ - a_;
+    const double len2 = ab.norm2();
+    double t = len2 > 0 ? (p - a_).dot(ab) / len2 : 0.0;
+    t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+    return (p - (a_ + ab * t)).norm() - radius_;
+  }
+  BoxD bounds() const override {
+    BoxD b = BoxD::empty();
+    const Vec3d r{radius_, radius_, radius_};
+    b.expand(a_ - r);
+    b.expand(a_ + r);
+    b.expand(b_ - r);
+    b.expand(b_ + r);
+    return b;
+  }
+
+ private:
+  Vec3d a_, b_;
+  double radius_;
+};
+
+/// Tube following a circular arc — a vessel bend. The arc lies in the plane
+/// spanned by (u, v) around `center` with bend radius R, from angle 0 to
+/// `angle` (radians); the tube has radius r.
+class ArcTubeShape final : public Shape {
+ public:
+  ArcTubeShape(const Vec3d& center, const Vec3d& u, const Vec3d& v,
+               double bendRadius, double angle, double tubeRadius)
+      : center_(center), u_(u.normalized()), angle_(angle),
+        bendRadius_(bendRadius), tubeRadius_(tubeRadius) {
+    // Gram-Schmidt to guarantee an orthonormal in-plane frame.
+    v_ = (v - u_ * v.dot(u_)).normalized();
+    w_ = u_.cross(v_);
+  }
+
+  double sdf(const Vec3d& p) const override {
+    const Vec3d d = p - center_;
+    const double x = d.dot(u_);
+    const double y = d.dot(v_);
+    const double z = d.dot(w_);
+    double theta = std::atan2(y, x);
+    if (theta < 0.0) theta += 2.0 * kPi;
+    // Clamp to the arc's angular range; off-range points measure distance to
+    // the nearest arc endpoint.
+    if (theta > angle_) {
+      const double dEnd = distToEndpoint(p, angle_);
+      const double dStart = distToEndpoint(p, 0.0);
+      return std::min(dEnd, dStart) - tubeRadius_;
+    }
+    const double inPlane = std::sqrt(x * x + y * y) - bendRadius_;
+    return std::sqrt(inPlane * inPlane + z * z) - tubeRadius_;
+  }
+
+  BoxD bounds() const override {
+    const double reach = bendRadius_ + tubeRadius_;
+    const Vec3d r{reach, reach, reach};
+    return {center_ - r, center_ + r};
+  }
+
+  /// Arc point at parameter angle t (for attaching segments/iolets).
+  Vec3d arcPoint(double t) const {
+    return center_ + u_ * (bendRadius_ * std::cos(t)) +
+           v_ * (bendRadius_ * std::sin(t));
+  }
+  /// Unit tangent at parameter t.
+  Vec3d arcTangent(double t) const {
+    return (u_ * (-std::sin(t)) + v_ * std::cos(t)).normalized();
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+
+  double distToEndpoint(const Vec3d& p, double t) const {
+    return (p - arcPoint(t)).norm();
+  }
+
+  Vec3d center_, u_, v_, w_;
+  double angle_, bendRadius_, tubeRadius_;
+};
+
+/// A vessel scene: union of shapes, clipped by iolet cap planes.
+/// Fluid = {p : min_i sdf_i(p) < 0 and p on the fluid side of every iolet}.
+class Scene {
+ public:
+  void addShape(std::unique_ptr<Shape> shape);
+  void addIolet(const Iolet& iolet) { iolets_.push_back(iolet); }
+
+  const std::vector<Iolet>& iolets() const { return iolets_; }
+
+  /// Signed distance of the shape union (caps not applied).
+  double sdf(const Vec3d& p) const;
+
+  /// True if p is in the fluid (inside the union and inside all caps).
+  bool isFluid(const Vec3d& p) const;
+
+  /// World bounds of the union.
+  BoxD bounds() const { return bounds_; }
+
+  /// Numerical SDF gradient (outward normal when on the surface).
+  Vec3d sdfGradient(const Vec3d& p, double h) const;
+
+ private:
+  std::vector<std::unique_ptr<Shape>> shapes_;
+  std::vector<Iolet> iolets_;
+  BoxD bounds_ = BoxD::empty();
+};
+
+// --- vessel construction kit -------------------------------------------
+
+/// Straight tube along +x from (0,0,0) to (length,0,0) with inlet at x=0 and
+/// outlet at x=length.
+Scene makeStraightTube(double length, double radius);
+
+/// 90°-style bend: straight inlet limb, circular arc, straight outlet limb.
+Scene makeBentTube(double limbLength, double bendRadius, double angleRad,
+                   double tubeRadius);
+
+/// Symmetric Y-bifurcation: one parent along +x splitting into two children
+/// at ±`angleRad` in the xy-plane. One inlet, two outlets.
+Scene makeBifurcation(double parentLength, double parentRadius,
+                      double childLength, double childRadius,
+                      double angleRad);
+
+/// Parent vessel with a saccular aneurysm: straight tube along +x with a
+/// sphere of `aneurysmRadius` welded to the side wall at mid-length, offset
+/// in +y. The neck overlap is controlled by `neckInset` (how deep the sphere
+/// centre sits towards the vessel axis, in units of aneurysmRadius).
+Scene makeAneurysmVessel(double length, double vesselRadius,
+                         double aneurysmRadius, double neckInset = 0.35);
+
+}  // namespace hemo::geometry

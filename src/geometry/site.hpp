@@ -1,0 +1,74 @@
+#pragma once
+/// \file site.hpp
+/// \brief Per-site boundary description of the sparse lattice.
+
+#include <array>
+#include <cstdint>
+
+#include "geometry/directions.hpp"
+#include "util/vec.hpp"
+
+namespace hemo::geometry {
+
+/// What a lattice link from a fluid site crosses before reaching the
+/// neighbouring site position.
+enum class LinkKind : std::uint8_t {
+  kBulk = 0,   ///< neighbour is fluid; normal streaming
+  kWall = 1,   ///< link cut by the vessel wall
+  kInlet = 2,  ///< link crosses an inlet plane
+  kOutlet = 3  ///< link crosses an outlet plane
+};
+
+/// Cut information for one of the 26 links of a fluid site.
+struct LinkInfo {
+  LinkKind kind = LinkKind::kBulk;
+  /// Fraction in (0,1] along the link at which the boundary is crossed
+  /// (meaningful for kWall/kInlet/kOutlet).
+  float wallDistance = 0.0f;
+  /// Which inlet/outlet (index into the lattice's iolet table).
+  std::uint16_t ioletId = 0;
+};
+
+/// Full boundary record of one fluid site.
+struct SiteRecord {
+  std::array<LinkInfo, kNumDirections> links{};
+  /// Approximate outward wall normal (valid when hasWallNormal).
+  Vec3f wallNormal{0.f, 0.f, 0.f};
+  std::uint8_t hasWallNormal = 0;
+
+  bool isEdgeSite() const {
+    for (const auto& l : links) {
+      if (l.kind != LinkKind::kBulk) return true;
+    }
+    return false;
+  }
+
+  bool touchesWall() const {
+    for (const auto& l : links) {
+      if (l.kind == LinkKind::kWall) return true;
+    }
+    return false;
+  }
+};
+
+/// An inlet or outlet: a circular cap on the vessel surface.
+struct Iolet {
+  enum class Kind : std::uint8_t { kInlet = 0, kOutlet = 1 };
+  /// Boundary-condition family applied at this cap.
+  enum class Bc : std::uint8_t {
+    kPressure = 0,  ///< anti-bounce-back at the target density
+    kVelocity = 1   ///< Ladd bounce-back at the target normal speed
+  };
+  Kind kind = Kind::kInlet;
+  Bc bc = Bc::kPressure;
+  Vec3d center{};
+  /// Unit normal pointing *into* the fluid.
+  Vec3d normal{};
+  double radius = 0.0;
+  /// Target density (pressure BC).
+  double density = 1.0;
+  /// Target normal inflow speed, lattice units (velocity BC).
+  double speed = 0.0;
+};
+
+}  // namespace hemo::geometry

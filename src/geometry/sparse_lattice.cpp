@@ -1,0 +1,101 @@
+#include "geometry/sparse_lattice.hpp"
+
+#include <algorithm>
+
+namespace hemo::geometry {
+
+SparseLattice::SparseLattice(const Vec3i& dims, double voxelSize,
+                             const Vec3d& origin, int blockSize)
+    : dims_(dims), voxelSize_(voxelSize), origin_(origin),
+      blockSize_(blockSize) {
+  HEMO_CHECK(dims.x > 0 && dims.y > 0 && dims.z > 0);
+  HEMO_CHECK(voxelSize > 0.0);
+  HEMO_CHECK(blockSize >= 2);
+  blockDims_ = {(dims.x + blockSize - 1) / blockSize,
+                (dims.y + blockSize - 1) / blockSize,
+                (dims.z + blockSize - 1) / blockSize};
+}
+
+void SparseLattice::addFluidSite(const Vec3i& pos, const SiteRecord& record) {
+  HEMO_CHECK(!finalized_);
+  HEMO_CHECK_MSG(pos.x >= 0 && pos.x < dims_.x && pos.y >= 0 &&
+                     pos.y < dims_.y && pos.z >= 0 && pos.z < dims_.z,
+                 "site out of bounds " << pos);
+  const Vec3i bc{pos.x / blockSize_, pos.y / blockSize_, pos.z / blockSize_};
+  const Vec3i in{pos.x % blockSize_, pos.y % blockSize_, pos.z % blockSize_};
+  building_[blockLinear(bc)].push_back(
+      BuildSite{localLinear(in), pos, record});
+}
+
+void SparseLattice::finalize() {
+  HEMO_CHECK(!finalized_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(building_.size());
+  for (const auto& [key, sites] : building_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  const std::size_t cube = static_cast<std::size_t>(blockSize_) *
+                           static_cast<std::size_t>(blockSize_) *
+                           static_cast<std::size_t>(blockSize_);
+  std::uint64_t nextId = 0;
+  for (const auto key : keys) {
+    auto& sites = building_[key];
+    std::sort(sites.begin(), sites.end(),
+              [](const BuildSite& a, const BuildSite& b) {
+                return a.local < b.local;
+              });
+    for (std::size_t i = 1; i < sites.size(); ++i) {
+      HEMO_CHECK_MSG(sites[i].local != sites[i - 1].local,
+                     "duplicate fluid site at " << sites[i].pos);
+    }
+    StoredBlock stored;
+    stored.localToGlobal.assign(cube, -1);
+
+    BlockInfo info;
+    const auto bx = key % static_cast<std::uint64_t>(blockDims_.x);
+    const auto rest = key / static_cast<std::uint64_t>(blockDims_.x);
+    info.coord = {static_cast<int>(bx),
+                  static_cast<int>(rest % static_cast<std::uint64_t>(blockDims_.y)),
+                  static_cast<int>(rest / static_cast<std::uint64_t>(blockDims_.y))};
+    info.fluidCount = static_cast<std::uint32_t>(sites.size());
+    info.firstSiteId = nextId;
+
+    for (const auto& s : sites) {
+      stored.localToGlobal[static_cast<std::size_t>(s.local)] =
+          static_cast<std::int64_t>(nextId);
+      positions_.push_back(s.pos);
+      records_.push_back(s.record);
+      fluidBounds_.expand(s.pos);
+      ++nextId;
+    }
+    blockMap_.emplace(key, std::move(stored));
+    blocks_.push_back(info);
+  }
+  building_.clear();
+  finalized_ = true;
+}
+
+std::int64_t SparseLattice::siteId(const Vec3i& pos) const {
+  HEMO_CHECK(finalized_);
+  if (pos.x < 0 || pos.x >= dims_.x || pos.y < 0 || pos.y >= dims_.y ||
+      pos.z < 0 || pos.z >= dims_.z) {
+    return -1;
+  }
+  const Vec3i bc{pos.x / blockSize_, pos.y / blockSize_, pos.z / blockSize_};
+  const auto it = blockMap_.find(blockLinear(bc));
+  if (it == blockMap_.end()) return -1;
+  const Vec3i in{pos.x % blockSize_, pos.y % blockSize_, pos.z % blockSize_};
+  return it->second.localToGlobal[static_cast<std::size_t>(localLinear(in))];
+}
+
+std::size_t SparseLattice::blockOfSite(std::uint64_t id) const {
+  HEMO_CHECK(finalized_ && id < numFluidSites());
+  // blocks_ is sorted by firstSiteId; binary-search the containing block.
+  auto it = std::upper_bound(
+      blocks_.begin(), blocks_.end(), id,
+      [](std::uint64_t v, const BlockInfo& b) { return v < b.firstSiteId; });
+  HEMO_CHECK(it != blocks_.begin());
+  return static_cast<std::size_t>(std::distance(blocks_.begin(), it) - 1);
+}
+
+}  // namespace hemo::geometry

@@ -1,0 +1,119 @@
+#include "geometry/voxelizer.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hemo::geometry {
+
+namespace {
+
+/// Fraction t in (0,1] at which the segment p→q crosses iolet plane `io`,
+/// or a negative value if it does not.
+double ioletCrossing(const Iolet& io, const Vec3d& p, const Vec3d& q) {
+  const double dp = (p - io.center).dot(io.normal);
+  const double dq = (q - io.center).dot(io.normal);
+  if (dp < 0.0 || dq >= 0.0) return -1.0;  // p must be inside, q beyond
+  const double denom = dp - dq;
+  if (denom <= 0.0) return -1.0;
+  return dp / denom;
+}
+
+/// Bisect the scene SDF along p→q for the wall crossing fraction. Assumes
+/// sdf(p) < 0. If sdf(q) is also negative (the cap clipped the fluid, not
+/// the wall), returns 1.0.
+double wallCrossing(const Scene& scene, const Vec3d& p, const Vec3d& q,
+                    int iterations) {
+  if (scene.sdf(q) < 0.0) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (scene.sdf(lerp(p, q, mid)) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+SparseLattice voxelize(const Scene& scene, const VoxelizeOptions& options) {
+  HEMO_CHECK(options.voxelSize > 0.0);
+  const BoxD wb = scene.bounds();
+  HEMO_CHECK_MSG(!wb.isEmpty(), "scene has no shapes");
+  const double h = options.voxelSize;
+  const Vec3d pad = Vec3d(1.0, 1.0, 1.0) * (h * options.padVoxels);
+  const Vec3d origin = wb.lo - pad;
+  const Vec3d span = wb.hi + pad - origin;
+  const Vec3i dims{static_cast<int>(std::ceil(span.x / h)),
+                   static_cast<int>(std::ceil(span.y / h)),
+                   static_cast<int>(std::ceil(span.z / h))};
+
+  SparseLattice lattice(dims, h, origin);
+  lattice.setIolets(scene.iolets());
+
+  auto worldOf = [&](const Vec3i& p) {
+    return origin + (p.cast<double>() + Vec3d{0.5, 0.5, 0.5}) * h;
+  };
+
+  for (int z = 0; z < dims.z; ++z) {
+    for (int y = 0; y < dims.y; ++y) {
+      for (int x = 0; x < dims.x; ++x) {
+        const Vec3i pos{x, y, z};
+        const Vec3d p = worldOf(pos);
+        if (!scene.isFluid(p)) continue;
+
+        SiteRecord rec;
+        bool nearWall = false;
+        for (int d = 0; d < kNumDirections; ++d) {
+          const Vec3i npos = pos + kDirections[static_cast<std::size_t>(d)];
+          const Vec3d q = worldOf(npos);
+          const bool neighborInside = npos.x >= 0 && npos.x < dims.x &&
+                                      npos.y >= 0 && npos.y < dims.y &&
+                                      npos.z >= 0 && npos.z < dims.z;
+          if (neighborInside && scene.isFluid(q)) continue;  // bulk link
+
+          LinkInfo link;
+          // Iolet planes take precedence: the nearest crossing wins.
+          double bestT = 2.0;
+          int bestIolet = -1;
+          const auto& iolets = scene.iolets();
+          for (std::size_t i = 0; i < iolets.size(); ++i) {
+            const double t = ioletCrossing(iolets[i], p, q);
+            if (t >= 0.0 && t < bestT) {
+              bestT = t;
+              bestIolet = static_cast<int>(i);
+            }
+          }
+          const double tWall = wallCrossing(scene, p, q,
+                                            options.cutIterations);
+          if (bestIolet >= 0 && bestT <= tWall) {
+            link.kind = iolets[static_cast<std::size_t>(bestIolet)].kind ==
+                                Iolet::Kind::kInlet
+                            ? LinkKind::kInlet
+                            : LinkKind::kOutlet;
+            link.ioletId = static_cast<std::uint16_t>(bestIolet);
+            link.wallDistance = static_cast<float>(bestT);
+          } else {
+            link.kind = LinkKind::kWall;
+            link.wallDistance = static_cast<float>(tWall);
+            nearWall = true;
+          }
+          rec.links[static_cast<std::size_t>(d)] = link;
+        }
+        if (nearWall) {
+          const Vec3d g = scene.sdfGradient(p, 0.5 * h).normalized();
+          rec.wallNormal = g.cast<float>();
+          rec.hasWallNormal = 1;
+        }
+        lattice.addFluidSite(pos, rec);
+      }
+    }
+  }
+  lattice.finalize();
+  return lattice;
+}
+
+}  // namespace hemo::geometry

@@ -1,0 +1,26 @@
+#pragma once
+/// \file voxelizer.hpp
+/// \brief Converts an SDF vessel scene into a sparse lattice with per-link
+/// wall/iolet cut information — the pre-processing "initialise geometry"
+/// step of the paper's §IV.B.
+
+#include "geometry/shapes.hpp"
+#include "geometry/sparse_lattice.hpp"
+
+namespace hemo::geometry {
+
+struct VoxelizeOptions {
+  /// Lattice spacing in world units.
+  double voxelSize = 0.1;
+  /// Padding (in voxels) added around the scene bounds.
+  int padVoxels = 2;
+  /// Bisection iterations when locating the wall crossing along a link.
+  int cutIterations = 20;
+};
+
+/// Voxelise `scene` onto a lattice of spacing voxelSize. Every lattice point
+/// with scene.isFluid() true becomes a fluid site; its 26 links are
+/// classified as bulk / wall / inlet / outlet with the crossing fraction.
+SparseLattice voxelize(const Scene& scene, const VoxelizeOptions& options);
+
+}  // namespace hemo::geometry

@@ -1,0 +1,72 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV emitter for benchmark result rows.
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hemo::io {
+
+/// Buffers rows and writes them to a file (or any ostream). Fields are
+/// stringified with operator<<; commas/quotes in fields are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  template <typename... Ts>
+  void addRow(const Ts&... fields) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(fields));
+    (row.push_back(stringify(fields)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  std::size_t numRows() const { return rows_.size(); }
+
+  void write(std::ostream& os) const {
+    writeRow(os, header_);
+    for (const auto& r : rows_) writeRow(os, r);
+  }
+
+  bool writeFile(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    write(f);
+    return static_cast<bool>(f);
+  }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static void writeRow(std::ostream& os, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      const std::string& f = row[i];
+      if (f.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char c : f) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << f;
+      }
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hemo::io

@@ -1,0 +1,35 @@
+#include "io/ppm.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hemo::io {
+
+namespace {
+bool writePnm(const std::string& path, const char* magic, int width,
+              int height, int channels, const std::vector<std::uint8_t>& px) {
+  HEMO_CHECK(width > 0 && height > 0);
+  HEMO_CHECK(px.size() == static_cast<std::size_t>(width) *
+                              static_cast<std::size_t>(height) *
+                              static_cast<std::size_t>(channels));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s\n%d %d\n255\n", magic, width, height);
+  const std::size_t written = std::fwrite(px.data(), 1, px.size(), f);
+  const bool ok = (written == px.size()) && (std::fclose(f) == 0);
+  return ok;
+}
+}  // namespace
+
+bool writePpm(const std::string& path, int width, int height,
+              const std::vector<std::uint8_t>& rgb) {
+  return writePnm(path, "P6", width, height, 3, rgb);
+}
+
+bool writePgm(const std::string& path, int width, int height,
+              const std::vector<std::uint8_t>& gray) {
+  return writePnm(path, "P5", width, height, 1, gray);
+}
+
+}  // namespace hemo::io

@@ -1,0 +1,21 @@
+#pragma once
+/// \file ppm.hpp
+/// \brief Binary PPM (P6) / PGM (P5) image writers for the off-screen
+/// framebuffers produced by the visualisation component.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hemo::io {
+
+/// Write an RGB8 image (row-major, 3 bytes per pixel) as binary PPM.
+/// Returns false on I/O failure.
+bool writePpm(const std::string& path, int width, int height,
+              const std::vector<std::uint8_t>& rgb);
+
+/// Write an 8-bit grayscale image as binary PGM.
+bool writePgm(const std::string& path, int width, int height,
+              const std::vector<std::uint8_t>& gray);
+
+}  // namespace hemo::io

@@ -1,0 +1,97 @@
+#include "io/vtk.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hemo::io {
+
+namespace {
+
+std::FILE* openVtk(const std::string& path, const char* kind) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return nullptr;
+  std::fprintf(f, "# vtk DataFile Version 3.0\nhemoflow %s\nASCII\n", kind);
+  return f;
+}
+
+}  // namespace
+
+bool writeVtkPoints(const std::string& path, const std::vector<Vec3d>& points,
+                    const std::vector<VtkScalars>& scalars,
+                    const std::vector<VtkVectors>& vectors) {
+  for (const auto& s : scalars) HEMO_CHECK(s.values.size() == points.size());
+  for (const auto& v : vectors) HEMO_CHECK(v.values.size() == points.size());
+  std::FILE* f = openVtk(path, "points");
+  if (f == nullptr) return false;
+  std::fprintf(f, "DATASET POLYDATA\nPOINTS %zu double\n", points.size());
+  for (const auto& p : points) {
+    std::fprintf(f, "%.9g %.9g %.9g\n", p.x, p.y, p.z);
+  }
+  std::fprintf(f, "VERTICES %zu %zu\n", points.size(), points.size() * 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f, "1 %zu\n", i);
+  }
+  if (!scalars.empty() || !vectors.empty()) {
+    std::fprintf(f, "POINT_DATA %zu\n", points.size());
+    for (const auto& s : scalars) {
+      std::fprintf(f, "SCALARS %s double 1\nLOOKUP_TABLE default\n",
+                   s.name.c_str());
+      for (const double v : s.values) std::fprintf(f, "%.9g\n", v);
+    }
+    for (const auto& v : vectors) {
+      std::fprintf(f, "VECTORS %s double\n", v.name.c_str());
+      for (const auto& u : v.values) {
+        std::fprintf(f, "%.9g %.9g %.9g\n", u.x, u.y, u.z);
+      }
+    }
+  }
+  return std::fclose(f) == 0;
+}
+
+bool writeVtkPolylines(const std::string& path,
+                       const std::vector<std::vector<Vec3f>>& lines) {
+  std::FILE* f = openVtk(path, "polylines");
+  if (f == nullptr) return false;
+  std::size_t totalPoints = 0;
+  for (const auto& line : lines) totalPoints += line.size();
+  std::fprintf(f, "DATASET POLYDATA\nPOINTS %zu float\n", totalPoints);
+  for (const auto& line : lines) {
+    for (const auto& p : line) {
+      std::fprintf(f, "%.7g %.7g %.7g\n", static_cast<double>(p.x),
+                   static_cast<double>(p.y), static_cast<double>(p.z));
+    }
+  }
+  std::fprintf(f, "LINES %zu %zu\n", lines.size(),
+               lines.size() + totalPoints);
+  std::size_t offset = 0;
+  for (const auto& line : lines) {
+    std::fprintf(f, "%zu", line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      std::fprintf(f, " %zu", offset + i);
+    }
+    std::fprintf(f, "\n");
+    offset += line.size();
+  }
+  return std::fclose(f) == 0;
+}
+
+bool writeVtkImage(const std::string& path, int width, int height,
+                   const std::vector<float>& values,
+                   const std::string& fieldName) {
+  HEMO_CHECK(values.size() == static_cast<std::size_t>(width) *
+                                  static_cast<std::size_t>(height));
+  std::FILE* f = openVtk(path, "image");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "DATASET STRUCTURED_POINTS\nDIMENSIONS %d %d 1\n"
+               "ORIGIN 0 0 0\nSPACING 1 1 1\nPOINT_DATA %zu\n"
+               "SCALARS %s float 1\nLOOKUP_TABLE default\n",
+               width, height, values.size(), fieldName.c_str());
+  for (const float v : values) {
+    std::fprintf(f, "%.7g\n", static_cast<double>(v));
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace hemo::io

@@ -1,0 +1,46 @@
+#pragma once
+/// \file vtk.hpp
+/// \brief Legacy VTK writers so in situ products plug into the standard
+/// post-processing ecosystem (ParaView/VisIt — the systems the paper's
+/// related work couples to via libsim/Catalyst-style adaptors).
+///
+/// ASCII legacy format (.vtk), three shapes:
+///   * point clouds with attached scalars/vectors (WSS samples, tracers),
+///   * polylines (streamlines / pathlines / streaklines),
+///   * image data (rendered frames or LIC slices as STRUCTURED_POINTS).
+
+#include <string>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace hemo::io {
+
+/// A named scalar field over the same point set.
+struct VtkScalars {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A named vector field over the same point set.
+struct VtkVectors {
+  std::string name;
+  std::vector<Vec3d> values;
+};
+
+/// Write a point cloud with optional per-point attributes.
+bool writeVtkPoints(const std::string& path,
+                    const std::vector<Vec3d>& points,
+                    const std::vector<VtkScalars>& scalars = {},
+                    const std::vector<VtkVectors>& vectors = {});
+
+/// Write polylines (each inner vector is one line's vertex list).
+bool writeVtkPolylines(const std::string& path,
+                       const std::vector<std::vector<Vec3f>>& lines);
+
+/// Write a 2-D scalar image as STRUCTURED_POINTS (LIC slices, field maps).
+bool writeVtkImage(const std::string& path, int width, int height,
+                   const std::vector<float>& values,
+                   const std::string& fieldName = "intensity");
+
+}  // namespace hemo::io

@@ -1,0 +1,100 @@
+#pragma once
+/// \file lattice.hpp
+/// \brief Lattice-Boltzmann velocity sets (D3Q15, D3Q19) after Qian,
+/// d'Humières & Lallemand (the paper's ref [11]).
+///
+/// Each descriptor exposes the discrete velocities, quadrature weights,
+/// opposite-direction table and the mapping of each non-rest velocity onto
+/// the 26-direction geometry link set, generated at compile time from the
+/// same direction ordering the geometry module uses.
+
+#include <array>
+#include <cstddef>
+
+#include "geometry/directions.hpp"
+#include "util/vec.hpp"
+
+namespace hemo::lb {
+
+namespace detail {
+
+template <int Q>
+struct VelocitySet {
+  std::array<Vec3i, Q> c{};
+  std::array<double, Q> w{};
+  std::array<int, Q> opposite{};
+  /// geometry-direction index of each velocity (-1 for the rest velocity).
+  std::array<int, Q> geoDir{};
+};
+
+/// Build a velocity set that keeps the rest velocity plus all geometry
+/// directions whose squared norms appear in `keepNorms` with the matching
+/// weights: weightByNorm[|c|²].
+template <int Q>
+constexpr VelocitySet<Q> makeSet(double restWeight,
+                                 const std::array<double, 4>& weightByNorm) {
+  VelocitySet<Q> set{};
+  set.c[0] = Vec3i{0, 0, 0};
+  set.w[0] = restWeight;
+  set.geoDir[0] = -1;
+  int k = 1;
+  for (int d = 0; d < geometry::kNumDirections; ++d) {
+    const Vec3i& v = geometry::kDirections[static_cast<std::size_t>(d)];
+    const int n2 = v.dot(v);
+    if (weightByNorm[static_cast<std::size_t>(n2)] == 0.0) continue;
+    set.c[static_cast<std::size_t>(k)] = v;
+    set.w[static_cast<std::size_t>(k)] =
+        weightByNorm[static_cast<std::size_t>(n2)];
+    set.geoDir[static_cast<std::size_t>(k)] = d;
+    ++k;
+  }
+  // Opposite table by vector negation.
+  for (int i = 0; i < Q; ++i) {
+    for (int j = 0; j < Q; ++j) {
+      if (set.c[static_cast<std::size_t>(j)] ==
+          -set.c[static_cast<std::size_t>(i)]) {
+        set.opposite[static_cast<std::size_t>(i)] = j;
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace detail
+
+/// Speed of sound squared (lattice units) for all DdQq BGK sets used here.
+inline constexpr double kCs2 = 1.0 / 3.0;
+
+struct D3Q19 {
+  static constexpr int kQ = 19;
+  static constexpr detail::VelocitySet<19> kSet =
+      detail::makeSet<19>(1.0 / 3.0, {0.0, 1.0 / 18.0, 1.0 / 36.0, 0.0});
+  static constexpr const char* kName = "D3Q19";
+};
+
+struct D3Q15 {
+  static constexpr int kQ = 15;
+  static constexpr detail::VelocitySet<15> kSet =
+      detail::makeSet<15>(2.0 / 9.0, {0.0, 1.0 / 9.0, 0.0, 1.0 / 72.0});
+  static constexpr const char* kName = "D3Q15";
+};
+
+struct D3Q27 {
+  static constexpr int kQ = 27;
+  static constexpr detail::VelocitySet<27> kSet = detail::makeSet<27>(
+      8.0 / 27.0, {0.0, 2.0 / 27.0, 1.0 / 54.0, 1.0 / 216.0});
+  static constexpr const char* kName = "D3Q27";
+};
+
+/// Second-order Maxwell-Boltzmann equilibrium (Qian et al. 1992).
+template <typename Lattice>
+constexpr double equilibrium(int i, double rho, const Vec3d& u) {
+  const auto& set = Lattice::kSet;
+  const Vec3d ci = set.c[static_cast<std::size_t>(i)].template cast<double>();
+  const double cu = ci.dot(u);
+  const double u2 = u.dot(u);
+  return set.w[static_cast<std::size_t>(i)] * rho *
+         (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * u2);
+}
+
+}  // namespace hemo::lb

@@ -1,0 +1,504 @@
+#pragma once
+/// \file solver.hpp
+/// \brief Distributed sparse-geometry lattice-Boltzmann solver.
+///
+/// The method matches HemeLB's core: indirect addressing over fluid sites
+/// only, BGK or TRT collision, halfway bounce-back walls, anti-bounce-back
+/// pressure inlets/outlets, Guo forcing, and per-step halo exchange of the
+/// distribution values that stream across rank boundaries. Streaming uses
+/// the pull scheme: f_i(x, t+1) = f*_i(x − c_i, t); values whose upstream
+/// site lives on another rank arrive through the exchange, values whose
+/// upstream crosses a wall/iolet are reconstructed by the boundary rule.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "lb/domain_map.hpp"
+#include "lb/lattice.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace hemo::lb {
+
+/// Fixed point-to-point tag for halo traffic (below comm::kMaxUserTag).
+inline constexpr int kHaloTag = 100;
+
+struct LbParams {
+  double tau = 0.8;
+  enum class Collision { kBgk, kTrt } collision = Collision::kBgk;
+  /// TRT "magic" parameter Λ; 3/16 gives exact mid-link bounce-back walls.
+  double trtMagic = 3.0 / 16.0;
+  /// Uniform body force (lattice units), applied with Guo forcing.
+  Vec3d bodyForce{0, 0, 0};
+  /// Also accumulate the deviatoric stress tensor during collision.
+  bool computeStress = false;
+
+  /// Kinematic viscosity implied by tau (lattice units).
+  double viscosity() const { return kCs2 * (tau - 0.5); }
+};
+
+template <typename Lattice>
+class Solver {
+ public:
+  static constexpr int kQ = Lattice::kQ;
+
+  Solver(const DomainMap& domain, comm::Communicator& comm,
+         const LbParams& params)
+      : domain_(&domain), comm_(&comm), params_(params) {
+    HEMO_CHECK_MSG(params.tau > 0.5, "tau must exceed 0.5 for stability");
+    for (const auto& io : domain.lattice().iolets()) {
+      ioletDensity_.push_back(io.density);
+      ioletVelocity_.push_back(io.normal.normalized() * io.speed);
+      ioletIsVelocityBc_.push_back(io.bc == geometry::Iolet::Bc::kVelocity);
+    }
+    buildPullTable();
+    initEquilibrium(1.0, Vec3d{0, 0, 0});
+  }
+
+  const DomainMap& domain() const { return *domain_; }
+  const LbParams& params() const { return params_; }
+  std::uint64_t stepsDone() const { return stepsDone_; }
+
+  /// Override an iolet's target density mid-run (computational steering).
+  void setIoletDensity(std::size_t ioletId, double density) {
+    HEMO_CHECK(ioletId < ioletDensity_.size());
+    ioletDensity_[ioletId] = density;
+  }
+  double ioletDensity(std::size_t ioletId) const {
+    return ioletDensity_[ioletId];
+  }
+
+  /// Override a velocity iolet's target velocity (steering). Also switches
+  /// the iolet to the velocity boundary condition.
+  void setIoletVelocity(std::size_t ioletId, const Vec3d& velocity) {
+    HEMO_CHECK(ioletId < ioletVelocity_.size());
+    ioletVelocity_[ioletId] = velocity;
+    ioletIsVelocityBc_[ioletId] = true;
+  }
+  Vec3d ioletVelocity(std::size_t ioletId) const {
+    return ioletVelocity_[ioletId];
+  }
+
+  /// Change relaxation time mid-run (steering). Keeps tau > 0.5.
+  void setTau(double tau) {
+    HEMO_CHECK(tau > 0.5);
+    params_.tau = tau;
+  }
+
+  void setBodyForce(const Vec3d& f) { params_.bodyForce = f; }
+
+  /// Reset all distributions to equilibrium at (rho, u).
+  void initEquilibrium(double rho, const Vec3d& u) {
+    const std::size_t n = domain_->numOwned();
+    for (int i = 0; i < kQ; ++i) {
+      f_[static_cast<std::size_t>(i)].assign(n, 0.0);
+      fNext_[static_cast<std::size_t>(i)].assign(n, 0.0);
+      for (std::size_t l = 0; l < n; ++l) {
+        f_[static_cast<std::size_t>(i)][l] = equilibrium<Lattice>(i, rho, u);
+      }
+    }
+    macro_.rho.assign(n, rho);
+    macro_.u.assign(n, u);
+    if (params_.computeStress) macro_.stress.assign(n, SymTensor3{});
+  }
+
+  /// Initialise every owned site to the equilibrium of (rho, u) returned by
+  /// `fn(worldPos)` — used to seed perturbed or analytic initial states.
+  template <typename F>
+  void initWith(F&& fn) {
+    const std::size_t n = domain_->numOwned();
+    for (std::size_t l = 0; l < n; ++l) {
+      const Vec3d w = domain_->lattice().siteWorld(
+          domain_->globalOf(static_cast<std::uint32_t>(l)));
+      const auto [rho, u] = fn(w);
+      for (int i = 0; i < kQ; ++i) {
+        f_[static_cast<std::size_t>(i)][l] = equilibrium<Lattice>(i, rho, u);
+      }
+      macro_.rho[l] = rho;
+      macro_.u[l] = u;
+    }
+  }
+
+  /// One full LB update: collide, exchange halos, stream.
+  void step() {
+    collide();
+    exchange();
+    stream();
+    for (int i = 0; i < kQ; ++i) {
+      f_[static_cast<std::size_t>(i)].swap(fNext_[static_cast<std::size_t>(i)]);
+    }
+    ++stepsDone_;
+  }
+
+  void run(int steps) {
+    for (int s = 0; s < steps; ++s) step();
+  }
+
+  /// Macroscopic moments at time of the last collide (pre-collision).
+  const MacroFields& macro() const { return macro_; }
+
+  /// Mass on this rank (sum of cached densities).
+  double localMass() const {
+    double m = 0.0;
+    for (const double r : macro_.rho) m += r;
+    return m;
+  }
+
+  /// Momentum on this rank.
+  Vec3d localMomentum() const {
+    Vec3d p{0, 0, 0};
+    for (std::size_t l = 0; l < macro_.u.size(); ++l) {
+      p += macro_.u[l] * macro_.rho[l];
+    }
+    return p;
+  }
+
+  /// Per-phase CPU time accumulated on this rank.
+  const PhaseTimer& collideTimer() const { return collideTimer_; }
+  const PhaseTimer& streamTimer() const { return streamTimer_; }
+  const PhaseTimer& commTimer() const { return commTimer_; }
+  void resetTimers() {
+    collideTimer_.reset();
+    streamTimer_.reset();
+    commTimer_.reset();
+  }
+
+  /// Raw distribution access (checkpointing, tests).
+  const std::vector<double>& distribution(int i) const {
+    return f_[static_cast<std::size_t>(i)];
+  }
+  void setDistribution(int i, std::vector<double> values) {
+    HEMO_CHECK(values.size() == domain_->numOwned());
+    f_[static_cast<std::size_t>(i)] = std::move(values);
+    refreshMacros();
+  }
+
+ private:
+  enum class PullKind : std::uint8_t { kLocal, kRecv, kWall, kIolet };
+  struct PullSrc {
+    PullKind kind = PullKind::kWall;
+    std::uint32_t index = 0;  ///< local idx / flat recv slot / iolet id
+  };
+
+  void buildPullTable() {
+    const auto& lat = domain_->lattice();
+    const auto& set = Lattice::kSet;
+    const std::size_t n = domain_->numOwned();
+    for (int i = 1; i < kQ; ++i) {
+      pull_[static_cast<std::size_t>(i)].assign(n, PullSrc{});
+    }
+
+    // needs[r] = packed (globalUpstream * 32 + i) values this rank pulls
+    // from rank r, in deterministic (site, velocity) order.
+    std::vector<std::vector<std::uint64_t>> needs(
+        static_cast<std::size_t>(comm_->size()));
+    for (std::size_t l = 0; l < n; ++l) {
+      const std::uint64_t g = domain_->globalOf(static_cast<std::uint32_t>(l));
+      for (int i = 1; i < kQ; ++i) {
+        const int gd = set.geoDir[static_cast<std::size_t>(i)];
+        const int upDir = geometry::oppositeDirection(gd);
+        const auto upstream = lat.neighborId(g, upDir);
+        auto& src = pull_[static_cast<std::size_t>(i)][l];
+        if (upstream >= 0) {
+          const int owner = domain_->ownerOf(static_cast<std::uint64_t>(upstream));
+          if (owner == domain_->rank()) {
+            src.kind = PullKind::kLocal;
+            src.index = static_cast<std::uint32_t>(
+                domain_->localOf(static_cast<std::uint64_t>(upstream)));
+          } else {
+            src.kind = PullKind::kRecv;
+            // Flat slot assigned below once per-rank counts are known;
+            // remember the position within this rank's need list.
+            src.index = static_cast<std::uint32_t>(
+                needs[static_cast<std::size_t>(owner)].size());
+            needs[static_cast<std::size_t>(owner)].push_back(
+                static_cast<std::uint64_t>(upstream) * 32 +
+                static_cast<std::uint64_t>(i));
+          }
+        } else {
+          const auto& link =
+              lat.site(g).links[static_cast<std::size_t>(upDir)];
+          HEMO_CHECK_MSG(link.kind != geometry::LinkKind::kBulk,
+                         "voxelizer/link inconsistency at site " << g);
+          if (link.kind == geometry::LinkKind::kWall) {
+            src.kind = PullKind::kWall;
+          } else {
+            src.kind = PullKind::kIolet;
+            src.index = link.ioletId;
+          }
+        }
+      }
+    }
+
+    // Flat receive offsets per source rank.
+    recvOffset_.assign(static_cast<std::size_t>(comm_->size()) + 1, 0);
+    for (int r = 0; r < comm_->size(); ++r) {
+      recvOffset_[static_cast<std::size_t>(r) + 1] =
+          recvOffset_[static_cast<std::size_t>(r)] +
+          static_cast<std::uint32_t>(needs[static_cast<std::size_t>(r)].size());
+    }
+    for (int i = 1; i < kQ; ++i) {
+      for (std::size_t l = 0; l < n; ++l) {
+        // Fix up flat indices now that offsets exist.
+        auto& src = pull_[static_cast<std::size_t>(i)][l];
+        if (src.kind != PullKind::kRecv) continue;
+        const std::uint64_t g =
+            domain_->globalOf(static_cast<std::uint32_t>(l));
+        const int gd = set.geoDir[static_cast<std::size_t>(i)];
+        const auto upstream = lat.neighborId(g, geometry::oppositeDirection(gd));
+        const int owner = domain_->ownerOf(static_cast<std::uint64_t>(upstream));
+        src.index += recvOffset_[static_cast<std::size_t>(owner)];
+      }
+    }
+    recvFlat_.assign(recvOffset_.back(), 0.0);
+    for (int r = 0; r < comm_->size(); ++r) {
+      if (!needs[static_cast<std::size_t>(r)].empty()) {
+        recvRanks_.push_back(r);
+      }
+    }
+
+    // Tell the owners what to send: they answer my needs in my order.
+    {
+      comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
+      const auto requests = comm_->alltoallVec(needs);
+      for (int r = 0; r < comm_->size(); ++r) {
+        const auto& reqs = requests[static_cast<std::size_t>(r)];
+        if (reqs.empty()) continue;
+        SendPlan plan;
+        plan.dest = r;
+        plan.entries.reserve(reqs.size());
+        for (const auto packed : reqs) {
+          const std::uint64_t g = packed / 32;
+          const int i = static_cast<int>(packed % 32);
+          const auto local = domain_->localOf(g);
+          HEMO_CHECK_MSG(local >= 0, "halo request for non-owned site " << g);
+          plan.entries.push_back({static_cast<std::uint32_t>(local),
+                                  static_cast<std::uint16_t>(i)});
+        }
+        sendPlans_.push_back(std::move(plan));
+      }
+    }
+  }
+
+  void collide() {
+    ScopedPhase phase(collideTimer_);
+    const std::size_t n = domain_->numOwned();
+    const double tau = params_.tau;
+    const double omega = 1.0 / tau;
+    const bool trt = params_.collision == LbParams::Collision::kTrt;
+    const double tauMinus = params_.trtMagic / (tau - 0.5) + 0.5;
+    const double omegaMinus = 1.0 / tauMinus;
+    const Vec3d F = params_.bodyForce;
+    const bool forced = F.norm2() > 0.0;
+    const bool stress = params_.computeStress;
+    const double stressPrefactor = -(1.0 - 0.5 * omega);
+    const auto& set = Lattice::kSet;
+
+    for (std::size_t l = 0; l < n; ++l) {
+      double rho = 0.0;
+      Vec3d mom{0, 0, 0};
+      double fl[kQ];
+      for (int i = 0; i < kQ; ++i) {
+        fl[i] = f_[static_cast<std::size_t>(i)][l];
+        rho += fl[i];
+        mom += set.c[static_cast<std::size_t>(i)].template cast<double>() *
+               fl[i];
+      }
+      // Guo: physical velocity includes half the force impulse.
+      Vec3d u = mom / rho;
+      if (forced) u += F * (0.5 / rho);
+      macro_.rho[l] = rho;
+      macro_.u[l] = u;
+
+      double feq[kQ];
+      for (int i = 0; i < kQ; ++i) feq[i] = equilibrium<Lattice>(i, rho, u);
+
+      if (stress) {
+        SymTensor3 pi{};
+        for (int i = 0; i < kQ; ++i) {
+          const double fneq = fl[i] - feq[i];
+          const Vec3d c =
+              set.c[static_cast<std::size_t>(i)].template cast<double>();
+          pi.xx() += fneq * c.x * c.x;
+          pi.yy() += fneq * c.y * c.y;
+          pi.zz() += fneq * c.z * c.z;
+          pi.xy() += fneq * c.x * c.y;
+          pi.xz() += fneq * c.x * c.z;
+          pi.yz() += fneq * c.y * c.z;
+        }
+        // Deviatoric part of the relaxed non-equilibrium momentum flux.
+        SymTensor3 sigma = pi * stressPrefactor;
+        const double trace3 = (sigma.xx() + sigma.yy() + sigma.zz()) / 3.0;
+        sigma.xx() -= trace3;
+        sigma.yy() -= trace3;
+        sigma.zz() -= trace3;
+        macro_.stress[l] = sigma;
+      }
+
+      if (!trt) {
+        for (int i = 0; i < kQ; ++i) {
+          fl[i] += omega * (feq[i] - fl[i]);
+        }
+      } else {
+        for (int i = 0; i < kQ; ++i) {
+          const int j = set.opposite[static_cast<std::size_t>(i)];
+          if (j < i) continue;
+          const double fPlus = 0.5 * (fl[i] + fl[j]);
+          const double fMinus = 0.5 * (fl[i] - fl[j]);
+          const double eqPlus = 0.5 * (feq[i] + feq[j]);
+          const double eqMinus = 0.5 * (feq[i] - feq[j]);
+          const double dPlus = omega * (eqPlus - fPlus);
+          const double dMinus = omegaMinus * (eqMinus - fMinus);
+          fl[i] += dPlus + dMinus;
+          if (j != i) fl[j] += dPlus - dMinus;
+        }
+      }
+
+      if (forced) {
+        const double pref = 1.0 - 0.5 * omega;
+        for (int i = 0; i < kQ; ++i) {
+          const Vec3d c =
+              set.c[static_cast<std::size_t>(i)].template cast<double>();
+          const double cu = c.dot(u);
+          const Vec3d term = (c - u) * 3.0 + c * (9.0 * cu);
+          fl[i] += pref * set.w[static_cast<std::size_t>(i)] * term.dot(F);
+        }
+      }
+
+      for (int i = 0; i < kQ; ++i) {
+        f_[static_cast<std::size_t>(i)][l] = fl[i];
+      }
+    }
+  }
+
+  void exchange() {
+    ScopedPhase phase(commTimer_);
+    comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
+    std::vector<double> buf;
+    for (const auto& plan : sendPlans_) {
+      buf.clear();
+      buf.reserve(plan.entries.size());
+      for (const auto& e : plan.entries) {
+        buf.push_back(f_[static_cast<std::size_t>(e.velocity)]
+                        [static_cast<std::size_t>(e.local)]);
+      }
+      comm_->sendVec(plan.dest, kHaloTag, buf);
+    }
+    for (const int r : recvRanks_) {
+      const auto incoming = comm_->recvVec<double>(r, kHaloTag);
+      const auto off = recvOffset_[static_cast<std::size_t>(r)];
+      HEMO_CHECK(incoming.size() ==
+                 recvOffset_[static_cast<std::size_t>(r) + 1] - off);
+      std::copy(incoming.begin(), incoming.end(),
+                recvFlat_.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+
+  void stream() {
+    ScopedPhase phase(streamTimer_);
+    const std::size_t n = domain_->numOwned();
+    const auto& set = Lattice::kSet;
+    // Rest population never moves.
+    fNext_[0] = f_[0];
+    for (int i = 1; i < kQ; ++i) {
+      const int opp = set.opposite[static_cast<std::size_t>(i)];
+      const auto& srcs = pull_[static_cast<std::size_t>(i)];
+      auto& out = fNext_[static_cast<std::size_t>(i)];
+      const auto& bounce = f_[static_cast<std::size_t>(opp)];
+      const auto& local = f_[static_cast<std::size_t>(i)];
+      for (std::size_t l = 0; l < n; ++l) {
+        const PullSrc s = srcs[l];
+        switch (s.kind) {
+          case PullKind::kLocal:
+            out[l] = local[static_cast<std::size_t>(s.index)];
+            break;
+          case PullKind::kRecv:
+            out[l] = recvFlat_[static_cast<std::size_t>(s.index)];
+            break;
+          case PullKind::kWall:
+            // Halfway bounce-back off the vessel wall.
+            out[l] = bounce[l];
+            break;
+          case PullKind::kIolet: {
+            const auto id = static_cast<std::size_t>(s.index);
+            const Vec3d c =
+                set.c[static_cast<std::size_t>(i)].template cast<double>();
+            const double w = set.w[static_cast<std::size_t>(i)];
+            if (ioletIsVelocityBc_[id]) {
+              // Ladd bounce-back off a "wall" moving at the prescribed
+              // iolet velocity: injects the target momentum flux.
+              const double rho = macro_.rho[l];
+              out[l] = bounce[l] +
+                       6.0 * w * rho * c.dot(ioletVelocity_[id]);
+            } else {
+              // Anti-bounce-back pressure boundary at the prescribed
+              // density, using the site's own velocity as the boundary
+              // value.
+              const double rhoIo = ioletDensity_[id];
+              const Vec3d u = macro_.u[l];
+              const double cu = c.dot(u);
+              out[l] = -bounce[l] +
+                       2.0 * w * rhoIo *
+                           (1.0 + 4.5 * cu * cu - 1.5 * u.dot(u));
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Recompute cached moments from the current distributions (used after
+  /// external writes such as checkpoint restore).
+  void refreshMacros() {
+    const std::size_t n = domain_->numOwned();
+    const auto& set = Lattice::kSet;
+    for (std::size_t l = 0; l < n; ++l) {
+      double rho = 0.0;
+      Vec3d mom{0, 0, 0};
+      for (int i = 0; i < kQ; ++i) {
+        const double fi = f_[static_cast<std::size_t>(i)][l];
+        rho += fi;
+        mom += set.c[static_cast<std::size_t>(i)].template cast<double>() * fi;
+      }
+      macro_.rho[l] = rho;
+      macro_.u[l] = mom / rho;
+    }
+  }
+
+  struct SendEntry {
+    std::uint32_t local;
+    std::uint16_t velocity;
+  };
+  struct SendPlan {
+    int dest = 0;
+    std::vector<SendEntry> entries;
+  };
+
+  const DomainMap* domain_;
+  comm::Communicator* comm_;
+  LbParams params_;
+  std::vector<double> ioletDensity_;
+  std::vector<Vec3d> ioletVelocity_;
+  std::vector<std::uint8_t> ioletIsVelocityBc_;
+
+  std::array<std::vector<double>, kQ> f_;
+  std::array<std::vector<double>, kQ> fNext_;
+  std::array<std::vector<PullSrc>, kQ> pull_;
+
+  std::vector<SendPlan> sendPlans_;
+  std::vector<int> recvRanks_;
+  std::vector<std::uint32_t> recvOffset_;
+  std::vector<double> recvFlat_;
+
+  MacroFields macro_;
+  std::uint64_t stepsDone_ = 0;
+  PhaseTimer collideTimer_, streamTimer_, commTimer_;
+};
+
+using SolverD3Q19 = Solver<D3Q19>;
+using SolverD3Q15 = Solver<D3Q15>;
+using SolverD3Q27 = Solver<D3Q27>;
+
+}  // namespace hemo::lb

@@ -1,0 +1,163 @@
+#include "multires/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.hpp"
+
+namespace hemo::multires {
+
+FieldOctree::FieldOctree(const lb::DomainMap& domain, int leafCellLog2)
+    : domain_(&domain), leafCellLog2_(leafCellLog2) {
+  HEMO_CHECK(leafCellLog2 >= 0);
+  const auto& lat = domain.lattice();
+  const Vec3i dims = lat.dims();
+  const int maxDim = std::max({dims.x, dims.y, dims.z});
+  maxLevelLog2_ = 0;
+  while ((1 << maxLevelLog2_) < maxDim) ++maxLevelLog2_;
+  const int numLevels = maxLevelLog2_ - leafCellLog2_ + 1;
+  HEMO_CHECK_MSG(numLevels >= 1, "leaf cells coarser than the domain");
+  levels_.resize(static_cast<std::size_t>(numLevels));
+
+  // Enumerate the distinct cell keys per level from the owned sites.
+  const auto n = domain.numOwned();
+  std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+  for (int l = numLevels - 1; l >= 0; --l) {
+    const int shift = shiftForLevel(l);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const Vec3i p = lat.sitePosition(domain.globalOf(s));
+      keys[s] = morton3(Vec3i{p.x >> shift, p.y >> shift, p.z >> shift});
+    }
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    auto& nodes = levels_[static_cast<std::size_t>(l)];
+    nodes.resize(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) nodes[i].key = sorted[i];
+    if (l == numLevels - 1) {
+      leafOfSite_.resize(static_cast<std::size_t>(n));
+      for (std::uint32_t s = 0; s < n; ++s) {
+        const auto it =
+            std::lower_bound(sorted.begin(), sorted.end(), keys[s]);
+        leafOfSite_[s] =
+            static_cast<std::uint32_t>(std::distance(sorted.begin(), it));
+      }
+    }
+  }
+
+  // Parent links: node at level l -> index in level l-1.
+  parentOf_.resize(levels_.size());
+  for (int l = 1; l < numLevels; ++l) {
+    const auto& nodes = levels_[static_cast<std::size_t>(l)];
+    const auto& parents = levels_[static_cast<std::size_t>(l - 1)];
+    auto& links = parentOf_[static_cast<std::size_t>(l)];
+    links.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto pkey = mortonParent(nodes[i].key);
+      const auto it = std::lower_bound(
+          parents.begin(), parents.end(), pkey,
+          [](const OctreeNode& a, std::uint64_t k) { return a.key < k; });
+      HEMO_CHECK(it != parents.end() && it->key == pkey);
+      links[i] =
+          static_cast<std::uint32_t>(std::distance(parents.begin(), it));
+    }
+  }
+}
+
+void FieldOctree::update(const std::vector<double>& scalar,
+                         const std::vector<Vec3d>& velocity) {
+  const auto n = domain_->numOwned();
+  HEMO_CHECK(scalar.size() == n && velocity.size() == n);
+  for (auto& nodes : levels_) {
+    for (auto& node : nodes) {
+      node.count = 0;
+      node.meanScalar = 0.f;
+      node.minScalar = std::numeric_limits<float>::max();
+      node.maxScalar = std::numeric_limits<float>::lowest();
+      node.meanVelocity = {0.f, 0.f, 0.f};
+    }
+  }
+  // Accumulate sites into leaves (means kept as sums until the end).
+  auto& leaves = levels_.back();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    auto& node = leaves[static_cast<std::size_t>(leafOfSite_[s])];
+    const auto v = static_cast<float>(scalar[s]);
+    node.count += 1;
+    node.meanScalar += v;
+    node.minScalar = std::min(node.minScalar, v);
+    node.maxScalar = std::max(node.maxScalar, v);
+    node.meanVelocity += velocity[s].cast<float>();
+  }
+  // Propagate sums upward, then normalise every level.
+  for (int l = numLevels() - 1; l >= 1; --l) {
+    const auto& nodes = levels_[static_cast<std::size_t>(l)];
+    auto& parents = levels_[static_cast<std::size_t>(l - 1)];
+    const auto& links = parentOf_[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      auto& parent = parents[static_cast<std::size_t>(links[i])];
+      parent.count += nodes[i].count;
+      parent.meanScalar += nodes[i].meanScalar;
+      parent.minScalar = std::min(parent.minScalar, nodes[i].minScalar);
+      parent.maxScalar = std::max(parent.maxScalar, nodes[i].maxScalar);
+      parent.meanVelocity += nodes[i].meanVelocity;
+    }
+  }
+  for (auto& nodes : levels_) {
+    for (auto& node : nodes) {
+      if (node.count > 0) {
+        const float inv = 1.0f / static_cast<float>(node.count);
+        node.meanScalar *= inv;
+        node.meanVelocity *= inv;
+      }
+    }
+  }
+}
+
+const OctreeNode* FieldOctree::find(int level, std::uint64_t key) const {
+  const auto& nodes = levels_[static_cast<std::size_t>(level)];
+  const auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), key,
+      [](const OctreeNode& a, std::uint64_t k) { return a.key < k; });
+  if (it == nodes.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+BoxI FieldOctree::cellBox(int level, std::uint64_t key) const {
+  const int w = cellWidth(level);
+  const Vec3i cell = mortonDecode3(key);
+  return {cell * w, cell * w + Vec3i{w, w, w}};
+}
+
+std::vector<OctreeNode> FieldOctree::query(int level, const BoxI& roi) const {
+  std::vector<OctreeNode> hits;
+  for (const auto& node : levels_[static_cast<std::size_t>(level)]) {
+    if (!cellBox(level, node.key).intersect(roi).isEmpty()) {
+      hits.push_back(node);
+    }
+  }
+  return hits;
+}
+
+std::vector<double> FieldOctree::reconstructScalar(int level) const {
+  const auto n = domain_->numOwned();
+  const int shift = shiftForLevel(level);
+  const auto& lat = domain_->lattice();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const Vec3i p = lat.sitePosition(domain_->globalOf(s));
+    const auto key =
+        morton3(Vec3i{p.x >> shift, p.y >> shift, p.z >> shift});
+    const OctreeNode* node = find(level, key);
+    HEMO_CHECK(node != nullptr);
+    out[s] = node->meanScalar;
+  }
+  return out;
+}
+
+double levelError(const FieldOctree& tree, int level,
+                  const std::vector<double>& scalar) {
+  return relativeL2(tree.reconstructScalar(level), scalar);
+}
+
+}  // namespace hemo::multires

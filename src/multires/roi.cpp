@@ -1,0 +1,83 @@
+#include "multires/roi.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hemo::multires {
+
+std::vector<OctreeNode> mergeNodes(
+    const std::vector<std::vector<OctreeNode>>& perRank) {
+  std::map<std::uint64_t, OctreeNode> merged;
+  for (const auto& nodes : perRank) {
+    for (const auto& node : nodes) {
+      auto [it, inserted] = merged.emplace(node.key, node);
+      if (inserted) continue;
+      OctreeNode& acc = it->second;
+      const float total =
+          static_cast<float>(acc.count) + static_cast<float>(node.count);
+      if (total > 0.f) {
+        const float wa = static_cast<float>(acc.count) / total;
+        const float wb = static_cast<float>(node.count) / total;
+        acc.meanScalar = acc.meanScalar * wa + node.meanScalar * wb;
+        acc.meanVelocity =
+            acc.meanVelocity * wa + node.meanVelocity * wb;
+      }
+      acc.minScalar = std::min(acc.minScalar, node.minScalar);
+      acc.maxScalar = std::max(acc.maxScalar, node.maxScalar);
+      acc.count += node.count;
+    }
+  }
+  std::vector<OctreeNode> out;
+  out.reserve(merged.size());
+  for (const auto& [key, node] : merged) out.push_back(node);
+  return out;
+}
+
+std::vector<OctreeNode> gatherLevel(comm::Communicator& comm,
+                                    const FieldOctree& tree, int level) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto perRank = comm.gatherVec(tree.level(level), 0);
+  if (comm.rank() != 0) return {};
+  return mergeNodes(perRank);
+}
+
+std::vector<OctreeNode> gatherRoi(comm::Communicator& comm,
+                                  const FieldOctree& tree, int level,
+                                  const BoxI& roi) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto perRank = comm.gatherVec(tree.query(level, roi), 0);
+  if (comm.rank() != 0) return {};
+  return mergeNodes(perRank);
+}
+
+DrilldownStats progressiveDrilldown(comm::Communicator& comm,
+                                    const FieldOctree& tree, int contextLevel,
+                                    int detailLevel, const BoxI& roi) {
+  HEMO_CHECK(contextLevel <= detailLevel);
+  DrilldownStats stats;
+  // Per-stage *global* vis bytes: allreduce every rank's sent-delta. The
+  // reduction itself runs outside the kVis class so it does not pollute
+  // the next stage's measurement.
+  auto visSent = [&] { return comm.counters().of(comm::Traffic::kVis).bytesSent; };
+  auto globalDelta = [&](std::uint64_t& last) {
+    const auto now = visSent();
+    const auto local = now - last;
+    comm::Communicator::TrafficScope scope(comm, comm::Traffic::kOther);
+    const auto total = comm.allreduceSum(local);
+    last = visSent();
+    return total;
+  };
+  std::uint64_t last = visSent();
+  // Stage 0: full context level; stages 1..: ROI only, one level deeper.
+  const auto context = gatherLevel(comm, tree, contextLevel);
+  stats.bytesPerStage.push_back(globalDelta(last));
+  stats.nodesPerStage.push_back(context.size());
+  for (int level = contextLevel + 1; level <= detailLevel; ++level) {
+    const auto detail = gatherRoi(comm, tree, level, roi);
+    stats.bytesPerStage.push_back(globalDelta(last));
+    stats.nodesPerStage.push_back(detail.size());
+  }
+  return stats;
+}
+
+}  // namespace hemo::multires

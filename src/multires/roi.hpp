@@ -1,0 +1,47 @@
+#pragma once
+/// \file roi.hpp
+/// \brief Distributed context-and-detail access to the field octree.
+///
+/// §V of the paper: "A lower resolution data is normally used for context
+/// geometry and a higher one with more details. This approach allows the
+/// user to load a subset of the whole data in an initial step, inspect this
+/// subset, and apply further refinement on certain regions." The functions
+/// here are the collective half of that loop: every rank contributes the
+/// nodes of its local octree that match a (level, region) request; the
+/// master merges them exactly (aggregates are count-weighted).
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "multires/octree.hpp"
+
+namespace hemo::multires {
+
+/// Merge per-rank node lists: nodes with equal keys combine exactly
+/// (count-weighted means, min/max). Result sorted by key.
+std::vector<OctreeNode> mergeNodes(
+    const std::vector<std::vector<OctreeNode>>& perRank);
+
+/// Collective: gather one full level to rank 0 (the "context" view).
+/// Returns the merged nodes on rank 0, empty elsewhere.
+std::vector<OctreeNode> gatherLevel(comm::Communicator& comm,
+                                    const FieldOctree& tree, int level);
+
+/// Collective: gather the nodes of `level` inside `roi` to rank 0 (the
+/// "detail" view during drill-down).
+std::vector<OctreeNode> gatherRoi(comm::Communicator& comm,
+                                  const FieldOctree& tree, int level,
+                                  const BoxI& roi);
+
+/// One progressive drill-down: context at `contextLevel`, then refine `roi`
+/// level by level down to `detailLevel`. Returns (on rank 0) the bytes that
+/// crossed the network per stage — the data-movement series of bench M1.
+struct DrilldownStats {
+  std::vector<std::uint64_t> bytesPerStage;
+  std::vector<std::size_t> nodesPerStage;
+};
+DrilldownStats progressiveDrilldown(comm::Communicator& comm,
+                                    const FieldOctree& tree, int contextLevel,
+                                    int detailLevel, const BoxI& roi);
+
+}  // namespace hemo::multires

@@ -1,0 +1,37 @@
+#include "partition/graph.hpp"
+
+#include "util/check.hpp"
+
+namespace hemo::partition {
+
+SiteGraph buildSiteGraph(const geometry::SparseLattice& lattice) {
+  HEMO_CHECK(lattice.finalized());
+  SiteGraph g;
+  g.numVertices = lattice.numFluidSites();
+  g.xadj.reserve(static_cast<std::size_t>(g.numVertices) + 1);
+  g.xadj.push_back(0);
+  g.vertexWeight.assign(static_cast<std::size_t>(g.numVertices), 1.0);
+  g.coords.reserve(static_cast<std::size_t>(g.numVertices));
+
+  for (std::uint64_t v = 0; v < g.numVertices; ++v) {
+    g.coords.push_back(lattice.sitePosition(v));
+    for (int d = 0; d < geometry::kNumDirections; ++d) {
+      const auto n = lattice.neighborId(v, d);
+      if (n >= 0) g.adjncy.push_back(static_cast<std::uint64_t>(n));
+    }
+    g.xadj.push_back(g.adjncy.size());
+  }
+  return g;
+}
+
+std::vector<double> Partition::partLoads(const SiteGraph& graph) const {
+  HEMO_CHECK(partOfSite.size() == graph.numVertices);
+  std::vector<double> loads(static_cast<std::size_t>(numParts), 0.0);
+  for (std::size_t v = 0; v < partOfSite.size(); ++v) {
+    HEMO_CHECK(partOfSite[v] >= 0 && partOfSite[v] < numParts);
+    loads[static_cast<std::size_t>(partOfSite[v])] += graph.vertexWeight[v];
+  }
+  return loads;
+}
+
+}  // namespace hemo::partition

@@ -1,0 +1,54 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace hemo::partition {
+
+PartitionMetrics evaluatePartition(const SiteGraph& graph,
+                                   const Partition& partition) {
+  HEMO_CHECK(partition.partOfSite.size() == graph.numVertices);
+  PartitionMetrics m;
+
+  const auto loads = partition.partLoads(graph);
+  m.imbalance = imbalanceFactor(loads);
+  m.maxLoad = *std::max_element(loads.begin(), loads.end());
+
+  std::vector<std::set<int>> partNeighbors(
+      static_cast<std::size_t>(partition.numParts));
+  std::vector<int> seenParts;
+  for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+    const int own = partition.partOfSite[static_cast<std::size_t>(v)];
+    seenParts.clear();
+    for (std::uint64_t e = graph.xadj[static_cast<std::size_t>(v)];
+         e < graph.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto u = graph.adjncy[static_cast<std::size_t>(e)];
+      const int up = partition.partOfSite[static_cast<std::size_t>(u)];
+      if (up == own) continue;
+      if (u > v) ++m.edgeCut;  // count each undirected edge once
+      if (std::find(seenParts.begin(), seenParts.end(), up) ==
+          seenParts.end()) {
+        seenParts.push_back(up);
+        partNeighbors[static_cast<std::size_t>(own)].insert(up);
+      }
+    }
+    if (!seenParts.empty()) {
+      ++m.boundaryVertices;
+      m.commVolume += seenParts.size();
+    }
+  }
+  double neighborSum = 0.0;
+  for (const auto& s : partNeighbors) {
+    neighborSum += static_cast<double>(s.size());
+  }
+  m.avgNeighborParts = partition.numParts > 0
+                           ? neighborSum / partition.numParts
+                           : 0.0;
+  return m;
+}
+
+}  // namespace hemo::partition

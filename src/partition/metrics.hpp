@@ -1,0 +1,35 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Decomposition quality metrics: the quantities HemeLB's
+/// pre-processing optimises (load balance) and pays for (edge cut ⇒ halo
+/// communication volume).
+
+#include <cstdint>
+
+#include "partition/graph.hpp"
+
+namespace hemo::partition {
+
+struct PartitionMetrics {
+  /// max part load / mean part load (weighted); 1.0 is perfect.
+  double imbalance = 0.0;
+  /// Number of graph edges crossing parts (each undirected edge counted
+  /// once). Proportional to halo-exchange volume per step.
+  std::uint64_t edgeCut = 0;
+  /// Vertices with at least one neighbour in another part (halo senders).
+  std::uint64_t boundaryVertices = 0;
+  /// Sum over vertices of the number of *distinct* remote parts adjacent to
+  /// it — the total communication volume in the ParMETIS sense.
+  std::uint64_t commVolume = 0;
+  /// Average number of distinct neighbouring parts per part (message count
+  /// proxy: how many peers each rank talks to).
+  double avgNeighborParts = 0.0;
+  /// Largest part load (absolute).
+  double maxLoad = 0.0;
+};
+
+/// Evaluate `partition` against `graph`.
+PartitionMetrics evaluatePartition(const SiteGraph& graph,
+                                   const Partition& partition);
+
+}  // namespace hemo::partition

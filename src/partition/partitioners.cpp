@@ -1,0 +1,504 @@
+#include "partition/partitioners.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "util/bbox.hpp"
+#include "util/check.hpp"
+#include "util/hilbert.hpp"
+#include "util/morton.hpp"
+#include "util/rng.hpp"
+
+namespace hemo::partition {
+
+namespace {
+
+/// Split the ordered index sequence into numParts weight-balanced contiguous
+/// runs; the target for each part is recomputed on the remaining weight so
+/// rounding error does not starve the last parts.
+void assignContiguousByWeight(const std::vector<std::uint64_t>& order,
+                              const SiteGraph& graph, int numParts,
+                              std::vector<int>& partOf) {
+  double remaining = 0.0;
+  for (const auto v : order) {
+    remaining += graph.vertexWeight[static_cast<std::size_t>(v)];
+  }
+  int part = 0;
+  double inPart = 0.0;
+  double target = remaining / numParts;
+  for (const auto v : order) {
+    partOf[static_cast<std::size_t>(v)] = part;
+    const double w = graph.vertexWeight[static_cast<std::size_t>(v)];
+    inPart += w;
+    remaining -= w;
+    if (inPart >= target && part + 1 < numParts) {
+      ++part;
+      inPart = 0.0;
+      target = remaining / (numParts - part);
+    }
+  }
+}
+
+}  // namespace
+
+// --- BlockPartitioner -------------------------------------------------------
+
+Partition BlockPartitioner::partition(const SiteGraph& graph,
+                                      int numParts) const {
+  HEMO_CHECK(graph.numVertices == lattice_.numFluidSites());
+  Partition p;
+  p.numParts = numParts;
+  p.partOfSite.assign(static_cast<std::size_t>(graph.numVertices), 0);
+
+  // Greedy contiguous scan over the coarse block table, by fluid volume —
+  // identical logic to the parallel reader's initial distribution.
+  const auto& blocks = lattice_.blocks();
+  HEMO_CHECK_MSG(blocks.size() >= static_cast<std::size_t>(numParts),
+                 "fewer non-empty blocks than parts");
+  std::uint64_t remaining = graph.numVertices;
+  int part = 0;
+  std::uint64_t inPart = 0;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto& b = blocks[bi];
+    const int partsLeft = numParts - part;
+    const std::uint64_t target =
+        (remaining + static_cast<std::uint64_t>(partsLeft) - 1) /
+        static_cast<std::uint64_t>(partsLeft);
+    for (std::uint64_t id = b.firstSiteId; id < b.firstSiteId + b.fluidCount;
+         ++id) {
+      p.partOfSite[static_cast<std::size_t>(id)] = part;
+    }
+    inPart += b.fluidCount;
+    remaining -= b.fluidCount;
+    const std::size_t blocksLeft = blocks.size() - bi - 1;
+    // Close the part when it reached its share — or when the remaining
+    // blocks are only just enough to keep every later part non-empty.
+    if (part + 1 < numParts &&
+        (inPart >= target ||
+         blocksLeft <= static_cast<std::size_t>(numParts - part - 1))) {
+      ++part;
+      inPart = 0;
+    }
+  }
+  return p;
+}
+
+// --- SfcPartitioner ----------------------------------------------------------
+
+Partition SfcPartitioner::partition(const SiteGraph& graph,
+                                    int numParts) const {
+  Partition p;
+  p.numParts = numParts;
+  p.partOfSite.assign(static_cast<std::size_t>(graph.numVertices), 0);
+  std::vector<std::uint64_t> order(static_cast<std::size_t>(graph.numVertices));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return morton3(graph.coords[static_cast<std::size_t>(a)]) <
+                     morton3(graph.coords[static_cast<std::size_t>(b)]);
+            });
+  assignContiguousByWeight(order, graph, numParts, p.partOfSite);
+  return p;
+}
+
+// --- HilbertPartitioner -------------------------------------------------------
+
+Partition HilbertPartitioner::partition(const SiteGraph& graph,
+                                        int numParts) const {
+  Partition p;
+  p.numParts = numParts;
+  p.partOfSite.assign(static_cast<std::size_t>(graph.numVertices), 0);
+  // Enough bits to cover the largest coordinate.
+  int maxCoord = 1;
+  for (const auto& c : graph.coords) {
+    maxCoord = std::max({maxCoord, c.x, c.y, c.z});
+  }
+  int bits = 1;
+  while ((1 << bits) <= maxCoord) ++bits;
+  std::vector<std::uint64_t> order(static_cast<std::size_t>(graph.numVertices));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return hilbert3(graph.coords[static_cast<std::size_t>(a)], bits) <
+                     hilbert3(graph.coords[static_cast<std::size_t>(b)], bits);
+            });
+  assignContiguousByWeight(order, graph, numParts, p.partOfSite);
+  return p;
+}
+
+// --- RcbPartitioner ----------------------------------------------------------
+
+namespace {
+
+void rcbRecurse(std::vector<std::uint64_t>& idx, std::size_t lo,
+                std::size_t hi, int firstPart, int numParts,
+                const SiteGraph& graph, std::vector<int>& partOf) {
+  if (numParts == 1) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      partOf[static_cast<std::size_t>(idx[i])] = firstPart;
+    }
+    return;
+  }
+  // Widest axis of the enclosed coordinates.
+  BoxI box = BoxI::empty();
+  for (std::size_t i = lo; i < hi; ++i) {
+    box.expand(graph.coords[static_cast<std::size_t>(idx[i])]);
+  }
+  const Vec3i ext = box.extent();
+  const int axis = (ext.x >= ext.y && ext.x >= ext.z) ? 0
+                   : (ext.y >= ext.z)                 ? 1
+                                                      : 2;
+  std::sort(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+            idx.begin() + static_cast<std::ptrdiff_t>(hi),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return graph.coords[static_cast<std::size_t>(a)][axis] <
+                     graph.coords[static_cast<std::size_t>(b)][axis];
+            });
+  // Weighted split proportional to the sub-part counts.
+  const int leftParts = numParts / 2;
+  double total = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    total += graph.vertexWeight[static_cast<std::size_t>(idx[i])];
+  }
+  const double want = total * leftParts / numParts;
+  double acc = 0.0;
+  std::size_t cut = lo;
+  while (cut < hi && acc < want) {
+    acc += graph.vertexWeight[static_cast<std::size_t>(idx[cut])];
+    ++cut;
+  }
+  // Keep both halves non-empty.
+  cut = std::clamp(cut, lo + 1, hi - 1);
+  rcbRecurse(idx, lo, cut, firstPart, leftParts, graph, partOf);
+  rcbRecurse(idx, cut, hi, firstPart + leftParts, numParts - leftParts, graph,
+             partOf);
+}
+
+}  // namespace
+
+Partition RcbPartitioner::partition(const SiteGraph& graph,
+                                    int numParts) const {
+  Partition p;
+  p.numParts = numParts;
+  p.partOfSite.assign(static_cast<std::size_t>(graph.numVertices), 0);
+  std::vector<std::uint64_t> idx(static_cast<std::size_t>(graph.numVertices));
+  std::iota(idx.begin(), idx.end(), 0);
+  HEMO_CHECK(graph.numVertices >= static_cast<std::uint64_t>(numParts));
+  rcbRecurse(idx, 0, idx.size(), 0, numParts, graph, p.partOfSite);
+  return p;
+}
+
+// --- GreedyGrowingPartitioner ------------------------------------------------
+
+Partition GreedyGrowingPartitioner::partition(const SiteGraph& graph,
+                                              int numParts) const {
+  Partition p;
+  p.numParts = numParts;
+  p.partOfSite.assign(static_cast<std::size_t>(graph.numVertices), -1);
+
+  double remaining = graph.totalWeight();
+  int part = 0;
+  double inPart = 0.0;
+  double target = remaining / numParts;
+  std::queue<std::uint64_t> frontier;
+  std::uint64_t nextSeedScan = 0;
+
+  auto assign = [&](std::uint64_t v) {
+    p.partOfSite[static_cast<std::size_t>(v)] = part;
+    const double w = graph.vertexWeight[static_cast<std::size_t>(v)];
+    inPart += w;
+    remaining -= w;
+    for (std::uint64_t e = graph.xadj[static_cast<std::size_t>(v)];
+         e < graph.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto n = graph.adjncy[static_cast<std::size_t>(e)];
+      if (p.partOfSite[static_cast<std::size_t>(n)] < 0) frontier.push(n);
+    }
+    if (inPart >= target && part + 1 < numParts) {
+      ++part;
+      inPart = 0.0;
+      target = remaining / (numParts - part);
+    }
+  };
+
+  std::uint64_t assigned = 0;
+  while (assigned < graph.numVertices) {
+    if (frontier.empty()) {
+      // Seed (or re-seed after a disconnected component) from the lowest
+      // unassigned id, as HemeLB's basic growing decomposition does.
+      while (p.partOfSite[static_cast<std::size_t>(nextSeedScan)] >= 0) {
+        ++nextSeedScan;
+      }
+      assign(nextSeedScan);
+      ++assigned;
+      continue;
+    }
+    const auto v = frontier.front();
+    frontier.pop();
+    if (p.partOfSite[static_cast<std::size_t>(v)] >= 0) continue;
+    assign(v);
+    ++assigned;
+  }
+  return p;
+}
+
+// --- MultilevelKWayPartitioner ----------------------------------------------
+
+namespace {
+
+/// Internal weighted graph used across coarsening levels.
+struct WGraph {
+  std::vector<std::uint64_t> xadj;
+  std::vector<std::uint64_t> adjncy;
+  std::vector<double> edgeWeight;
+  std::vector<double> vertexWeight;
+
+  std::uint64_t numVertices() const { return xadj.size() - 1; }
+};
+
+WGraph toWGraph(const SiteGraph& g) {
+  WGraph w;
+  w.xadj = g.xadj;
+  w.adjncy = g.adjncy;
+  w.edgeWeight.assign(g.adjncy.size(), 1.0);
+  w.vertexWeight = g.vertexWeight;
+  return w;
+}
+
+/// Heavy-edge matching; returns fine->coarse map and the coarse count.
+std::pair<std::vector<std::uint64_t>, std::uint64_t> heavyEdgeMatch(
+    const WGraph& g, Rng& rng) {
+  const auto n = g.numVertices();
+  std::vector<std::uint64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniformInt(i)]);
+  }
+  constexpr std::uint64_t kUnmatched = ~0ULL;
+  std::vector<std::uint64_t> match(static_cast<std::size_t>(n), kUnmatched);
+  std::vector<std::uint64_t> coarseOf(static_cast<std::size_t>(n));
+  std::uint64_t coarseCount = 0;
+  for (const auto v : order) {
+    if (match[static_cast<std::size_t>(v)] != kUnmatched) continue;
+    std::uint64_t best = v;
+    double bestW = -1.0;
+    for (std::uint64_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto u = g.adjncy[static_cast<std::size_t>(e)];
+      if (u != v && match[static_cast<std::size_t>(u)] == kUnmatched &&
+          g.edgeWeight[static_cast<std::size_t>(e)] > bestW) {
+        bestW = g.edgeWeight[static_cast<std::size_t>(e)];
+        best = u;
+      }
+    }
+    match[static_cast<std::size_t>(v)] = best;
+    match[static_cast<std::size_t>(best)] = v;
+    coarseOf[static_cast<std::size_t>(v)] = coarseCount;
+    coarseOf[static_cast<std::size_t>(best)] = coarseCount;
+    ++coarseCount;
+  }
+  return {std::move(coarseOf), coarseCount};
+}
+
+WGraph buildCoarse(const WGraph& fine, const std::vector<std::uint64_t>& coarseOf,
+                   std::uint64_t coarseCount) {
+  WGraph c;
+  c.vertexWeight.assign(static_cast<std::size_t>(coarseCount), 0.0);
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> adj(
+      static_cast<std::size_t>(coarseCount));
+  for (std::uint64_t v = 0; v < fine.numVertices(); ++v) {
+    const auto cv = coarseOf[static_cast<std::size_t>(v)];
+    c.vertexWeight[static_cast<std::size_t>(cv)] +=
+        fine.vertexWeight[static_cast<std::size_t>(v)];
+    for (std::uint64_t e = fine.xadj[static_cast<std::size_t>(v)];
+         e < fine.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto cu = coarseOf[static_cast<std::size_t>(
+          fine.adjncy[static_cast<std::size_t>(e)])];
+      if (cu == cv) continue;
+      adj[static_cast<std::size_t>(cv)].push_back(
+          {cu, fine.edgeWeight[static_cast<std::size_t>(e)]});
+    }
+  }
+  c.xadj.push_back(0);
+  for (auto& edges : adj) {
+    std::sort(edges.begin(), edges.end());
+    // Merge parallel edges (weights add).
+    std::size_t i = 0;
+    while (i < edges.size()) {
+      std::uint64_t u = edges[i].first;
+      double w = 0.0;
+      while (i < edges.size() && edges[i].first == u) {
+        w += edges[i].second;
+        ++i;
+      }
+      c.adjncy.push_back(u);
+      c.edgeWeight.push_back(w);
+    }
+    c.xadj.push_back(c.adjncy.size());
+  }
+  return c;
+}
+
+/// Greedy growing on a weighted internal graph (initial coarse partition).
+std::vector<int> greedyGrowWGraph(const WGraph& g, int numParts) {
+  const auto n = g.numVertices();
+  std::vector<int> partOf(static_cast<std::size_t>(n), -1);
+  double remaining = 0.0;
+  for (double w : g.vertexWeight) remaining += w;
+  int part = 0;
+  double inPart = 0.0;
+  double target = remaining / numParts;
+  std::queue<std::uint64_t> frontier;
+  std::uint64_t seedScan = 0;
+  std::uint64_t assigned = 0;
+  auto assign = [&](std::uint64_t v) {
+    partOf[static_cast<std::size_t>(v)] = part;
+    const double w = g.vertexWeight[static_cast<std::size_t>(v)];
+    inPart += w;
+    remaining -= w;
+    for (std::uint64_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const auto u = g.adjncy[static_cast<std::size_t>(e)];
+      if (partOf[static_cast<std::size_t>(u)] < 0) frontier.push(u);
+    }
+    if (inPart >= target && part + 1 < numParts) {
+      ++part;
+      inPart = 0.0;
+      target = remaining / (numParts - part);
+    }
+  };
+  while (assigned < n) {
+    if (frontier.empty()) {
+      while (partOf[static_cast<std::size_t>(seedScan)] >= 0) ++seedScan;
+      assign(seedScan);
+      ++assigned;
+      continue;
+    }
+    const auto v = frontier.front();
+    frontier.pop();
+    if (partOf[static_cast<std::size_t>(v)] >= 0) continue;
+    assign(v);
+    ++assigned;
+  }
+  return partOf;
+}
+
+/// Boundary KL/FM-style refinement sweeps; improves edge cut under a
+/// balance constraint and never empties a part.
+void refine(const WGraph& g, std::vector<int>& partOf, int numParts,
+            double tolerance, int passes) {
+  std::vector<double> loads(static_cast<std::size_t>(numParts), 0.0);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(numParts), 0);
+  double total = 0.0;
+  for (std::uint64_t v = 0; v < g.numVertices(); ++v) {
+    const auto p = static_cast<std::size_t>(partOf[static_cast<std::size_t>(v)]);
+    loads[p] += g.vertexWeight[static_cast<std::size_t>(v)];
+    counts[p] += 1;
+    total += g.vertexWeight[static_cast<std::size_t>(v)];
+  }
+  const double maxLoad = tolerance * total / numParts;
+
+  std::vector<double> connect(static_cast<std::size_t>(numParts), 0.0);
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (std::uint64_t v = 0; v < g.numVertices(); ++v) {
+      const int own = partOf[static_cast<std::size_t>(v)];
+      if (counts[static_cast<std::size_t>(own)] <= 1) continue;
+      std::fill(connect.begin(), connect.end(), 0.0);
+      bool boundary = false;
+      for (std::uint64_t e = g.xadj[static_cast<std::size_t>(v)];
+           e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        const int np = partOf[static_cast<std::size_t>(
+            g.adjncy[static_cast<std::size_t>(e)])];
+        connect[static_cast<std::size_t>(np)] +=
+            g.edgeWeight[static_cast<std::size_t>(e)];
+        if (np != own) boundary = true;
+      }
+      if (!boundary) continue;
+      const double w = g.vertexWeight[static_cast<std::size_t>(v)];
+      int bestPart = own;
+      double bestGain = 0.0;
+      for (int q = 0; q < numParts; ++q) {
+        if (q == own || connect[static_cast<std::size_t>(q)] <= 0.0) continue;
+        if (loads[static_cast<std::size_t>(q)] + w > maxLoad) continue;
+        const double gain = connect[static_cast<std::size_t>(q)] -
+                            connect[static_cast<std::size_t>(own)];
+        const bool balanceWin = loads[static_cast<std::size_t>(own)] -
+                                    loads[static_cast<std::size_t>(q)] >
+                                w;
+        if (gain > bestGain ||
+            (gain == bestGain && bestPart == own && gain >= 0.0 &&
+             balanceWin)) {
+          bestGain = gain;
+          bestPart = q;
+        }
+      }
+      if (bestPart != own) {
+        partOf[static_cast<std::size_t>(v)] = bestPart;
+        loads[static_cast<std::size_t>(own)] -= w;
+        loads[static_cast<std::size_t>(bestPart)] += w;
+        counts[static_cast<std::size_t>(own)] -= 1;
+        counts[static_cast<std::size_t>(bestPart)] += 1;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+Partition MultilevelKWayPartitioner::partition(const SiteGraph& graph,
+                                               int numParts) const {
+  HEMO_CHECK(graph.numVertices >= static_cast<std::uint64_t>(numParts));
+  Partition result;
+  result.numParts = numParts;
+
+  // Coarsening chain.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<std::uint64_t>> coarseMaps;
+  levels.push_back(toWGraph(graph));
+  Rng rng(options_.seed);
+  const std::uint64_t coarseTarget =
+      options_.coarsestVerticesPerPart * static_cast<std::uint64_t>(numParts);
+  while (levels.back().numVertices() > coarseTarget) {
+    auto [coarseOf, count] = heavyEdgeMatch(levels.back(), rng);
+    // Matching stalled (e.g. star graphs): stop coarsening.
+    if (count > levels.back().numVertices() * 9 / 10) break;
+    WGraph coarse = buildCoarse(levels.back(), coarseOf, count);
+    coarseMaps.push_back(std::move(coarseOf));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partition on the coarsest graph, then uncoarsen + refine.
+  std::vector<int> partOf = greedyGrowWGraph(levels.back(), numParts);
+  refine(levels.back(), partOf, numParts, options_.imbalanceTolerance,
+         options_.refinementPasses);
+  for (std::size_t level = coarseMaps.size(); level-- > 0;) {
+    const auto& map = coarseMaps[level];
+    std::vector<int> finer(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      finer[v] = partOf[static_cast<std::size_t>(map[v])];
+    }
+    partOf = std::move(finer);
+    refine(levels[level], partOf, numParts, options_.imbalanceTolerance,
+           options_.refinementPasses);
+  }
+  result.partOfSite = std::move(partOf);
+  return result;
+}
+
+std::vector<std::unique_ptr<Partitioner>> makeAllPartitioners(
+    const geometry::SparseLattice& lattice) {
+  std::vector<std::unique_ptr<Partitioner>> all;
+  all.push_back(std::make_unique<BlockPartitioner>(lattice));
+  all.push_back(std::make_unique<SfcPartitioner>());
+  all.push_back(std::make_unique<HilbertPartitioner>());
+  all.push_back(std::make_unique<RcbPartitioner>());
+  all.push_back(std::make_unique<GreedyGrowingPartitioner>());
+  all.push_back(std::make_unique<MultilevelKWayPartitioner>());
+  return all;
+}
+
+}  // namespace hemo::partition

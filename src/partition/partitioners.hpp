@@ -1,0 +1,94 @@
+#pragma once
+/// \file partitioners.hpp
+/// \brief The decomposition algorithms compared in the pre-processing
+/// experiments (bench P2): block-volume, space-filling curve, recursive
+/// coordinate bisection, greedy graph growing (HemeLB's basic scheme) and a
+/// multilevel k-way partitioner standing in for ParMETIS.
+
+#include <memory>
+#include <vector>
+
+#include "geometry/sparse_lattice.hpp"
+#include "partition/graph.hpp"
+
+namespace hemo::partition {
+
+/// Coarse block-granularity balance: whole 8³ blocks assigned by scanning
+/// the block table and splitting by fluid volume — the paper's "initial
+/// approximate load balance" readable from the file header alone.
+class BlockPartitioner final : public Partitioner {
+ public:
+  explicit BlockPartitioner(const geometry::SparseLattice& lattice)
+      : lattice_(lattice) {}
+  const char* name() const override { return "block"; }
+  Partition partition(const SiteGraph& graph, int numParts) const override;
+
+ private:
+  const geometry::SparseLattice& lattice_;
+};
+
+/// Space-filling-curve partitioner: sites sorted by Morton code, split into
+/// weight-balanced contiguous runs.
+class SfcPartitioner final : public Partitioner {
+ public:
+  const char* name() const override { return "sfc"; }
+  Partition partition(const SiteGraph& graph, int numParts) const override;
+};
+
+/// Hilbert-curve partitioner: like SfcPartitioner but ordered along the
+/// Hilbert curve, whose stronger locality typically lowers the edge cut.
+class HilbertPartitioner final : public Partitioner {
+ public:
+  const char* name() const override { return "hilbert"; }
+  Partition partition(const SiteGraph& graph, int numParts) const override;
+};
+
+/// Recursive coordinate bisection on site coordinates with weight-median
+/// splits along the widest axis.
+class RcbPartitioner final : public Partitioner {
+ public:
+  const char* name() const override { return "rcb"; }
+  Partition partition(const SiteGraph& graph, int numParts) const override;
+};
+
+/// Greedy graph growing: parts are grown one at a time by BFS from the
+/// lowest-id unassigned site until each reaches its weight target. This is
+/// the simple decomposition HemeLB used before delegating to ParMETIS.
+class GreedyGrowingPartitioner final : public Partitioner {
+ public:
+  const char* name() const override { return "greedy"; }
+  Partition partition(const SiteGraph& graph, int numParts) const override;
+};
+
+/// Multilevel k-way: heavy-edge-matching coarsening, greedy initial
+/// partition on the coarsest graph, then boundary Kernighan–Lin-style
+/// refinement during uncoarsening. The same algorithm family as ParMETIS
+/// (paper ref [5]).
+class MultilevelKWayPartitioner final : public Partitioner {
+ public:
+  struct Options {
+    /// Stop coarsening when the graph is this small (times numParts).
+    std::uint64_t coarsestVerticesPerPart = 30;
+    /// Balance slack: parts may exceed the ideal load by this factor.
+    double imbalanceTolerance = 1.05;
+    /// Refinement sweeps per uncoarsening level.
+    int refinementPasses = 4;
+    /// Deterministic seed for matching order.
+    std::uint64_t seed = 12345;
+  };
+
+  MultilevelKWayPartitioner() = default;
+  explicit MultilevelKWayPartitioner(const Options& options)
+      : options_(options) {}
+  const char* name() const override { return "kway"; }
+  Partition partition(const SiteGraph& graph, int numParts) const override;
+
+ private:
+  Options options_;
+};
+
+/// All partitioners applicable to a lattice, for comparison sweeps.
+std::vector<std::unique_ptr<Partitioner>> makeAllPartitioners(
+    const geometry::SparseLattice& lattice);
+
+}  // namespace hemo::partition

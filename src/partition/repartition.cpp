@@ -1,0 +1,82 @@
+#include "partition/repartition.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace hemo::partition {
+
+RepartitionResult rebalance(const SiteGraph& graph, const Partition& start,
+                            const std::vector<double>& siteCost,
+                            const RepartitionOptions& options) {
+  HEMO_CHECK(siteCost.size() == graph.numVertices);
+  HEMO_CHECK(start.partOfSite.size() == graph.numVertices);
+
+  RepartitionResult result;
+  result.partition = start;
+  auto& partOf = result.partition.partOfSite;
+  const int numParts = start.numParts;
+
+  std::vector<double> loads(static_cast<std::size_t>(numParts), 0.0);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(numParts), 0);
+  double total = 0.0;
+  for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+    const auto p = static_cast<std::size_t>(partOf[static_cast<std::size_t>(v)]);
+    loads[p] += siteCost[static_cast<std::size_t>(v)];
+    counts[p] += 1;
+    total += siteCost[static_cast<std::size_t>(v)];
+  }
+  const double mean = total / numParts;
+  result.imbalanceBefore = imbalanceFactor(loads);
+
+  std::vector<double> connect(static_cast<std::size_t>(numParts), 0.0);
+  for (int pass = 0; pass < options.maxPasses; ++pass) {
+    if (imbalanceFactor(loads) <= options.targetImbalance) break;
+    ++result.passesUsed;
+    bool moved = false;
+    for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+      const int own = partOf[static_cast<std::size_t>(v)];
+      if (loads[static_cast<std::size_t>(own)] <= mean) continue;
+      if (counts[static_cast<std::size_t>(own)] <= 1) continue;
+      // Candidate target: the least-loaded adjacent part.
+      std::fill(connect.begin(), connect.end(), 0.0);
+      int best = own;
+      for (std::uint64_t e = graph.xadj[static_cast<std::size_t>(v)];
+           e < graph.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        const int np = partOf[static_cast<std::size_t>(
+            graph.adjncy[static_cast<std::size_t>(e)])];
+        connect[static_cast<std::size_t>(np)] += 1.0;
+        if (np != own && (best == own ||
+                          loads[static_cast<std::size_t>(np)] <
+                              loads[static_cast<std::size_t>(best)])) {
+          best = np;
+        }
+      }
+      if (best == own) continue;
+      const double w = siteCost[static_cast<std::size_t>(v)];
+      // Move only if it genuinely shifts load downhill (keeps the
+      // diffusion monotone and prevents oscillation).
+      if (loads[static_cast<std::size_t>(own)] - w <
+          loads[static_cast<std::size_t>(best)] + w) {
+        continue;
+      }
+      // Prefer not to shred the boundary: require the receiving part to
+      // already touch this site with at least as many links as any other
+      // foreign part does.
+      partOf[static_cast<std::size_t>(v)] = best;
+      loads[static_cast<std::size_t>(own)] -= w;
+      loads[static_cast<std::size_t>(best)] += w;
+      counts[static_cast<std::size_t>(own)] -= 1;
+      counts[static_cast<std::size_t>(best)] += 1;
+      ++result.sitesMoved;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+  result.imbalanceAfter = imbalanceFactor(loads);
+  return result;
+}
+
+}  // namespace hemo::partition

@@ -1,0 +1,40 @@
+#pragma once
+/// \file repartition.hpp
+/// \brief Mid-run diffusive rebalancing.
+///
+/// The paper's pre-processing section argues that (a) visualisation costs
+/// must enter the balance equation and (b) interactive runs introduce "the
+/// opportunity to adjust the partitioning mid-term". This module implements
+/// that: given a partition and *measured* per-site costs (compute + in situ
+/// visualisation), overloaded parts diffuse boundary sites towards
+/// underloaded neighbouring parts until the imbalance drops below a
+/// tolerance. Sites only move across existing part boundaries, so the
+/// migration volume stays proportional to the imbalance being repaired.
+
+#include "partition/graph.hpp"
+
+namespace hemo::partition {
+
+struct RepartitionOptions {
+  /// Stop when imbalance (max/mean) is at or below this.
+  double targetImbalance = 1.05;
+  int maxPasses = 50;
+};
+
+struct RepartitionResult {
+  Partition partition;
+  /// Number of sites that changed part (data-migration volume).
+  std::uint64_t sitesMoved = 0;
+  double imbalanceBefore = 0.0;
+  double imbalanceAfter = 0.0;
+  int passesUsed = 0;
+};
+
+/// Diffusively rebalance `start` under per-site weights `siteCost` (size =
+/// graph.numVertices; typically measured compute + vis cost). The graph's
+/// own vertexWeight is ignored in favour of siteCost.
+RepartitionResult rebalance(const SiteGraph& graph, const Partition& start,
+                            const std::vector<double>& siteCost,
+                            const RepartitionOptions& options = {});
+
+}  // namespace hemo::partition

@@ -1,0 +1,196 @@
+#include "steer/protocol.hpp"
+
+#include "io/serial.hpp"
+#include "util/check.hpp"
+
+namespace hemo::steer {
+
+namespace {
+
+void putVec3d(io::Writer& w, const Vec3d& v) {
+  w.put<double>(v.x);
+  w.put<double>(v.y);
+  w.put<double>(v.z);
+}
+
+Vec3d getVec3d(io::Reader& r) {
+  const double x = r.get<double>();
+  const double y = r.get<double>();
+  const double z = r.get<double>();
+  return {x, y, z};
+}
+
+void putBoxI(io::Writer& w, const BoxI& b) {
+  w.put<std::int32_t>(b.lo.x);
+  w.put<std::int32_t>(b.lo.y);
+  w.put<std::int32_t>(b.lo.z);
+  w.put<std::int32_t>(b.hi.x);
+  w.put<std::int32_t>(b.hi.y);
+  w.put<std::int32_t>(b.hi.z);
+}
+
+BoxI getBoxI(io::Reader& r) {
+  BoxI b;
+  b.lo.x = r.get<std::int32_t>();
+  b.lo.y = r.get<std::int32_t>();
+  b.lo.z = r.get<std::int32_t>();
+  b.hi.x = r.get<std::int32_t>();
+  b.hi.y = r.get<std::int32_t>();
+  b.hi.z = r.get<std::int32_t>();
+  return b;
+}
+
+}  // namespace
+
+MsgType frameType(const std::vector<std::byte>& frame) {
+  HEMO_CHECK(!frame.empty());
+  return static_cast<MsgType>(frame[0]);
+}
+
+std::vector<std::byte> encodeCommand(const Command& cmd) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(cmd.type));
+  w.put<std::uint32_t>(cmd.commandId);
+  putVec3d(w, cmd.camera.position);
+  putVec3d(w, cmd.camera.target);
+  putVec3d(w, cmd.camera.up);
+  w.put<double>(cmd.camera.fovYDegrees);
+  w.put<std::uint8_t>(cmd.renderField);
+  w.put<std::int32_t>(cmd.visRate);
+  putBoxI(w, cmd.roi);
+  w.put<std::int32_t>(cmd.roiLevel);
+  w.put<double>(cmd.value);
+  w.put<std::int32_t>(cmd.ioletId);
+  putVec3d(w, cmd.force);
+  w.put<std::uint8_t>(cmd.observable);
+  return w.take();
+}
+
+Command decodeCommand(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  Command cmd;
+  cmd.type = static_cast<MsgType>(r.get<std::uint8_t>());
+  cmd.commandId = r.get<std::uint32_t>();
+  cmd.camera.position = getVec3d(r);
+  cmd.camera.target = getVec3d(r);
+  cmd.camera.up = getVec3d(r);
+  cmd.camera.fovYDegrees = r.get<double>();
+  cmd.renderField = r.get<std::uint8_t>();
+  cmd.visRate = r.get<std::int32_t>();
+  cmd.roi = getBoxI(r);
+  cmd.roiLevel = r.get<std::int32_t>();
+  cmd.value = r.get<double>();
+  cmd.ioletId = r.get<std::int32_t>();
+  cmd.force = getVec3d(r);
+  cmd.observable = r.get<std::uint8_t>();
+  HEMO_CHECK(r.atEnd());
+  return cmd;
+}
+
+std::vector<std::byte> encodeStatus(const StatusReport& s) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kStatus));
+  w.put<std::uint64_t>(s.step);
+  w.put<std::uint64_t>(s.totalSites);
+  w.put<double>(s.totalMass);
+  w.put<double>(s.maxSpeed);
+  w.put<double>(s.loadImbalance);
+  w.put<double>(s.stepsPerSecond);
+  w.put<double>(s.etaSeconds);
+  w.put<std::uint8_t>(s.consistencyOk);
+  w.put<std::uint8_t>(s.paused);
+  return w.take();
+}
+
+StatusReport decodeStatus(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  HEMO_CHECK(static_cast<MsgType>(r.get<std::uint8_t>()) == MsgType::kStatus);
+  StatusReport s;
+  s.step = r.get<std::uint64_t>();
+  s.totalSites = r.get<std::uint64_t>();
+  s.totalMass = r.get<double>();
+  s.maxSpeed = r.get<double>();
+  s.loadImbalance = r.get<double>();
+  s.stepsPerSecond = r.get<double>();
+  s.etaSeconds = r.get<double>();
+  s.consistencyOk = r.get<std::uint8_t>();
+  s.paused = r.get<std::uint8_t>();
+  HEMO_CHECK(r.atEnd());
+  return s;
+}
+
+std::vector<std::byte> encodeImage(const ImageFrame& f) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kImageFrame));
+  w.put<std::uint64_t>(f.step);
+  w.put<std::int32_t>(f.width);
+  w.put<std::int32_t>(f.height);
+  w.putVec(f.rgb);
+  return w.take();
+}
+
+ImageFrame decodeImage(const std::vector<std::byte>& bytes) {
+  io::Reader r(bytes);
+  HEMO_CHECK(static_cast<MsgType>(r.get<std::uint8_t>()) ==
+             MsgType::kImageFrame);
+  ImageFrame f;
+  f.step = r.get<std::uint64_t>();
+  f.width = r.get<std::int32_t>();
+  f.height = r.get<std::int32_t>();
+  f.rgb = r.getVec<std::uint8_t>();
+  HEMO_CHECK(r.atEnd());
+  return f;
+}
+
+std::vector<std::byte> encodeRoi(const RoiData& roi) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kRoiData));
+  w.put<std::uint64_t>(roi.step);
+  w.put<std::int32_t>(roi.level);
+  w.putVec(roi.nodes);
+  return w.take();
+}
+
+RoiData decodeRoi(const std::vector<std::byte>& bytes) {
+  io::Reader r(bytes);
+  HEMO_CHECK(static_cast<MsgType>(r.get<std::uint8_t>()) ==
+             MsgType::kRoiData);
+  RoiData roi;
+  roi.step = r.get<std::uint64_t>();
+  roi.level = r.get<std::int32_t>();
+  roi.nodes = r.getVec<multires::OctreeNode>();
+  HEMO_CHECK(r.atEnd());
+  return roi;
+}
+
+std::vector<std::byte> encodeObservable(const ObservableReport& report) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kObservable));
+  w.put<std::uint64_t>(report.step);
+  w.put<std::uint8_t>(report.kind);
+  w.put<double>(report.value);
+  w.put<std::uint64_t>(report.siteCount);
+  return w.take();
+}
+
+ObservableReport decodeObservable(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  HEMO_CHECK(static_cast<MsgType>(r.get<std::uint8_t>()) ==
+             MsgType::kObservable);
+  ObservableReport report;
+  report.step = r.get<std::uint64_t>();
+  report.kind = r.get<std::uint8_t>();
+  report.value = r.get<double>();
+  report.siteCount = r.get<std::uint64_t>();
+  HEMO_CHECK(r.atEnd());
+  return report;
+}
+
+std::vector<std::byte> encodeAck(std::uint32_t commandId) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kAck));
+  w.put<std::uint32_t>(commandId);
+  return w.take();
+}
+
+}  // namespace hemo::steer

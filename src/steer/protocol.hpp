@@ -1,0 +1,131 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire protocol between the steering client and the simulation
+/// master (paper §IV.C.1/§IV.C.3).
+///
+/// Commands flow client → master and cover everything the paper lists:
+/// visualisation parameters (view point, field, visualisation rate, region
+/// of interest) and simulation parameters (relaxation time, body force,
+/// iolet pressure), plus pause/resume/terminate. Responses flow master →
+/// client: acknowledgements, status reports ("consistency and validity
+/// checks, or estimates on the remaining runtime"), rendered image frames
+/// and multiresolution ROI node data.
+
+#include <cstdint>
+#include <vector>
+
+#include "multires/octree.hpp"
+#include "util/bbox.hpp"
+#include "vis/camera.hpp"
+#include "vis/volume.hpp"
+
+namespace hemo::steer {
+
+enum class MsgType : std::uint8_t {
+  // client -> master
+  kSetCamera = 1,
+  kSetField,
+  kSetVisRate,
+  kSetRoi,
+  kSetRenderClip,
+  kSetTau,
+  kSetBodyForce,
+  kSetIoletDensity,
+  kSetIoletVelocity,
+  kPause,
+  kResume,
+  kRequestStatus,
+  kRequestFrame,
+  kRequestObservable,
+  kTerminate,
+  // master -> client
+  kAck = 64,
+  kStatus,
+  kImageFrame,
+  kRoiData,
+  kObservable,
+};
+
+/// Hydrodynamic observables computable over a user-defined subset of the
+/// simulation volume (§I).
+enum class ObservableKind : std::uint8_t {
+  kMeanSpeed = 0,
+  kMaxSpeed = 1,
+  kMassFluxX = 2,  ///< sum of rho*u_x over the subset
+  kMass = 3,
+  kMeanWss = 4,
+};
+
+/// A steering command. One struct covers all command types; only the
+/// fields relevant to `type` are meaningful.
+struct Command {
+  MsgType type = MsgType::kRequestStatus;
+  std::uint32_t commandId = 0;   ///< echoed in the Ack
+  vis::Camera camera{};
+  std::uint8_t renderField = 0;  ///< vis::RenderField
+  std::int32_t visRate = 10;
+  BoxI roi{};
+  std::int32_t roiLevel = 0;
+  double value = 0.0;            ///< tau / iolet density
+  std::int32_t ioletId = 0;
+  Vec3d force{};
+  std::uint8_t observable = 0;   ///< ObservableKind for kRequestObservable
+};
+
+/// Reply to kRequestObservable.
+struct ObservableReport {
+  std::uint64_t step = 0;
+  std::uint8_t kind = 0;
+  double value = 0.0;
+  std::uint64_t siteCount = 0;  ///< sites inside the requested subset
+};
+
+/// Periodic health report of the running simulation.
+struct StatusReport {
+  std::uint64_t step = 0;
+  std::uint64_t totalSites = 0;
+  double totalMass = 0.0;
+  double maxSpeed = 0.0;        ///< lattice units; Mach check
+  double loadImbalance = 1.0;   ///< measured busy-time max/mean
+  double stepsPerSecond = 0.0;
+  double etaSeconds = 0.0;      ///< estimate to finish the requested steps
+  std::uint8_t consistencyOk = 1;  ///< mass drift + stability checks
+  std::uint8_t paused = 0;
+};
+
+struct ImageFrame {
+  std::uint64_t step = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::vector<std::uint8_t> rgb;
+};
+
+struct RoiData {
+  std::uint64_t step = 0;
+  std::int32_t level = 0;
+  std::vector<multires::OctreeNode> nodes;
+};
+
+// --- framing -----------------------------------------------------------------
+
+std::vector<std::byte> encodeCommand(const Command& cmd);
+Command decodeCommand(const std::vector<std::byte>& frame);
+
+std::vector<std::byte> encodeStatus(const StatusReport& status);
+StatusReport decodeStatus(const std::vector<std::byte>& frame);
+
+std::vector<std::byte> encodeImage(const ImageFrame& frame);
+ImageFrame decodeImage(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeRoi(const RoiData& roi);
+RoiData decodeRoi(const std::vector<std::byte>& bytes);
+
+std::vector<std::byte> encodeAck(std::uint32_t commandId);
+
+std::vector<std::byte> encodeObservable(const ObservableReport& report);
+ObservableReport decodeObservable(const std::vector<std::byte>& frame);
+
+/// Type tag of a frame (first byte).
+MsgType frameType(const std::vector<std::byte>& frame);
+
+}  // namespace hemo::steer

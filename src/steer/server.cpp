@@ -1,0 +1,132 @@
+#include "steer/server.hpp"
+
+#include <cstring>
+
+#include "io/serial.hpp"
+
+#include "util/check.hpp"
+
+namespace hemo::steer {
+
+std::vector<Command> SteeringServer::poll(comm::Communicator& comm) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kSteer);
+  // Rank 0 drains the channel, then broadcasts the concatenated frames.
+  std::vector<std::byte> packed;
+  if (comm.rank() == 0 && channel_.valid()) {
+    while (auto frame = channel_.tryRecv()) {
+      const auto n = static_cast<std::uint32_t>(frame->size());
+      const auto* np = reinterpret_cast<const std::byte*>(&n);
+      packed.insert(packed.end(), np, np + sizeof(n));
+      packed.insert(packed.end(), frame->begin(), frame->end());
+    }
+  }
+  comm.bcastBytes(packed, 0);
+
+  std::vector<Command> commands;
+  std::size_t pos = 0;
+  while (pos < packed.size()) {
+    std::uint32_t n;
+    std::memcpy(&n, packed.data() + pos, sizeof(n));
+    pos += sizeof(n);
+    HEMO_CHECK(pos + n <= packed.size());
+    commands.push_back(decodeCommand(std::vector<std::byte>(
+        packed.begin() + static_cast<std::ptrdiff_t>(pos),
+        packed.begin() + static_cast<std::ptrdiff_t>(pos + n))));
+    pos += n;
+  }
+  return commands;
+}
+
+void SteeringServer::sendStatus(comm::Communicator& comm,
+                                const StatusReport& status) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeStatus(status));
+  }
+}
+
+void SteeringServer::sendImage(comm::Communicator& comm,
+                               const ImageFrame& frame) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeImage(frame));
+  }
+}
+
+void SteeringServer::sendRoi(comm::Communicator& comm, const RoiData& roi) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeRoi(roi));
+  }
+}
+
+void SteeringServer::sendObservable(comm::Communicator& comm,
+                                    const ObservableReport& report) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeObservable(report));
+  }
+}
+
+void SteeringServer::sendAck(comm::Communicator& comm,
+                             std::uint32_t commandId) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeAck(commandId));
+  }
+}
+
+// --- SteeringClient -------------------------------------------------------------
+
+std::uint32_t SteeringClient::send(Command cmd) {
+  cmd.commandId = nextCommandId_++;
+  HEMO_CHECK_MSG(channel_.send(encodeCommand(cmd)),
+                 "steering channel closed");
+  return cmd.commandId;
+}
+
+std::optional<std::vector<std::byte>> SteeringClient::nextOfType(
+    MsgType type) {
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    if (frameType(stash_[i]) == type) {
+      auto frame = std::move(stash_[i]);
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+      return frame;
+    }
+  }
+  for (;;) {
+    auto frame = channel_.recv();
+    if (!frame) return std::nullopt;  // EOF
+    if (frameType(*frame) == type) return frame;
+    stash_.push_back(std::move(*frame));
+  }
+}
+
+std::optional<StatusReport> SteeringClient::awaitStatus() {
+  const auto frame = nextOfType(MsgType::kStatus);
+  if (!frame) return std::nullopt;
+  return decodeStatus(*frame);
+}
+
+std::optional<ImageFrame> SteeringClient::awaitImage() {
+  const auto frame = nextOfType(MsgType::kImageFrame);
+  if (!frame) return std::nullopt;
+  return decodeImage(*frame);
+}
+
+std::optional<RoiData> SteeringClient::awaitRoi() {
+  const auto frame = nextOfType(MsgType::kRoiData);
+  if (!frame) return std::nullopt;
+  return decodeRoi(*frame);
+}
+
+std::optional<ObservableReport> SteeringClient::awaitObservable() {
+  const auto frame = nextOfType(MsgType::kObservable);
+  if (!frame) return std::nullopt;
+  return decodeObservable(*frame);
+}
+
+std::optional<std::uint32_t> SteeringClient::awaitAck() {
+  const auto frame = nextOfType(MsgType::kAck);
+  if (!frame) return std::nullopt;
+  io::Reader r(*frame);
+  r.get<std::uint8_t>();
+  return r.get<std::uint32_t>();
+}
+
+}  // namespace hemo::steer

@@ -1,0 +1,76 @@
+#pragma once
+/// \file server.hpp
+/// \brief Simulation-side steering endpoint.
+///
+/// §IV.C.1 step 2-4: "A steering client is connected to the simulation
+/// master node. The client sends visualisation parameters ... The
+/// simulation master propagates this to the visualisation component." The
+/// server lives on rank 0, drains the client channel without blocking the
+/// solver, and broadcasts each command so all ranks apply it in the same
+/// step — command propagation is collective and counted as steering
+/// traffic.
+
+#include <optional>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/communicator.hpp"
+#include "steer/protocol.hpp"
+
+namespace hemo::steer {
+
+class SteeringServer {
+ public:
+  /// `clientEnd` is only used on rank 0 (others may pass a default).
+  explicit SteeringServer(comm::ChannelEnd clientEnd)
+      : channel_(std::move(clientEnd)) {}
+
+  /// Collective: rank 0 drains pending frames; every rank receives the
+  /// identical command list (possibly empty). Call once per step.
+  std::vector<Command> poll(comm::Communicator& comm);
+
+  /// Rank 0 only: push a response frame to the client. No-ops elsewhere.
+  void sendStatus(comm::Communicator& comm, const StatusReport& status);
+  void sendImage(comm::Communicator& comm, const ImageFrame& frame);
+  void sendRoi(comm::Communicator& comm, const RoiData& roi);
+  void sendObservable(comm::Communicator& comm,
+                      const ObservableReport& report);
+  void sendAck(comm::Communicator& comm, std::uint32_t commandId);
+
+  /// Rank 0 only: frames/bytes pushed to the client so far.
+  std::uint64_t framesSent() const {
+    return channel_.valid() ? channel_.framesSent() : 0;
+  }
+
+ private:
+  comm::ChannelEnd channel_;
+};
+
+/// Client-side convenience wrapper: typed sends, typed blocking receives.
+class SteeringClient {
+ public:
+  explicit SteeringClient(comm::ChannelEnd serverEnd)
+      : channel_(std::move(serverEnd)) {}
+
+  /// Send a command; returns its command id (auto-assigned).
+  std::uint32_t send(Command cmd);
+
+  /// Block until the next frame of the given type arrives (frames of other
+  /// types are queued for later typed receives). nullopt on channel EOF.
+  std::optional<StatusReport> awaitStatus();
+  std::optional<ImageFrame> awaitImage();
+  std::optional<RoiData> awaitRoi();
+  std::optional<ObservableReport> awaitObservable();
+  std::optional<std::uint32_t> awaitAck();
+
+  void close() { channel_.close(); }
+
+ private:
+  std::optional<std::vector<std::byte>> nextOfType(MsgType type);
+
+  comm::ChannelEnd channel_;
+  std::vector<std::vector<std::byte>> stash_;
+  std::uint32_t nextCommandId_ = 1;
+};
+
+}  // namespace hemo::steer

@@ -1,0 +1,116 @@
+#pragma once
+/// \file bbox.hpp
+/// \brief Axis-aligned bounding boxes over integer lattice coordinates and
+/// real space. Used by the voxelizer, partitioners, octree and renderers.
+
+#include <algorithm>
+#include <limits>
+
+#include "util/vec.hpp"
+
+namespace hemo {
+
+/// Half-open integer lattice box [lo, hi) — hi is exclusive.
+struct BoxI {
+  Vec3i lo{0, 0, 0};
+  Vec3i hi{0, 0, 0};
+
+  static BoxI empty() {
+    constexpr int kMax = std::numeric_limits<int>::max();
+    constexpr int kMin = std::numeric_limits<int>::min();
+    return {{kMax, kMax, kMax}, {kMin, kMin, kMin}};
+  }
+
+  bool isEmpty() const { return hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z; }
+
+  Vec3i extent() const { return hi - lo; }
+
+  long long volume() const {
+    if (isEmpty()) return 0;
+    const Vec3i e = extent();
+    return 1LL * e.x * e.y * e.z;
+  }
+
+  bool contains(const Vec3i& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+
+  void expand(const Vec3i& p) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x + 1); hi.y = std::max(hi.y, p.y + 1);
+    hi.z = std::max(hi.z, p.z + 1);
+  }
+
+  BoxI intersect(const BoxI& o) const {
+    BoxI r;
+    r.lo = {std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y),
+            std::max(lo.z, o.lo.z)};
+    r.hi = {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y),
+            std::min(hi.z, o.hi.z)};
+    return r;
+  }
+
+  bool operator==(const BoxI& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+/// Closed real-space box [lo, hi].
+struct BoxD {
+  Vec3d lo{0, 0, 0};
+  Vec3d hi{0, 0, 0};
+
+  static BoxD empty() {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return {{kInf, kInf, kInf}, {-kInf, -kInf, -kInf}};
+  }
+
+  bool isEmpty() const { return hi.x < lo.x || hi.y < lo.y || hi.z < lo.z; }
+
+  Vec3d extent() const { return hi - lo; }
+  Vec3d center() const { return (lo + hi) * 0.5; }
+
+  bool contains(const Vec3d& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+
+  void expand(const Vec3d& p) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  void expand(const BoxD& b) {
+    if (b.isEmpty()) return;
+    expand(b.lo);
+    expand(b.hi);
+  }
+
+  /// Ray/box slab intersection. Returns true and the entry/exit parameters
+  /// when the ray origin+t*dir (t>=0) crosses the box.
+  bool rayIntersect(const Vec3d& origin, const Vec3d& dir, double& tNear,
+                    double& tFar) const {
+    double t0 = 0.0;
+    double t1 = std::numeric_limits<double>::infinity();
+    for (int a = 0; a < 3; ++a) {
+      const double o = origin[a], d = dir[a];
+      if (std::abs(d) < 1e-300) {
+        if (o < lo[a] || o > hi[a]) return false;
+        continue;
+      }
+      double ta = (lo[a] - o) / d;
+      double tb = (hi[a] - o) / d;
+      if (ta > tb) std::swap(ta, tb);
+      t0 = std::max(t0, ta);
+      t1 = std::min(t1, tb);
+      if (t0 > t1) return false;
+    }
+    tNear = t0;
+    tFar = t1;
+    return true;
+  }
+};
+
+}  // namespace hemo

@@ -1,0 +1,49 @@
+#pragma once
+/// \file check.hpp
+/// \brief Runtime invariant checking that stays on in release builds.
+///
+/// HPC codes frequently run with NDEBUG; silent invariant violations in a
+/// message-passing runtime deadlock instead of crashing. HEMO_CHECK therefore
+/// always evaluates and throws a descriptive std::logic_error on failure so
+/// that the thread-rank runtime can propagate it to the caller.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hemo {
+
+/// Thrown when a HEMO_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "HEMO_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hemo
+
+/// Always-on invariant check. Throws hemo::CheckError on failure.
+#define HEMO_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) ::hemo::detail::checkFail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Invariant check with a streamed message: HEMO_CHECK_MSG(x > 0, "x=" << x).
+#define HEMO_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream hemo_check_os_;                               \
+      hemo_check_os_ << msg;                                           \
+      ::hemo::detail::checkFail(#expr, __FILE__, __LINE__,             \
+                                hemo_check_os_.str());                 \
+    }                                                                  \
+  } while (0)

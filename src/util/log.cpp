@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hemo {
+
+namespace {
+std::atomic<int> gLevel{static_cast<int>(LogLevel::kWarn)};
+std::mutex gLogMutex;
+thread_local int tRank = -1;
+
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { gLevel.store(static_cast<int>(level)); }
+
+LogLevel logLevel() { return static_cast<LogLevel>(gLevel.load()); }
+
+void setThreadLogRank(int rank) { tRank = rank; }
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < gLevel.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(gLogMutex);
+  if (tRank >= 0) {
+    std::fprintf(stderr, "[%s][rank %d] %s\n", levelName(level), tRank,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+  }
+}
+
+}  // namespace hemo

@@ -1,0 +1,48 @@
+#pragma once
+/// \file log.hpp
+/// \brief Thread-safe levelled logger. Rank-aware once a rank is attached via
+/// thread-local state; quiet by default so tests and benchmarks stay clean.
+
+#include <sstream>
+#include <string>
+
+namespace hemo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Tag the calling thread with a rank id shown in log lines (-1 = untagged).
+void setThreadLogRank(int rank);
+
+/// Emit one log line (thread-safe, single write to stderr).
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hemo
+
+#define HEMO_LOG_DEBUG() ::hemo::detail::LogLine(::hemo::LogLevel::kDebug)
+#define HEMO_LOG_INFO() ::hemo::detail::LogLine(::hemo::LogLevel::kInfo)
+#define HEMO_LOG_WARN() ::hemo::detail::LogLine(::hemo::LogLevel::kWarn)
+#define HEMO_LOG_ERROR() ::hemo::detail::LogLine(::hemo::LogLevel::kError)

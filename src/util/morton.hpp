@@ -1,0 +1,73 @@
+#pragma once
+/// \file morton.hpp
+/// \brief 3-D Morton (Z-order) codes, 21 bits per axis packed into 64 bits.
+///
+/// The hierarchical indexing scheme of Pascucci & Frank (paper ref [10]) that
+/// the multiresolution module uses is built on interleaved-bit keys: a node at
+/// octree level L with lattice coordinates (x,y,z) is keyed by
+/// (L, morton3(x,y,z)), and parent/child moves are shifts by 3 bits.
+
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace hemo {
+
+namespace detail {
+/// Spread the low 21 bits of v so each lands every 3rd bit.
+constexpr std::uint64_t spreadBits3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of spreadBits3.
+constexpr std::uint64_t compactBits3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v | (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v | (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v | (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v | (v >> 32)) & 0x1fffffULL;
+  return v;
+}
+}  // namespace detail
+
+/// Interleave (x,y,z) — each must fit in 21 bits — into a 63-bit Morton code.
+constexpr std::uint64_t morton3(std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z) {
+  return detail::spreadBits3(x) | (detail::spreadBits3(y) << 1) |
+         (detail::spreadBits3(z) << 2);
+}
+
+constexpr std::uint64_t morton3(const Vec3i& p) {
+  return morton3(static_cast<std::uint32_t>(p.x),
+                 static_cast<std::uint32_t>(p.y),
+                 static_cast<std::uint32_t>(p.z));
+}
+
+/// Inverse: recover (x,y,z) from a Morton code.
+constexpr Vec3i mortonDecode3(std::uint64_t code) {
+  return {static_cast<int>(detail::compactBits3(code)),
+          static_cast<int>(detail::compactBits3(code >> 1)),
+          static_cast<int>(detail::compactBits3(code >> 2))};
+}
+
+/// Key of the parent cell one octree level up.
+constexpr std::uint64_t mortonParent(std::uint64_t code) { return code >> 3; }
+
+/// Key of child `octant` (0..7) one octree level down.
+constexpr std::uint64_t mortonChild(std::uint64_t code, int octant) {
+  return (code << 3) | static_cast<std::uint64_t>(octant & 7);
+}
+
+/// Which octant (0..7) of its parent this cell occupies.
+constexpr int mortonOctant(std::uint64_t code) {
+  return static_cast<int>(code & 7);
+}
+
+}  // namespace hemo

@@ -1,0 +1,99 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming statistics and load-balance metrics.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemo {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Load-imbalance factor: max(load) / mean(load). 1.0 is perfect balance.
+/// This is the metric the paper's pre-processing section optimises.
+inline double imbalanceFactor(const std::vector<double>& loads) {
+  HEMO_CHECK(!loads.empty());
+  double sum = 0.0, mx = 0.0;
+  for (double l : loads) {
+    sum += l;
+    mx = std::max(mx, l);
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  if (mean <= 0.0) return 1.0;
+  return mx / mean;
+}
+
+/// Relative L2 error ||a - b|| / ||b||; returns absolute L2 if ||b|| ~ 0.
+inline double relativeL2(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  HEMO_CHECK(a.size() == b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  if (den < 1e-300) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used by benchmarks to report distribution shapes.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), bins_(static_cast<std::size_t>(bins), 0) {
+    HEMO_CHECK(hi > lo && bins > 0);
+  }
+
+  void add(double x) {
+    const double f = (x - lo_) / (hi_ - lo_);
+    auto i = static_cast<long>(f * static_cast<double>(bins_.size()));
+    i = std::clamp<long>(i, 0, static_cast<long>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(i)];
+    ++total_;
+  }
+
+  std::uint64_t bin(int i) const { return bins_[static_cast<std::size_t>(i)]; }
+  int numBins() const { return static_cast<int>(bins_.size()); }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hemo

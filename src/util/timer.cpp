@@ -1,0 +1,13 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace hemo {
+
+double threadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace hemo

@@ -1,0 +1,65 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock and per-thread CPU timers.
+///
+/// On a time-shared host, wall clock measures contention, not work. The
+/// co-design performance model (core/perf_model.hpp) therefore consumes
+/// per-thread CPU time: each simulated rank's *busy* time, which is what the
+/// paper's load-balance arguments are about.
+
+#include <chrono>
+#include <cstdint>
+
+namespace hemo {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-thread CPU time in seconds (CLOCK_THREAD_CPUTIME_ID).
+double threadCpuSeconds();
+
+/// Accumulates named phase durations; used per rank to split compute /
+/// communication / visualisation time for the balance-equation experiments.
+class PhaseTimer {
+ public:
+  /// Begin timing; pair with stop(). Nesting is not supported.
+  void start() { t0_ = threadCpuSeconds(); }
+
+  /// End timing and add the elapsed CPU time to the accumulator.
+  void stop() { total_ += threadCpuSeconds() - t0_; }
+
+  double total() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  double t0_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// RAII wrapper around PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& t) : t_(t) { t_.start(); }
+  ~ScopedPhase() { t_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& t_;
+};
+
+}  // namespace hemo

@@ -1,0 +1,153 @@
+#pragma once
+/// \file vec.hpp
+/// \brief Small fixed-size vector types used across lattice, geometry and
+/// visualisation code. Header-only; everything is constexpr-friendly.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace hemo {
+
+/// A 3-component vector of arithmetic type T.
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  constexpr explicit Vec3(T s) : x(s), y(s), z(s) {}
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {static_cast<T>(x + o.x), static_cast<T>(y + o.y),
+            static_cast<T>(z + o.z)};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {static_cast<T>(x - o.x), static_cast<T>(y - o.y),
+            static_cast<T>(z - o.z)};
+  }
+  constexpr Vec3 operator*(T s) const {
+    return {static_cast<T>(x * s), static_cast<T>(y * s),
+            static_cast<T>(z * s)};
+  }
+  constexpr Vec3 operator/(T s) const {
+    return {static_cast<T>(x / s), static_cast<T>(y / s),
+            static_cast<T>(z / s)};
+  }
+  constexpr Vec3 operator-() const {
+    return {static_cast<T>(-x), static_cast<T>(-y), static_cast<T>(-z)};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+  constexpr bool operator!=(const Vec3& o) const { return !(*this == o); }
+
+  /// Component-wise product.
+  constexpr Vec3 cwiseMul(const Vec3& o) const {
+    return {static_cast<T>(x * o.x), static_cast<T>(y * o.y),
+            static_cast<T>(z * o.z)};
+  }
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {static_cast<T>(y * o.z - z * o.y),
+            static_cast<T>(z * o.x - x * o.z),
+            static_cast<T>(x * o.y - y * o.x)};
+  }
+  constexpr T norm2() const { return dot(*this); }
+  T norm() const { return std::sqrt(static_cast<double>(norm2())); }
+
+  /// Unit vector; returns zero vector if the norm is ~0.
+  Vec3 normalized() const {
+    const T n = static_cast<T>(norm());
+    if (n == T{}) return Vec3{};
+    return *this / n;
+  }
+
+  template <typename U>
+  constexpr Vec3<U> cast() const {
+    return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+  }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec3<T>& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+using Vec3i = Vec3<int>;
+using Vec3i64 = Vec3<std::int64_t>;
+
+/// Linear interpolation between a and b.
+template <typename T>
+constexpr Vec3<T> lerp(const Vec3<T>& a, const Vec3<T>& b, T t) {
+  return a + (b - a) * t;
+}
+
+/// Symmetric 3x3 tensor stored as (xx, yy, zz, xy, xz, yz).
+/// Used for the deviatoric stress tensor in the LB shear-stress extraction.
+struct SymTensor3 {
+  std::array<double, 6> m{};  // xx yy zz xy xz yz
+
+  double& xx() { return m[0]; }
+  double& yy() { return m[1]; }
+  double& zz() { return m[2]; }
+  double& xy() { return m[3]; }
+  double& xz() { return m[4]; }
+  double& yz() { return m[5]; }
+  double xx() const { return m[0]; }
+  double yy() const { return m[1]; }
+  double zz() const { return m[2]; }
+  double xy() const { return m[3]; }
+  double xz() const { return m[4]; }
+  double yz() const { return m[5]; }
+
+  SymTensor3& operator+=(const SymTensor3& o) {
+    for (int i = 0; i < 6; ++i) m[i] += o.m[i];
+    return *this;
+  }
+  SymTensor3 operator*(double s) const {
+    SymTensor3 r;
+    for (int i = 0; i < 6; ++i) r.m[i] = m[i] * s;
+    return r;
+  }
+
+  /// t · v for the full symmetric tensor.
+  Vec3d apply(const Vec3d& v) const {
+    return {xx() * v.x + xy() * v.y + xz() * v.z,
+            xy() * v.x + yy() * v.y + yz() * v.z,
+            xz() * v.x + yz() * v.y + zz() * v.z};
+  }
+
+  /// Frobenius norm sqrt(sum t_ab^2) counting off-diagonals twice.
+  double frobenius() const {
+    return std::sqrt(m[0] * m[0] + m[1] * m[1] + m[2] * m[2] +
+                     2.0 * (m[3] * m[3] + m[4] * m[4] + m[5] * m[5]));
+  }
+};
+
+}  // namespace hemo

@@ -1,0 +1,37 @@
+#pragma once
+/// \file camera.hpp
+/// \brief Pinhole camera; the "view point" steering parameter of §IV.C.1.
+
+#include <cmath>
+
+#include "util/vec.hpp"
+
+namespace hemo::vis {
+
+struct Ray {
+  Vec3d origin;
+  Vec3d direction;  ///< unit length
+};
+
+/// Look-at perspective camera. Trivially copyable so it can ride inside
+/// steering messages.
+struct Camera {
+  Vec3d position{0, 0, 10};
+  Vec3d target{0, 0, 0};
+  Vec3d up{0, 1, 0};
+  double fovYDegrees = 40.0;
+
+  /// Ray through pixel centre (px, py) of a width×height image.
+  Ray rayThrough(int px, int py, int width, int height) const {
+    const Vec3d forward = (target - position).normalized();
+    const Vec3d right = forward.cross(up).normalized();
+    const Vec3d trueUp = right.cross(forward);
+    const double aspect = static_cast<double>(width) / height;
+    const double tanHalf = std::tan(fovYDegrees * 3.14159265358979 / 360.0);
+    const double u = ((px + 0.5) / width * 2.0 - 1.0) * tanHalf * aspect;
+    const double v = (1.0 - (py + 0.5) / height * 2.0) * tanHalf;
+    return {position, (forward + right * u + trueUp * v).normalized()};
+  }
+};
+
+}  // namespace hemo::vis

@@ -1,0 +1,183 @@
+#include "vis/features.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace hemo::vis {
+
+namespace {
+constexpr std::uint64_t kNoLabel = ~0ULL;
+}  // namespace
+
+std::vector<Feature> extractFeatures(comm::Communicator& comm,
+                                     const lb::DomainMap& domain,
+                                     const std::vector<double>& scalar,
+                                     double threshold, FeatureStats* stats) {
+  HEMO_CHECK(scalar.size() == domain.numOwned());
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto& lat = domain.lattice();
+  const auto n = domain.numOwned();
+
+  // --- 1. local labelling: multi-source BFS, label = min global id ----------
+  std::vector<std::uint64_t> label(static_cast<std::size_t>(n), kNoLabel);
+  auto marked = [&](std::uint32_t l) { return scalar[l] > threshold; };
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (!marked(seed) || label[seed] != kNoLabel) continue;
+    const std::uint64_t lbl = domain.globalOf(seed);
+    std::queue<std::uint32_t> bfs;
+    bfs.push(seed);
+    label[seed] = lbl;
+    while (!bfs.empty()) {
+      const auto cur = bfs.front();
+      bfs.pop();
+      const auto g = domain.globalOf(cur);
+      for (int d = 0; d < geometry::kNumDirections; ++d) {
+        const auto nb = lat.neighborId(g, d);
+        if (nb < 0) continue;
+        const auto local = domain.localOf(static_cast<std::uint64_t>(nb));
+        if (local < 0) continue;  // foreign; handled by the merge rounds
+        const auto ln = static_cast<std::uint32_t>(local);
+        if (marked(ln) && label[ln] == kNoLabel) {
+          label[ln] = lbl;
+          bfs.push(ln);
+        }
+      }
+    }
+  }
+
+  // --- 2. boundary exchange plan (marked owned sites with foreign marked
+  //        neighbours are unknown to us — send them our labels, adopt
+  //        smaller incoming ones, and propagate locally again) -------------
+  struct BoundaryLink {
+    int peer;
+    std::uint32_t local;       ///< our site
+    std::uint64_t foreign;     ///< their site (global)
+  };
+  std::vector<BoundaryLink> links;
+  for (std::uint32_t l = 0; l < n; ++l) {
+    if (!marked(l)) continue;
+    const auto g = domain.globalOf(l);
+    for (int d = 0; d < geometry::kNumDirections; ++d) {
+      const auto nb = lat.neighborId(g, d);
+      if (nb < 0) continue;
+      const auto ng = static_cast<std::uint64_t>(nb);
+      const int owner = domain.ownerOf(ng);
+      if (owner != domain.rank()) links.push_back({owner, l, ng});
+    }
+  }
+
+  FeatureStats st;
+  for (;;) {
+    ++st.mergeRounds;
+    // Send (foreignSite, ourLabel) for every cross link; the owner decides
+    // whether our label lowers its component's.
+    std::vector<std::vector<std::uint64_t>> outgoing(
+        static_cast<std::size_t>(comm.size()));
+    for (const auto& link : links) {
+      outgoing[static_cast<std::size_t>(link.peer)].push_back(link.foreign);
+      outgoing[static_cast<std::size_t>(link.peer)].push_back(
+          label[link.local]);
+    }
+    const auto incoming = comm.alltoallVec(outgoing);
+
+    // Adopt smaller labels; then re-propagate inside the rank.
+    std::queue<std::uint32_t> bfs;
+    for (const auto& blob : incoming) {
+      for (std::size_t i = 0; i < blob.size(); i += 2) {
+        const auto local = domain.localOf(blob[i]);
+        if (local < 0) continue;
+        const auto l = static_cast<std::uint32_t>(local);
+        if (!marked(l)) continue;
+        if (blob[i + 1] < label[l]) {
+          label[l] = blob[i + 1];
+          bfs.push(l);
+        }
+      }
+    }
+    bool changed = !bfs.empty();
+    while (!bfs.empty()) {
+      const auto cur = bfs.front();
+      bfs.pop();
+      const auto g = domain.globalOf(cur);
+      for (int d = 0; d < geometry::kNumDirections; ++d) {
+        const auto nb = lat.neighborId(g, d);
+        if (nb < 0) continue;
+        const auto local = domain.localOf(static_cast<std::uint64_t>(nb));
+        if (local < 0) continue;
+        const auto ln = static_cast<std::uint32_t>(local);
+        if (marked(ln) && label[ln] > label[cur]) {
+          label[ln] = label[cur];
+          bfs.push(ln);
+        }
+      }
+    }
+    if (comm.allreduceSum<std::uint64_t>(changed ? 1 : 0) == 0) break;
+  }
+  if (stats != nullptr) *stats = st;
+
+  // --- 3. per-label aggregation, then merge on the master -------------------
+  struct Partial {
+    std::uint64_t count = 0;
+    Vec3d centroidSum{};
+    double maxValue = -1e300;
+    double valueSum = 0.0;
+    BoxD bounds = BoxD::empty();
+  };
+  std::unordered_map<std::uint64_t, Partial> partials;
+  for (std::uint32_t l = 0; l < n; ++l) {
+    if (!marked(l)) continue;
+    auto& p = partials[label[l]];
+    const Vec3d w = lat.siteWorld(domain.globalOf(l));
+    p.count += 1;
+    p.centroidSum += w;
+    p.maxValue = std::max(p.maxValue, scalar[l]);
+    p.valueSum += scalar[l];
+    p.bounds.expand(w);
+  }
+  std::vector<double> rows;
+  for (const auto& [lbl, p] : partials) {
+    rows.insert(rows.end(),
+                {static_cast<double>(lbl), static_cast<double>(p.count),
+                 p.centroidSum.x, p.centroidSum.y, p.centroidSum.z,
+                 p.maxValue, p.valueSum, p.bounds.lo.x, p.bounds.lo.y,
+                 p.bounds.lo.z, p.bounds.hi.x, p.bounds.hi.y, p.bounds.hi.z});
+  }
+  const auto all = comm.gatherVec(rows, 0);
+  if (comm.rank() != 0) return {};
+
+  std::map<std::uint64_t, Partial> merged;
+  for (const auto& blob : all) {
+    for (std::size_t i = 0; i < blob.size(); i += 13) {
+      auto& p = merged[static_cast<std::uint64_t>(blob[i])];
+      p.count += static_cast<std::uint64_t>(blob[i + 1]);
+      p.centroidSum += Vec3d{blob[i + 2], blob[i + 3], blob[i + 4]};
+      p.maxValue = std::max(p.maxValue, blob[i + 5]);
+      p.valueSum += blob[i + 6];
+      p.bounds.expand(Vec3d{blob[i + 7], blob[i + 8], blob[i + 9]});
+      p.bounds.expand(Vec3d{blob[i + 10], blob[i + 11], blob[i + 12]});
+    }
+  }
+  std::vector<Feature> features;
+  for (const auto& [lbl, p] : merged) {
+    Feature f;
+    f.id = lbl;
+    f.sizeSites = p.count;
+    f.centroid = p.centroidSum / static_cast<double>(p.count);
+    f.maxValue = p.maxValue;
+    f.meanValue = p.valueSum / static_cast<double>(p.count);
+    f.bounds = p.bounds;
+    features.push_back(f);
+  }
+  std::sort(features.begin(), features.end(),
+            [](const Feature& a, const Feature& b) {
+              return a.sizeSites != b.sizeSites ? a.sizeSites > b.sizeSites
+                                                : a.id < b.id;
+            });
+  return features;
+}
+
+}  // namespace hemo::vis

@@ -1,0 +1,47 @@
+#pragma once
+/// \file features.hpp
+/// \brief Distributed feature extraction (§I: "in situ visualisation and
+/// feature extraction are promising approaches to reduce the amount of
+/// data to handle").
+///
+/// A feature is a connected component of fluid sites whose scalar value
+/// exceeds a threshold (e.g. high-speed jets, WSS hotspots). Components are
+/// found without gathering the field: each rank labels its owned sites
+/// (multi-source BFS, label = smallest global id in the component), then
+/// boundary labels are exchanged and merged iteratively until no label
+/// changes anywhere — the number of rounds is bounded by the number of
+/// ranks a component spans. The result is a handful of feature descriptors
+/// instead of the raw field.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "lb/domain_map.hpp"
+#include "util/bbox.hpp"
+
+namespace hemo::vis {
+
+struct Feature {
+  /// Stable id: the smallest global site id in the component.
+  std::uint64_t id = 0;
+  std::uint64_t sizeSites = 0;
+  Vec3d centroid{};        ///< world space, site-count weighted
+  double maxValue = 0.0;
+  double meanValue = 0.0;
+  BoxD bounds = BoxD::empty();
+};
+
+struct FeatureStats {
+  std::uint64_t mergeRounds = 0;  ///< label-exchange iterations
+};
+
+/// Collective: extract all features of `scalar > threshold`. Returns the
+/// complete list on rank 0 (sorted by descending size), empty elsewhere.
+std::vector<Feature> extractFeatures(comm::Communicator& comm,
+                                     const lb::DomainMap& domain,
+                                     const std::vector<double>& scalar,
+                                     double threshold,
+                                     FeatureStats* stats = nullptr);
+
+}  // namespace hemo::vis

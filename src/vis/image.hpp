@@ -1,0 +1,80 @@
+#pragma once
+/// \file image.hpp
+/// \brief Off-screen RGBA+depth framebuffer and front-to-back compositing —
+/// the image end of the paper's in situ visualisation loop (step 5-6 of
+/// §IV.C.1: "the visualisation component ... constructs the image; the
+/// image is returned to the simulation master node and thence to the
+/// client").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemo::vis {
+
+/// One pixel's colour + coverage.
+struct Rgba {
+  float r = 0.f, g = 0.f, b = 0.f, a = 0.f;
+
+  /// Porter-Duff "over": place `front` in front of this (both premultiplied).
+  void under(const Rgba& front) {
+    // this = front OVER this, i.e. front is closer to the eye.
+    r = front.r + (1.f - front.a) * r;
+    g = front.g + (1.f - front.a) * g;
+    b = front.b + (1.f - front.a) * b;
+    a = front.a + (1.f - front.a) * a;
+  }
+
+  /// Accumulate a sample behind the current accumulation (front-to-back).
+  void accumulate(const Rgba& sample) {
+    r += (1.f - a) * sample.r;
+    g += (1.f - a) * sample.g;
+    b += (1.f - a) * sample.b;
+    a += (1.f - a) * sample.a;
+  }
+};
+
+/// RGBA (premultiplied) + depth image.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) *
+                static_cast<std::size_t>(height)),
+        depth_(pixels_.size(), kFarDepth) {}
+
+  static constexpr float kFarDepth = 1e30f;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t numPixels() const { return pixels_.size(); }
+
+  Rgba& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  const Rgba& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  Rgba& pixel(std::size_t i) { return pixels_[i]; }
+  const Rgba& pixel(std::size_t i) const { return pixels_[i]; }
+  float& depth(std::size_t i) { return depth_[i]; }
+  float depth(std::size_t i) const { return depth_[i]; }
+
+  const std::vector<Rgba>& pixels() const { return pixels_; }
+
+  /// Convert to 8-bit RGB over a background grey.
+  std::vector<std::uint8_t> toRgb8(float background = 0.08f) const;
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<Rgba> pixels_;
+  std::vector<float> depth_;
+};
+
+}  // namespace hemo::vis

@@ -1,0 +1,165 @@
+#include "vis/lic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hemo::vis {
+
+namespace {
+
+/// Deterministic white noise in [0,1) from pixel coordinates and a seed.
+float noiseAt(int x, int y, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) * 0x94d049bb133111ebULL;
+  h = (h ^ (h >> 27)) * 0x2545f4914f6cdd1dULL;
+  h ^= h >> 31;
+  return static_cast<float>(h >> 40) * 0x1.0p-24f;
+}
+
+struct SliceField {
+  int width = 0, height = 0;
+  std::vector<float> ux, uy;       ///< zero where not fluid
+  std::vector<std::uint8_t> mask;
+
+  bool inBounds(int x, int y) const {
+    return x >= 0 && x < width && y >= 0 && y < height;
+  }
+  std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+           static_cast<std::size_t>(x);
+  }
+
+  /// Bilinear velocity at continuous slice coordinates (pixel centres at
+  /// integer+0.5). Non-fluid corners contribute zero (no-slip).
+  bool sample(double x, double y, double& vx, double& vy) const {
+    const double rx = x - 0.5, ry = y - 0.5;
+    const int x0 = static_cast<int>(std::floor(rx));
+    const int y0 = static_cast<int>(std::floor(ry));
+    const double fx = rx - x0, fy = ry - y0;
+    vx = 0.0;
+    vy = 0.0;
+    bool anyFluid = false;
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        const int cx = x0 + dx, cy = y0 + dy;
+        if (!inBounds(cx, cy)) continue;
+        const std::size_t i = idx(cx, cy);
+        if (!mask[i]) continue;
+        anyFluid = true;
+        const double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy);
+        vx += w * ux[i];
+        vy += w * uy[i];
+      }
+    }
+    return anyFluid;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> LicResult::toGray8() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(intensity.size());
+  for (std::size_t i = 0; i < intensity.size(); ++i) {
+    const float v = fluidMask[i] ? intensity[i] : 0.f;
+    out.push_back(static_cast<std::uint8_t>(
+        std::lround(std::clamp(v, 0.f, 1.f) * 255.f)));
+  }
+  return out;
+}
+
+LicResult computeLicSlice(comm::Communicator& comm,
+                          const lb::DomainMap& domain,
+                          const lb::MacroFields& macro,
+                          const LicOptions& options) {
+  HEMO_CHECK(options.axis >= 0 && options.axis < 3);
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto& lat = domain.lattice();
+  const Vec3i dims = lat.dims();
+  const int a0 = (options.axis + 1) % 3;  // slice "x"
+  const int a1 = (options.axis + 2) % 3;  // slice "y"
+  SliceField slice;
+  slice.width = dims[a0];
+  slice.height = dims[a1];
+  const std::size_t pixels = static_cast<std::size_t>(slice.width) *
+                             static_cast<std::size_t>(slice.height);
+  slice.ux.assign(pixels, 0.f);
+  slice.uy.assign(pixels, 0.f);
+  slice.mask.assign(pixels, 0);
+
+  // 1. Each rank contributes its owned sites lying in the slice.
+  std::vector<float> contribution;  // (pixelIdx, ux, uy) triples
+  for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+    const Vec3i p = lat.sitePosition(domain.globalOf(l));
+    if (p[options.axis] != options.sliceIndex) continue;
+    const std::size_t i = slice.idx(p[a0], p[a1]);
+    contribution.push_back(static_cast<float>(i));
+    contribution.push_back(
+        static_cast<float>(macro.u[static_cast<std::size_t>(l)][a0]));
+    contribution.push_back(
+        static_cast<float>(macro.u[static_cast<std::size_t>(l)][a1]));
+  }
+  // 2. Everyone receives the full slice (the "medium" exchange).
+  const auto allContrib = comm.allgatherVec(contribution);
+  for (const auto& blob : allContrib) {
+    for (std::size_t i = 0; i < blob.size(); i += 3) {
+      const auto pix = static_cast<std::size_t>(blob[i]);
+      slice.ux[pix] = blob[i + 1];
+      slice.uy[pix] = blob[i + 2];
+      slice.mask[pix] = 1;
+    }
+  }
+
+  // 3. Convolve noise along streamlines for *owned* pixels only.
+  auto convolveFrom = [&](int px, int py) {
+    float sum = noiseAt(px, py, options.noiseSeed);
+    int samples = 1;
+    for (int dir = 0; dir < 2; ++dir) {
+      double x = px + 0.5, y = py + 0.5;
+      const double sign = dir == 0 ? 1.0 : -1.0;
+      for (int k = 0; k < options.kernelHalfLength; ++k) {
+        double vx, vy;
+        if (!slice.sample(x, y, vx, vy)) break;
+        const double speed = std::sqrt(vx * vx + vy * vy);
+        if (speed < 1e-12) break;
+        x += sign * options.stepPixels * vx / speed;
+        y += sign * options.stepPixels * vy / speed;
+        const int nx = static_cast<int>(std::floor(x));
+        const int ny = static_cast<int>(std::floor(y));
+        if (!slice.inBounds(nx, ny) || !slice.mask[slice.idx(nx, ny)]) break;
+        sum += noiseAt(nx, ny, options.noiseSeed);
+        ++samples;
+      }
+    }
+    return sum / static_cast<float>(samples);
+  };
+
+  std::vector<float> mine;  // (pixelIdx, intensity) pairs
+  for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+    const Vec3i p = lat.sitePosition(domain.globalOf(l));
+    if (p[options.axis] != options.sliceIndex) continue;
+    mine.push_back(static_cast<float>(slice.idx(p[a0], p[a1])));
+    mine.push_back(convolveFrom(p[a0], p[a1]));
+  }
+
+  // 4. Master assembles the intensity image.
+  const auto gathered = comm.gatherVec(mine, 0);
+  LicResult result;
+  if (comm.rank() != 0) return result;
+  result.width = slice.width;
+  result.height = slice.height;
+  result.intensity.assign(pixels, 0.f);
+  result.fluidMask = slice.mask;
+  for (const auto& blob : gathered) {
+    for (std::size_t i = 0; i < blob.size(); i += 2) {
+      result.intensity[static_cast<std::size_t>(blob[i])] = blob[i + 1];
+    }
+  }
+  return result;
+}
+
+}  // namespace hemo::vis

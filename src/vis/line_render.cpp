@@ -1,0 +1,89 @@
+#include "vis/line_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hemo::vis {
+
+Rgba seedColor(std::uint32_t seedId) {
+  static constexpr float kPalette[8][3] = {
+      {0.90f, 0.35f, 0.20f}, {0.25f, 0.60f, 0.90f}, {0.95f, 0.80f, 0.25f},
+      {0.40f, 0.85f, 0.45f}, {0.80f, 0.40f, 0.85f}, {0.30f, 0.85f, 0.80f},
+      {0.95f, 0.55f, 0.65f}, {0.70f, 0.70f, 0.70f}};
+  const auto& c = kPalette[seedId % 8];
+  return Rgba{c[0], c[1], c[2], 1.0f};
+}
+
+namespace {
+
+/// Project a world point; false if behind the camera.
+bool project(const Camera& cam, int width, int height, const Vec3d& world,
+             double& px, double& py, double& depth) {
+  const Vec3d forward = (cam.target - cam.position).normalized();
+  const Vec3d right = forward.cross(cam.up).normalized();
+  const Vec3d trueUp = right.cross(forward);
+  const Vec3d rel = world - cam.position;
+  const double z = rel.dot(forward);
+  if (z <= 1e-9) return false;
+  const double tanHalf = std::tan(cam.fovYDegrees * 3.14159265358979 / 360.0);
+  const double aspect = static_cast<double>(width) / height;
+  const double u = rel.dot(right) / (z * tanHalf * aspect);
+  const double v = rel.dot(trueUp) / (z * tanHalf);
+  px = (u + 1.0) * 0.5 * width - 0.5;
+  py = (1.0 - v) * 0.5 * height - 0.5;
+  depth = z;
+  return true;
+}
+
+void plot(Image& img, int x, int y, float depth, const Rgba& color) {
+  if (x < 0 || x >= img.width() || y < 0 || y >= img.height()) return;
+  const std::size_t i = static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(img.width()) +
+                        static_cast<std::size_t>(x);
+  Rgba& px = img.pixel(i);
+  if (depth < img.depth(i)) {
+    // Line in front of the volume's first hit: line over volume.
+    Rgba merged = color;
+    merged.accumulate(px);
+    px = merged;
+    img.depth(i) = depth;
+  } else {
+    // Line inside/behind a translucent volume: seen through it.
+    px.accumulate(color);
+  }
+}
+
+}  // namespace
+
+void drawPolyline(Image& img, const Camera& camera,
+                  const std::vector<Vec3f>& vertices, const Rgba& color) {
+  for (std::size_t v = 1; v < vertices.size(); ++v) {
+    double x0, y0, z0, x1, y1, z1;
+    if (!project(camera, img.width(), img.height(),
+                 vertices[v - 1].cast<double>(), x0, y0, z0) ||
+        !project(camera, img.width(), img.height(),
+                 vertices[v].cast<double>(), x1, y1, z1)) {
+      continue;
+    }
+    // DDA over the longer axis.
+    const double dx = x1 - x0, dy = y1 - y0;
+    const int steps =
+        std::max(1, static_cast<int>(std::ceil(std::max(std::abs(dx),
+                                                        std::abs(dy)))));
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      plot(img, static_cast<int>(std::lround(x0 + t * dx)),
+           static_cast<int>(std::lround(y0 + t * dy)),
+           static_cast<float>(z0 + t * (z1 - z0)), color);
+    }
+  }
+}
+
+void drawPolylines(Image& img, const Camera& camera,
+                   const std::vector<Polyline>& lines) {
+  for (const auto& line : lines) {
+    drawPolyline(img, camera, line.vertices, seedColor(line.seedId));
+  }
+}
+
+}  // namespace hemo::vis

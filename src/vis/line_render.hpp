@@ -1,0 +1,26 @@
+#pragma once
+/// \file line_render.hpp
+/// \brief Polyline rasterisation for the streamline figures (Fig 4b): the
+/// master projects traced lines through the camera and draws them with a
+/// depth test over an optional volume-rendered context image.
+
+#include <vector>
+
+#include "vis/camera.hpp"
+#include "vis/image.hpp"
+#include "vis/streamlines.hpp"
+
+namespace hemo::vis {
+
+/// Distinct line colour per seed (cycling palette), premultiplied.
+Rgba seedColor(std::uint32_t seedId);
+
+/// Draw a polyline into `img` with depth testing (closer wins).
+void drawPolyline(Image& img, const Camera& camera,
+                  const std::vector<Vec3f>& vertices, const Rgba& color);
+
+/// Draw many polylines coloured by seed.
+void drawPolylines(Image& img, const Camera& camera,
+                   const std::vector<Polyline>& lines);
+
+}  // namespace hemo::vis

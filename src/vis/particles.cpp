@@ -1,0 +1,194 @@
+#include "vis/particles.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hemo::vis {
+
+void TracerSwarm::inject(comm::Communicator& comm,
+                         const std::vector<Vec3d>& seeds,
+                         std::uint32_t firstSeedId) {
+  const auto& domain = field_->domain();
+  VelocitySampler sampler(*field_);
+  (void)comm;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const auto site = sampler.containingSite(seeds[s]);
+    if (site < 0) continue;
+    if (domain.ownerOf(static_cast<std::uint64_t>(site)) != domain.rank()) {
+      continue;
+    }
+    Tracer t;
+    // Deterministic id: (seed index, injection serial) — unique because a
+    // seed is adopted by exactly one rank.
+    t.seedId = firstSeedId + static_cast<std::uint32_t>(s);
+    t.id = (static_cast<std::uint64_t>(t.seedId) << 32) | nextLocalSerial_;
+    ++nextLocalSerial_;
+    t.pos = seeds[s];
+    tracers_.push_back(t);
+  }
+}
+
+void TracerSwarm::advect(comm::Communicator& comm, double dtSteps) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto& domain = field_->domain();
+  const double h = domain.lattice().voxelSize();
+  VelocitySampler sampler(*field_);
+  // Velocities are lattice units (voxels per step): world displacement per
+  // simulation step is u * h.
+  const double scale = h * dtSteps;
+
+  std::vector<Tracer> kept;
+  std::vector<std::vector<double>> emigrants(
+      static_cast<std::size_t>(comm.size()));
+  for (auto& t : tracers_) {
+    const auto u1 = sampler.sample(t.pos);
+    if (!u1) {
+      ++stats_.killedAtWall;
+      continue;
+    }
+    // RK2 midpoint; the midpoint stays well inside the 2-ring ghosts for
+    // low-Mach flows (|u| << 1 voxel/step).
+    const auto uMid = sampler.sample(t.pos + *u1 * (0.5 * scale));
+    const Vec3d move = (uMid ? *uMid : *u1) * scale;
+    const Vec3d next = t.pos + move;
+    const auto nextSite = sampler.containingSite(next);
+    ++stats_.advected;
+    if (nextSite < 0) {
+      ++stats_.killedAtWall;
+      continue;
+    }
+    t.pos = next;
+    t.age += 1;
+    const int owner = domain.ownerOf(static_cast<std::uint64_t>(nextSite));
+    if (owner == domain.rank()) {
+      kept.push_back(t);
+    } else {
+      auto& out = emigrants[static_cast<std::size_t>(owner)];
+      out.push_back(static_cast<double>(t.id >> 32));
+      out.push_back(static_cast<double>(t.id & 0xffffffffULL));
+      out.push_back(static_cast<double>(t.seedId));
+      out.push_back(static_cast<double>(t.age));
+      out.push_back(t.pos.x);
+      out.push_back(t.pos.y);
+      out.push_back(t.pos.z);
+      ++stats_.migrations;
+    }
+  }
+  tracers_ = std::move(kept);
+  const auto arrived = comm.alltoallVec(emigrants);
+  for (const auto& in : arrived) {
+    for (std::size_t i = 0; i < in.size(); i += 7) {
+      Tracer t;
+      t.id = (static_cast<std::uint64_t>(in[i]) << 32) |
+             static_cast<std::uint64_t>(in[i + 1]);
+      t.seedId = static_cast<std::uint32_t>(in[i + 2]);
+      t.age = static_cast<std::uint32_t>(in[i + 3]);
+      t.pos = {in[i + 4], in[i + 5], in[i + 6]};
+      tracers_.push_back(t);
+    }
+  }
+}
+
+std::uint64_t TracerSwarm::globalCount(comm::Communicator& comm) const {
+  return comm.allreduceSum(static_cast<std::uint64_t>(tracers_.size()));
+}
+
+std::vector<Tracer> TracerSwarm::gather(comm::Communicator& comm) const {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  std::vector<double> flat;
+  flat.reserve(tracers_.size() * 7);
+  for (const auto& t : tracers_) {
+    flat.push_back(static_cast<double>(t.id >> 32));
+    flat.push_back(static_cast<double>(t.id & 0xffffffffULL));
+    flat.push_back(static_cast<double>(t.seedId));
+    flat.push_back(static_cast<double>(t.age));
+    flat.push_back(t.pos.x);
+    flat.push_back(t.pos.y);
+    flat.push_back(t.pos.z);
+  }
+  const auto all = comm.gatherVec(flat, 0);
+  std::vector<Tracer> result;
+  if (comm.rank() != 0) return result;
+  for (const auto& blob : all) {
+    for (std::size_t i = 0; i < blob.size(); i += 7) {
+      Tracer t;
+      t.id = (static_cast<std::uint64_t>(blob[i]) << 32) |
+             static_cast<std::uint64_t>(blob[i + 1]);
+      t.seedId = static_cast<std::uint32_t>(blob[i + 2]);
+      t.age = static_cast<std::uint32_t>(blob[i + 3]);
+      t.pos = {blob[i + 4], blob[i + 5], blob[i + 6]};
+      result.push_back(t);
+    }
+  }
+  return result;
+}
+
+std::vector<Polyline> assembleStreaklines(const std::vector<Tracer>& tracers) {
+  auto sorted = tracers;
+  std::sort(sorted.begin(), sorted.end(), [](const Tracer& a, const Tracer& b) {
+    // Same seed grouped; oldest (earliest injected, furthest downstream)
+    // first so the polyline runs from the streak head back to the nozzle.
+    return a.seedId != b.seedId ? a.seedId < b.seedId : a.age > b.age;
+  });
+  std::vector<Polyline> streaks;
+  for (const auto& t : sorted) {
+    if (streaks.empty() || streaks.back().seedId != t.seedId) {
+      streaks.push_back({t.seedId, {}});
+    }
+    streaks.back().vertices.push_back(t.pos.cast<float>());
+  }
+  return streaks;
+}
+
+void PathlineRecorder::record(const TracerSwarm& swarm) {
+  for (const auto& t : swarm.localTracers()) {
+    rows_.push_back({t.id, t.seedId, t.age, static_cast<float>(t.pos.x),
+                     static_cast<float>(t.pos.y),
+                     static_cast<float>(t.pos.z)});
+  }
+}
+
+std::vector<PathlineRecorder::Pathline> PathlineRecorder::gather(
+    comm::Communicator& comm) const {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  std::vector<double> flat;
+  flat.reserve(rows_.size() * 7);
+  for (const auto& r : rows_) {
+    flat.push_back(static_cast<double>(r.id >> 32));
+    flat.push_back(static_cast<double>(r.id & 0xffffffffULL));
+    flat.push_back(static_cast<double>(r.seedId));
+    flat.push_back(static_cast<double>(r.age));
+    flat.push_back(r.x);
+    flat.push_back(r.y);
+    flat.push_back(r.z);
+  }
+  const auto all = comm.gatherVec(flat, 0);
+  std::vector<Pathline> lines;
+  if (comm.rank() != 0) return lines;
+
+  std::vector<Row> merged;
+  for (const auto& blob : all) {
+    for (std::size_t i = 0; i < blob.size(); i += 7) {
+      merged.push_back({(static_cast<std::uint64_t>(blob[i]) << 32) |
+                            static_cast<std::uint64_t>(blob[i + 1]),
+                        static_cast<std::uint32_t>(blob[i + 2]),
+                        static_cast<std::uint32_t>(blob[i + 3]),
+                        static_cast<float>(blob[i + 4]),
+                        static_cast<float>(blob[i + 5]),
+                        static_cast<float>(blob[i + 6])});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Row& a, const Row& b) {
+    return a.id != b.id ? a.id < b.id : a.age < b.age;
+  });
+  for (const auto& r : merged) {
+    if (lines.empty() || lines.back().tracerId != r.id) {
+      lines.push_back({r.id, r.seedId, {}});
+    }
+    lines.back().vertices.push_back({r.x, r.y, r.z});
+  }
+  return lines;
+}
+
+}  // namespace hemo::vis

@@ -1,0 +1,104 @@
+#pragma once
+/// \file particles.hpp
+/// \brief In situ particle tracing (Table I column 3) and streak-line
+/// support: massless tracers advected with the *unsteady* flow, one advance
+/// per simulation step, migrating between ranks as they cross the
+/// decomposition. Continuous injection at fixed points yields streak-lines;
+/// per-particle position histories yield path-lines.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "vis/sampler.hpp"
+#include "vis/streamlines.hpp"
+
+namespace hemo::vis {
+
+struct Tracer {
+  std::uint64_t id = 0;
+  Vec3d pos{};
+  std::uint32_t age = 0;   ///< advection steps since injection
+  std::uint32_t seedId = 0;  ///< which injection point spawned it
+};
+
+struct TracerStats {
+  std::uint64_t migrations = 0;
+  std::uint64_t killedAtWall = 0;
+  std::uint64_t advected = 0;
+};
+
+/// Distributed swarm of tracers. All methods are collective.
+class TracerSwarm {
+ public:
+  /// `field` must be built with rings >= 2 and refreshed before advect().
+  explicit TracerSwarm(const GhostedField& field) : field_(&field) {}
+
+  /// Inject one tracer per seed position (owned-rank adoption; positions
+  /// outside the fluid are ignored). Ids are assigned deterministically.
+  void inject(comm::Communicator& comm, const std::vector<Vec3d>& seeds,
+              std::uint32_t firstSeedId = 0);
+
+  /// Advance every tracer by `dtSteps` simulation steps with RK2 (midpoint)
+  /// using the current velocities, then migrate crossers. Tracers that
+  /// leave the fluid are removed.
+  void advect(comm::Communicator& comm, double dtSteps = 1.0);
+
+  /// Number of live tracers on this rank.
+  std::size_t localCount() const { return tracers_.size(); }
+
+  /// Collective: total live tracers.
+  std::uint64_t globalCount(comm::Communicator& comm) const;
+
+  /// Collective: gather all tracers to rank 0 (empty elsewhere).
+  std::vector<Tracer> gather(comm::Communicator& comm) const;
+
+  const TracerStats& stats() const { return stats_; }
+
+  /// All live tracers on this rank (for recording).
+  const std::vector<Tracer>& localTracers() const { return tracers_; }
+
+ private:
+  const GhostedField* field_;
+  std::vector<Tracer> tracers_;
+  std::uint64_t nextLocalSerial_ = 0;
+  TracerStats stats_;
+};
+
+/// Assemble streak-lines from a gathered tracer population: all tracers
+/// injected at the same seed, ordered old-to-young, form the streak the
+/// seed point draws through the unsteady flow.
+std::vector<Polyline> assembleStreaklines(const std::vector<Tracer>& tracers);
+
+/// Records tracer positions over time into per-tracer *path-lines* — the
+/// unsteady-flow counterpart of streamlines (Fig 4b mentions "path-line
+/// tubes"). A tracer's record is scattered over the ranks it visited; the
+/// final gather stitches each line in age order.
+class PathlineRecorder {
+ public:
+  /// Call after every TracerSwarm::advect: appends (id, age, pos) rows for
+  /// the tracers currently owned by this rank.
+  void record(const TracerSwarm& swarm);
+
+  /// Collective: assemble the complete pathlines on rank 0 (sorted by
+  /// tracer id, vertices in age order). Empty elsewhere.
+  struct Pathline {
+    std::uint64_t tracerId = 0;
+    std::uint32_t seedId = 0;
+    std::vector<Vec3f> vertices;
+  };
+  std::vector<Pathline> gather(comm::Communicator& comm) const;
+
+  std::size_t localRows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::uint64_t id;
+    std::uint32_t seedId;
+    std::uint32_t age;
+    float x, y, z;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace hemo::vis

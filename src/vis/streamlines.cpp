@@ -1,0 +1,211 @@
+#include "vis/streamlines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hemo::vis {
+
+namespace {
+
+struct Particle {
+  std::uint32_t seedId = 0;
+  std::uint32_t vertexCount = 0;
+  Vec3d pos{};
+};
+
+/// A recorded vertex: (seed, index along the line, position).
+struct VertexRecord {
+  std::uint32_t seedId;
+  std::uint32_t index;
+  float x, y, z;
+};
+
+}  // namespace
+
+std::vector<Vec3d> discSeeds(const Vec3d& center, const Vec3d& normal,
+                             double radius, int count) {
+  const Vec3d n = normal.normalized();
+  // Build an orthonormal basis in the disc plane.
+  const Vec3d helper = std::abs(n.x) < 0.9 ? Vec3d{1, 0, 0} : Vec3d{0, 1, 0};
+  const Vec3d e1 = n.cross(helper).normalized();
+  const Vec3d e2 = n.cross(e1);
+  std::vector<Vec3d> seeds;
+  seeds.reserve(static_cast<std::size_t>(count));
+  // Sunflower (Vogel) spiral: uniform, deterministic.
+  const double golden = 2.39996322972865332;
+  for (int i = 0; i < count; ++i) {
+    const double r = radius * std::sqrt((i + 0.5) / count);
+    const double theta = golden * i;
+    seeds.push_back(center + e1 * (r * std::cos(theta)) +
+                    e2 * (r * std::sin(theta)));
+  }
+  return seeds;
+}
+
+std::vector<Polyline> traceStreamlines(comm::Communicator& comm,
+                                       const GhostedField& field,
+                                       const std::vector<Vec3d>& seeds,
+                                       const StreamlineParams& params,
+                                       TraceStats* statsOut) {
+  HEMO_CHECK(params.stepVoxels > 0.0 && params.stepVoxels < 1.0);
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto& domain = field.domain();
+  const double h = domain.lattice().voxelSize();
+  const double step = params.stepVoxels * h;
+  VelocitySampler sampler(field);
+  TraceStats stats;
+
+  // Each rank adopts the seeds whose containing site it owns; seeds outside
+  // the fluid are dropped everywhere (count them once on rank 0).
+  std::vector<Particle> active;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const auto site = sampler.containingSite(seeds[s]);
+    if (site < 0) continue;
+    if (domain.ownerOf(static_cast<std::uint64_t>(site)) != domain.rank()) {
+      continue;
+    }
+    active.push_back(
+        {static_cast<std::uint32_t>(s), 0, seeds[s]});
+  }
+
+  std::vector<VertexRecord> recorded;
+
+  // Normalised velocity direction; nullopt if unavailable or too slow.
+  auto direction = [&](const Vec3d& p) -> std::optional<Vec3d> {
+    const auto u = sampler.sample(p);
+    if (!u) return std::nullopt;
+    const double speed = u->norm();
+    if (speed < params.minSpeed) return std::nullopt;
+    return *u / speed;
+  };
+
+  for (;;) {
+    std::vector<std::vector<double>> emigrants(
+        static_cast<std::size_t>(comm.size()));
+    while (!active.empty()) {
+      Particle p = active.back();
+      active.pop_back();
+      bool alive = true;
+      while (alive) {
+        // Record the current vertex.
+        recorded.push_back({p.seedId, p.vertexCount,
+                            static_cast<float>(p.pos.x),
+                            static_cast<float>(p.pos.y),
+                            static_cast<float>(p.pos.z)});
+        ++p.vertexCount;
+        if (p.vertexCount >= static_cast<std::uint32_t>(params.maxVertices)) {
+          ++stats.terminatedLength;
+          break;
+        }
+        // RK4 on the normalised field. All substages stay within one step
+        // of p.pos, covered by the 2-ring ghosts when the base is owned.
+        const auto k1 = direction(p.pos);
+        if (!k1) {
+          alive = false;
+          ++stats.terminatedSlow;
+          break;
+        }
+        const auto k2 = direction(p.pos + *k1 * (0.5 * step));
+        const auto k3 =
+            k2 ? direction(p.pos + *k2 * (0.5 * step)) : std::nullopt;
+        const auto k4 = k3 ? direction(p.pos + *k3 * step) : std::nullopt;
+        Vec3d move;
+        if (k4) {
+          move = (*k1 + *k2 * 2.0 + *k3 * 2.0 + *k4) * (step / 6.0);
+        } else {
+          // A substage left the fluid (walls have no ghost): fall back to
+          // Euler on k1 — identical on every decomposition because k1 only
+          // needs the owned base cell.
+          move = *k1 * step;
+        }
+        const Vec3d next = p.pos + move;
+        const auto nextSite = sampler.containingSite(next);
+        ++stats.integrationSteps;
+        if (nextSite < 0) {
+          ++stats.terminatedWall;
+          break;
+        }
+        p.pos = next;
+        const int owner =
+            domain.ownerOf(static_cast<std::uint64_t>(nextSite));
+        if (owner != domain.rank()) {
+          auto& out = emigrants[static_cast<std::size_t>(owner)];
+          out.push_back(static_cast<double>(p.seedId));
+          out.push_back(static_cast<double>(p.vertexCount));
+          out.push_back(p.pos.x);
+          out.push_back(p.pos.y);
+          out.push_back(p.pos.z);
+          ++stats.migrations;
+          alive = false;
+        }
+      }
+    }
+
+    // Bulk-synchronous exchange; stop when no particle moved anywhere.
+    std::uint64_t moving = 0;
+    for (const auto& out : emigrants) moving += out.size();
+    moving = comm.allreduceSum(moving);
+    ++stats.rounds;
+    if (moving == 0) break;
+    const auto arrived = comm.alltoallVec(emigrants);
+    for (const auto& in : arrived) {
+      for (std::size_t i = 0; i < in.size(); i += 5) {
+        Particle p;
+        p.seedId = static_cast<std::uint32_t>(in[i]);
+        p.vertexCount = static_cast<std::uint32_t>(in[i + 1]);
+        p.pos = {in[i + 2], in[i + 3], in[i + 4]};
+        active.push_back(p);
+      }
+    }
+  }
+
+  // Assemble on the master: gather all vertex records, sort, stitch.
+  std::vector<double> flat;
+  flat.reserve(recorded.size() * 5);
+  for (const auto& r : recorded) {
+    flat.push_back(r.seedId);
+    flat.push_back(r.index);
+    flat.push_back(r.x);
+    flat.push_back(r.y);
+    flat.push_back(r.z);
+  }
+  const auto all = comm.gatherVec(flat, 0);
+
+  if (statsOut != nullptr) {
+    statsOut->migrations = comm.allreduceSum(stats.migrations);
+    statsOut->rounds = stats.rounds;
+    statsOut->integrationSteps = comm.allreduceSum(stats.integrationSteps);
+    statsOut->terminatedWall = comm.allreduceSum(stats.terminatedWall);
+    statsOut->terminatedSlow = comm.allreduceSum(stats.terminatedSlow);
+    statsOut->terminatedLength = comm.allreduceSum(stats.terminatedLength);
+  }
+
+  if (comm.rank() != 0) return {};
+  std::vector<VertexRecord> merged;
+  for (const auto& blob : all) {
+    for (std::size_t i = 0; i < blob.size(); i += 5) {
+      merged.push_back({static_cast<std::uint32_t>(blob[i]),
+                        static_cast<std::uint32_t>(blob[i + 1]),
+                        static_cast<float>(blob[i + 2]),
+                        static_cast<float>(blob[i + 3]),
+                        static_cast<float>(blob[i + 4])});
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const VertexRecord& a, const VertexRecord& b) {
+              return a.seedId != b.seedId ? a.seedId < b.seedId
+                                          : a.index < b.index;
+            });
+  std::vector<Polyline> lines;
+  for (const auto& r : merged) {
+    if (lines.empty() || lines.back().seedId != r.seedId) {
+      lines.push_back({r.seedId, {}});
+    }
+    lines.back().vertices.push_back({r.x, r.y, r.z});
+  }
+  return lines;
+}
+
+}  // namespace hemo::vis

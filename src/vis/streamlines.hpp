@@ -1,0 +1,55 @@
+#pragma once
+/// \file streamlines.hpp
+/// \brief Distributed integral lines (stream-lines) — the Table I technique
+/// with *high* communication cost and *hard* parallelisation: a particle
+/// follows the flow wherever it leads, so it must hop between ranks as it
+/// crosses the decomposition, exactly the neighbourhood-search burden the
+/// paper's §IV.D calls out for path-line type algorithms.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "vis/sampler.hpp"
+
+namespace hemo::vis {
+
+struct StreamlineParams {
+  /// Arc-length integration step in voxels (must stay below 1 so a 2-ring
+  /// ghost field covers every RK4 substage).
+  double stepVoxels = 0.4;
+  int maxVertices = 1500;
+  /// Terminate when |u| falls below this (lattice units).
+  double minSpeed = 1e-9;
+};
+
+struct Polyline {
+  std::uint32_t seedId = 0;
+  std::vector<Vec3f> vertices;  ///< world coordinates
+};
+
+/// Collective streamline tracing statistics.
+struct TraceStats {
+  std::uint64_t migrations = 0;    ///< particle handoffs between ranks
+  std::uint64_t rounds = 0;        ///< bulk-synchronous exchange rounds
+  std::uint64_t integrationSteps = 0;
+  std::uint64_t terminatedWall = 0;
+  std::uint64_t terminatedSlow = 0;
+  std::uint64_t terminatedLength = 0;
+};
+
+/// Collective: trace one streamline per seed (seed list identical on all
+/// ranks). Returns the assembled polylines on rank 0 (empty elsewhere).
+/// Requires `field` built with rings >= 2 and refreshed.
+std::vector<Polyline> traceStreamlines(comm::Communicator& comm,
+                                       const GhostedField& field,
+                                       const std::vector<Vec3d>& seeds,
+                                       const StreamlineParams& params,
+                                       TraceStats* stats = nullptr);
+
+/// Seed helper: points on a disc perpendicular to `normal` centred at
+/// `center` (e.g. across an inlet), deterministic layout.
+std::vector<Vec3d> discSeeds(const Vec3d& center, const Vec3d& normal,
+                             double radius, int count);
+
+}  // namespace hemo::vis

@@ -1,0 +1,66 @@
+#pragma once
+/// \file transfer.hpp
+/// \brief Piecewise-linear transfer function mapping scalar field values to
+/// premultiplied RGBA — a steering-adjustable vis parameter.
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "vis/image.hpp"
+
+namespace hemo::vis {
+
+class TransferFunction {
+ public:
+  struct ControlPoint {
+    float value;  ///< scalar field value
+    float r, g, b, a;
+  };
+
+  TransferFunction() = default;
+  explicit TransferFunction(std::vector<ControlPoint> points)
+      : points_(std::move(points)) {
+    HEMO_CHECK(points_.size() >= 2);
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      HEMO_CHECK_MSG(points_[i].value > points_[i - 1].value,
+                     "control points must be strictly ascending");
+    }
+  }
+
+  /// A blue→white→red "blood flow" ramp over [lo, hi] with opacity rising
+  /// towards hi.
+  static TransferFunction bloodFlow(float lo, float hi) {
+    const float m = 0.5f * (lo + hi);
+    return TransferFunction({{lo, 0.05f, 0.05f, 0.45f, 0.00f},
+                             {m, 0.85f, 0.75f, 0.75f, 0.06f},
+                             {hi, 0.90f, 0.10f, 0.10f, 0.45f}});
+  }
+
+  /// Premultiplied RGBA at a scalar value (clamped to the ramp ends).
+  Rgba sample(float v) const {
+    if (v <= points_.front().value) return toRgba(points_.front());
+    if (v >= points_.back().value) return toRgba(points_.back());
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), v,
+        [](float x, const ControlPoint& p) { return x < p.value; });
+    const ControlPoint& hi = *it;
+    const ControlPoint& lo = *(it - 1);
+    const float t = (v - lo.value) / (hi.value - lo.value);
+    const ControlPoint mixed{
+        v, lo.r + t * (hi.r - lo.r), lo.g + t * (hi.g - lo.g),
+        lo.b + t * (hi.b - lo.b), lo.a + t * (hi.a - lo.a)};
+    return toRgba(mixed);
+  }
+
+  const std::vector<ControlPoint>& points() const { return points_; }
+
+ private:
+  static Rgba toRgba(const ControlPoint& p) {
+    return Rgba{p.r * p.a, p.g * p.a, p.b * p.a, p.a};
+  }
+
+  std::vector<ControlPoint> points_;
+};
+
+}  // namespace hemo::vis

@@ -1,0 +1,274 @@
+#include "vis/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hemo::vis {
+
+namespace {
+constexpr int kCompositeTag = 103;
+}
+
+// --- Image -------------------------------------------------------------------
+
+std::vector<std::uint8_t> Image::toRgb8(float background) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(pixels_.size() * 3);
+  auto to8 = [](float v) {
+    const float c = std::clamp(v, 0.0f, 1.0f);
+    return static_cast<std::uint8_t>(std::lround(c * 255.0f));
+  };
+  for (const auto& p : pixels_) {
+    // Composite over the background (premultiplied colours).
+    out.push_back(to8(p.r + (1.f - p.a) * background));
+    out.push_back(to8(p.g + (1.f - p.a) * background));
+    out.push_back(to8(p.b + (1.f - p.a) * background));
+  }
+  return out;
+}
+
+// --- LocalBrick -----------------------------------------------------------------
+
+LocalBrick::LocalBrick(const lb::DomainMap& domain,
+                       const lb::MacroFields& macro, RenderField field)
+    : domain_(&domain) {
+  const auto& lat = domain.lattice();
+  BoxI box = BoxI::empty();
+  for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+    box.expand(lat.sitePosition(domain.globalOf(l)));
+  }
+  if (box.isEmpty()) return;
+  lo_ = box.lo;
+  ext_ = box.extent();
+  const std::size_t cells = static_cast<std::size_t>(ext_.x) *
+                            static_cast<std::size_t>(ext_.y) *
+                            static_cast<std::size_t>(ext_.z);
+  scalar_.assign(cells, 0.f);
+  mask_.assign(cells, 0);
+  for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+    const Vec3i p = lat.sitePosition(domain.globalOf(l)) - lo_;
+    const std::size_t idx =
+        (static_cast<std::size_t>(p.z) * static_cast<std::size_t>(ext_.y) +
+         static_cast<std::size_t>(p.y)) *
+            static_cast<std::size_t>(ext_.x) +
+        static_cast<std::size_t>(p.x);
+    mask_[idx] = 1;
+    scalar_[idx] = field == RenderField::kVelocityMagnitude
+                       ? static_cast<float>(
+                             macro.u[static_cast<std::size_t>(l)].norm())
+                       : static_cast<float>(
+                             macro.rho[static_cast<std::size_t>(l)]);
+  }
+  const double h = lat.voxelSize();
+  worldBounds_.lo = lat.origin() + lo_.cast<double>() * h;
+  worldBounds_.hi =
+      lat.origin() + (lo_ + ext_).cast<double>() * h;
+}
+
+bool LocalBrick::sampleScalar(const Vec3d& world, float& value) const {
+  if (empty()) return false;
+  const auto& lat = domain_->lattice();
+  const Vec3d rel = (world - lat.origin()) / lat.voxelSize();
+  const Vec3i p{static_cast<int>(std::floor(rel.x)) - lo_.x,
+                static_cast<int>(std::floor(rel.y)) - lo_.y,
+                static_cast<int>(std::floor(rel.z)) - lo_.z};
+  if (p.x < 0 || p.x >= ext_.x || p.y < 0 || p.y >= ext_.y || p.z < 0 ||
+      p.z >= ext_.z) {
+    return false;
+  }
+  const std::size_t idx =
+      (static_cast<std::size_t>(p.z) * static_cast<std::size_t>(ext_.y) +
+       static_cast<std::size_t>(p.y)) *
+          static_cast<std::size_t>(ext_.x) +
+      static_cast<std::size_t>(p.x);
+  if (!mask_[idx]) return false;
+  value = scalar_[idx];
+  return true;
+}
+
+// --- local ray casting --------------------------------------------------------
+
+Image renderLocal(const lb::DomainMap& domain, const lb::MacroFields& macro,
+                  const VolumeRenderOptions& options) {
+  const LocalBrick brick(domain, macro, options.field);
+  Image img(options.width, options.height);
+  if (brick.empty()) return img;
+  const double h = domain.lattice().voxelSize();
+  const double step = options.stepVoxels * h;
+  // Opacity correction: the transfer function is defined per voxel of
+  // optical depth; rescale alpha to the actual sampling distance.
+  const float alphaScale = static_cast<float>(options.stepVoxels);
+
+  for (int py = 0; py < options.height; ++py) {
+    for (int px = 0; px < options.width; ++px) {
+      const Ray ray =
+          options.camera.rayThrough(px, py, options.width, options.height);
+      double t0, t1;
+      if (!brick.worldBounds().rayIntersect(ray.origin, ray.direction, t0,
+                                            t1)) {
+        continue;
+      }
+      if (options.clipBox) {
+        double c0, c1;
+        if (!options.clipBox->rayIntersect(ray.origin, ray.direction, c0,
+                                           c1)) {
+          continue;
+        }
+        t0 = std::max(t0, c0);
+        t1 = std::min(t1, c1);
+        if (t0 > t1) continue;
+      }
+      Rgba acc;
+      float firstHit = Image::kFarDepth;
+      // Global-phase sampling: sample points lie at multiples of `step`
+      // along the ray regardless of the brick entry, so every rank samples
+      // the same world positions and compositing matches a serial render.
+      double t = (std::floor(t0 / step) + 1.0) * step;
+      for (; t <= t1; t += step) {
+        const Vec3d p = ray.origin + ray.direction * t;
+        float value;
+        if (!brick.sampleScalar(p, value)) continue;
+        Rgba sample = options.transfer.sample(value);
+        sample.r *= alphaScale;
+        sample.g *= alphaScale;
+        sample.b *= alphaScale;
+        sample.a *= alphaScale;
+        if (sample.a <= 0.f) continue;
+        if (firstHit == Image::kFarDepth) {
+          firstHit = static_cast<float>(t);
+        }
+        acc.accumulate(sample);
+        if (acc.a >= options.opacityCutoff) break;
+      }
+      if (firstHit < Image::kFarDepth) {
+        const std::size_t i = static_cast<std::size_t>(py) *
+                                  static_cast<std::size_t>(options.width) +
+                              static_cast<std::size_t>(px);
+        img.pixel(i) = acc;
+        img.depth(i) = firstHit;
+      }
+    }
+  }
+  return img;
+}
+
+// --- compositing -----------------------------------------------------------------
+
+namespace {
+
+/// Wire layout of one non-empty fragment pixel.
+struct WirePixel {
+  std::uint32_t index;
+  float r, g, b, a, depth;
+};
+
+std::vector<WirePixel> packNonEmpty(const Image& img, std::size_t first,
+                                    std::size_t last) {
+  std::vector<WirePixel> out;
+  for (std::size_t i = first; i < last; ++i) {
+    const Rgba& p = img.pixel(i);
+    if (p.a <= 0.f) continue;
+    out.push_back({static_cast<std::uint32_t>(i), p.r, p.g, p.b, p.a,
+                   img.depth(i)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Image compositeDirectSend(comm::Communicator& comm, const Image& fragment) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const auto mine = packNonEmpty(fragment, 0, fragment.numPixels());
+  const auto all = comm.gatherVec(mine, 0);
+  if (comm.rank() != 0) return Image{};
+
+  // Per pixel: collect fragments, sort by depth, compose front-to-back.
+  Image result(fragment.width(), fragment.height());
+  std::vector<std::vector<WirePixel>> perPixel(fragment.numPixels());
+  for (const auto& rankPixels : all) {
+    for (const auto& wp : rankPixels) {
+      perPixel[wp.index].push_back(wp);
+    }
+  }
+  for (std::size_t i = 0; i < perPixel.size(); ++i) {
+    auto& frags = perPixel[i];
+    if (frags.empty()) continue;
+    std::sort(frags.begin(), frags.end(),
+              [](const WirePixel& a, const WirePixel& b) {
+                return a.depth < b.depth;
+              });
+    Rgba acc;
+    for (const auto& wp : frags) {
+      acc.accumulate(Rgba{wp.r, wp.g, wp.b, wp.a});
+    }
+    result.pixel(i) = acc;
+    result.depth(i) = frags.front().depth;
+  }
+  return result;
+}
+
+Image compositeBinarySwap(comm::Communicator& comm, const Image& fragment) {
+  comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
+  const int size = comm.size();
+  HEMO_CHECK_MSG((size & (size - 1)) == 0,
+                 "binary-swap needs a power-of-two rank count");
+  const std::size_t numPixels = fragment.numPixels();
+  Image work = fragment;
+
+  // Each round: pair with rank^mask, split the current range in half, send
+  // one half, composite the half we keep with the peer's fragment.
+  std::size_t first = 0, last = numPixels;
+  for (int mask = 1; mask < size; mask <<= 1) {
+    const int peer = comm.rank() ^ mask;
+    const std::size_t mid = first + (last - first) / 2;
+    const bool keepLow = (comm.rank() & mask) == 0;
+    const std::size_t sendFirst = keepLow ? mid : first;
+    const std::size_t sendLast = keepLow ? last : mid;
+    comm.sendVec(peer, kCompositeTag,
+                 packNonEmpty(work, sendFirst, sendLast));
+    const auto incoming = comm.recvVec<WirePixel>(peer, kCompositeTag);
+    if (keepLow) {
+      last = mid;
+    } else {
+      first = mid;
+    }
+    for (const auto& wp : incoming) {
+      Rgba& ours = work.pixel(wp.index);
+      const Rgba theirs{wp.r, wp.g, wp.b, wp.a};
+      if (wp.depth < work.depth(wp.index)) {
+        // Peer fragment is in front.
+        Rgba merged = theirs;
+        merged.accumulate(ours);
+        ours = merged;
+        work.depth(wp.index) = wp.depth;
+      } else {
+        ours.accumulate(theirs);
+      }
+    }
+  }
+
+  // Gather the disjoint final ranges to rank 0.
+  const auto finals = comm.gatherVec(packNonEmpty(work, first, last), 0);
+  if (comm.rank() != 0) return Image{};
+  Image result(fragment.width(), fragment.height());
+  for (const auto& rankPixels : finals) {
+    for (const auto& wp : rankPixels) {
+      result.pixel(wp.index) = Rgba{wp.r, wp.g, wp.b, wp.a};
+      result.depth(wp.index) = wp.depth;
+    }
+  }
+  return result;
+}
+
+Image renderVolume(comm::Communicator& comm, const lb::DomainMap& domain,
+                   const lb::MacroFields& macro,
+                   const VolumeRenderOptions& options, CompositeMode mode) {
+  const Image fragment = renderLocal(domain, macro, options);
+  return mode == CompositeMode::kDirectSend
+             ? compositeDirectSend(comm, fragment)
+             : compositeBinarySwap(comm, fragment);
+}
+
+}  // namespace hemo::vis

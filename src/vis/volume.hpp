@@ -1,0 +1,90 @@
+#pragma once
+/// \file volume.hpp
+/// \brief Distributed ray-cast volume rendering (Fig 4a; Table I's
+/// *low*-communication, *easy*-parallelisation technique).
+///
+/// Sort-last rendering: each rank ray-casts only its own sites — "volume
+/// rendering can be performed on each subdomain without any data exchange
+/// with the neighbours" (§IV.D) — producing one RGBA fragment with an entry
+/// depth per pixel. Fragments are then composited by depth: either
+/// direct-send (non-empty fragments to the master, which sorts per pixel)
+/// or binary-swap (log₂P exchange rounds over halved image ranges).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "lb/domain_map.hpp"
+#include "vis/camera.hpp"
+#include "vis/image.hpp"
+#include "vis/transfer.hpp"
+
+namespace hemo::vis {
+
+/// Which scalar field drives the transfer function.
+enum class RenderField : std::uint8_t {
+  kVelocityMagnitude = 0,
+  kDensity = 1,
+};
+
+struct VolumeRenderOptions {
+  Camera camera;
+  TransferFunction transfer = TransferFunction::bloodFlow(0.f, 0.05f);
+  RenderField field = RenderField::kVelocityMagnitude;
+  int width = 256;
+  int height = 256;
+  /// Ray sampling distance in voxels.
+  double stepVoxels = 0.5;
+  /// Stop a ray when accumulated opacity exceeds this.
+  float opacityCutoff = 0.98f;
+  /// Optional world-space clip region: only sites inside it are rendered
+  /// (the steered region-of-interest view).
+  std::optional<BoxD> clipBox;
+};
+
+enum class CompositeMode { kDirectSend, kBinarySwap };
+
+/// Dense brick of this rank's sites: scalar value + fluid mask over the
+/// bounding box of the owned region. Rebuilt per frame from macro fields.
+class LocalBrick {
+ public:
+  LocalBrick(const lb::DomainMap& domain, const lb::MacroFields& macro,
+             RenderField field);
+
+  /// Nearest-site scalar at a world position; false if outside the owned
+  /// fluid.
+  bool sampleScalar(const Vec3d& world, float& value) const;
+
+  /// World bounds of the brick (empty if the rank owns nothing).
+  const BoxD& worldBounds() const { return worldBounds_; }
+  bool empty() const { return ext_.x == 0; }
+
+ private:
+  const lb::DomainMap* domain_;
+  Vec3i lo_{0, 0, 0};
+  Vec3i ext_{0, 0, 0};
+  std::vector<float> scalar_;
+  std::vector<std::uint8_t> mask_;
+  BoxD worldBounds_ = BoxD::empty();
+};
+
+/// Render this rank's fragment image (RGBA + entry depth per pixel).
+Image renderLocal(const lb::DomainMap& domain, const lb::MacroFields& macro,
+                  const VolumeRenderOptions& options);
+
+/// Collective: composite the ranks' fragments into the final image on
+/// rank 0 (returned empty elsewhere). Traffic classified as kVis.
+Image compositeDirectSend(comm::Communicator& comm, const Image& fragment);
+
+/// Collective binary-swap compositing; requires a power-of-two rank count.
+Image compositeBinarySwap(comm::Communicator& comm, const Image& fragment);
+
+/// Convenience: renderLocal + composite.
+Image renderVolume(comm::Communicator& comm, const lb::DomainMap& domain,
+                   const lb::MacroFields& macro,
+                   const VolumeRenderOptions& options,
+                   CompositeMode mode = CompositeMode::kDirectSend);
+
+}  // namespace hemo::vis

@@ -1,0 +1,317 @@
+// Tests for the extension features: VTK writers, pathline recording,
+// adaptive in situ scheduling, mesh refinement with solution transfer, and
+// checkpoint-based failure recovery (the §III resiliency path).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "core/preprocess.hpp"
+#include "core/refine.hpp"
+#include "core/scheduler.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "io/vtk.hpp"
+#include "lb/checkpoint.hpp"
+#include "vis/particles.hpp"
+#include "vis/sampler.hpp"
+
+namespace hemo {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+// --- VTK -------------------------------------------------------------------------
+
+TEST(Vtk, PointsWithAttributes) {
+  const std::string path = "/tmp/hemo_test_pts.vtk";
+  io::VtkScalars wss{"wss", {0.5, 1.5}};
+  io::VtkVectors vel{"velocity", {{1, 0, 0}, {0, 2, 0}}};
+  ASSERT_TRUE(io::writeVtkPoints(path, {{0, 0, 0}, {1, 1, 1}}, {wss}, {vel}));
+  const auto body = slurp(path);
+  EXPECT_NE(body.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(body.find("POINTS 2 double"), std::string::npos);
+  EXPECT_NE(body.find("SCALARS wss double 1"), std::string::npos);
+  EXPECT_NE(body.find("VECTORS velocity double"), std::string::npos);
+  EXPECT_NE(body.find("POINT_DATA 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, AttributeSizeMismatchThrows) {
+  io::VtkScalars bad{"x", {1.0}};
+  EXPECT_THROW(
+      io::writeVtkPoints("/tmp/x.vtk", {{0, 0, 0}, {1, 1, 1}}, {bad}, {}),
+      CheckError);
+}
+
+TEST(Vtk, Polylines) {
+  const std::string path = "/tmp/hemo_test_lines.vtk";
+  std::vector<std::vector<Vec3f>> lines = {
+      {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}, {{0, 1, 0}, {1, 1, 0}}};
+  ASSERT_TRUE(io::writeVtkPolylines(path, lines));
+  const auto body = slurp(path);
+  EXPECT_NE(body.find("POINTS 5 float"), std::string::npos);
+  EXPECT_NE(body.find("LINES 2 7"), std::string::npos);
+  EXPECT_NE(body.find("3 0 1 2"), std::string::npos);
+  EXPECT_NE(body.find("2 3 4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, StructuredImage) {
+  const std::string path = "/tmp/hemo_test_img.vtk";
+  ASSERT_TRUE(io::writeVtkImage(path, 2, 2, {0.f, 0.25f, 0.5f, 1.f}, "lic"));
+  const auto body = slurp(path);
+  EXPECT_NE(body.find("DIMENSIONS 2 2 1"), std::string::npos);
+  EXPECT_NE(body.find("SCALARS lic float 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- pathlines -----------------------------------------------------------------------
+
+TEST(Pathlines, RecordedAcrossMigrationsAndStitched) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  const auto lat = geometry::voxelize(geometry::makeStraightTube(6.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 4);
+
+  comm::Runtime rt(4);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, comm.rank());
+    lb::MacroFields macro;
+    macro.rho.assign(domain.numOwned(), 1.0);
+    macro.u.assign(domain.numOwned(), Vec3d{0.2, 0, 0});
+    vis::GhostedField field(domain, comm, 2);
+    field.refresh(macro, comm);
+
+    vis::TracerSwarm swarm(field);
+    swarm.inject(comm, {{0.5, 0, 0}, {0.5, 0.3, 0}});
+    vis::PathlineRecorder recorder;
+    recorder.record(swarm);
+    for (int s = 0; s < 50; ++s) {
+      swarm.advect(comm);
+      recorder.record(swarm);
+    }
+    const auto lines = recorder.gather(comm);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(lines.size(), 2u);
+      for (const auto& line : lines) {
+        // 51 samples (injection + 50 advections), x strictly increasing.
+        ASSERT_EQ(line.vertices.size(), 51u);
+        for (std::size_t v = 1; v < line.vertices.size(); ++v) {
+          EXPECT_GT(line.vertices[v].x, line.vertices[v - 1].x);
+          // Uniform axial flow: y stays put.
+          EXPECT_NEAR(line.vertices[v].y, line.vertices[0].y, 1e-5);
+        }
+      }
+    }
+  });
+}
+
+// --- adaptive scheduler -----------------------------------------------------------------
+
+TEST(Scheduler, PicksCadenceMatchingBudget) {
+  core::AdaptiveVisScheduler sched(0.10);  // at most 10% in situ share
+  // step = 1 ms, pipeline = 9 ms -> need every >= 9*0.9/0.1 = 81.
+  sched.observe(1e-3, 9e-3);
+  EXPECT_EQ(sched.recommendedEvery(), 81);
+  EXPECT_LE(sched.predictedShare(sched.recommendedEvery()), 0.10 + 1e-9);
+}
+
+TEST(Scheduler, SmoothsNoisySamples) {
+  core::AdaptiveVisScheduler sched(0.5);
+  sched.observe(1e-3, 1e-3);
+  const int before = sched.recommendedEvery();
+  sched.observe(1e-3, 100e-3);  // one spike
+  // EMA: the estimate moves but not all the way to the spike.
+  EXPECT_LT(sched.pipelineCostEstimate(), 50e-3);
+  EXPECT_GE(sched.recommendedEvery(), before);
+}
+
+TEST(Scheduler, ClampsToBounds) {
+  core::AdaptiveVisScheduler sched(0.9, 2, 10);
+  sched.observe(1.0, 1e-9);  // pipeline ~free -> clamp at minEvery
+  EXPECT_EQ(sched.recommendedEvery(), 2);
+  core::AdaptiveVisScheduler tight(0.001, 1, 10);
+  tight.observe(1e-6, 1.0);  // pipeline huge -> clamp at maxEvery
+  EXPECT_EQ(tight.recommendedEvery(), 10);
+  EXPECT_THROW(core::AdaptiveVisScheduler(1.5), CheckError);
+}
+
+TEST(Scheduler, DriverAdaptsVisEvery) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.3;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  core::PreprocessConfig pcfg;
+  const auto pre = core::preprocess(lat, 2, pcfg);
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, pre.partition, comm.rank());
+    core::DriverConfig cfg;
+    cfg.lb.computeStress = true;
+    cfg.visEvery = 1;  // start far too aggressive
+    cfg.statusEvery = 0;
+    cfg.adaptiveVisBudget = 0.05;  // pipeline may use 5% of runtime
+    cfg.render.width = 256;        // deliberately expensive render
+    cfg.render.height = 256;
+    core::SimulationDriver driver(domain, comm, cfg);
+    driver.run(30);
+    // The expensive pipeline must have pushed the cadence well above 1.
+    EXPECT_GT(driver.currentVisEvery(), 2);
+  });
+}
+
+// --- mesh refinement / solution transfer ----------------------------------------------------
+
+TEST(Refine, WarmStartReproducesCoarseFieldAndConverges) {
+  // Coarse Poiseuille solution -> transfer onto a 2x finer lattice -> the
+  // fine solver starts close to the flow instead of at rest.
+  const auto scene = geometry::makeStraightTube(4.0, 1.0);
+  geometry::VoxelizeOptions coarseOpt, fineOpt;
+  coarseOpt.voxelSize = 0.25;
+  fineOpt.voxelSize = 0.125;
+  const auto coarseLat = geometry::voxelize(scene, coarseOpt);
+  const auto fineLat = geometry::voxelize(scene, fineOpt);
+
+  lb::LbParams params;
+  params.tau = 0.8;
+  params.bodyForce = {1e-5, 0, 0};
+
+  // 1. Coarse run to (near) steady state, on 2 ranks.
+  core::GlobalMacro coarse;
+  {
+    const auto graph = partition::buildSiteGraph(coarseLat);
+    partition::MultilevelKWayPartitioner kway;
+    const auto part = kway.partition(graph, 2);
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(coarseLat, part, comm.rank());
+      lb::SolverD3Q19 solver(domain, comm, params);
+      solver.run(1500);
+      auto g = core::gatherGlobalMacro(comm, domain, solver.macro());
+      if (comm.rank() == 0) coarse = std::move(g);
+    });
+  }
+  ASSERT_EQ(coarse.rho.size(), coarseLat.numFluidSites());
+  double coarseMax = 0.0;
+  for (const auto& u : coarse.u) coarseMax = std::max(coarseMax, u.norm());
+  ASSERT_GT(coarseMax, 1e-4);
+
+  // 2. Fine warm start: initial velocity field ≈ the coarse solution.
+  // Note the lattice-unit rescale: u_fine = u_coarse * (h_coarse/h_fine)
+  // would apply for matched physical velocity per step; we keep the same
+  // lattice forcing instead, so the *steady state* of the fine run is its
+  // own — the warm start just needs to be much closer to it than rest.
+  {
+    const auto graph = partition::buildSiteGraph(fineLat);
+    partition::MultilevelKWayPartitioner kway;
+    const auto part = kway.partition(graph, 2);
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(fineLat, part, comm.rank());
+      lb::SolverD3Q19 warm(domain, comm, params);
+      core::initFromCoarse(warm, coarseLat, coarse);
+      // Warm start carries momentum from step 0.
+      const double warmP0 = comm.allreduceSum(warm.localMomentum().x);
+      EXPECT_GT(warmP0, 0.0);
+
+      lb::SolverD3Q19 cold(domain, comm, params);
+      const double coldP0 = comm.allreduceSum(cold.localMomentum().x);
+      EXPECT_NEAR(coldP0, 0.0, 1e-12);
+
+      // After a short burn-in the warm run is closer to its final state:
+      // compare axial momentum against a long reference run.
+      warm.run(150);
+      cold.run(150);
+      lb::SolverD3Q19 reference(domain, comm, params);
+      core::initFromCoarse(reference, coarseLat, coarse);
+      reference.run(1500);
+      const double pRef = comm.allreduceSum(reference.localMomentum().x);
+      const double pWarm = comm.allreduceSum(warm.localMomentum().x);
+      const double pCold = comm.allreduceSum(cold.localMomentum().x);
+      EXPECT_LT(std::abs(pWarm - pRef), std::abs(pCold - pRef));
+    });
+  }
+}
+
+// --- resiliency: fail + restart ---------------------------------------------------------------
+
+TEST(Resiliency, CrashMidRunThenRestartFromCheckpoint) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.3;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 3);
+  lb::LbParams params;
+  params.tau = 0.8;
+  params.bodyForce = {1e-5, 0, 0};
+  const std::string ckpt = "/tmp/hemo_test_resil.bin";
+
+  // Run 20 steps, checkpoint at 10, then rank 1 "dies" at step 14.
+  comm::Runtime rt(3);
+  EXPECT_THROW(
+      rt.run([&](comm::Communicator& comm) {
+        lb::DomainMap domain(lat, part, comm.rank());
+        lb::SolverD3Q19 solver(domain, comm, params);
+        solver.run(10);
+        lb::writeCheckpoint(ckpt, solver, comm);
+        solver.run(4);
+        if (comm.rank() == 1) {
+          throw std::runtime_error("injected node failure");
+        }
+        solver.run(100);  // survivors get aborted instead of hanging
+      }),
+      std::runtime_error);
+
+  // Recovery: fresh job (even a different rank count) restores step 10
+  // and finishes; final state equals an uninterrupted run.
+  std::vector<Vec3d> recovered(lat.numFluidSites());
+  {
+    partition::RcbPartitioner rcb;
+    const auto part2 = rcb.partition(graph, 2);
+    comm::Runtime rt2(2);
+    rt2.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part2, comm.rank());
+      lb::SolverD3Q19 solver(domain, comm, params);
+      EXPECT_EQ(lb::readCheckpoint(ckpt, solver, comm), 10u);
+      solver.run(10);
+      for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+        recovered[static_cast<std::size_t>(domain.globalOf(l))] =
+            solver.macro().u[l];
+      }
+    });
+  }
+  std::vector<Vec3d> reference(lat.numFluidSites());
+  {
+    comm::Runtime rt3(3);
+    rt3.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part, comm.rank());
+      lb::SolverD3Q19 solver(domain, comm, params);
+      solver.run(20);
+      for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+        reference[static_cast<std::size_t>(domain.globalOf(l))] =
+            solver.macro().u[l];
+      }
+    });
+  }
+  for (std::size_t g = 0; g < reference.size(); ++g) {
+    EXPECT_NEAR((recovered[g] - reference[g]).norm(), 0.0, 1e-13);
+  }
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace hemo

@@ -1,0 +1,112 @@
+// Tests for serialisation, PPM/PGM writers and the CSV reporter.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/ppm.hpp"
+#include "io/serial.hpp"
+
+namespace hemo::io {
+namespace {
+
+TEST(Serial, PrimitivesRoundTrip) {
+  Writer w;
+  w.put<std::uint8_t>(7);
+  w.put<std::int32_t>(-12345);
+  w.put<double>(3.14159);
+  w.put<std::uint64_t>(1ULL << 60);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_EQ(r.get<std::int32_t>(), -12345);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_EQ(r.get<std::uint64_t>(), 1ULL << 60);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serial, StringsAndVectors) {
+  Writer w;
+  w.putString("hello, world");
+  w.putString("");
+  w.putVec(std::vector<float>{1.f, 2.f, 3.f});
+  w.putVec(std::vector<int>{});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.getString(), "hello, world");
+  EXPECT_EQ(r.getString(), "");
+  EXPECT_EQ(r.getVec<float>(), (std::vector<float>{1.f, 2.f, 3.f}));
+  EXPECT_TRUE(r.getVec<int>().empty());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serial, UnderrunThrows) {
+  Writer w;
+  w.put<std::uint16_t>(1);
+  Reader r(w.bytes());
+  EXPECT_THROW(r.get<std::uint64_t>(), CheckError);
+}
+
+TEST(Serial, RawBytes) {
+  Writer w;
+  const char data[4] = {'a', 'b', 'c', 'd'};
+  w.putRaw(data, 4);
+  Reader r(w.bytes());
+  char out[4];
+  r.getRaw(out, 4);
+  EXPECT_EQ(std::string(out, 4), "abcd");
+}
+
+TEST(Ppm, WritesParsableHeaderAndPixels) {
+  const std::string path = "/tmp/hemo_test_img.ppm";
+  std::vector<std::uint8_t> rgb = {255, 0, 0, 0, 255, 0, 0, 0, 255,
+                                   10,  20, 30, 40, 50, 60, 70, 80, 90};
+  ASSERT_TRUE(writePpm(path, 3, 2, rgb));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxval;
+  f >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  f.get();  // single whitespace after header
+  std::vector<std::uint8_t> px(18);
+  f.read(reinterpret_cast<char*>(px.data()), 18);
+  EXPECT_EQ(px, rgb);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, SizeMismatchThrows) {
+  EXPECT_THROW(writePpm("/tmp/x.ppm", 2, 2, std::vector<std::uint8_t>(3)),
+               CheckError);
+}
+
+TEST(Pgm, Writes) {
+  const std::string path = "/tmp/hemo_test_img.pgm";
+  ASSERT_TRUE(writePgm(path, 2, 2, {0, 85, 170, 255}));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuotingAndLayout) {
+  CsvWriter csv({"name", "value"});
+  csv.addRow("plain", 1);
+  csv.addRow("with,comma", 2.5);
+  csv.addRow("with\"quote", "x");
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",2.5\n"
+            "\"with\"\"quote\",x\n");
+  EXPECT_EQ(csv.numRows(), 3u);
+}
+
+}  // namespace
+}  // namespace hemo::io

@@ -1,0 +1,316 @@
+// Tests for the multi-resolution hierarchy (paper §V): octree invariants,
+// hierarchical-index lookups, aggregate exactness, level errors, ROI
+// queries, distributed context gathering and progressive drill-down.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "comm/runtime.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "multires/octree.hpp"
+#include "multires/roi.hpp"
+#include "partition/partitioners.hpp"
+
+namespace hemo::multires {
+namespace {
+
+geometry::SparseLattice makeLattice() {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  return geometry::voxelize(geometry::makeAneurysmVessel(5.0, 1.0, 1.0), opt);
+}
+
+struct SingleRankTree {
+  geometry::SparseLattice lattice;
+  partition::Partition part;
+  lb::DomainMap domain;
+  FieldOctree tree;
+
+  explicit SingleRankTree(int leafLog2 = 0)
+      : lattice(makeLattice()),
+        part(singlePart()),
+        domain(lattice, part, 0),
+        tree(domain, leafLog2) {}
+
+  partition::Partition singlePart() {
+    partition::Partition p;
+    p.numParts = 1;
+    p.partOfSite.assign(lattice.numFluidSites(), 0);
+    return p;
+  }
+
+  /// Scalar field = x coordinate (world), velocity = (x, 2x, 0).
+  std::pair<std::vector<double>, std::vector<Vec3d>> fields() const {
+    std::vector<double> s(domain.numOwned());
+    std::vector<Vec3d> v(domain.numOwned());
+    for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+      const Vec3d w = lattice.siteWorld(domain.globalOf(l));
+      s[l] = w.x;
+      v[l] = {w.x, 2 * w.x, 0};
+    }
+    return {s, v};
+  }
+};
+
+// NOTE: the fixture is constructed fresh per test; the lattice is small.
+
+TEST(Octree, StructureInvariants) {
+  SingleRankTree t;
+  auto& tree = t.tree;
+  ASSERT_GE(tree.numLevels(), 4);
+  // Root level has exactly one node holding everything.
+  EXPECT_EQ(tree.level(0).size(), 1u);
+  // Leaf level (leafCellLog2=0) has one node per site.
+  EXPECT_EQ(tree.level(tree.leafLevel()).size(),
+            t.domain.numOwned());
+  // Keys strictly ascending per level; each node's parent exists.
+  for (int l = 0; l < tree.numLevels(); ++l) {
+    const auto& nodes = tree.level(l);
+    for (std::size_t i = 1; i < nodes.size(); ++i) {
+      EXPECT_LT(nodes[i - 1].key, nodes[i].key);
+    }
+    if (l > 0) {
+      for (const auto& node : nodes) {
+        EXPECT_NE(tree.find(l - 1, mortonParent(node.key)), nullptr);
+      }
+    }
+  }
+  // Level sizes shrink monotonically towards the root.
+  for (int l = 1; l < tree.numLevels(); ++l) {
+    EXPECT_LE(tree.level(l - 1).size(), tree.level(l).size());
+  }
+}
+
+TEST(Octree, CountsAreConsistentAcrossLevels) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  for (int l = 0; l < t.tree.numLevels(); ++l) {
+    std::uint64_t total = 0;
+    for (const auto& node : t.tree.level(l)) total += node.count;
+    EXPECT_EQ(total, t.domain.numOwned()) << "level " << l;
+  }
+}
+
+TEST(Octree, RootAggregatesMatchDirectComputation) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  double sum = 0, mn = 1e30, mx = -1e30;
+  for (const double x : s) {
+    sum += x;
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  const auto& root = t.tree.level(0)[0];
+  EXPECT_NEAR(root.meanScalar, sum / static_cast<double>(s.size()), 1e-3);
+  EXPECT_NEAR(root.minScalar, mn, 1e-5);
+  EXPECT_NEAR(root.maxScalar, mx, 1e-5);
+  EXPECT_NEAR(root.meanVelocity.y, 2.0 * root.meanVelocity.x, 1e-4);
+}
+
+TEST(Octree, LeafValuesExact) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  const int leaf = t.tree.leafLevel();
+  for (std::uint32_t l = 0; l < t.domain.numOwned(); l += 37) {
+    const Vec3i p = t.lattice.sitePosition(t.domain.globalOf(l));
+    const auto* node = t.tree.find(leaf, morton3(p));
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->count, 1u);
+    EXPECT_NEAR(node->meanScalar, s[l], 1e-6);
+    EXPECT_EQ(node->minScalar, node->maxScalar);
+  }
+}
+
+TEST(Octree, LevelErrorDecreasesWithDepth) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  double prev = 1e30;
+  for (int l = 0; l < t.tree.numLevels(); ++l) {
+    const double err = levelError(t.tree, l, s);
+    EXPECT_LE(err, prev + 1e-6) << "level " << l;
+    prev = err;
+  }
+  EXPECT_NEAR(levelError(t.tree, t.tree.leafLevel(), s), 0.0, 1e-6);
+  EXPECT_GT(levelError(t.tree, 0, s), 0.1);  // root is a single mean
+}
+
+TEST(Octree, LevelBytesShrinkTowardsRoot) {
+  SingleRankTree t;
+  for (int l = 1; l < t.tree.numLevels(); ++l) {
+    EXPECT_LE(t.tree.levelBytes(l - 1), t.tree.levelBytes(l));
+  }
+  EXPECT_EQ(t.tree.levelBytes(0), sizeof(OctreeNode));
+}
+
+TEST(Octree, CoarserLeavesReduceNodeCount) {
+  SingleRankTree fine(0), coarse(2);
+  EXPECT_LT(coarse.tree.level(coarse.tree.leafLevel()).size(),
+            fine.tree.level(fine.tree.leafLevel()).size());
+  // Counts still cover all sites.
+  const auto [s, v] = coarse.fields();
+  coarse.tree.update(s, v);
+  std::uint64_t total = 0;
+  for (const auto& n : coarse.tree.level(coarse.tree.leafLevel())) {
+    total += n.count;
+  }
+  EXPECT_EQ(total, coarse.domain.numOwned());
+}
+
+TEST(Octree, QueryReturnsExactlyIntersectingCells) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  const int level = t.tree.numLevels() - 2;
+  const BoxI roi{{0, 0, 0}, {8, 8, 8}};
+  const auto hits = t.tree.query(level, roi);
+  std::set<std::uint64_t> hitKeys;
+  for (const auto& h : hits) hitKeys.insert(h.key);
+  for (const auto& node : t.tree.level(level)) {
+    const bool intersects =
+        !t.tree.cellBox(level, node.key).intersect(roi).isEmpty();
+    EXPECT_EQ(hitKeys.count(node.key) > 0, intersects);
+  }
+}
+
+TEST(Octree, CellBoxNestsInParent) {
+  SingleRankTree t;
+  const int l = t.tree.numLevels() - 2;
+  for (const auto& node : t.tree.level(l)) {
+    const BoxI own = t.tree.cellBox(l, node.key);
+    const BoxI parent = t.tree.cellBox(l - 1, mortonParent(node.key));
+    EXPECT_EQ(own.intersect(parent), own);
+  }
+}
+
+TEST(MergeNodes, WeightedMergeIsExact) {
+  OctreeNode a;
+  a.key = 7;
+  a.count = 3;
+  a.meanScalar = 1.0f;
+  a.minScalar = 0.5f;
+  a.maxScalar = 1.5f;
+  a.meanVelocity = {1, 0, 0};
+  OctreeNode b = a;
+  b.count = 1;
+  b.meanScalar = 5.0f;
+  b.minScalar = 5.0f;
+  b.maxScalar = 5.0f;
+  b.meanVelocity = {0, 2, 0};
+  const auto merged = mergeNodes({{a}, {b}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].count, 4u);
+  EXPECT_NEAR(merged[0].meanScalar, 2.0f, 1e-6);  // (3*1 + 1*5)/4
+  EXPECT_EQ(merged[0].minScalar, 0.5f);
+  EXPECT_EQ(merged[0].maxScalar, 5.0f);
+  EXPECT_NEAR(merged[0].meanVelocity.x, 0.75f, 1e-6);
+  EXPECT_NEAR(merged[0].meanVelocity.y, 0.5f, 1e-6);
+}
+
+TEST(MergeNodes, DistinctKeysPassThroughSorted) {
+  OctreeNode a;
+  a.key = 9;
+  OctreeNode b;
+  b.key = 2;
+  const auto merged = mergeNodes({{a}, {b}});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, 2u);
+  EXPECT_EQ(merged[1].key, 9u);
+}
+
+class DistributedTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedTreeTest, GatheredContextMatchesSerialTree) {
+  const int ranks = GetParam();
+  const auto lattice = makeLattice();
+  const auto graph = partition::buildSiteGraph(lattice);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, ranks);
+
+  // Serial reference.
+  partition::Partition serialPart;
+  serialPart.numParts = 1;
+  serialPart.partOfSite.assign(lattice.numFluidSites(), 0);
+  lb::DomainMap serialDomain(lattice, serialPart, 0);
+  FieldOctree serialTree(serialDomain, 0);
+  std::vector<double> s(serialDomain.numOwned());
+  std::vector<Vec3d> v(serialDomain.numOwned());
+  for (std::uint32_t l = 0; l < serialDomain.numOwned(); ++l) {
+    const Vec3d w = lattice.siteWorld(serialDomain.globalOf(l));
+    s[l] = std::sin(w.x) + w.y;
+    v[l] = {w.y, -w.x, 0.1};
+  }
+  serialTree.update(s, v);
+  const int ctxLevel = 2;
+
+  std::vector<OctreeNode> gathered;
+  comm::Runtime rt(ranks);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    FieldOctree tree(domain, 0);
+    std::vector<double> ls(domain.numOwned());
+    std::vector<Vec3d> lv(domain.numOwned());
+    for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+      const Vec3d w = lattice.siteWorld(domain.globalOf(l));
+      ls[l] = std::sin(w.x) + w.y;
+      lv[l] = {w.y, -w.x, 0.1};
+    }
+    tree.update(ls, lv);
+    auto result = gatherLevel(comm, tree, ctxLevel);
+    if (comm.rank() == 0) gathered = std::move(result);
+  });
+
+  const auto& reference = serialTree.level(ctxLevel);
+  ASSERT_EQ(gathered.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(gathered[i].key, reference[i].key);
+    EXPECT_EQ(gathered[i].count, reference[i].count);
+    EXPECT_NEAR(gathered[i].meanScalar, reference[i].meanScalar, 1e-4);
+    EXPECT_EQ(gathered[i].minScalar, reference[i].minScalar);
+    EXPECT_EQ(gathered[i].maxScalar, reference[i].maxScalar);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedTreeTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Drilldown, RoiStagesAreCheaperThanContext) {
+  const auto lattice = makeLattice();
+  const auto graph = partition::buildSiteGraph(lattice);
+  partition::MultilevelKWayPartitioner kway;
+  const int ranks = 4;
+  const auto part = kway.partition(graph, ranks);
+
+  DrilldownStats stats;
+  comm::Runtime rt(ranks);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    FieldOctree tree(domain, 0);
+    std::vector<double> s(domain.numOwned(), 1.0);
+    std::vector<Vec3d> v(domain.numOwned(), Vec3d{});
+    tree.update(s, v);
+    // Small ROI: one corner of the aneurysm dome region.
+    const BoxI roi{{8, 8, 8}, {16, 16, 16}};
+    auto result =
+        progressiveDrilldown(comm, tree, 2, tree.leafLevel(), roi);
+    if (comm.rank() == 0) stats = std::move(result);
+  });
+  ASSERT_GE(stats.bytesPerStage.size(), 3u);
+  // The full leaf level would cost ~numSites*sizeof(Node); every ROI stage
+  // must be far below that.
+  const std::uint64_t fullLeafBytes =
+      lattice.numFluidSites() * sizeof(OctreeNode);
+  for (std::size_t stage = 1; stage < stats.bytesPerStage.size(); ++stage) {
+    EXPECT_LT(stats.bytesPerStage[stage], fullLeafBytes / 3)
+        << "stage " << stage;
+  }
+}
+
+}  // namespace
+}  // namespace hemo::multires

@@ -1,0 +1,247 @@
+// Tests for the decomposition substrate: graph construction, all five
+// partitioners (validity + balance + edge-cut sanity), metrics and the
+// diffusive repartitioner.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "partition/graph.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioners.hpp"
+#include "partition/repartition.hpp"
+#include "util/stats.hpp"
+
+namespace hemo::partition {
+namespace {
+
+geometry::SparseLattice makeTestLattice() {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  return geometry::voxelize(geometry::makeAneurysmVessel(6.0, 1.0, 1.0), opt);
+}
+
+class PartitionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lattice_ = new geometry::SparseLattice(makeTestLattice());
+    graph_ = new SiteGraph(buildSiteGraph(*lattice_));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete lattice_;
+    graph_ = nullptr;
+    lattice_ = nullptr;
+  }
+  static geometry::SparseLattice* lattice_;
+  static SiteGraph* graph_;
+};
+
+geometry::SparseLattice* PartitionFixture::lattice_ = nullptr;
+SiteGraph* PartitionFixture::graph_ = nullptr;
+
+TEST_F(PartitionFixture, GraphIsSymmetricAndLoopFree) {
+  const auto& g = *graph_;
+  ASSERT_EQ(g.xadj.size(), g.numVertices + 1);
+  for (std::uint64_t v = 0; v < g.numVertices; ++v) {
+    for (std::uint64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      const auto u = g.adjncy[e];
+      EXPECT_NE(u, v);  // no self loops
+      // Symmetric: u lists v.
+      bool found = false;
+      for (std::uint64_t e2 = g.xadj[u]; e2 < g.xadj[u + 1]; ++e2) {
+        if (g.adjncy[e2] == v) {
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "edge " << v << "->" << u << " not symmetric";
+      if (v > 100) break;  // full check on a prefix keeps the test fast
+    }
+    if (v > 100) break;
+  }
+}
+
+TEST_F(PartitionFixture, GraphDegreesAreLatticeLike) {
+  const auto& g = *graph_;
+  for (std::uint64_t v = 0; v < g.numVertices; ++v) {
+    EXPECT_LE(g.degree(v), 26u);
+    EXPECT_GE(g.degree(v), 1u);
+  }
+  EXPECT_DOUBLE_EQ(g.totalWeight(), static_cast<double>(g.numVertices));
+}
+
+struct PartitionerCase {
+  const char* name;
+  int parts;
+};
+
+class AllPartitionersTest
+    : public PartitionFixture,
+      public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(AllPartitionersTest, ValidBalancedCover) {
+  const auto [which, parts] = GetParam();
+  const auto all = makeAllPartitioners(*lattice_);
+  const auto& partitioner = *all[static_cast<std::size_t>(which)];
+  const auto p = partitioner.partition(*graph_, parts);
+
+  ASSERT_EQ(p.numParts, parts);
+  ASSERT_EQ(p.partOfSite.size(), graph_->numVertices);
+  // Every site assigned exactly one valid part; every part non-empty.
+  std::vector<std::uint64_t> count(static_cast<std::size_t>(parts), 0);
+  for (const int q : p.partOfSite) {
+    ASSERT_GE(q, 0);
+    ASSERT_LT(q, parts);
+    ++count[static_cast<std::size_t>(q)];
+  }
+  for (int q = 0; q < parts; ++q) {
+    EXPECT_GT(count[static_cast<std::size_t>(q)], 0u)
+        << partitioner.name() << " left part " << q << " empty";
+  }
+  const auto m = evaluatePartition(*graph_, p);
+  // Block granularity is the loosest (a single 8³ block can exceed the
+  // ideal share at high part counts on this small lattice); everything
+  // else should be tight.
+  const double bound = (which == 0) ? 3.2 : 1.35;
+  EXPECT_LT(m.imbalance, bound) << partitioner.name();
+  EXPECT_GT(m.edgeCut, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllPartitionersTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(2, 3, 4, 8, 16)));
+
+TEST_F(PartitionFixture, SinglePartIsTrivial) {
+  for (const auto& partitioner : makeAllPartitioners(*lattice_)) {
+    const auto p = partitioner->partition(*graph_, 1);
+    const auto m = evaluatePartition(*graph_, p);
+    EXPECT_EQ(m.edgeCut, 0u) << partitioner->name();
+    EXPECT_EQ(m.boundaryVertices, 0u);
+    EXPECT_DOUBLE_EQ(m.imbalance, 1.0);
+  }
+}
+
+TEST_F(PartitionFixture, KWayBeatsNaiveSplitOnEdgeCut) {
+  // The multilevel partitioner should cut fewer edges than the coarse
+  // block scan — that is why HemeLB calls ParMETIS at all.
+  MultilevelKWayPartitioner kway;
+  BlockPartitioner block(*lattice_);
+  const auto mk = evaluatePartition(*graph_, kway.partition(*graph_, 8));
+  const auto mb = evaluatePartition(*graph_, block.partition(*graph_, 8));
+  EXPECT_LT(mk.edgeCut, mb.edgeCut);
+}
+
+TEST_F(PartitionFixture, KWayIsDeterministic) {
+  MultilevelKWayPartitioner a, b;
+  const auto pa = a.partition(*graph_, 4);
+  const auto pb = b.partition(*graph_, 4);
+  EXPECT_EQ(pa.partOfSite, pb.partOfSite);
+}
+
+TEST_F(PartitionFixture, RcbRespectsGeometry) {
+  RcbPartitioner rcb;
+  const auto p = rcb.partition(*graph_, 2);
+  // With 2 parts, RCB must split along the longest axis (x for the tube):
+  // part of a site is monotone in x except at the single cut plane.
+  int crossings = 0;
+  for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+    for (std::uint64_t e = graph_->xadj[v]; e < graph_->xadj[v + 1]; ++e) {
+      const auto u = graph_->adjncy[e];
+      if (u > v && p.partOfSite[v] != p.partOfSite[u]) {
+        ++crossings;
+      }
+    }
+  }
+  // The cut surface should be roughly one tube cross-section of links, far
+  // smaller than the total edge count.
+  EXPECT_LT(crossings * 20, static_cast<int>(graph_->adjncy.size() / 2));
+}
+
+TEST_F(PartitionFixture, MetricsCommVolumeAtLeastBoundary) {
+  MultilevelKWayPartitioner kway;
+  const auto p = kway.partition(*graph_, 8);
+  const auto m = evaluatePartition(*graph_, p);
+  EXPECT_GE(m.commVolume, m.boundaryVertices);
+  EXPECT_GE(m.avgNeighborParts, 1.0);
+  EXPECT_LE(m.avgNeighborParts, 7.0);
+}
+
+TEST_F(PartitionFixture, WeightedPartitionBalancesWeight) {
+  // Double the weight of sites in the aneurysm half; the partitioner must
+  // balance *weight*, not site count.
+  SiteGraph g = *graph_;
+  const int midX = lattice_->dims().x / 2;
+  for (std::uint64_t v = 0; v < g.numVertices; ++v) {
+    if (g.coords[v].x > midX) g.vertexWeight[v] = 3.0;
+  }
+  SfcPartitioner sfc;
+  const auto p = sfc.partition(g, 4);
+  const auto loads = p.partLoads(g);
+  EXPECT_LT(imbalanceFactor(loads), 1.2);
+  // Site *counts* must now be skewed.
+  std::vector<double> siteCounts(4, 0.0);
+  for (const int q : p.partOfSite) siteCounts[static_cast<std::size_t>(q)] += 1;
+  EXPECT_GT(imbalanceFactor(siteCounts), 1.2);
+}
+
+TEST_F(PartitionFixture, RebalanceReducesMeasuredImbalance) {
+  MultilevelKWayPartitioner kway;
+  const auto p = kway.partition(*graph_, 4);
+  // Simulate a measured per-site cost where one region got expensive (e.g.
+  // in situ vis concentrated in the aneurysm).
+  std::vector<double> cost(static_cast<std::size_t>(graph_->numVertices), 1.0);
+  const int midX = lattice_->dims().x / 2;
+  for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+    if (graph_->coords[v].x > midX) cost[v] = 4.0;
+  }
+  const auto r = rebalance(*graph_, p, cost);
+  EXPECT_GT(r.imbalanceBefore, 1.3);
+  EXPECT_LT(r.imbalanceAfter, r.imbalanceBefore);
+  EXPECT_LT(r.imbalanceAfter, 1.25);
+  EXPECT_GT(r.sitesMoved, 0u);
+  // Validity preserved.
+  std::vector<std::uint64_t> count(4, 0);
+  for (const int q : r.partition.partOfSite) {
+    ASSERT_GE(q, 0);
+    ASSERT_LT(q, 4);
+    ++count[static_cast<std::size_t>(q)];
+  }
+  for (const auto c : count) EXPECT_GT(c, 0u);
+}
+
+TEST_F(PartitionFixture, RebalanceNoopWhenBalanced) {
+  MultilevelKWayPartitioner kway;
+  const auto p = kway.partition(*graph_, 4);
+  std::vector<double> cost(static_cast<std::size_t>(graph_->numVertices), 1.0);
+  RepartitionOptions opt;
+  opt.targetImbalance = 1.10;
+  const auto r = rebalance(*graph_, p, cost, opt);
+  if (r.imbalanceBefore <= opt.targetImbalance) {
+    EXPECT_EQ(r.sitesMoved, 0u);
+  }
+  EXPECT_LE(r.imbalanceAfter, r.imbalanceBefore + 1e-12);
+}
+
+TEST_F(PartitionFixture, RebalanceMovesScaleWithImbalance) {
+  MultilevelKWayPartitioner kway;
+  const auto p = kway.partition(*graph_, 4);
+  auto costWith = [&](double hot) {
+    std::vector<double> cost(static_cast<std::size_t>(graph_->numVertices),
+                             1.0);
+    const int midX = lattice_->dims().x / 2;
+    for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+      if (graph_->coords[v].x > midX) cost[v] = hot;
+    }
+    return cost;
+  };
+  const auto mild = rebalance(*graph_, p, costWith(1.5));
+  const auto severe = rebalance(*graph_, p, costWith(8.0));
+  EXPECT_LT(mild.sitesMoved, severe.sitesMoved);
+}
+
+}  // namespace
+}  // namespace hemo::partition

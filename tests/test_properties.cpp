@@ -1,0 +1,398 @@
+// Property-based and stress tests across modules: randomized communication
+// soaks, context isolation, voxelizer resolution scaling, solver stability
+// sweeps, mid-run steering physics, rendering invariants and scheduler
+// convergence. Complements the per-module unit suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "comm/runtime.hpp"
+#include "core/scheduler.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "lb/solver.hpp"
+#include "partition/partitioners.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "vis/transfer.hpp"
+#include "vis/volume.hpp"
+
+namespace hemo {
+namespace {
+
+// --- comm properties -----------------------------------------------------------
+
+TEST(CommProperty, RandomizedP2pSoakDeliversEverything) {
+  // Every rank sends a random number of tagged messages to random peers;
+  // totals are announced via alltoall and then everything must arrive
+  // intact and in per-pair order.
+  const int ranks = 6;
+  comm::Runtime rt(ranks);
+  rt.run([&](comm::Communicator& comm) {
+    Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    const int n = comm.size();
+    std::vector<std::vector<double>> toSend(static_cast<std::size_t>(n));
+    for (int k = 0; k < 200; ++k) {
+      const int dest = static_cast<int>(rng.uniformInt(
+          static_cast<std::uint64_t>(n)));
+      toSend[static_cast<std::size_t>(dest)].push_back(
+          comm.rank() * 1000.0 + k);
+    }
+    // Announce counts, then send payloads one message per value.
+    std::vector<std::vector<std::uint64_t>> counts(
+        static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      counts[static_cast<std::size_t>(d)] = {
+          toSend[static_cast<std::size_t>(d)].size()};
+    }
+    const auto expect = comm.alltoallVec(counts);
+    for (int d = 0; d < n; ++d) {
+      for (const double v : toSend[static_cast<std::size_t>(d)]) {
+        comm.send(d, 7, v);
+      }
+    }
+    for (int src = 0; src < n; ++src) {
+      double prev = -1.0;
+      for (std::uint64_t i = 0; i < expect[static_cast<std::size_t>(src)][0];
+           ++i) {
+        const double v = comm.recv<double>(src, 7);
+        EXPECT_EQ(static_cast<int>(v / 1000.0), src);
+        EXPECT_GT(v, prev);  // per-pair FIFO preserves send order
+        prev = v;
+      }
+    }
+  });
+}
+
+TEST(CommProperty, NestedSplitContextsIsolate) {
+  comm::Runtime rt(8);
+  rt.run([&](comm::Communicator& comm) {
+    auto half = comm.split(comm.rank() / 4, comm.rank());   // two groups of 4
+    auto quarter = half.split(half.rank() / 2, half.rank()); // four groups of 2
+    EXPECT_EQ(quarter.size(), 2);
+    // Same-tag traffic on all three levels cannot cross-match.
+    if (comm.rank() == 0) comm.send(1, 5, 111);
+    if (half.rank() == 0) half.send(1, 5, 222);
+    if (quarter.rank() == 0) quarter.send(1, 5, 333);
+    if (quarter.rank() == 1) {
+      EXPECT_EQ(quarter.recv<int>(0, 5), 333);
+    }
+    if (half.rank() == 1) {
+      EXPECT_EQ(half.recv<int>(0, 5), 222);
+    }
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.recv<int>(0, 5), 111);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(CommProperty, AllreduceVecMatchesSequential) {
+  comm::Runtime rt(5);
+  rt.run([&](comm::Communicator& comm) {
+    std::vector<double> v(64);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = std::sin(static_cast<double>(i) * (comm.rank() + 1));
+    }
+    auto mine = v;
+    comm.allreduceVec(mine, [](double a, double b) { return a + b; });
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      double expect = 0.0;
+      for (int r = 0; r < comm.size(); ++r) {
+        expect += std::sin(static_cast<double>(i) * (r + 1));
+      }
+      EXPECT_NEAR(mine[i], expect, 1e-12);
+    }
+  });
+}
+
+TEST(CommProperty, LargeBroadcastIntact) {
+  comm::Runtime rt(7);
+  rt.run([&](comm::Communicator& comm) {
+    std::vector<std::uint64_t> buf;
+    if (comm.rank() == 3) {
+      buf.resize(100000);
+      Rng rng(42);
+      for (auto& x : buf) x = rng.next();
+    }
+    comm.bcastVec(buf, 3);
+    ASSERT_EQ(buf.size(), 100000u);
+    std::uint64_t h = 0;
+    for (const auto x : buf) h ^= x * 0x9e3779b97f4a7c15ULL;
+    const auto h0 = comm.allreduceMax(h);
+    EXPECT_EQ(comm.allreduceMin(h), h0);  // identical everywhere
+  });
+}
+
+// --- geometry properties ----------------------------------------------------------
+
+TEST(GeometryProperty, SiteCountScalesWithResolutionCubed) {
+  const auto scene = geometry::makeStraightTube(5.0, 1.0);
+  std::vector<std::uint64_t> counts;
+  for (const double h : {0.4, 0.2, 0.1}) {
+    geometry::VoxelizeOptions opt;
+    opt.voxelSize = h;
+    counts.push_back(geometry::voxelize(scene, opt).numFluidSites());
+  }
+  // Halving the voxel multiplies sites by ~8 (within staircase tolerance).
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 8.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 8.0, 1.2);
+}
+
+TEST(GeometryProperty, FluidVolumeConvergesToAnalytic) {
+  // Voxel volume sum -> pi r^2 L as h -> 0.
+  const auto scene = geometry::makeStraightTube(5.0, 1.0);
+  const double analytic = 3.14159265358979 * 1.0 * 5.0;
+  double prevErr = 1e9;
+  for (const double h : {0.3, 0.15}) {
+    geometry::VoxelizeOptions opt;
+    opt.voxelSize = h;
+    const auto lat = geometry::voxelize(scene, opt);
+    const double vol =
+        static_cast<double>(lat.numFluidSites()) * h * h * h;
+    const double err = std::abs(vol - analytic) / analytic;
+    EXPECT_LT(err, prevErr);
+    prevErr = err;
+  }
+  EXPECT_LT(prevErr, 0.08);
+}
+
+TEST(GeometryProperty, PadVoxelsKeepFluidAwayFromBounds) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  opt.padVoxels = 3;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto fb = lat.fluidBounds();
+  // The tube is clipped by iolets, not the box: no fluid may touch the
+  // lateral box faces (y/z), which exist only due to padding.
+  EXPECT_GE(fb.lo.y, 1);
+  EXPECT_GE(fb.lo.z, 1);
+  EXPECT_LE(fb.hi.y, lat.dims().y - 1);
+  EXPECT_LE(fb.hi.z, lat.dims().z - 1);
+}
+
+// --- LB stability / steering properties ----------------------------------------------
+
+class TauSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TauSweepTest, StableAndMassConservingAcrossTau) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::SfcPartitioner sfc;
+  const auto part = sfc.partition(graph, 2);
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, comm.rank());
+    lb::LbParams params;
+    params.tau = GetParam();
+    params.bodyForce = {1e-5, 0, 0};
+    lb::SolverD3Q19 solver(domain, comm, params);
+    solver.run(300);
+    double maxU = 0.0;
+    for (const auto& u : solver.macro().u) maxU = std::max(maxU, u.norm());
+    EXPECT_LT(comm.allreduceMax(maxU), 0.15) << "tau=" << GetParam();
+    for (const double r : solver.macro().rho) {
+      ASSERT_TRUE(std::isfinite(r));
+      ASSERT_GT(r, 0.5);
+      ASSERT_LT(r, 1.5);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, TauSweepTest,
+                         ::testing::Values(0.55, 0.7, 0.9, 1.2, 1.8));
+
+TEST(SteeringPhysics, IoletChangeMidRunReversesFlow) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::SfcPartitioner sfc;
+  const auto part = sfc.partition(graph, 2);
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, comm.rank());
+    lb::LbParams params;
+    params.tau = 0.8;
+    lb::SolverD3Q19 solver(domain, comm, params);
+    solver.setIoletDensity(0, 1.003);
+    solver.setIoletDensity(1, 0.997);
+    solver.run(600);
+    auto flux = [&] {
+      double f = 0.0;
+      for (const auto& u : solver.macro().u) f += u.x;
+      return comm.allreduceSum(f);
+    };
+    const double forward = flux();
+    EXPECT_GT(forward, 0.0);
+    // Steer the gradient around mid-run; the flow must reverse.
+    solver.setIoletDensity(0, 0.997);
+    solver.setIoletDensity(1, 1.003);
+    solver.run(1200);
+    EXPECT_LT(flux(), 0.0);
+  });
+}
+
+TEST(SteeringPhysics, ForceSteeringChangesMagnitudeProportionally) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::SfcPartitioner sfc;
+  const auto part = sfc.partition(graph, 1);
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, 0);
+    lb::LbParams params;
+    params.tau = 0.8;
+    params.bodyForce = {1e-5, 0, 0};
+    lb::SolverD3Q19 solver(domain, comm, params);
+    solver.run(1500);
+    const double p1 = solver.localMomentum().x;
+    solver.setBodyForce({2e-5, 0, 0});
+    solver.run(2500);
+    const double p2 = solver.localMomentum().x;
+    // Stokes regime: momentum doubles with the force.
+    EXPECT_NEAR(p2 / p1, 2.0, 0.15);
+  });
+}
+
+// --- vis properties ---------------------------------------------------------------------
+
+TEST(VisProperty, BloodFlowRampIsMonotoneInOpacity) {
+  const auto tf = vis::TransferFunction::bloodFlow(0.f, 1.f);
+  float prev = -1.f;
+  for (float v = 0.f; v <= 1.f; v += 0.05f) {
+    const auto s = tf.sample(v);
+    EXPECT_GE(s.a, prev - 1e-6f);
+    prev = s.a;
+  }
+}
+
+TEST(VisProperty, OpacityCutoffBoundsAccumulation) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(5.0, 1.0), opt);
+  partition::Partition part;
+  part.numParts = 1;
+  part.partOfSite.assign(lat.numFluidSites(), 0);
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    (void)comm;
+    lb::DomainMap domain(lat, part, 0);
+    lb::MacroFields macro;
+    macro.rho.assign(domain.numOwned(), 1.0);
+    macro.u.assign(domain.numOwned(), Vec3d{0.05, 0, 0});
+    vis::VolumeRenderOptions vro;
+    vro.width = 64;
+    vro.height = 64;
+    vro.camera.position = {2.5, 0, 6};
+    vro.camera.target = {2.5, 0, 0};
+    vro.opacityCutoff = 0.3f;
+    vro.transfer = vis::TransferFunction::bloodFlow(0.f, 0.01f);
+    const auto img = vis::renderLocal(domain, macro, vro);
+    for (std::size_t i = 0; i < img.numPixels(); ++i) {
+      // One more sample past the cutoff is admissible; 0.6 bounds it.
+      EXPECT_LE(img.pixel(i).a, 0.6f);
+    }
+  });
+}
+
+TEST(VisProperty, DenserSamplingConvergesOpacity) {
+  // Halving the ray step with opacity correction should give nearly the
+  // same accumulated alpha (the correction makes opacity resolution
+  // independent to first order).
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.25;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(5.0, 1.0), opt);
+  partition::Partition part;
+  part.numParts = 1;
+  part.partOfSite.assign(lat.numFluidSites(), 0);
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    (void)comm;
+    lb::DomainMap domain(lat, part, 0);
+    lb::MacroFields macro;
+    macro.rho.assign(domain.numOwned(), 1.0);
+    macro.u.assign(domain.numOwned(), Vec3d{0.01, 0, 0});
+    auto meanAlpha = [&](double step) {
+      vis::VolumeRenderOptions vro;
+      vro.width = 48;
+      vro.height = 48;
+      vro.camera.position = {2.5, 0, 6};
+      vro.camera.target = {2.5, 0, 0};
+      vro.stepVoxels = step;
+      vro.transfer = vis::TransferFunction::bloodFlow(0.f, 0.02f);
+      const auto img = vis::renderLocal(domain, macro, vro);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < img.numPixels(); ++i) {
+        sum += img.pixel(i).a;
+      }
+      return sum / static_cast<double>(img.numPixels());
+    };
+    const double coarse = meanAlpha(0.8);
+    const double fine = meanAlpha(0.2);
+    EXPECT_NEAR(fine / coarse, 1.0, 0.2);
+  });
+}
+
+// --- scheduler property --------------------------------------------------------------------
+
+class BudgetSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweepTest, RecommendationRespectsBudgetExactly) {
+  const double budget = GetParam();
+  core::AdaptiveVisScheduler sched(budget);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    sched.observe(rng.uniform(1e-4, 1e-2), rng.uniform(1e-4, 5e-2));
+    const int every = sched.recommendedEvery();
+    EXPECT_LE(sched.predictedShare(every), budget + 1e-9);
+    if (every > 1) {
+      // One step fewer would bust the budget (tight recommendation).
+      EXPECT_GT(sched.predictedShare(every - 1), budget - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweepTest,
+                         ::testing::Values(0.02, 0.1, 0.25, 0.5));
+
+// --- partition determinism sweep --------------------------------------------------------------
+
+class PartitionerDeterminismTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PartitionerDeterminismTest, RepeatedRunsIdentical) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.3;
+  const auto lat =
+      geometry::voxelize(geometry::makeAneurysmVessel(5.0, 1.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  std::unique_ptr<partition::Partitioner> p;
+  const std::string name = GetParam();
+  for (auto& candidate : partition::makeAllPartitioners(lat)) {
+    if (name == candidate->name()) p = std::move(candidate);
+  }
+  ASSERT_NE(p, nullptr);
+  const auto a = p->partition(graph, 6);
+  const auto b = p->partition(graph, 6);
+  EXPECT_EQ(a.partOfSite, b.partOfSite) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, PartitionerDeterminismTest,
+                         ::testing::Values("block", "sfc", "hilbert", "rcb",
+                                           "greedy", "kway"));
+
+}  // namespace
+}  // namespace hemo

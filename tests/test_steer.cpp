@@ -1,0 +1,178 @@
+// Steering protocol + server/client tests: frame round trips, command
+// broadcast semantics, typed awaits, and traffic classification.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/runtime.hpp"
+#include "steer/protocol.hpp"
+#include "steer/server.hpp"
+
+namespace hemo::steer {
+namespace {
+
+TEST(Protocol, CommandRoundTripAllFields) {
+  Command cmd;
+  cmd.type = MsgType::kSetRoi;
+  cmd.commandId = 42;
+  cmd.camera.position = {1, 2, 3};
+  cmd.camera.target = {4, 5, 6};
+  cmd.camera.fovYDegrees = 55.5;
+  cmd.renderField = 1;
+  cmd.visRate = 7;
+  cmd.roi = {{1, 2, 3}, {9, 8, 7}};
+  cmd.roiLevel = 3;
+  cmd.value = 0.85;
+  cmd.ioletId = 2;
+  cmd.force = {1e-5, 0, -1e-5};
+
+  const auto back = decodeCommand(encodeCommand(cmd));
+  EXPECT_EQ(static_cast<int>(back.type), static_cast<int>(cmd.type));
+  EXPECT_EQ(back.commandId, 42u);
+  EXPECT_EQ(back.camera.position, cmd.camera.position);
+  EXPECT_EQ(back.camera.target, cmd.camera.target);
+  EXPECT_DOUBLE_EQ(back.camera.fovYDegrees, 55.5);
+  EXPECT_EQ(back.renderField, 1);
+  EXPECT_EQ(back.visRate, 7);
+  EXPECT_EQ(back.roi, cmd.roi);
+  EXPECT_EQ(back.roiLevel, 3);
+  EXPECT_DOUBLE_EQ(back.value, 0.85);
+  EXPECT_EQ(back.ioletId, 2);
+  EXPECT_EQ(back.force, cmd.force);
+}
+
+TEST(Protocol, StatusRoundTrip) {
+  StatusReport s;
+  s.step = 12345;
+  s.totalSites = 999;
+  s.totalMass = 1000.5;
+  s.maxSpeed = 0.07;
+  s.loadImbalance = 1.23;
+  s.stepsPerSecond = 88.0;
+  s.etaSeconds = 17.5;
+  s.consistencyOk = 0;
+  s.paused = 1;
+  const auto back = decodeStatus(encodeStatus(s));
+  EXPECT_EQ(back.step, 12345u);
+  EXPECT_EQ(back.totalSites, 999u);
+  EXPECT_DOUBLE_EQ(back.totalMass, 1000.5);
+  EXPECT_DOUBLE_EQ(back.maxSpeed, 0.07);
+  EXPECT_DOUBLE_EQ(back.loadImbalance, 1.23);
+  EXPECT_EQ(back.consistencyOk, 0);
+  EXPECT_EQ(back.paused, 1);
+}
+
+TEST(Protocol, ImageAndRoiRoundTrip) {
+  ImageFrame f;
+  f.step = 10;
+  f.width = 2;
+  f.height = 1;
+  f.rgb = {1, 2, 3, 4, 5, 6};
+  const auto fb = decodeImage(encodeImage(f));
+  EXPECT_EQ(fb.width, 2);
+  EXPECT_EQ(fb.rgb, f.rgb);
+
+  RoiData roi;
+  roi.step = 11;
+  roi.level = 4;
+  multires::OctreeNode node;
+  node.key = 77;
+  node.count = 3;
+  node.meanScalar = 1.5f;
+  roi.nodes = {node};
+  const auto rb = decodeRoi(encodeRoi(roi));
+  EXPECT_EQ(rb.level, 4);
+  ASSERT_EQ(rb.nodes.size(), 1u);
+  EXPECT_EQ(rb.nodes[0].key, 77u);
+  EXPECT_FLOAT_EQ(rb.nodes[0].meanScalar, 1.5f);
+}
+
+TEST(Protocol, FrameTypeTagIsFirstByte) {
+  EXPECT_EQ(static_cast<int>(frameType(encodeAck(5))),
+            static_cast<int>(MsgType::kAck));
+  Command cmd;
+  cmd.type = MsgType::kPause;
+  EXPECT_EQ(static_cast<int>(frameType(encodeCommand(cmd))),
+            static_cast<int>(MsgType::kPause));
+}
+
+TEST(Server, BroadcastsCommandsToAllRanks) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  Command pause;
+  pause.type = MsgType::kPause;
+  client.send(pause);
+  Command tau;
+  tau.type = MsgType::kSetTau;
+  tau.value = 0.9;
+  client.send(tau);
+
+  comm::Runtime rt(4);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    const auto cmds = server.poll(comm);
+    // Every rank sees both commands, in order.
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_EQ(static_cast<int>(cmds[0].type),
+              static_cast<int>(MsgType::kPause));
+    EXPECT_EQ(static_cast<int>(cmds[1].type),
+              static_cast<int>(MsgType::kSetTau));
+    EXPECT_DOUBLE_EQ(cmds[1].value, 0.9);
+    // A second poll with nothing pending returns empty everywhere.
+    EXPECT_TRUE(server.poll(comm).empty());
+  });
+}
+
+TEST(Server, ResponsesReachTheClient) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  comm::Runtime rt(2);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    StatusReport s;
+    s.step = 5;
+    server.sendStatus(comm, s);  // no-op on rank 1
+    ImageFrame f;
+    f.step = 5;
+    f.width = 1;
+    f.height = 1;
+    f.rgb = {9, 9, 9};
+    server.sendImage(comm, f);
+    server.sendAck(comm, 77);
+  });
+  // Typed awaits filter by type regardless of arrival order.
+  const auto ack = client.awaitAck();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(*ack, 77u);
+  const auto status = client.awaitStatus();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->step, 5u);
+  const auto image = client.awaitImage();
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(image->rgb.size(), 3u);
+}
+
+TEST(Server, SteerTrafficIsClassified) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  Command c;
+  c.type = MsgType::kRequestStatus;
+  client.send(c);
+  comm::Runtime rt(3);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    server.poll(comm);
+  });
+  EXPECT_GT(rt.totalCounters().of(comm::Traffic::kSteer).bytesSent, 0u);
+}
+
+TEST(Client, EofYieldsNullopt) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  serverEnd.close();
+  EXPECT_FALSE(client.awaitStatus().has_value());
+}
+
+}  // namespace
+}  // namespace hemo::steer
