@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_streamlines.dir/bench_fig4b_streamlines.cpp.o"
+  "CMakeFiles/bench_fig4b_streamlines.dir/bench_fig4b_streamlines.cpp.o.d"
+  "bench_fig4b_streamlines"
+  "bench_fig4b_streamlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_streamlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

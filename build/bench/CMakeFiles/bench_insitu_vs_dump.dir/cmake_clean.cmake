@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insitu_vs_dump.dir/bench_insitu_vs_dump.cpp.o"
+  "CMakeFiles/bench_insitu_vs_dump.dir/bench_insitu_vs_dump.cpp.o.d"
+  "bench_insitu_vs_dump"
+  "bench_insitu_vs_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insitu_vs_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

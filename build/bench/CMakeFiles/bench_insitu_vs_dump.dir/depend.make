@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_insitu_vs_dump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multires.dir/bench_multires.cpp.o"
+  "CMakeFiles/bench_multires.dir/bench_multires.cpp.o.d"
+  "bench_multires"
+  "bench_multires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preproc_read.dir/bench_preproc_read.cpp.o"
+  "CMakeFiles/bench_preproc_read.dir/bench_preproc_read.cpp.o.d"
+  "bench_preproc_read"
+  "bench_preproc_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preproc_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_lb.dir/bench_scaling_lb.cpp.o"
+  "CMakeFiles/bench_scaling_lb.dir/bench_scaling_lb.cpp.o.d"
+  "bench_scaling_lb"
+  "bench_scaling_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vis.dir/bench_table1_vis.cpp.o"
+  "CMakeFiles/bench_table1_vis.dir/bench_table1_vis.cpp.o.d"
+  "bench_table1_vis"
+  "bench_table1_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vis_aware_balance.dir/bench_vis_aware_balance.cpp.o"
+  "CMakeFiles/bench_vis_aware_balance.dir/bench_vis_aware_balance.cpp.o.d"
+  "bench_vis_aware_balance"
+  "bench_vis_aware_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vis_aware_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

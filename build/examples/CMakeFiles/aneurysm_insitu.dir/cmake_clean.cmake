@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneurysm_insitu.dir/aneurysm_insitu.cpp.o"
+  "CMakeFiles/aneurysm_insitu.dir/aneurysm_insitu.cpp.o.d"
+  "aneurysm_insitu"
+  "aneurysm_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneurysm_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

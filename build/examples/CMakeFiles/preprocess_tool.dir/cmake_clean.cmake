@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocess_tool.dir/preprocess_tool.cpp.o"
+  "CMakeFiles/preprocess_tool.dir/preprocess_tool.cpp.o.d"
+  "preprocess_tool"
+  "preprocess_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocess_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

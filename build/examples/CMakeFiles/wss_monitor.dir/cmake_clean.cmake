@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wss_monitor.dir/wss_monitor.cpp.o"
+  "CMakeFiles/wss_monitor.dir/wss_monitor.cpp.o.d"
+  "wss_monitor"
+  "wss_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wss_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhemo_comm.a"
+)

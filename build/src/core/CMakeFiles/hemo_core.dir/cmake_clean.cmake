@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_core.dir/driver.cpp.o"
+  "CMakeFiles/hemo_core.dir/driver.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hemo_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/preprocess.cpp.o"
+  "CMakeFiles/hemo_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/hemo_core.dir/refine.cpp.o"
+  "CMakeFiles/hemo_core.dir/refine.cpp.o.d"
+  "libhemo_core.a"
+  "libhemo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

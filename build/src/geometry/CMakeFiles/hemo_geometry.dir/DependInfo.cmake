@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/parallel_reader.cpp" "src/geometry/CMakeFiles/hemo_geometry.dir/parallel_reader.cpp.o" "gcc" "src/geometry/CMakeFiles/hemo_geometry.dir/parallel_reader.cpp.o.d"
+  "/root/repo/src/geometry/sgmy.cpp" "src/geometry/CMakeFiles/hemo_geometry.dir/sgmy.cpp.o" "gcc" "src/geometry/CMakeFiles/hemo_geometry.dir/sgmy.cpp.o.d"
+  "/root/repo/src/geometry/shapes.cpp" "src/geometry/CMakeFiles/hemo_geometry.dir/shapes.cpp.o" "gcc" "src/geometry/CMakeFiles/hemo_geometry.dir/shapes.cpp.o.d"
+  "/root/repo/src/geometry/sparse_lattice.cpp" "src/geometry/CMakeFiles/hemo_geometry.dir/sparse_lattice.cpp.o" "gcc" "src/geometry/CMakeFiles/hemo_geometry.dir/sparse_lattice.cpp.o.d"
+  "/root/repo/src/geometry/voxelizer.cpp" "src/geometry/CMakeFiles/hemo_geometry.dir/voxelizer.cpp.o" "gcc" "src/geometry/CMakeFiles/hemo_geometry.dir/voxelizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hemo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hemo_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

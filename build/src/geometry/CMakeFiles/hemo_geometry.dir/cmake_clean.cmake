@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_geometry.dir/parallel_reader.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/parallel_reader.cpp.o.d"
+  "CMakeFiles/hemo_geometry.dir/sgmy.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/sgmy.cpp.o.d"
+  "CMakeFiles/hemo_geometry.dir/shapes.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/shapes.cpp.o.d"
+  "CMakeFiles/hemo_geometry.dir/sparse_lattice.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/sparse_lattice.cpp.o.d"
+  "CMakeFiles/hemo_geometry.dir/voxelizer.cpp.o"
+  "CMakeFiles/hemo_geometry.dir/voxelizer.cpp.o.d"
+  "libhemo_geometry.a"
+  "libhemo_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_multires.dir/octree.cpp.o"
+  "CMakeFiles/hemo_multires.dir/octree.cpp.o.d"
+  "CMakeFiles/hemo_multires.dir/roi.cpp.o"
+  "CMakeFiles/hemo_multires.dir/roi.cpp.o.d"
+  "libhemo_multires.a"
+  "libhemo_multires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_multires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/graph.cpp" "src/partition/CMakeFiles/hemo_partition.dir/graph.cpp.o" "gcc" "src/partition/CMakeFiles/hemo_partition.dir/graph.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/partition/CMakeFiles/hemo_partition.dir/metrics.cpp.o" "gcc" "src/partition/CMakeFiles/hemo_partition.dir/metrics.cpp.o.d"
+  "/root/repo/src/partition/partitioners.cpp" "src/partition/CMakeFiles/hemo_partition.dir/partitioners.cpp.o" "gcc" "src/partition/CMakeFiles/hemo_partition.dir/partitioners.cpp.o.d"
+  "/root/repo/src/partition/repartition.cpp" "src/partition/CMakeFiles/hemo_partition.dir/repartition.cpp.o" "gcc" "src/partition/CMakeFiles/hemo_partition.dir/repartition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hemo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hemo_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

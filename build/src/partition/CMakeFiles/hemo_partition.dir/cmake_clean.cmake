@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_partition.dir/graph.cpp.o"
+  "CMakeFiles/hemo_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/hemo_partition.dir/metrics.cpp.o"
+  "CMakeFiles/hemo_partition.dir/metrics.cpp.o.d"
+  "CMakeFiles/hemo_partition.dir/partitioners.cpp.o"
+  "CMakeFiles/hemo_partition.dir/partitioners.cpp.o.d"
+  "CMakeFiles/hemo_partition.dir/repartition.cpp.o"
+  "CMakeFiles/hemo_partition.dir/repartition.cpp.o.d"
+  "libhemo_partition.a"
+  "libhemo_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_steer.dir/protocol.cpp.o"
+  "CMakeFiles/hemo_steer.dir/protocol.cpp.o.d"
+  "CMakeFiles/hemo_steer.dir/server.cpp.o"
+  "CMakeFiles/hemo_steer.dir/server.cpp.o.d"
+  "libhemo_steer.a"
+  "libhemo_steer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

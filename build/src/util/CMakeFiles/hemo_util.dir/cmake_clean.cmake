@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_util.dir/log.cpp.o"
+  "CMakeFiles/hemo_util.dir/log.cpp.o.d"
+  "CMakeFiles/hemo_util.dir/timer.cpp.o"
+  "CMakeFiles/hemo_util.dir/timer.cpp.o.d"
+  "libhemo_util.a"
+  "libhemo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vis/features.cpp" "src/vis/CMakeFiles/hemo_vis.dir/features.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/features.cpp.o.d"
+  "/root/repo/src/vis/lic.cpp" "src/vis/CMakeFiles/hemo_vis.dir/lic.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/lic.cpp.o.d"
+  "/root/repo/src/vis/line_render.cpp" "src/vis/CMakeFiles/hemo_vis.dir/line_render.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/line_render.cpp.o.d"
+  "/root/repo/src/vis/particles.cpp" "src/vis/CMakeFiles/hemo_vis.dir/particles.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/particles.cpp.o.d"
+  "/root/repo/src/vis/sampler.cpp" "src/vis/CMakeFiles/hemo_vis.dir/sampler.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/sampler.cpp.o.d"
+  "/root/repo/src/vis/streamlines.cpp" "src/vis/CMakeFiles/hemo_vis.dir/streamlines.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/streamlines.cpp.o.d"
+  "/root/repo/src/vis/volume.cpp" "src/vis/CMakeFiles/hemo_vis.dir/volume.cpp.o" "gcc" "src/vis/CMakeFiles/hemo_vis.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hemo_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hemo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hemo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

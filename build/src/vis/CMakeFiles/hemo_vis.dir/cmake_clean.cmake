@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemo_vis.dir/features.cpp.o"
+  "CMakeFiles/hemo_vis.dir/features.cpp.o.d"
+  "CMakeFiles/hemo_vis.dir/lic.cpp.o"
+  "CMakeFiles/hemo_vis.dir/lic.cpp.o.d"
+  "CMakeFiles/hemo_vis.dir/line_render.cpp.o"
+  "CMakeFiles/hemo_vis.dir/line_render.cpp.o.d"
+  "CMakeFiles/hemo_vis.dir/particles.cpp.o"
+  "CMakeFiles/hemo_vis.dir/particles.cpp.o.d"
+  "CMakeFiles/hemo_vis.dir/sampler.cpp.o"
+  "CMakeFiles/hemo_vis.dir/sampler.cpp.o.d"
+  "CMakeFiles/hemo_vis.dir/streamlines.cpp.o"
+  "CMakeFiles/hemo_vis.dir/streamlines.cpp.o.d"
+  "CMakeFiles/hemo_vis.dir/volume.cpp.o"
+  "CMakeFiles/hemo_vis.dir/volume.cpp.o.d"
+  "libhemo_vis.a"
+  "libhemo_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemo_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

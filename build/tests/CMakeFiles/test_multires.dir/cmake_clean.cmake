@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multires.dir/test_multires.cpp.o"
+  "CMakeFiles/test_multires.dir/test_multires.cpp.o.d"
+  "test_multires"
+  "test_multires.pdb"
+  "test_multires[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

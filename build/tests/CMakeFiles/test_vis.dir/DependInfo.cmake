@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vis.cpp" "tests/CMakeFiles/test_vis.dir/test_vis.cpp.o" "gcc" "tests/CMakeFiles/test_vis.dir/test_vis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vis/CMakeFiles/hemo_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hemo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hemo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hemo_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hemo_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hemo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
