@@ -26,7 +26,7 @@ struct SerialSetup {
 
 template <typename Lattice>
 void stepBench(benchmark::State& state, lb::LbParams params) {
-  static SerialSetup setup(0.15);
+  static SerialSetup setup(0.08);
   comm::Runtime rt(1);
   rt.run([&](comm::Communicator& comm) {
     lb::DomainMap domain(setup.lattice, setup.part, 0);
@@ -41,13 +41,25 @@ void stepBench(benchmark::State& state, lb::LbParams params) {
         benchmark::Counter::kIsRate);
     state.counters["sites"] =
         static_cast<double>(setup.lattice.numFluidSites());
+    state.counters["frontier"] =
+        static_cast<double>(solver.reordering().numFrontier);
+    state.counters["bulk"] = static_cast<double>(solver.reordering().numBulk());
   });
 }
 
+// Fused (default) vs reference three-phase kernel on the same geometry:
+// compare the MLUPS counters to read the fusion speedup.
 void BM_StepD3Q19Bgk(benchmark::State& state) {
   stepBench<lb::D3Q19>(state, flowParams());
 }
 BENCHMARK(BM_StepD3Q19Bgk)->Unit(benchmark::kMillisecond);
+
+void BM_StepD3Q19BgkReference(benchmark::State& state) {
+  auto p = flowParams();
+  p.kernel = lb::LbParams::Kernel::kReference;
+  stepBench<lb::D3Q19>(state, p);
+}
+BENCHMARK(BM_StepD3Q19BgkReference)->Unit(benchmark::kMillisecond);
 
 void BM_StepD3Q19Trt(benchmark::State& state) {
   auto p = flowParams();
@@ -55,6 +67,14 @@ void BM_StepD3Q19Trt(benchmark::State& state) {
   stepBench<lb::D3Q19>(state, p);
 }
 BENCHMARK(BM_StepD3Q19Trt)->Unit(benchmark::kMillisecond);
+
+void BM_StepD3Q19TrtReference(benchmark::State& state) {
+  auto p = flowParams();
+  p.collision = lb::LbParams::Collision::kTrt;
+  p.kernel = lb::LbParams::Kernel::kReference;
+  stepBench<lb::D3Q19>(state, p);
+}
+BENCHMARK(BM_StepD3Q19TrtReference)->Unit(benchmark::kMillisecond);
 
 void BM_StepD3Q15Bgk(benchmark::State& state) {
   stepBench<lb::D3Q15>(state, flowParams());

@@ -22,6 +22,9 @@ struct ScalePoint {
   std::uint64_t haloBytesPerStep = 0;
   std::uint64_t haloMsgsPerStep = 0;
   double modeledSeconds = 0.0;
+  /// Fraction of the halo window hidden behind the fused bulk sweep,
+  /// averaged over ranks (overlap wall time vs residual receive wait).
+  double commHidden = 0.0;
 };
 
 ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
@@ -35,10 +38,13 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
     lb::DomainMap domain(lattice, part, comm.rank());
     lb::SolverD3Q19 solver(domain, comm, flowParams());
     solver.run(10);  // warm up (plans, caches)
+    solver.resetTimers();
     comm.barrier();
     const auto sample =
         measurePhase(comm, [&] { solver.run(steps); });
     const auto s = summarizePhase(comm, sample);
+    const double overlap = comm.allreduceSum(solver.overlapTimer().total());
+    const double wait = comm.allreduceSum(solver.recvWaitTimer().total());
     if (comm.rank() == 0) {
       point.maxBusy = s.maxBusy;
       point.imbalance = s.imbalance;
@@ -47,6 +53,7 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
           s.totalMessages / static_cast<std::uint64_t>(steps);
       point.modeledSeconds = core::modeledParallelSeconds(
           {core::RankCost{s.maxBusy, s.maxRankMessages, s.maxRankBytes}});
+      point.commHidden = overlap + wait > 0.0 ? overlap / (overlap + wait) : 0.0;
     }
   });
   return point;
@@ -65,27 +72,28 @@ int main() {
               static_cast<unsigned long long>(lattice.numFluidSites()),
               steps);
   printHeader("Strong scaling of the sparse LB solver (S2)");
-  std::printf("%-7s %12s %12s %14s %14s %10s %10s\n", "ranks", "mod.time s",
-              "speedup", "halo KB/step", "msgs/step", "imbal", "eff");
+  std::printf("%-7s %12s %12s %14s %14s %10s %10s %10s\n", "ranks",
+              "mod.time s", "speedup", "halo KB/step", "msgs/step", "imbal",
+              "eff", "hidden%");
   ScalePoint base;
   for (const int ranks : {1, 2, 4, 8, 16, 32}) {
     const auto p = measure(lattice, ranks, steps);
     if (ranks == 1) base = p;
     const double speedup =
         p.modeledSeconds > 0.0 ? base.modeledSeconds / p.modeledSeconds : 0.0;
-    std::printf("%-7d %12.4f %12.2f %14.1f %14llu %10.3f %9.0f%%\n", ranks,
-                p.modeledSeconds, speedup,
+    std::printf("%-7d %12.4f %12.2f %14.1f %14llu %10.3f %9.0f%% %9.0f%%\n",
+                ranks, p.modeledSeconds, speedup,
                 static_cast<double>(p.haloBytesPerStep) / 1e3,
                 static_cast<unsigned long long>(p.haloMsgsPerStep),
-                p.imbalance, 100.0 * speedup / ranks);
+                p.imbalance, 100.0 * speedup / ranks, 100.0 * p.commHidden);
   }
 
   // --- weak scaling --------------------------------------------------------------
   // Hold sites/rank roughly constant by lengthening the tube with the rank
   // count.
   printHeader("Weak scaling of the sparse LB solver (S2)");
-  std::printf("%-7s %12s %14s %14s %12s\n", "ranks", "sites", "sites/rank",
-              "mod.time s", "efficiency");
+  std::printf("%-7s %12s %14s %14s %12s %10s\n", "ranks", "sites",
+              "sites/rank", "mod.time s", "efficiency", "hidden%");
   double weakBase = 0.0;
   for (const int ranks : {1, 2, 4, 8}) {
     const auto tube = makeTube(0.12, 3.0 * ranks);
@@ -93,11 +101,11 @@ int main() {
     if (ranks == 1) weakBase = p.modeledSeconds;
     const double eff =
         p.modeledSeconds > 0.0 ? weakBase / p.modeledSeconds : 0.0;
-    std::printf("%-7d %12llu %14llu %14.4f %11.0f%%\n", ranks,
+    std::printf("%-7d %12llu %14llu %14.4f %11.0f%% %9.0f%%\n", ranks,
                 static_cast<unsigned long long>(p.sites),
                 static_cast<unsigned long long>(p.sites) /
                     static_cast<unsigned long long>(ranks),
-                p.modeledSeconds, 100.0 * eff);
+                p.modeledSeconds, 100.0 * eff, 100.0 * p.commHidden);
   }
   std::printf("\nexpected shape: near-linear strong scaling while sites/rank "
               "stays large\n(halo surface << owned volume); weak efficiency "

@@ -87,6 +87,11 @@ class Communicator {
   bool tryRecvBytes(int source, int tag, std::vector<std::byte>& payload,
                     int* sourceOut = nullptr);
 
+  /// Blocking matched receive into caller-owned storage of exactly `n`
+  /// bytes — no per-call allocation, for steady-state paths like the
+  /// solver's halo exchange. Aborts if the payload size differs.
+  void recvBytesInto(int source, int tag, void* dst, std::size_t n);
+
   /// True if a matching message is waiting (MPI_Iprobe analogue).
   bool probe(int source, int tag) const;
 
@@ -113,6 +118,13 @@ class Communicator {
   void sendVec(int dest, int tag, const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     sendBytes(dest, tag, values.data(), values.size() * sizeof(T));
+  }
+
+  /// Typed recvBytesInto: receive exactly `count` elements into `dst`.
+  template <typename T>
+  void recvInto(int source, int tag, T* dst, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recvBytesInto(source, tag, dst, count * sizeof(T));
   }
 
   template <typename T>

@@ -39,6 +39,18 @@ std::vector<std::byte> Communicator::recvBytes(int source, int tag,
   return std::move(env.payload);
 }
 
+void Communicator::recvBytesInto(int source, int tag, void* dst,
+                                 std::size_t n) {
+  Envelope env = rt_->mailbox(worldRank()).pop(context_, source, tag);
+  HEMO_CHECK_MSG(env.payload.size() == n,
+                 "recvBytesInto size mismatch: got " << env.payload.size()
+                                                     << " want " << n);
+  auto& c = counters().of(traffic_);
+  ++c.messagesReceived;
+  c.bytesReceived += n;
+  if (n > 0) std::memcpy(dst, env.payload.data(), n);
+}
+
 bool Communicator::tryRecvBytes(int source, int tag,
                                 std::vector<std::byte>& payload,
                                 int* sourceOut) {

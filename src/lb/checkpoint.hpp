@@ -30,7 +30,11 @@ std::uint64_t writeCheckpoint(const std::string& path,
   // Every rank serialises (ids, f_0..f_{Q-1}) for its owned sites.
   io::Writer w;
   w.putVec(solver.domain().ownedIds());
-  for (int i = 0; i < kQ; ++i) w.putVec(solver.distribution(i));
+  std::vector<double> fi;
+  for (int i = 0; i < kQ; ++i) {
+    solver.gatherDistribution(i, fi);
+    w.putVec(fi);
+  }
   const auto all = comm.gatherVec(w.take(), 0);
 
   std::uint64_t written = 0;

@@ -57,6 +57,29 @@ class DomainMap {
   std::unordered_map<std::uint64_t, std::uint32_t> localOf_;
 };
 
+/// Hot-path site permutation built by the solver over a rank's owned sites.
+///
+/// The solver stores distributions in an *internal* order chosen for the
+/// fused collide–stream kernel: frontier sites (any streaming pull that
+/// crosses a rank boundary, a wall, or an iolet) come first so their
+/// outgoing halo populations can be computed and posted before the bulk
+/// sweep; bulk sites follow, sub-sorted by Morton key for cache locality.
+///
+/// Contract: *external* local indices — the DomainMap order used by
+/// checkpointing, visualisation sampling, WSS extraction and every test —
+/// are unchanged. The solver translates at its boundary through these maps;
+/// nothing outside the solver ever sees internal indices.
+struct SiteReordering {
+  std::vector<std::uint32_t> internalOf;  ///< external local -> internal
+  std::vector<std::uint32_t> externalOf;  ///< internal -> external local
+  std::uint32_t numFrontier = 0;  ///< internal [0, numFrontier) are frontier
+
+  std::uint32_t numSites() const {
+    return static_cast<std::uint32_t>(externalOf.size());
+  }
+  std::uint32_t numBulk() const { return numSites() - numFrontier; }
+};
+
 /// Macroscopic moments of the owned sites, refreshed every collision.
 struct MacroFields {
   std::vector<double> rho;

@@ -5,18 +5,40 @@
 /// The method matches HemeLB's core: indirect addressing over fluid sites
 /// only, BGK or TRT collision, halfway bounce-back walls, anti-bounce-back
 /// pressure inlets/outlets, Guo forcing, and per-step halo exchange of the
-/// distribution values that stream across rank boundaries. Streaming uses
-/// the pull scheme: f_i(x, t+1) = f*_i(x − c_i, t); values whose upstream
-/// site lives on another rank arrive through the exchange, values whose
-/// upstream crosses a wall/iolet are reconstructed by the boundary rule.
+/// distribution values that stream across rank boundaries.
+///
+/// Two kernels drive the hot path (LbParams::kernel):
+///
+/// * **kFused** (default): one pass per site fuses collision and streaming.
+///   Owned sites are internally reordered frontier-first (see
+///   SiteReordering): the frontier pass collides every site whose update
+///   touches a rank boundary, wall or iolet, applies the local boundary
+///   rules, and drops the outgoing halo populations straight into
+///   persistent send buffers; the halo messages are then posted and the
+///   bulk sites — all-local, Morton-sorted, branch-free push loop — are
+///   processed *while the messages are in flight*; finally the receives
+///   are drained directly into the frontier sites' fNext slots. This
+///   eliminates the intermediate full-lattice read/write round trip of the
+///   three-phase path and hides communication behind the bulk sweep.
+/// * **kReference**: the textbook three-phase collide → blocking exchange →
+///   pull-stream, kept for paired equivalence testing and benchmarking.
+///
+/// Both kernels perform the identical floating-point update per site (the
+/// collision is shared), so their trajectories agree bitwise. Streaming
+/// uses f_i(x, t+1) = f*_i(x − c_i, t); the fused kernel realises it as a
+/// push from the collided site, the reference kernel as a pull at the
+/// destination — same values, different sweep structure.
 
+#include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "comm/communicator.hpp"
 #include "lb/domain_map.hpp"
 #include "lb/lattice.hpp"
 #include "util/check.hpp"
+#include "util/morton.hpp"
 #include "util/timer.hpp"
 
 namespace hemo::lb {
@@ -33,6 +55,9 @@ struct LbParams {
   Vec3d bodyForce{0, 0, 0};
   /// Also accumulate the deviatoric stress tensor during collision.
   bool computeStress = false;
+  /// Hot-path kernel; kReference is the three-phase collide/exchange/stream
+  /// sweep kept for equivalence testing and benchmarking.
+  enum class Kernel { kFused, kReference } kernel = Kernel::kFused;
 
   /// Kinematic viscosity implied by tau (lattice units).
   double viscosity() const { return kCs2 * (tau - 0.5); }
@@ -42,6 +67,9 @@ template <typename Lattice>
 class Solver {
  public:
   static constexpr int kQ = Lattice::kQ;
+  /// Bulk sites collided per block in the fused kernel; the block buffer
+  /// (kBulkBlock * kQ doubles) must stay L1-resident.
+  static constexpr std::uint32_t kBulkBlock = 64;
 
   Solver(const DomainMap& domain, comm::Communicator& comm,
          const LbParams& params)
@@ -59,6 +87,9 @@ class Solver {
   const DomainMap& domain() const { return *domain_; }
   const LbParams& params() const { return params_; }
   std::uint64_t stepsDone() const { return stepsDone_; }
+
+  /// The frontier/bulk internal permutation (external indexing unchanged).
+  const SiteReordering& reordering() const { return reorder_; }
 
   /// Override an iolet's target density mid-run (computational steering).
   void setIoletDensity(std::size_t ioletId, double density) {
@@ -91,12 +122,11 @@ class Solver {
   /// Reset all distributions to equilibrium at (rho, u).
   void initEquilibrium(double rho, const Vec3d& u) {
     const std::size_t n = domain_->numOwned();
+    double feq[kQ];
+    for (int i = 0; i < kQ; ++i) feq[i] = equilibrium<Lattice>(i, rho, u);
     for (int i = 0; i < kQ; ++i) {
-      f_[static_cast<std::size_t>(i)].assign(n, 0.0);
+      f_[static_cast<std::size_t>(i)].assign(n, feq[i]);
       fNext_[static_cast<std::size_t>(i)].assign(n, 0.0);
-      for (std::size_t l = 0; l < n; ++l) {
-        f_[static_cast<std::size_t>(i)][l] = equilibrium<Lattice>(i, rho, u);
-      }
     }
     macro_.rho.assign(n, rho);
     macro_.u.assign(n, u);
@@ -108,23 +138,28 @@ class Solver {
   template <typename F>
   void initWith(F&& fn) {
     const std::size_t n = domain_->numOwned();
-    for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t e = 0; e < n; ++e) {
       const Vec3d w = domain_->lattice().siteWorld(
-          domain_->globalOf(static_cast<std::uint32_t>(l)));
+          domain_->globalOf(static_cast<std::uint32_t>(e)));
       const auto [rho, u] = fn(w);
+      const auto l = static_cast<std::size_t>(reorder_.internalOf[e]);
       for (int i = 0; i < kQ; ++i) {
         f_[static_cast<std::size_t>(i)][l] = equilibrium<Lattice>(i, rho, u);
       }
-      macro_.rho[l] = rho;
-      macro_.u[l] = u;
+      macro_.rho[e] = rho;
+      macro_.u[e] = u;
     }
   }
 
-  /// One full LB update: collide, exchange halos, stream.
+  /// One full LB update.
   void step() {
-    collide();
-    exchange();
-    stream();
+    if (params_.kernel == LbParams::Kernel::kReference) {
+      collide();
+      exchange();
+      stream();
+    } else {
+      stepFused();
+    }
     for (int i = 0; i < kQ; ++i) {
       f_[static_cast<std::size_t>(i)].swap(fNext_[static_cast<std::size_t>(i)]);
     }
@@ -135,7 +170,8 @@ class Solver {
     for (int s = 0; s < steps; ++s) step();
   }
 
-  /// Macroscopic moments at time of the last collide (pre-collision).
+  /// Macroscopic moments at time of the last collide (pre-collision),
+  /// in external (DomainMap) site order.
   const MacroFields& macro() const { return macro_; }
 
   /// Mass on this rank (sum of cached densities).
@@ -154,23 +190,56 @@ class Solver {
     return p;
   }
 
-  /// Per-phase CPU time accumulated on this rank.
+  /// Per-phase CPU time accumulated on this rank. In the fused kernel
+  /// collide covers both fused passes and stream the receive scatter.
   const PhaseTimer& collideTimer() const { return collideTimer_; }
   const PhaseTimer& streamTimer() const { return streamTimer_; }
   const PhaseTimer& commTimer() const { return commTimer_; }
+  /// Wall time of the bulk sweep while halo messages were in flight.
+  const WallPhaseTimer& overlapTimer() const { return overlapTimer_; }
+  /// Wall time blocked waiting for halo receives after the bulk sweep.
+  const WallPhaseTimer& recvWaitTimer() const { return recvWaitTimer_; }
+
+  /// Fraction of the halo-exchange window hidden behind bulk compute:
+  /// overlap / (overlap + residual receive wait). Zero on the reference
+  /// kernel (nothing is overlapped) and on a rank with no halo.
+  double commHiddenFraction() const {
+    const double denom = overlapTimer_.total() + recvWaitTimer_.total();
+    return denom > 0.0 ? overlapTimer_.total() / denom : 0.0;
+  }
+
   void resetTimers() {
     collideTimer_.reset();
     streamTimer_.reset();
     commTimer_.reset();
+    overlapTimer_.reset();
+    recvWaitTimer_.reset();
   }
 
-  /// Raw distribution access (checkpointing, tests).
-  const std::vector<double>& distribution(int i) const {
-    return f_[static_cast<std::size_t>(i)];
+  /// Distribution i over the owned sites in external (DomainMap) order.
+  std::vector<double> distribution(int i) const {
+    std::vector<double> out(domain_->numOwned());
+    gatherDistribution(i, out);
+    return out;
   }
-  void setDistribution(int i, std::vector<double> values) {
+
+  /// As distribution(), but into caller-owned storage (checkpointing).
+  void gatherDistribution(int i, std::vector<double>& out) const {
+    const std::size_t n = domain_->numOwned();
+    out.resize(n);
+    const auto& fi = f_[static_cast<std::size_t>(i)];
+    for (std::size_t l = 0; l < n; ++l) {
+      out[static_cast<std::size_t>(reorder_.externalOf[l])] = fi[l];
+    }
+  }
+
+  /// Overwrite distribution i from external-order values (restore, tests).
+  void setDistribution(int i, const std::vector<double>& values) {
     HEMO_CHECK(values.size() == domain_->numOwned());
-    f_[static_cast<std::size_t>(i)] = std::move(values);
+    auto& fi = f_[static_cast<std::size_t>(i)];
+    for (std::size_t e = 0; e < values.size(); ++e) {
+      fi[static_cast<std::size_t>(reorder_.internalOf[e])] = values[e];
+    }
     refreshMacros();
   }
 
@@ -178,43 +247,113 @@ class Solver {
   enum class PullKind : std::uint8_t { kLocal, kRecv, kWall, kIolet };
   struct PullSrc {
     PullKind kind = PullKind::kWall;
-    std::uint32_t index = 0;  ///< local idx / flat recv slot / iolet id
+    std::uint32_t index = 0;  ///< internal idx / flat recv slot / iolet id
+  };
+
+  /// One boundary/halo action of a frontier site's fused update.
+  enum class OpKind : std::uint8_t {
+    kPushLocal,  ///< fNext[dir][index] = f*[dir]
+    kSend,       ///< sendFlat_[index] = f*[dir]
+    kWall,       ///< fNext[dir][self] = f*[opposite(dir)] (bounce-back)
+    kIolet       ///< fNext[dir][self] = iolet rule (index = iolet id)
+  };
+  struct FrontierOp {
+    std::uint32_t index = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t dir = 0;
+  };
+  struct RecvDst {
+    std::uint32_t dest = 0;  ///< internal site index
+    std::uint16_t dir = 0;
   };
 
   void buildPullTable() {
     const auto& lat = domain_->lattice();
     const auto& set = Lattice::kSet;
     const std::size_t n = domain_->numOwned();
+
+    // --- classify owned sites: bulk (every pull is local) vs frontier ----
+    std::vector<std::uint8_t> isFrontier(n, 0);
+    for (std::size_t e = 0; e < n; ++e) {
+      const std::uint64_t g = domain_->globalOf(static_cast<std::uint32_t>(e));
+      for (int i = 1; i < kQ; ++i) {
+        const int gd = set.geoDir[static_cast<std::size_t>(i)];
+        const auto upstream = lat.neighborId(g, geometry::oppositeDirection(gd));
+        if (upstream < 0 ||
+            domain_->ownerOf(static_cast<std::uint64_t>(upstream)) !=
+                domain_->rank()) {
+          isFrontier[e] = 1;
+          break;
+        }
+      }
+    }
+
+    // --- internal ordering: frontier first (stable), bulk Morton-sorted --
+    reorder_.externalOf.clear();
+    reorder_.externalOf.reserve(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (isFrontier[e]) {
+        reorder_.externalOf.push_back(static_cast<std::uint32_t>(e));
+      }
+    }
+    reorder_.numFrontier = static_cast<std::uint32_t>(reorder_.externalOf.size());
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> bulk;
+    bulk.reserve(n - reorder_.numFrontier);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (!isFrontier[e]) {
+        bulk.emplace_back(
+            morton3(lat.sitePosition(
+                domain_->globalOf(static_cast<std::uint32_t>(e)))),
+            static_cast<std::uint32_t>(e));
+      }
+    }
+    std::sort(bulk.begin(), bulk.end());
+    for (const auto& [key, e] : bulk) reorder_.externalOf.push_back(e);
+    reorder_.internalOf.assign(n, 0);
+    for (std::size_t l = 0; l < n; ++l) {
+      reorder_.internalOf[reorder_.externalOf[l]] =
+          static_cast<std::uint32_t>(l);
+    }
+
+    // --- pull table (reference kernel) + halo needs, internal order ------
     for (int i = 1; i < kQ; ++i) {
       pull_[static_cast<std::size_t>(i)].assign(n, PullSrc{});
     }
-
     // needs[r] = packed (globalUpstream * 32 + i) values this rank pulls
-    // from rank r, in deterministic (site, velocity) order.
+    // from rank r, in deterministic internal (site, velocity) order.
     std::vector<std::vector<std::uint64_t>> needs(
         static_cast<std::size_t>(comm_->size()));
+    struct RecvRef {
+      std::uint32_t site;  ///< internal index
+      std::uint16_t dir;
+      std::uint16_t owner;
+      std::uint32_t pos;  ///< position within needs[owner]
+    };
+    std::vector<RecvRef> recvRefs;
     for (std::size_t l = 0; l < n; ++l) {
-      const std::uint64_t g = domain_->globalOf(static_cast<std::uint32_t>(l));
+      const std::uint64_t g =
+          domain_->globalOf(reorder_.externalOf[l]);
       for (int i = 1; i < kQ; ++i) {
         const int gd = set.geoDir[static_cast<std::size_t>(i)];
         const int upDir = geometry::oppositeDirection(gd);
         const auto upstream = lat.neighborId(g, upDir);
         auto& src = pull_[static_cast<std::size_t>(i)][l];
         if (upstream >= 0) {
-          const int owner = domain_->ownerOf(static_cast<std::uint64_t>(upstream));
+          const int owner =
+              domain_->ownerOf(static_cast<std::uint64_t>(upstream));
           if (owner == domain_->rank()) {
             src.kind = PullKind::kLocal;
-            src.index = static_cast<std::uint32_t>(
-                domain_->localOf(static_cast<std::uint64_t>(upstream)));
+            src.index = reorder_.internalOf[static_cast<std::size_t>(
+                domain_->localOf(static_cast<std::uint64_t>(upstream)))];
           } else {
             src.kind = PullKind::kRecv;
-            // Flat slot assigned below once per-rank counts are known;
-            // remember the position within this rank's need list.
-            src.index = static_cast<std::uint32_t>(
-                needs[static_cast<std::size_t>(owner)].size());
-            needs[static_cast<std::size_t>(owner)].push_back(
-                static_cast<std::uint64_t>(upstream) * 32 +
-                static_cast<std::uint64_t>(i));
+            auto& need = needs[static_cast<std::size_t>(owner)];
+            recvRefs.push_back({static_cast<std::uint32_t>(l),
+                                static_cast<std::uint16_t>(i),
+                                static_cast<std::uint16_t>(owner),
+                                static_cast<std::uint32_t>(need.size())});
+            need.push_back(static_cast<std::uint64_t>(upstream) * 32 +
+                           static_cast<std::uint64_t>(i));
           }
         } else {
           const auto& link =
@@ -231,27 +370,21 @@ class Solver {
       }
     }
 
-    // Flat receive offsets per source rank.
+    // Flat receive offsets per source rank; fix up slots; scatter targets.
     recvOffset_.assign(static_cast<std::size_t>(comm_->size()) + 1, 0);
     for (int r = 0; r < comm_->size(); ++r) {
       recvOffset_[static_cast<std::size_t>(r) + 1] =
           recvOffset_[static_cast<std::size_t>(r)] +
           static_cast<std::uint32_t>(needs[static_cast<std::size_t>(r)].size());
     }
-    for (int i = 1; i < kQ; ++i) {
-      for (std::size_t l = 0; l < n; ++l) {
-        // Fix up flat indices now that offsets exist.
-        auto& src = pull_[static_cast<std::size_t>(i)][l];
-        if (src.kind != PullKind::kRecv) continue;
-        const std::uint64_t g =
-            domain_->globalOf(static_cast<std::uint32_t>(l));
-        const int gd = set.geoDir[static_cast<std::size_t>(i)];
-        const auto upstream = lat.neighborId(g, geometry::oppositeDirection(gd));
-        const int owner = domain_->ownerOf(static_cast<std::uint64_t>(upstream));
-        src.index += recvOffset_[static_cast<std::size_t>(owner)];
-      }
-    }
     recvFlat_.assign(recvOffset_.back(), 0.0);
+    recvDst_.assign(recvOffset_.back(), RecvDst{});
+    for (const auto& ref : recvRefs) {
+      const std::uint32_t slot =
+          recvOffset_[static_cast<std::size_t>(ref.owner)] + ref.pos;
+      pull_[static_cast<std::size_t>(ref.dir)][ref.site].index = slot;
+      recvDst_[slot] = {ref.site, ref.dir};
+    }
     for (int r = 0; r < comm_->size(); ++r) {
       if (!needs[static_cast<std::size_t>(r)].empty()) {
         recvRanks_.push_back(r);
@@ -273,125 +406,518 @@ class Solver {
           const int i = static_cast<int>(packed % 32);
           const auto local = domain_->localOf(g);
           HEMO_CHECK_MSG(local >= 0, "halo request for non-owned site " << g);
-          plan.entries.push_back({static_cast<std::uint32_t>(local),
-                                  static_cast<std::uint16_t>(i)});
+          plan.entries.push_back(
+              {reorder_.internalOf[static_cast<std::size_t>(local)],
+               static_cast<std::uint16_t>(i)});
         }
         sendPlans_.push_back(std::move(plan));
+      }
+    }
+    // Persistent flat send storage: per-plan contiguous slices, so a slice
+    // can be handed to sendBytes directly (no per-step heap churn).
+    sendFlatOffset_.clear();
+    std::size_t sendTotal = 0;
+    for (const auto& plan : sendPlans_) {
+      sendFlatOffset_.push_back(sendTotal);
+      sendTotal += plan.entries.size();
+    }
+    sendFlat_.assign(sendTotal, 0.0);
+
+    buildFusedTables();
+  }
+
+  /// Push tables for the fused kernel, derived from the same geometry/
+  /// ownership facts as the pull table: every (site, direction) value
+  /// either pushes to a local downstream slot, fills a send slot, or folds
+  /// back into the site itself through a wall/iolet rule.
+  void buildFusedTables() {
+    const auto& lat = domain_->lattice();
+    const auto& set = Lattice::kSet;
+    const std::size_t n = domain_->numOwned();
+    const std::uint32_t nf = reorder_.numFrontier;
+
+    // (internal site * 32 + dir) -> flat send slot.
+    std::unordered_map<std::uint64_t, std::uint32_t> sendSlotOf;
+    for (std::size_t p = 0; p < sendPlans_.size(); ++p) {
+      const auto& plan = sendPlans_[p];
+      for (std::size_t k = 0; k < plan.entries.size(); ++k) {
+        const auto& e = plan.entries[k];
+        sendSlotOf.emplace(
+            static_cast<std::uint64_t>(e.local) * 32 + e.velocity,
+            static_cast<std::uint32_t>(sendFlatOffset_[p] + k));
+      }
+    }
+
+    frontierOpStart_.assign(static_cast<std::size_t>(nf) + 1, 0);
+    frontierOps_.clear();
+    frontierOps_.reserve(static_cast<std::size_t>(nf) *
+                         static_cast<std::size_t>(kQ - 1));
+    for (int i = 1; i < kQ; ++i) {
+      push_[static_cast<std::size_t>(i)].assign(n, 0);
+    }
+
+    for (std::size_t l = 0; l < n; ++l) {
+      const std::uint64_t g = domain_->globalOf(reorder_.externalOf[l]);
+      for (int i = 1; i < kQ; ++i) {
+        const int gd = set.geoDir[static_cast<std::size_t>(i)];
+        const auto down = lat.neighborId(g, gd);
+        if (down >= 0 &&
+            domain_->ownerOf(static_cast<std::uint64_t>(down)) ==
+                domain_->rank()) {
+          const std::uint32_t dest =
+              reorder_.internalOf[static_cast<std::size_t>(
+                  domain_->localOf(static_cast<std::uint64_t>(down)))];
+          if (l < nf) {
+            frontierOps_.push_back({dest,
+                                    static_cast<std::uint8_t>(OpKind::kPushLocal),
+                                    static_cast<std::uint8_t>(i)});
+          } else {
+            push_[static_cast<std::size_t>(i)][l] = dest;
+          }
+          continue;
+        }
+        HEMO_CHECK_MSG(l < nf, "bulk site with non-local downstream " << g);
+        if (down >= 0) {
+          const auto it = sendSlotOf.find(static_cast<std::uint64_t>(l) * 32 +
+                                          static_cast<std::uint64_t>(i));
+          HEMO_CHECK_MSG(it != sendSlotOf.end(),
+                         "missing halo send slot for site " << g);
+          frontierOps_.push_back({it->second,
+                                  static_cast<std::uint8_t>(OpKind::kSend),
+                                  static_cast<std::uint8_t>(i)});
+        } else {
+          // The outgoing population hits a wall/iolet and folds back into
+          // this site along the opposite (incoming) direction — the push
+          // form of the pull table's kWall/kIolet rules.
+          const auto& link = lat.site(g).links[static_cast<std::size_t>(gd)];
+          const auto in = static_cast<std::uint8_t>(
+              set.opposite[static_cast<std::size_t>(i)]);
+          if (link.kind == geometry::LinkKind::kWall) {
+            frontierOps_.push_back(
+                {0, static_cast<std::uint8_t>(OpKind::kWall), in});
+          } else {
+            frontierOps_.push_back({link.ioletId,
+                                    static_cast<std::uint8_t>(OpKind::kIolet),
+                                    in});
+          }
+        }
+      }
+      if (l + 1 <= nf) {
+        frontierOpStart_[l + 1] =
+            static_cast<std::uint32_t>(frontierOps_.size());
+      }
+    }
+  }
+
+  /// Loop-invariant collision constants plus raw output pointers, hoisted
+  /// once per sweep so the hot loops never re-load vector data pointers
+  /// the compiler cannot prove alias-free.
+  struct CollisionCtx {
+    double omega = 0.0;
+    double omegaMinus = 0.0;
+    bool trt = false;
+    Vec3d F{0, 0, 0};
+    bool forced = false;
+    bool stress = false;
+    double stressPrefactor = 0.0;
+    double* rhoOut = nullptr;
+    Vec3d* uOut = nullptr;
+    SymTensor3* stressOut = nullptr;
+  };
+
+  CollisionCtx collisionCtx() {
+    CollisionCtx ctx;
+    const double tau = params_.tau;
+    ctx.omega = 1.0 / tau;
+    ctx.trt = params_.collision == LbParams::Collision::kTrt;
+    const double tauMinus = params_.trtMagic / (tau - 0.5) + 0.5;
+    ctx.omegaMinus = 1.0 / tauMinus;
+    ctx.F = params_.bodyForce;
+    ctx.forced = ctx.F.norm2() > 0.0;
+    ctx.stress = params_.computeStress;
+    ctx.stressPrefactor = -(1.0 - 0.5 * ctx.omega);
+    ctx.rhoOut = macro_.rho.data();
+    ctx.uOut = macro_.u.data();
+    ctx.stressOut = ctx.stress ? macro_.stress.data() : nullptr;
+    return ctx;
+  }
+
+  /// Per-direction constants as flat doubles: keeps the hot loops free of
+  /// the int->double casts and Vec3 temporaries the generic VelocitySet
+  /// accessors would cost per site.
+  struct DirConsts {
+    std::array<double, kQ> cx{}, cy{}, cz{}, w{};
+  };
+
+  static DirConsts makeDirConsts() {
+    DirConsts d;
+    for (int i = 0; i < kQ; ++i) {
+      const auto& c = Lattice::kSet.c[static_cast<std::size_t>(i)];
+      d.cx[static_cast<std::size_t>(i)] = static_cast<double>(c.x);
+      d.cy[static_cast<std::size_t>(i)] = static_cast<double>(c.y);
+      d.cz[static_cast<std::size_t>(i)] = static_cast<double>(c.z);
+      d.w[static_cast<std::size_t>(i)] = Lattice::kSet.w[static_cast<std::size_t>(i)];
+    }
+    return d;
+  }
+
+  /// Moments + collision (+ forcing/stress) of one site, in place: `fl`
+  /// holds the pre-collision populations on entry, post-collision on
+  /// return. `ext` is the external index the macroscopic fields are
+  /// written to. This is the optimised form (flat direction constants, one
+  /// reciprocal, fused equilibrium polynomial); relaxSiteReference() keeps
+  /// the pre-fusion arithmetic — same update to round-off, so the paired
+  /// kernels agree to ~1e-12 over hundreds of steps.
+  void relaxSite(const CollisionCtx& ctx, double* fl, std::size_t ext) {
+    const auto& d = dir_;
+    double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+    for (int i = 0; i < kQ; ++i) {
+      const double fi = fl[i];
+      rho += fi;
+      mx += d.cx[static_cast<std::size_t>(i)] * fi;
+      my += d.cy[static_cast<std::size_t>(i)] * fi;
+      mz += d.cz[static_cast<std::size_t>(i)] * fi;
+    }
+    const double invRho = 1.0 / rho;
+    // Guo: physical velocity includes half the force impulse.
+    double ux = mx * invRho, uy = my * invRho, uz = mz * invRho;
+    if (ctx.forced) {
+      const double h = 0.5 * invRho;
+      ux += ctx.F.x * h;
+      uy += ctx.F.y * h;
+      uz += ctx.F.z * h;
+    }
+    ctx.rhoOut[ext] = rho;
+    ctx.uOut[ext] = Vec3d{ux, uy, uz};
+
+    const double base = 1.0 - 1.5 * (ux * ux + uy * uy + uz * uz);
+    double feq[kQ], cus[kQ];
+    for (int i = 0; i < kQ; ++i) {
+      const double cu = d.cx[static_cast<std::size_t>(i)] * ux +
+                        d.cy[static_cast<std::size_t>(i)] * uy +
+                        d.cz[static_cast<std::size_t>(i)] * uz;
+      cus[i] = cu;
+      feq[i] = d.w[static_cast<std::size_t>(i)] * rho *
+               (base + cu * (3.0 + 4.5 * cu));
+    }
+
+    if (ctx.stress) {
+      SymTensor3 pi{};
+      for (int i = 0; i < kQ; ++i) {
+        const double fneq = fl[i] - feq[i];
+        const double cx = d.cx[static_cast<std::size_t>(i)];
+        const double cy = d.cy[static_cast<std::size_t>(i)];
+        const double cz = d.cz[static_cast<std::size_t>(i)];
+        pi.xx() += fneq * cx * cx;
+        pi.yy() += fneq * cy * cy;
+        pi.zz() += fneq * cz * cz;
+        pi.xy() += fneq * cx * cy;
+        pi.xz() += fneq * cx * cz;
+        pi.yz() += fneq * cy * cz;
+      }
+      // Deviatoric part of the relaxed non-equilibrium momentum flux.
+      SymTensor3 sigma = pi * ctx.stressPrefactor;
+      const double trace3 = (sigma.xx() + sigma.yy() + sigma.zz()) / 3.0;
+      sigma.xx() -= trace3;
+      sigma.yy() -= trace3;
+      sigma.zz() -= trace3;
+      ctx.stressOut[ext] = sigma;
+    }
+
+    if (!ctx.trt) {
+      for (int i = 0; i < kQ; ++i) {
+        fl[i] += ctx.omega * (feq[i] - fl[i]);
+      }
+    } else {
+      const auto& set = Lattice::kSet;
+      for (int i = 0; i < kQ; ++i) {
+        const int j = set.opposite[static_cast<std::size_t>(i)];
+        if (j < i) continue;
+        const double fPlus = 0.5 * (fl[i] + fl[j]);
+        const double fMinus = 0.5 * (fl[i] - fl[j]);
+        const double eqPlus = 0.5 * (feq[i] + feq[j]);
+        const double eqMinus = 0.5 * (feq[i] - feq[j]);
+        const double dPlus = ctx.omega * (eqPlus - fPlus);
+        const double dMinus = ctx.omegaMinus * (eqMinus - fMinus);
+        fl[i] += dPlus + dMinus;
+        if (j != i) fl[j] += dPlus - dMinus;
+      }
+    }
+
+    if (ctx.forced) {
+      const double pref = 1.0 - 0.5 * ctx.omega;
+      for (int i = 0; i < kQ; ++i) {
+        const double cx = d.cx[static_cast<std::size_t>(i)];
+        const double cy = d.cy[static_cast<std::size_t>(i)];
+        const double cz = d.cz[static_cast<std::size_t>(i)];
+        const double nineCu = 9.0 * cus[i];
+        const double termF = (3.0 * (cx - ux) + cx * nineCu) * ctx.F.x +
+                             (3.0 * (cy - uy) + cy * nineCu) * ctx.F.y +
+                             (3.0 * (cz - uz) + cz * nineCu) * ctx.F.z;
+        fl[i] += pref * d.w[static_cast<std::size_t>(i)] * termF;
+      }
+    }
+  }
+
+  // --- fused kernel ------------------------------------------------------
+
+  /// Raw hot-loop pointers, hoisted once per step.
+  struct SweepPtrs {
+    const double* fsrc[kQ];
+    double* fdst[kQ];
+    const std::uint32_t* pdst[kQ];
+    const std::uint32_t* extOf;
+    double* sendFlat;
+  };
+
+  SweepPtrs sweepPtrs() {
+    SweepPtrs p;
+    for (int i = 0; i < kQ; ++i) {
+      p.fsrc[i] = f_[static_cast<std::size_t>(i)].data();
+      p.fdst[i] = fNext_[static_cast<std::size_t>(i)].data();
+      p.pdst[i] = push_[static_cast<std::size_t>(i)].data();
+    }
+    p.extOf = reorder_.externalOf.data();
+    p.sendFlat = sendFlat_.data();
+    return p;
+  }
+
+  void stepFused() {
+    const CollisionCtx ctx = collisionCtx();
+    const SweepPtrs ptrs = sweepPtrs();
+    const auto n = static_cast<std::uint32_t>(domain_->numOwned());
+    const std::uint32_t nf = reorder_.numFrontier;
+
+    // Frontier pass: collide every boundary-coupled site, apply its wall/
+    // iolet rules, push its local-destination populations, and drop its
+    // outgoing halo populations into the persistent send buffers.
+    {
+      ScopedPhase phase(collideTimer_);
+      for (std::uint32_t l = 0; l < nf; ++l) {
+        processFrontierSite(ctx, ptrs, l);
+      }
+    }
+    // Post all halo sends (buffered, never block).
+    {
+      ScopedPhase phase(commTimer_);
+      comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
+      for (std::size_t p = 0; p < sendPlans_.size(); ++p) {
+        comm_->sendBytes(sendPlans_[p].dest, kHaloTag,
+                         sendFlat_.data() + sendFlatOffset_[p],
+                         sendPlans_[p].entries.size() * sizeof(double));
+      }
+    }
+    // Bulk pass while the messages are in flight: branch-free fused
+    // collide+push over the Morton-sorted all-local sites. Sites are
+    // processed in blocks: each block is collided into an L1-resident
+    // buffer, then pushed direction-major so each fNext array is written
+    // in one near-sequential burst instead of kQ-way interleaved streams.
+    {
+      ScopedPhase phase(collideTimer_);
+      ScopedWallPhase overlap(overlapTimer_);
+      double block[kBulkBlock * kQ];
+      for (std::uint32_t base = nf; base < n; base += kBulkBlock) {
+        const std::uint32_t count = std::min(kBulkBlock, n - base);
+        for (std::uint32_t k = 0; k < count; ++k) {
+          double* fl = block + k * kQ;
+          for (int i = 0; i < kQ; ++i) fl[i] = ptrs.fsrc[i][base + k];
+          relaxSite(ctx, fl, static_cast<std::size_t>(ptrs.extOf[base + k]));
+        }
+        {
+          double* out0 = ptrs.fdst[0] + base;
+          for (std::uint32_t k = 0; k < count; ++k) out0[k] = block[k * kQ];
+        }
+        for (int i = 1; i < kQ; ++i) {
+          const std::uint32_t* dst = ptrs.pdst[i] + base;
+          double* out = ptrs.fdst[i];
+          for (std::uint32_t k = 0; k < count; ++k) {
+            out[dst[k]] = block[k * kQ + static_cast<std::uint32_t>(i)];
+          }
+        }
+      }
+    }
+    // Receive and finish the frontier sites' incoming halo populations.
+    {
+      comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
+      for (const int r : recvRanks_) {
+        const auto off = recvOffset_[static_cast<std::size_t>(r)];
+        const auto count =
+            recvOffset_[static_cast<std::size_t>(r) + 1] - off;
+        {
+          ScopedPhase cphase(commTimer_);
+          ScopedWallPhase wait(recvWaitTimer_);
+          comm_->recvInto(r, kHaloTag, recvFlat_.data() + off, count);
+        }
+        ScopedPhase sphase(streamTimer_);
+        for (std::uint32_t k = off; k < off + count; ++k) {
+          const RecvDst d = recvDst_[k];
+          fNext_[static_cast<std::size_t>(d.dir)]
+                [static_cast<std::size_t>(d.dest)] = recvFlat_[k];
+        }
+      }
+    }
+  }
+
+  void processFrontierSite(const CollisionCtx& ctx, const SweepPtrs& ptrs,
+                           std::uint32_t l) {
+    const auto& set = Lattice::kSet;
+    double fl[kQ];
+    for (int i = 0; i < kQ; ++i) fl[i] = ptrs.fsrc[i][l];
+    const auto ext = static_cast<std::size_t>(ptrs.extOf[l]);
+    relaxSite(ctx, fl, ext);
+    ptrs.fdst[0][l] = fl[0];
+    const std::uint32_t begin = frontierOpStart_[l];
+    const std::uint32_t end = frontierOpStart_[l + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const FrontierOp op = frontierOps_[k];
+      const auto dir = static_cast<std::size_t>(op.dir);
+      switch (static_cast<OpKind>(op.kind)) {
+        case OpKind::kPushLocal:
+          ptrs.fdst[dir][static_cast<std::size_t>(op.index)] = fl[dir];
+          break;
+        case OpKind::kSend:
+          ptrs.sendFlat[static_cast<std::size_t>(op.index)] = fl[dir];
+          break;
+        case OpKind::kWall:
+          // Halfway bounce-back off the vessel wall.
+          ptrs.fdst[dir][l] = fl[set.opposite[dir]];
+          break;
+        case OpKind::kIolet: {
+          const auto id = static_cast<std::size_t>(op.index);
+          const Vec3d c = set.c[dir].template cast<double>();
+          const double w = set.w[dir];
+          const double bounce = fl[set.opposite[dir]];
+          if (ioletIsVelocityBc_[id]) {
+            // Ladd bounce-back off a "wall" moving at the prescribed
+            // iolet velocity: injects the target momentum flux.
+            const double rho = ctx.rhoOut[ext];
+            ptrs.fdst[dir][l] =
+                bounce + 6.0 * w * rho * c.dot(ioletVelocity_[id]);
+          } else {
+            // Anti-bounce-back pressure boundary at the prescribed
+            // density, using the site's own velocity as the boundary
+            // value.
+            const double rhoIo = ioletDensity_[id];
+            const Vec3d u = ctx.uOut[ext];
+            const double cu = c.dot(u);
+            ptrs.fdst[dir][l] =
+                -bounce + 2.0 * w * rhoIo *
+                              (1.0 + 4.5 * cu * cu - 1.5 * u.dot(u));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // --- reference three-phase kernel --------------------------------------
+  // The pre-fusion hot path, preserved as the performance and correctness
+  // baseline: Vec3-based collision arithmetic exactly as the original
+  // collide() computed it, blocking halo exchange, then a pull-stream.
+
+  void relaxSiteReference(const CollisionCtx& ctx, double* fl,
+                          std::size_t ext) {
+    const auto& set = Lattice::kSet;
+    double rho = 0.0;
+    Vec3d mom{0, 0, 0};
+    for (int i = 0; i < kQ; ++i) {
+      rho += fl[i];
+      mom += set.c[static_cast<std::size_t>(i)].template cast<double>() *
+             fl[i];
+    }
+    // Guo: physical velocity includes half the force impulse.
+    Vec3d u = mom / rho;
+    if (ctx.forced) u += ctx.F * (0.5 / rho);
+    macro_.rho[ext] = rho;
+    macro_.u[ext] = u;
+
+    double feq[kQ];
+    for (int i = 0; i < kQ; ++i) feq[i] = equilibrium<Lattice>(i, rho, u);
+
+    if (ctx.stress) {
+      SymTensor3 pi{};
+      for (int i = 0; i < kQ; ++i) {
+        const double fneq = fl[i] - feq[i];
+        const Vec3d c =
+            set.c[static_cast<std::size_t>(i)].template cast<double>();
+        pi.xx() += fneq * c.x * c.x;
+        pi.yy() += fneq * c.y * c.y;
+        pi.zz() += fneq * c.z * c.z;
+        pi.xy() += fneq * c.x * c.y;
+        pi.xz() += fneq * c.x * c.z;
+        pi.yz() += fneq * c.y * c.z;
+      }
+      // Deviatoric part of the relaxed non-equilibrium momentum flux.
+      SymTensor3 sigma = pi * ctx.stressPrefactor;
+      const double trace3 = (sigma.xx() + sigma.yy() + sigma.zz()) / 3.0;
+      sigma.xx() -= trace3;
+      sigma.yy() -= trace3;
+      sigma.zz() -= trace3;
+      macro_.stress[ext] = sigma;
+    }
+
+    if (!ctx.trt) {
+      for (int i = 0; i < kQ; ++i) {
+        fl[i] += ctx.omega * (feq[i] - fl[i]);
+      }
+    } else {
+      for (int i = 0; i < kQ; ++i) {
+        const int j = set.opposite[static_cast<std::size_t>(i)];
+        if (j < i) continue;
+        const double fPlus = 0.5 * (fl[i] + fl[j]);
+        const double fMinus = 0.5 * (fl[i] - fl[j]);
+        const double eqPlus = 0.5 * (feq[i] + feq[j]);
+        const double eqMinus = 0.5 * (feq[i] - feq[j]);
+        const double dPlus = ctx.omega * (eqPlus - fPlus);
+        const double dMinus = ctx.omegaMinus * (eqMinus - fMinus);
+        fl[i] += dPlus + dMinus;
+        if (j != i) fl[j] += dPlus - dMinus;
+      }
+    }
+
+    if (ctx.forced) {
+      const double pref = 1.0 - 0.5 * ctx.omega;
+      for (int i = 0; i < kQ; ++i) {
+        const Vec3d c =
+            set.c[static_cast<std::size_t>(i)].template cast<double>();
+        const double cu = c.dot(u);
+        const Vec3d term = (c - u) * 3.0 + c * (9.0 * cu);
+        fl[i] += pref * set.w[static_cast<std::size_t>(i)] * term.dot(ctx.F);
       }
     }
   }
 
   void collide() {
     ScopedPhase phase(collideTimer_);
+    const CollisionCtx ctx = collisionCtx();
     const std::size_t n = domain_->numOwned();
-    const double tau = params_.tau;
-    const double omega = 1.0 / tau;
-    const bool trt = params_.collision == LbParams::Collision::kTrt;
-    const double tauMinus = params_.trtMagic / (tau - 0.5) + 0.5;
-    const double omegaMinus = 1.0 / tauMinus;
-    const Vec3d F = params_.bodyForce;
-    const bool forced = F.norm2() > 0.0;
-    const bool stress = params_.computeStress;
-    const double stressPrefactor = -(1.0 - 0.5 * omega);
-    const auto& set = Lattice::kSet;
-
     for (std::size_t l = 0; l < n; ++l) {
-      double rho = 0.0;
-      Vec3d mom{0, 0, 0};
       double fl[kQ];
-      for (int i = 0; i < kQ; ++i) {
-        fl[i] = f_[static_cast<std::size_t>(i)][l];
-        rho += fl[i];
-        mom += set.c[static_cast<std::size_t>(i)].template cast<double>() *
-               fl[i];
-      }
-      // Guo: physical velocity includes half the force impulse.
-      Vec3d u = mom / rho;
-      if (forced) u += F * (0.5 / rho);
-      macro_.rho[l] = rho;
-      macro_.u[l] = u;
-
-      double feq[kQ];
-      for (int i = 0; i < kQ; ++i) feq[i] = equilibrium<Lattice>(i, rho, u);
-
-      if (stress) {
-        SymTensor3 pi{};
-        for (int i = 0; i < kQ; ++i) {
-          const double fneq = fl[i] - feq[i];
-          const Vec3d c =
-              set.c[static_cast<std::size_t>(i)].template cast<double>();
-          pi.xx() += fneq * c.x * c.x;
-          pi.yy() += fneq * c.y * c.y;
-          pi.zz() += fneq * c.z * c.z;
-          pi.xy() += fneq * c.x * c.y;
-          pi.xz() += fneq * c.x * c.z;
-          pi.yz() += fneq * c.y * c.z;
-        }
-        // Deviatoric part of the relaxed non-equilibrium momentum flux.
-        SymTensor3 sigma = pi * stressPrefactor;
-        const double trace3 = (sigma.xx() + sigma.yy() + sigma.zz()) / 3.0;
-        sigma.xx() -= trace3;
-        sigma.yy() -= trace3;
-        sigma.zz() -= trace3;
-        macro_.stress[l] = sigma;
-      }
-
-      if (!trt) {
-        for (int i = 0; i < kQ; ++i) {
-          fl[i] += omega * (feq[i] - fl[i]);
-        }
-      } else {
-        for (int i = 0; i < kQ; ++i) {
-          const int j = set.opposite[static_cast<std::size_t>(i)];
-          if (j < i) continue;
-          const double fPlus = 0.5 * (fl[i] + fl[j]);
-          const double fMinus = 0.5 * (fl[i] - fl[j]);
-          const double eqPlus = 0.5 * (feq[i] + feq[j]);
-          const double eqMinus = 0.5 * (feq[i] - feq[j]);
-          const double dPlus = omega * (eqPlus - fPlus);
-          const double dMinus = omegaMinus * (eqMinus - fMinus);
-          fl[i] += dPlus + dMinus;
-          if (j != i) fl[j] += dPlus - dMinus;
-        }
-      }
-
-      if (forced) {
-        const double pref = 1.0 - 0.5 * omega;
-        for (int i = 0; i < kQ; ++i) {
-          const Vec3d c =
-              set.c[static_cast<std::size_t>(i)].template cast<double>();
-          const double cu = c.dot(u);
-          const Vec3d term = (c - u) * 3.0 + c * (9.0 * cu);
-          fl[i] += pref * set.w[static_cast<std::size_t>(i)] * term.dot(F);
-        }
-      }
-
-      for (int i = 0; i < kQ; ++i) {
-        f_[static_cast<std::size_t>(i)][l] = fl[i];
-      }
+      for (int i = 0; i < kQ; ++i) fl[i] = f_[static_cast<std::size_t>(i)][l];
+      relaxSiteReference(ctx, fl,
+                         static_cast<std::size_t>(reorder_.externalOf[l]));
+      for (int i = 0; i < kQ; ++i) f_[static_cast<std::size_t>(i)][l] = fl[i];
     }
   }
 
   void exchange() {
     ScopedPhase phase(commTimer_);
     comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
-    std::vector<double> buf;
-    for (const auto& plan : sendPlans_) {
-      buf.clear();
-      buf.reserve(plan.entries.size());
-      for (const auto& e : plan.entries) {
-        buf.push_back(f_[static_cast<std::size_t>(e.velocity)]
-                        [static_cast<std::size_t>(e.local)]);
+    for (std::size_t p = 0; p < sendPlans_.size(); ++p) {
+      const auto& plan = sendPlans_[p];
+      double* buf = sendFlat_.data() + sendFlatOffset_[p];
+      for (std::size_t k = 0; k < plan.entries.size(); ++k) {
+        const auto& e = plan.entries[k];
+        buf[k] = f_[static_cast<std::size_t>(e.velocity)]
+                   [static_cast<std::size_t>(e.local)];
       }
-      comm_->sendVec(plan.dest, kHaloTag, buf);
+      comm_->sendBytes(plan.dest, kHaloTag, buf,
+                       plan.entries.size() * sizeof(double));
     }
     for (const int r : recvRanks_) {
-      const auto incoming = comm_->recvVec<double>(r, kHaloTag);
       const auto off = recvOffset_[static_cast<std::size_t>(r)];
-      HEMO_CHECK(incoming.size() ==
-                 recvOffset_[static_cast<std::size_t>(r) + 1] - off);
-      std::copy(incoming.begin(), incoming.end(),
-                recvFlat_.begin() + static_cast<std::ptrdiff_t>(off));
+      const auto count = recvOffset_[static_cast<std::size_t>(r) + 1] - off;
+      comm_->recvInto(r, kHaloTag, recvFlat_.data() + off, count);
     }
   }
 
@@ -422,13 +948,14 @@ class Solver {
             break;
           case PullKind::kIolet: {
             const auto id = static_cast<std::size_t>(s.index);
+            const auto ext = static_cast<std::size_t>(reorder_.externalOf[l]);
             const Vec3d c =
                 set.c[static_cast<std::size_t>(i)].template cast<double>();
             const double w = set.w[static_cast<std::size_t>(i)];
             if (ioletIsVelocityBc_[id]) {
               // Ladd bounce-back off a "wall" moving at the prescribed
               // iolet velocity: injects the target momentum flux.
-              const double rho = macro_.rho[l];
+              const double rho = macro_.rho[ext];
               out[l] = bounce[l] +
                        6.0 * w * rho * c.dot(ioletVelocity_[id]);
             } else {
@@ -436,7 +963,7 @@ class Solver {
               // density, using the site's own velocity as the boundary
               // value.
               const double rhoIo = ioletDensity_[id];
-              const Vec3d u = macro_.u[l];
+              const Vec3d u = macro_.u[ext];
               const double cu = c.dot(u);
               out[l] = -bounce[l] +
                        2.0 * w * rhoIo *
@@ -462,13 +989,14 @@ class Solver {
         rho += fi;
         mom += set.c[static_cast<std::size_t>(i)].template cast<double>() * fi;
       }
-      macro_.rho[l] = rho;
-      macro_.u[l] = mom / rho;
+      const auto ext = static_cast<std::size_t>(reorder_.externalOf[l]);
+      macro_.rho[ext] = rho;
+      macro_.u[ext] = mom / rho;
     }
   }
 
   struct SendEntry {
-    std::uint32_t local;
+    std::uint32_t local;  ///< internal site index
     std::uint16_t velocity;
   };
   struct SendPlan {
@@ -479,22 +1007,39 @@ class Solver {
   const DomainMap* domain_;
   comm::Communicator* comm_;
   LbParams params_;
+  DirConsts dir_ = makeDirConsts();
   std::vector<double> ioletDensity_;
   std::vector<Vec3d> ioletVelocity_;
   std::vector<std::uint8_t> ioletIsVelocityBc_;
 
+  SiteReordering reorder_;
+
+  /// Distributions in internal (frontier-first) site order.
   std::array<std::vector<double>, kQ> f_;
   std::array<std::vector<double>, kQ> fNext_;
+  /// Pull table (reference kernel), internal order.
   std::array<std::vector<PullSrc>, kQ> pull_;
+  /// Local push targets per direction (fused kernel, bulk range only).
+  std::array<std::vector<std::uint32_t>, kQ> push_;
+  /// Fused boundary/halo actions of the frontier sites (CSR).
+  std::vector<std::uint32_t> frontierOpStart_;
+  std::vector<FrontierOp> frontierOps_;
 
   std::vector<SendPlan> sendPlans_;
+  /// Persistent flat send storage; plan p owns [sendFlatOffset_[p], ...).
+  std::vector<double> sendFlat_;
+  std::vector<std::size_t> sendFlatOffset_;
   std::vector<int> recvRanks_;
   std::vector<std::uint32_t> recvOffset_;
   std::vector<double> recvFlat_;
+  /// fNext destination of each flat receive slot (fused kernel scatter).
+  std::vector<RecvDst> recvDst_;
 
+  /// Macroscopic fields in external (DomainMap) site order.
   MacroFields macro_;
   std::uint64_t stepsDone_ = 0;
   PhaseTimer collideTimer_, streamTimer_, commTimer_;
+  WallPhaseTimer overlapTimer_, recvWaitTimer_;
 };
 
 using SolverD3Q19 = Solver<D3Q19>;

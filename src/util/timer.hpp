@@ -50,6 +50,25 @@ class PhaseTimer {
   double total_ = 0.0;
 };
 
+/// Accumulates named phase durations in *wall* time. CPU-time PhaseTimers
+/// cannot see blocked time, so measuring how much halo latency is hidden
+/// behind compute (overlap window vs residual receive wait) needs this.
+class WallPhaseTimer {
+ public:
+  void start() { t0_ = clock::now(); }
+  void stop() {
+    total_ += std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+  double total() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_{};
+  double total_ = 0.0;
+};
+
 /// RAII wrapper around PhaseTimer.
 class ScopedPhase {
  public:
@@ -60,6 +79,18 @@ class ScopedPhase {
 
  private:
   PhaseTimer& t_;
+};
+
+/// RAII wrapper around WallPhaseTimer.
+class ScopedWallPhase {
+ public:
+  explicit ScopedWallPhase(WallPhaseTimer& t) : t_(t) { t_.start(); }
+  ~ScopedWallPhase() { t_.stop(); }
+  ScopedWallPhase(const ScopedWallPhase&) = delete;
+  ScopedWallPhase& operator=(const ScopedWallPhase&) = delete;
+
+ private:
+  WallPhaseTimer& t_;
 };
 
 }  // namespace hemo

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the LB solver tests under ThreadSanitizer and run them.
+#
+# The comm runtime simulates ranks as threads, so the solver's fused
+# overlap path (send buffers filled by the frontier pass, bulk compute
+# racing in-flight messages, receives scattered into fNext) is exactly the
+# kind of code TSan can vet. Usage: tests/run_tsan.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHEMO_SANITIZE=thread
+cmake --build "$build_dir" -j --target test_lb test_lb_fused
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+"$build_dir/tests/test_lb"
+"$build_dir/tests/test_lb_fused"
+echo "TSan run clean."

@@ -284,7 +284,9 @@ TEST_P(ParallelReadTest, AllSitesArriveExactlyOnce) {
   VoxelizeOptions opt;
   opt.voxelSize = 0.25;
   const auto lat = voxelize(makeAneurysmVessel(5.0, 1.0, 1.0), opt);
-  const std::string path = "/tmp/hemo_test_parread.sgmy";
+  // Unique per parametrization: ctest runs these cases concurrently.
+  const std::string path = "/tmp/hemo_test_parread_" + std::to_string(ranks) +
+                           "_" + std::to_string(readers) + ".sgmy";
   ASSERT_TRUE(writeSgmy(path, lat));
 
   comm::Runtime rt(ranks);
