@@ -169,6 +169,70 @@ void BM_RenderLocal(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderLocal)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// Direct MLUPS measurement of one kernel variant (independent of the
+// google-benchmark timing machinery) for the machine-readable summary.
+double directMlups(const SerialSetup& setup, const lb::LbParams& params,
+                   int steps) {
+  double mlups = 0.0;
+  comm::Runtime rt(1);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(setup.lattice, setup.part, 0);
+    lb::SolverD3Q19 solver(domain, comm, params);
+    solver.run(5);  // warm up
+    const double t0 = threadCpuSeconds();
+    solver.run(steps);
+    const double busy = threadCpuSeconds() - t0;
+    mlups = busy > 0.0
+                ? static_cast<double>(setup.lattice.numFluidSites()) *
+                      static_cast<double>(steps) / busy / 1e6
+                : 0.0;
+  });
+  return mlups;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Machine-readable summary in the shared bench JSON schema.
+  using namespace hemobench;
+  SerialSetup setup(0.08);
+  const int steps = 30;
+  BenchReport report("kernels");
+  report.setParam("geometry", "tube(voxel=0.08, length=6)");
+  report.setParam("sites",
+                  static_cast<std::int64_t>(setup.lattice.numFluidSites()));
+  report.setParam("steps", static_cast<std::int64_t>(steps));
+
+  struct Variant {
+    const char* label;
+    lb::LbParams params;
+  };
+  auto reference = [](lb::LbParams p) {
+    p.kernel = lb::LbParams::Kernel::kReference;
+    return p;
+  };
+  auto trt = [](lb::LbParams p) {
+    p.collision = lb::LbParams::Collision::kTrt;
+    return p;
+  };
+  const Variant variants[] = {
+      {"d3q19-bgk-fused", flowParams()},
+      {"d3q19-bgk-reference", reference(flowParams())},
+      {"d3q19-trt-fused", trt(flowParams())},
+      {"d3q19-trt-reference", reference(trt(flowParams()))},
+      {"d3q19-bgk-stress", flowParams(true)},
+  };
+  for (const auto& v : variants) {
+    const double mlups = directMlups(setup, v.params, steps);
+    auto& row = report.addRow(v.label);
+    row.set("mlups", mlups);
+    std::printf("%-22s %8.2f MLUPS\n", v.label, mlups);
+  }
+  report.write();
+  return 0;
+}

@@ -25,6 +25,10 @@ struct ScalePoint {
   /// Fraction of the halo window hidden behind the fused bulk sweep,
   /// averaged over ranks (overlap wall time vs residual receive wait).
   double commHidden = 0.0;
+  /// Million site updates per modeled second.
+  double mlups = 0.0;
+  /// Total bytes sent during the measured phase, by comm::Traffic class.
+  std::uint64_t classBytes[comm::kNumTrafficClasses] = {};
 };
 
 ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
@@ -40,11 +44,23 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
     solver.run(10);  // warm up (plans, caches)
     solver.resetTimers();
     comm.barrier();
+    const comm::TrafficCounters before = comm.counters();
     const auto sample =
         measurePhase(comm, [&] { solver.run(steps); });
+    const comm::TrafficCounters after = comm.counters();
+    std::uint64_t classDelta[comm::kNumTrafficClasses];
+    for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
+      classDelta[c] =
+          after.perClass[static_cast<std::size_t>(c)].bytesSent -
+          before.perClass[static_cast<std::size_t>(c)].bytesSent;
+    }
     const auto s = summarizePhase(comm, sample);
     const double overlap = comm.allreduceSum(solver.overlapTimer().total());
     const double wait = comm.allreduceSum(solver.recvWaitTimer().total());
+    std::uint64_t classTotal[comm::kNumTrafficClasses];
+    for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
+      classTotal[c] = comm.allreduceSum(classDelta[c]);
+    }
     if (comm.rank() == 0) {
       point.maxBusy = s.maxBusy;
       point.imbalance = s.imbalance;
@@ -54,9 +70,39 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
       point.modeledSeconds = core::modeledParallelSeconds(
           {core::RankCost{s.maxBusy, s.maxRankMessages, s.maxRankBytes}});
       point.commHidden = overlap + wait > 0.0 ? overlap / (overlap + wait) : 0.0;
+      point.mlups = point.modeledSeconds > 0.0
+                        ? static_cast<double>(point.sites) *
+                              static_cast<double>(steps) /
+                              point.modeledSeconds / 1e6
+                        : 0.0;
+      for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
+        point.classBytes[c] = classTotal[c];
+      }
     }
   });
   return point;
+}
+
+/// One JSON row per scale point, same fields for strong and weak scaling.
+void addScaleRow(BenchReport& report, const char* series,
+                 const ScalePoint& p, double speedup) {
+  auto& row = report.addRow(std::string(series) + "/ranks=" +
+                            std::to_string(p.ranks));
+  row.set("series", std::string(series));
+  row.set("ranks", static_cast<std::uint64_t>(p.ranks));
+  row.set("sites", p.sites);
+  row.set("mlups", p.mlups);
+  row.set("modeledSeconds", p.modeledSeconds);
+  row.set("speedup", speedup);
+  row.set("imbalance", p.imbalance);
+  row.set("commHiddenFraction", p.commHidden);
+  row.set("haloBytesPerStep", p.haloBytesPerStep);
+  row.set("haloMsgsPerStep", p.haloMsgsPerStep);
+  for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
+    row.set(std::string("bytes.") +
+                comm::trafficName(static_cast<comm::Traffic>(c)),
+            p.classBytes[c]);
+  }
 }
 
 }  // namespace
@@ -64,6 +110,10 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
 int main() {
   using namespace hemobench;
   const int steps = 40;
+  BenchReport report("scaling_lb");
+  report.setParam("steps", static_cast<std::int64_t>(steps));
+  report.setParam("strongGeometry", "aneurysm(voxel=0.1)");
+  report.setParam("weakGeometry", "tube(voxel=0.12, length=3*ranks)");
 
   // --- strong scaling -----------------------------------------------------------
   const auto lattice = makeAneurysm(0.1);
@@ -86,6 +136,7 @@ int main() {
                 static_cast<double>(p.haloBytesPerStep) / 1e3,
                 static_cast<unsigned long long>(p.haloMsgsPerStep),
                 p.imbalance, 100.0 * speedup / ranks, 100.0 * p.commHidden);
+    addScaleRow(report, "strong", p, speedup);
   }
 
   // --- weak scaling --------------------------------------------------------------
@@ -106,9 +157,11 @@ int main() {
                 static_cast<unsigned long long>(p.sites) /
                     static_cast<unsigned long long>(ranks),
                 p.modeledSeconds, 100.0 * eff, 100.0 * p.commHidden);
+    addScaleRow(report, "weak", p, eff);
   }
   std::printf("\nexpected shape: near-linear strong scaling while sites/rank "
               "stays large\n(halo surface << owned volume); weak efficiency "
               "stays high because halo\nbytes per rank are constant.\n");
+  report.write();
   return 0;
 }

@@ -99,6 +99,11 @@ int main() {
   std::printf("workload: aneurysm vessel, %llu fluid sites\n",
               static_cast<unsigned long long>(lattice.numFluidSites()));
 
+  BenchReport report("table1_vis");
+  report.setParam("geometry", "aneurysm(voxel=0.12)");
+  report.setParam("sites",
+                  static_cast<std::int64_t>(lattice.numFluidSites()));
+
   const auto serial = runAll(lattice, 1);
 
   for (const int ranks : {4, 8}) {
@@ -123,6 +128,15 @@ int main() {
                   static_cast<unsigned long long>(r.summary.totalMessages),
                   r.summary.imbalance, speedup,
                   100.0 * speedup / ranks);
+      auto& row = report.addRow(r.name + "/ranks=" + std::to_string(ranks));
+      row.set("technique", r.name);
+      row.set("ranks", static_cast<std::uint64_t>(ranks));
+      row.set("commBytes", r.summary.totalBytes);
+      row.set("commMsgs", r.summary.totalMessages);
+      row.set("imbalance", r.summary.imbalance);
+      row.set("modeledSeconds", modeled);
+      row.set("modeledSpeedup", speedup);
+      row.set("efficiency", speedup / ranks);
     }
     std::printf("\npaper's qualitative ranking for comparison:\n");
     std::printf("%-18s %12s %12s %14s\n", "technique", "comm cost",
@@ -136,5 +150,6 @@ int main() {
     std::printf("%-18s %12s %12s %14s\n", "LIC", "medium", "good",
                 "moderate");
   }
+  report.write();
   return 0;
 }

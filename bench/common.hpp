@@ -6,9 +6,13 @@
 /// anchor (see DESIGN.md §4) and exits; absolute numbers are machine
 /// dependent, shapes are the reproduction target.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "comm/runtime.hpp"
@@ -131,5 +135,150 @@ inline void printHeader(const char* title) {
   std::printf("%s\n", title);
   std::printf("================================================================\n");
 }
+
+// --- machine-readable bench output ------------------------------------------
+
+/// Shared JSON emitter: every bench serialises the same envelope
+/// (machine name, git revision, run parameters, scalar metrics, labelled
+/// result rows) to BENCH_<name>.json, so runs on different machines or
+/// commits diff cleanly. All values are stored as rendered JSON literals;
+/// the set*/add* helpers do the quoting.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void setParam(const std::string& key, const std::string& v) {
+    params_.emplace_back(key, quote(v));
+  }
+  void setParam(const std::string& key, double v) {
+    params_.emplace_back(key, num(v));
+  }
+  void setParam(const std::string& key, std::int64_t v) {
+    params_.emplace_back(key, std::to_string(v));
+  }
+
+  void setMetric(const std::string& key, double v) {
+    metrics_.emplace_back(key, num(v));
+  }
+  void setMetric(const std::string& key, std::uint64_t v) {
+    metrics_.emplace_back(key, std::to_string(v));
+  }
+
+  /// One labelled result row (a table line: a scale point, a technique...).
+  class Row {
+   public:
+    explicit Row(std::string label) : label_(std::move(label)) {}
+    void set(const std::string& key, double v) {
+      fields_.emplace_back(key, num(v));
+    }
+    void set(const std::string& key, std::uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+    }
+    void set(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, quote(v));
+    }
+
+   private:
+    friend class BenchReport;
+    std::string label_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& addRow(const std::string& label) {
+    rows_.emplace_back(label);
+    return rows_.back();
+  }
+
+  /// Write BENCH_<name>.json into the working directory; false on failure.
+  bool write() const { return writeTo("BENCH_" + name_ + ".json"); }
+
+  bool writeTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = toJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    const bool closed = std::fclose(f) == 0;
+    if (ok && closed) std::printf("wrote %s\n", path.c_str());
+    return ok && closed;
+  }
+
+  std::string toJson() const {
+    std::string out = "{\n  \"bench\": " + quote(name_) +
+                      ",\n  \"machine\": " + quote(machineName()) +
+                      ",\n  \"gitRev\": " + quote(gitRevision()) +
+                      ",\n  \"params\": " + object(params_) +
+                      ",\n  \"metrics\": " + object(metrics_) +
+                      ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      auto fields = rows_[i].fields_;
+      fields.insert(fields.begin(), {"label", quote(rows_[i].label_)});
+      out += (i == 0 ? "\n    " : ",\n    ") + object(fields);
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  static std::string machineName() {
+    char host[256] = {};
+    if (gethostname(host, sizeof host - 1) != 0) return "unknown";
+    return host[0] != '\0' ? host : "unknown";
+  }
+
+  static std::string gitRevision() {
+    std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (p == nullptr) return "unknown";
+    char buf[64] = {};
+    const bool got = std::fgets(buf, sizeof buf, p) != nullptr;
+    ::pclose(p);
+    if (!got) return "unknown";
+    std::string rev(buf);
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+      rev.pop_back();
+    }
+    return rev.empty() ? "unknown" : rev;
+  }
+
+ private:
+  static std::string num(double v) {
+    if (v != v || v - v != 0.0) return "0";  // NaN / inf are not JSON
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  static std::string object(
+      const std::vector<std::pair<std::string, std::string>>& kv) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < kv.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + quote(kv[i].first) + ": " + kv[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::deque<Row> rows_;  // stable references across addRow() calls
+};
 
 }  // namespace hemobench

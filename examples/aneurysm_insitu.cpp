@@ -8,7 +8,13 @@
 //   * a LIC slice through the aneurysm mid-plane,
 //   * the multiresolution context/detail drill-down of §V.
 //
-// Run:  ./aneurysm_insitu   (writes aneurysm_volume.ppm, aneurysm_lic.pgm)
+// The whole run is traced: every rank records collide/stream/halo/vis spans
+// into its telemetry ring, merged at the end into aneurysm_trace.json —
+// load it in chrome://tracing or https://ui.perfetto.dev to see the four
+// ranks' timelines side by side.
+//
+// Run:  ./aneurysm_insitu   (writes aneurysm_volume.ppm, aneurysm_lic.pgm,
+//                            aneurysm_trace.json)
 
 #include <cstdio>
 
@@ -159,5 +165,13 @@ int main() {
                   static_cast<double>(fullBytes) / 1e3);
     }
   });
+
+  // Merge the four per-rank trace rings into one Chrome-trace document.
+  if (rt.writeChromeTrace("aneurysm_trace.json")) {
+    std::printf("wrote aneurysm_trace.json (open in chrome://tracing or "
+                "ui.perfetto.dev)\n");
+  }
+  std::printf("rank 0 metrics: %s\n",
+              rt.telemetry(0).metrics().toJson().c_str());
   return 0;
 }

@@ -164,8 +164,10 @@ const TrafficCounters& Communicator::counters() const {
 Runtime::Runtime(int size) : size_(size) {
   HEMO_CHECK_MSG(size >= 1, "runtime needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(size));
+  telemetry_.reserve(static_cast<std::size_t>(size));
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    telemetry_.push_back(std::make_unique<telemetry::RankTelemetry>(i));
   }
   counters_.resize(static_cast<std::size_t>(size));
 }
@@ -183,6 +185,8 @@ void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
 
   auto threadMain = [&](int rank) {
     setThreadLogRank(rank);
+    telemetry::ThreadTelemetryScope tscope(
+        telemetry_[static_cast<std::size_t>(rank)].get());
     Communicator comm(this, /*context=*/1, rank, worldGroup);
     try {
       rankMain(comm);
@@ -222,6 +226,31 @@ TrafficCounters Runtime::totalCounters() const {
 
 void Runtime::resetCounters() {
   for (auto& c : counters_) c.reset();
+}
+
+std::vector<telemetry::RankTrace> Runtime::drainTraces() {
+  std::vector<telemetry::RankTrace> out;
+  out.reserve(telemetry_.size());
+  for (auto& t : telemetry_) {
+    telemetry::RankTrace rt;
+    rt.rank = t->rank();
+    t->tracer().drain(rt.events);
+    rt.dropped = t->tracer().dropped();
+    out.push_back(std::move(rt));
+  }
+  return out;
+}
+
+bool Runtime::writeChromeTrace(const std::string& path) {
+  return telemetry::writeChromeTrace(path, drainTraces());
+}
+
+void Runtime::resetTelemetry() {
+  for (auto& t : telemetry_) {
+    std::vector<telemetry::TraceEvent> sink;
+    t->tracer().drain(sink);
+    t->metrics().reset();
+  }
 }
 
 }  // namespace hemo::comm

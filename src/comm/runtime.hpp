@@ -7,15 +7,20 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "comm/communicator.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/profiler.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hemo::comm {
 
-/// Owns the mailboxes and traffic counters for a group of thread-ranks.
-/// A Runtime may execute several run() "jobs" sequentially; counters
-/// accumulate until resetCounters().
+/// Owns the mailboxes, traffic counters and telemetry contexts for a group
+/// of thread-ranks. A Runtime may execute several run() "jobs" sequentially;
+/// counters and telemetry accumulate until resetCounters() /
+/// resetTelemetry().
 class Runtime {
  public:
   explicit Runtime(int size);
@@ -46,6 +51,25 @@ class Runtime {
 
   void resetCounters();
 
+  /// Per-world-rank telemetry (metrics registry + trace ring). Attached to
+  /// the rank's thread for the duration of run(), so HEMO_TSPAN and
+  /// threadTelemetry()->metrics() record here.
+  telemetry::RankTelemetry& telemetry(int worldRank) {
+    return *telemetry_[static_cast<std::size_t>(worldRank)];
+  }
+  const telemetry::RankTelemetry& telemetry(int worldRank) const {
+    return *telemetry_[static_cast<std::size_t>(worldRank)];
+  }
+
+  /// Drain every rank's trace ring (events recorded since the last drain).
+  std::vector<telemetry::RankTrace> drainTraces();
+
+  /// Drain all rings and write the merged Chrome-trace JSON (one tid per
+  /// rank) to `path`; false on I/O failure.
+  bool writeChromeTrace(const std::string& path);
+
+  void resetTelemetry();
+
   Mailbox& mailbox(int worldRank) {
     return *mailboxes_[static_cast<std::size_t>(worldRank)];
   }
@@ -54,6 +78,9 @@ class Runtime {
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<TrafficCounters> counters_;
+  // unique_ptr: RankTelemetry holds atomics, so it is neither movable nor
+  // resizable in-place.
+  std::vector<std::unique_ptr<telemetry::RankTelemetry>> telemetry_;
 };
 
 }  // namespace hemo::comm

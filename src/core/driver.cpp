@@ -36,6 +36,14 @@ SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
   pipeline_.addStage(std::move(render));
 
   initialMass_ = comm.allreduceSum(solver_->localMass());
+
+  // Resolve the per-rank metrics once (map nodes are stable, so the hot
+  // loop only touches raw pointers). Null when the thread runs without an
+  // attached telemetry context (e.g. plain unit tests).
+  if (auto* t = telemetry::threadTelemetry()) {
+    stepsCounter_ = &t->metrics().counter("lb.steps");
+    stepSecondsHist_ = &t->metrics().histogram("driver.step_seconds");
+  }
 }
 
 void SimulationDriver::runPipelineNow() {
@@ -269,6 +277,57 @@ void SimulationDriver::pollSteering() {
   }
 }
 
+telemetry::StepReport SimulationDriver::computeStepReport() {
+  static_assert(comm::kNumTrafficClasses <=
+                    telemetry::kReportTrafficClasses,
+                "StepReport traffic arrays too small for comm::Traffic");
+  telemetry::StepReport local;
+  local.step = solver_->stepsDone();
+  local.sites = domain_->numOwned();
+  local.stepsCovered = solver_->stepsDone() - windowStartStep_;
+  local.wallSeconds = windowTimer_.seconds();
+  local.collideSeconds = solver_->collideTimer().total() - windowCollide_;
+  local.streamSeconds = solver_->streamTimer().total() - windowStream_;
+  local.commSeconds = solver_->commTimer().total() - windowComm_;
+  double visTotal = 0.0;
+  for (std::size_t i = 0; i < pipeline_.numStages(); ++i) {
+    visTotal += pipeline_.stageSeconds(i);
+  }
+  local.visSeconds = visTotal - windowVis_;
+  local.commHiddenFraction = solver_->commHiddenFraction();
+  const comm::TrafficCounters& now = comm_->counters();
+  for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
+    const auto& cur = now.perClass[static_cast<std::size_t>(c)];
+    const auto& prev = windowCounters_.perClass[static_cast<std::size_t>(c)];
+    local.bytesSent[c] = cur.bytesSent - prev.bytesSent;
+    local.msgsSent[c] = cur.messagesSent - prev.messagesSent;
+  }
+
+  // Start the next window before the collective so the gather traffic is
+  // charged to it, not to the window being reported.
+  windowStartStep_ = solver_->stepsDone();
+  windowTimer_.reset();
+  windowCollide_ = solver_->collideTimer().total();
+  windowStream_ = solver_->streamTimer().total();
+  windowComm_ = solver_->commTimer().total();
+  windowVis_ = visTotal;
+  windowCounters_ = now;
+
+  const auto perRank = comm_->allgather(local);
+  lastStepReport_ = telemetry::aggregateStepReports(perRank);
+
+  // Publish the rank-visible aggregate to this rank's metrics registry.
+  if (auto* t = telemetry::threadTelemetry()) {
+    auto& m = t->metrics();
+    m.gauge("lb.mlups").set(lastStepReport_.mlups);
+    m.gauge("lb.load_imbalance").set(lastStepReport_.loadImbalance);
+    m.gauge("lb.comm_hidden_fraction").set(
+        lastStepReport_.commHiddenFraction);
+    m.gauge("vis.seconds").set(lastStepReport_.visSeconds);
+  }
+  return lastStepReport_;
+}
+
 int SimulationDriver::run(int steps) {
   runTimer_.reset();
   stepsThisRun_ = 0;
@@ -283,8 +342,13 @@ int SimulationDriver::run(int steps) {
     }
     {
       WallTimer stepTimer;
+      HEMO_TSPAN(kStep, "driver.step");
       solver_->step();
       lastStepSeconds_ = stepTimer.seconds();
+    }
+    if (stepsCounter_ != nullptr) {
+      stepsCounter_->add(1);
+      stepSecondsHist_->add(lastStepSeconds_);
     }
     ++executed;
     ++stepsThisRun_;
@@ -305,6 +369,7 @@ int SimulationDriver::run(int steps) {
     if (config_.statusEvery > 0 &&
         done % static_cast<std::uint64_t>(config_.statusEvery) == 0) {
       server_.sendStatus(*comm_, computeStatus());
+      server_.sendTelemetry(*comm_, computeStepReport());
     }
   }
   return executed;

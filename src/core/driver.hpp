@@ -18,10 +18,13 @@
 #include <optional>
 
 #include "comm/channel.hpp"
+#include "comm/profiler.hpp"
 #include "core/pipeline.hpp"
 #include "core/scheduler.hpp"
 #include "lb/solver.hpp"
 #include "steer/server.hpp"
+#include "telemetry/step_report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace hemo::core {
@@ -76,6 +79,16 @@ class SimulationDriver {
   /// Compute a status report (collective).
   steer::StatusReport computeStatus();
 
+  /// Aggregate the telemetry window since the previous report into one
+  /// StepReport (collective: every rank gathers its local window, the
+  /// result is identical everywhere) and start a new window.
+  telemetry::StepReport computeStepReport();
+
+  /// The last aggregate produced by computeStepReport().
+  const telemetry::StepReport& lastStepReport() const {
+    return lastStepReport_;
+  }
+
  private:
   void applyCommand(const steer::Command& cmd);
   void pollSteering();
@@ -99,6 +112,17 @@ class SimulationDriver {
   bool terminated_ = false;
   WallTimer runTimer_;
   std::uint64_t stepsThisRun_ = 0;
+
+  // Telemetry window state (snapshots at the last computeStepReport()).
+  telemetry::StepReport lastStepReport_;
+  WallTimer windowTimer_;
+  std::uint64_t windowStartStep_ = 0;
+  double windowCollide_ = 0.0, windowStream_ = 0.0, windowComm_ = 0.0;
+  double windowVis_ = 0.0;
+  comm::TrafficCounters windowCounters_;
+  // Pre-resolved per-rank metrics (null when no telemetry is attached).
+  telemetry::Counter* stepsCounter_ = nullptr;
+  telemetry::LogHistogram* stepSecondsHist_ = nullptr;
 };
 
 }  // namespace hemo::core

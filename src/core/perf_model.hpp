@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "comm/profiler.hpp"
+#include "telemetry/step_report.hpp"
 #include "util/check.hpp"
 
 namespace hemo::core {
@@ -61,6 +62,18 @@ inline std::vector<RankCost> makeRankCosts(
     out[r].bytes = total.bytesSent;
   }
   return out;
+}
+
+/// Convenience: build a RankCost from one rank's (unaggregated) telemetry
+/// StepReport — the bridge between the live telemetry stream and the postal
+/// model, so modeled cluster time can be recomputed from the same numbers
+/// the steering client watches.
+inline RankCost rankCostFromReport(const telemetry::StepReport& report) {
+  RankCost cost;
+  cost.busySeconds = report.busySeconds();
+  cost.messages = report.totalMsgsSent();
+  cost.bytes = report.totalBytesSent();
+  return cost;
 }
 
 /// Modeled speedup of a parallel phase against a serial baseline.

@@ -12,6 +12,7 @@
 #include "lb/domain_map.hpp"
 #include "multires/octree.hpp"
 #include "multires/roi.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 #include "vis/lic.hpp"
 #include "vis/line_render.hpp"
@@ -75,6 +76,7 @@ class InSituPipeline {
   PipelineOutputs run(PipelineContext& ctx) {
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       ScopedPhase phase(timers_[i]);
+      HEMO_TSPAN(kVis, stages_[i]->name());
       stages_[i]->run(ctx);
     }
     return std::move(ctx.out);

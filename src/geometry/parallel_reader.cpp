@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/serial.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace hemo::geometry {
@@ -119,6 +120,7 @@ std::vector<int> assignBlocksByFluidVolume(const SgmyHeader& header,
 ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
                                        const std::string& path,
                                        int numReaders) {
+  HEMO_TSPAN(kIo, "io.read_sgmy");
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kIo);
   const int size = comm.size();
   const int rank = comm.rank();

@@ -37,6 +37,7 @@
 #include "comm/communicator.hpp"
 #include "lb/domain_map.hpp"
 #include "lb/lattice.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/morton.hpp"
 #include "util/timer.hpp"
@@ -693,6 +694,7 @@ class Solver {
     // outgoing halo populations into the persistent send buffers.
     {
       ScopedPhase phase(collideTimer_);
+      HEMO_TSPAN(kCollide, "collide.frontier");
       for (std::uint32_t l = 0; l < nf; ++l) {
         processFrontierSite(ctx, ptrs, l);
       }
@@ -700,6 +702,7 @@ class Solver {
     // Post all halo sends (buffered, never block).
     {
       ScopedPhase phase(commTimer_);
+      HEMO_TSPAN(kHaloSend, "halo.send");
       comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
       for (std::size_t p = 0; p < sendPlans_.size(); ++p) {
         comm_->sendBytes(sendPlans_[p].dest, kHaloTag,
@@ -715,6 +718,7 @@ class Solver {
     {
       ScopedPhase phase(collideTimer_);
       ScopedWallPhase overlap(overlapTimer_);
+      HEMO_TSPAN(kCollide, "collide.bulk");
       double block[kBulkBlock * kQ];
       for (std::uint32_t base = nf; base < n; base += kBulkBlock) {
         const std::uint32_t count = std::min(kBulkBlock, n - base);
@@ -746,9 +750,11 @@ class Solver {
         {
           ScopedPhase cphase(commTimer_);
           ScopedWallPhase wait(recvWaitTimer_);
+          HEMO_TSPAN(kHaloRecvWait, "halo.recv");
           comm_->recvInto(r, kHaloTag, recvFlat_.data() + off, count);
         }
         ScopedPhase sphase(streamTimer_);
+        HEMO_TSPAN(kStream, "stream.scatter");
         for (std::uint32_t k = off; k < off + count; ++k) {
           const RecvDst d = recvDst_[k];
           fNext_[static_cast<std::size_t>(d.dir)]
@@ -889,6 +895,7 @@ class Solver {
 
   void collide() {
     ScopedPhase phase(collideTimer_);
+    HEMO_TSPAN(kCollide, "collide");
     const CollisionCtx ctx = collisionCtx();
     const std::size_t n = domain_->numOwned();
     for (std::size_t l = 0; l < n; ++l) {
@@ -902,6 +909,7 @@ class Solver {
 
   void exchange() {
     ScopedPhase phase(commTimer_);
+    HEMO_TSPAN(kHaloSend, "halo.exchange");
     comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
     for (std::size_t p = 0; p < sendPlans_.size(); ++p) {
       const auto& plan = sendPlans_[p];
@@ -923,6 +931,7 @@ class Solver {
 
   void stream() {
     ScopedPhase phase(streamTimer_);
+    HEMO_TSPAN(kStream, "stream");
     const std::size_t n = domain_->numOwned();
     const auto& set = Lattice::kSet;
     // Rest population never moves.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -11,6 +12,7 @@ namespace hemo::partition {
 RepartitionResult rebalance(const SiteGraph& graph, const Partition& start,
                             const std::vector<double>& siteCost,
                             const RepartitionOptions& options) {
+  HEMO_TSPAN(kPartition, "partition.rebalance");
   HEMO_CHECK(siteCost.size() == graph.numVertices);
   HEMO_CHECK(start.partOfSite.size() == graph.numVertices);
 

@@ -186,6 +186,57 @@ ObservableReport decodeObservable(const std::vector<std::byte>& frame) {
   return report;
 }
 
+std::vector<std::byte> encodeTelemetry(const telemetry::StepReport& s) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kTelemetry));
+  w.put<std::uint64_t>(s.step);
+  w.put<std::uint32_t>(s.ranks);
+  w.put<std::uint64_t>(s.sites);
+  w.put<std::uint64_t>(s.stepsCovered);
+  w.put<double>(s.wallSeconds);
+  w.put<double>(s.mlups);
+  w.put<double>(s.collideSeconds);
+  w.put<double>(s.streamSeconds);
+  w.put<double>(s.commSeconds);
+  w.put<double>(s.visSeconds);
+  w.put<double>(s.loadImbalance);
+  w.put<double>(s.commHiddenFraction);
+  for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
+    w.put<std::uint64_t>(s.bytesSent[c]);
+  }
+  for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
+    w.put<std::uint64_t>(s.msgsSent[c]);
+  }
+  return w.take();
+}
+
+telemetry::StepReport decodeTelemetry(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  HEMO_CHECK(static_cast<MsgType>(r.get<std::uint8_t>()) ==
+             MsgType::kTelemetry);
+  telemetry::StepReport s;
+  s.step = r.get<std::uint64_t>();
+  s.ranks = r.get<std::uint32_t>();
+  s.sites = r.get<std::uint64_t>();
+  s.stepsCovered = r.get<std::uint64_t>();
+  s.wallSeconds = r.get<double>();
+  s.mlups = r.get<double>();
+  s.collideSeconds = r.get<double>();
+  s.streamSeconds = r.get<double>();
+  s.commSeconds = r.get<double>();
+  s.visSeconds = r.get<double>();
+  s.loadImbalance = r.get<double>();
+  s.commHiddenFraction = r.get<double>();
+  for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
+    s.bytesSent[c] = r.get<std::uint64_t>();
+  }
+  for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
+    s.msgsSent[c] = r.get<std::uint64_t>();
+  }
+  HEMO_CHECK(r.atEnd());
+  return s;
+}
+
 std::vector<std::byte> encodeAck(std::uint32_t commandId) {
   io::Writer w;
   w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kAck));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "multires/octree.hpp"
+#include "telemetry/step_report.hpp"
 #include "util/bbox.hpp"
 #include "vis/camera.hpp"
 #include "vis/volume.hpp"
@@ -44,6 +45,7 @@ enum class MsgType : std::uint8_t {
   kImageFrame,
   kRoiData,
   kObservable,
+  kTelemetry,  ///< aggregated telemetry::StepReport of the last window
 };
 
 /// Hydrodynamic observables computable over a user-defined subset of the
@@ -124,6 +126,9 @@ std::vector<std::byte> encodeAck(std::uint32_t commandId);
 
 std::vector<std::byte> encodeObservable(const ObservableReport& report);
 ObservableReport decodeObservable(const std::vector<std::byte>& frame);
+
+std::vector<std::byte> encodeTelemetry(const telemetry::StepReport& report);
+telemetry::StepReport decodeTelemetry(const std::vector<std::byte>& frame);
 
 /// Type tag of a frame (first byte).
 MsgType frameType(const std::vector<std::byte>& frame);

@@ -3,17 +3,24 @@
 #include <cstring>
 
 #include "io/serial.hpp"
-
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace hemo::steer {
 
 std::vector<Command> SteeringServer::poll(comm::Communicator& comm) {
+  HEMO_TSPAN(kSteer, "steer.poll");
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kSteer);
   // Rank 0 drains the channel, then broadcasts the concatenated frames.
   std::vector<std::byte> packed;
   if (comm.rank() == 0 && channel_.valid()) {
     while (auto frame = channel_.tryRecv()) {
+      // Client→master traffic enters the rank through the channel, not the
+      // mailbox, so it must be counted here to keep the steering class
+      // symmetric with the master→client sends.
+      auto& c = comm.counters().of(comm::Traffic::kSteer);
+      ++c.messagesReceived;
+      c.bytesReceived += frame->size();
       const auto n = static_cast<std::uint32_t>(frame->size());
       const auto* np = reinterpret_cast<const std::byte*>(&n);
       packed.insert(packed.end(), np, np + sizeof(n));
@@ -64,6 +71,13 @@ void SteeringServer::sendObservable(comm::Communicator& comm,
   }
 }
 
+void SteeringServer::sendTelemetry(comm::Communicator& comm,
+                                   const telemetry::StepReport& report) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeTelemetry(report));
+  }
+}
+
 void SteeringServer::sendAck(comm::Communicator& comm,
                              std::uint32_t commandId) {
   if (comm.rank() == 0 && channel_.valid()) {
@@ -75,6 +89,7 @@ void SteeringServer::sendAck(comm::Communicator& comm,
 
 std::uint32_t SteeringClient::send(Command cmd) {
   cmd.commandId = nextCommandId_++;
+  inFlight_[cmd.commandId] = clock::now();
   HEMO_CHECK_MSG(channel_.send(encodeCommand(cmd)),
                  "steering channel closed");
   return cmd.commandId;
@@ -121,12 +136,25 @@ std::optional<ObservableReport> SteeringClient::awaitObservable() {
   return decodeObservable(*frame);
 }
 
+std::optional<telemetry::StepReport> SteeringClient::awaitTelemetry() {
+  const auto frame = nextOfType(MsgType::kTelemetry);
+  if (!frame) return std::nullopt;
+  return decodeTelemetry(*frame);
+}
+
 std::optional<std::uint32_t> SteeringClient::awaitAck() {
   const auto frame = nextOfType(MsgType::kAck);
   if (!frame) return std::nullopt;
   io::Reader r(*frame);
   r.get<std::uint8_t>();
-  return r.get<std::uint32_t>();
+  const std::uint32_t commandId = r.get<std::uint32_t>();
+  const auto it = inFlight_.find(commandId);
+  if (it != inFlight_.end()) {
+    roundTrip_.add(
+        std::chrono::duration<double>(clock::now() - it->second).count());
+    inFlight_.erase(it);
+  }
+  return commandId;
 }
 
 }  // namespace hemo::steer

@@ -10,12 +10,15 @@
 /// step — command propagation is collective and counted as steering
 /// traffic.
 
+#include <chrono>
+#include <map>
 #include <optional>
 #include <vector>
 
 #include "comm/channel.hpp"
 #include "comm/communicator.hpp"
 #include "steer/protocol.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hemo::steer {
 
@@ -35,6 +38,8 @@ class SteeringServer {
   void sendRoi(comm::Communicator& comm, const RoiData& roi);
   void sendObservable(comm::Communicator& comm,
                       const ObservableReport& report);
+  void sendTelemetry(comm::Communicator& comm,
+                     const telemetry::StepReport& report);
   void sendAck(comm::Communicator& comm, std::uint32_t commandId);
 
   /// Rank 0 only: frames/bytes pushed to the client so far.
@@ -61,16 +66,27 @@ class SteeringClient {
   std::optional<ImageFrame> awaitImage();
   std::optional<RoiData> awaitRoi();
   std::optional<ObservableReport> awaitObservable();
+  std::optional<telemetry::StepReport> awaitTelemetry();
   std::optional<std::uint32_t> awaitAck();
+
+  /// Command → ack round-trip latency (seconds) of every awaitAck() whose
+  /// command id was issued by this client.
+  const telemetry::LogHistogram& roundTripHistogram() const {
+    return roundTrip_;
+  }
 
   void close() { channel_.close(); }
 
  private:
+  using clock = std::chrono::steady_clock;
+
   std::optional<std::vector<std::byte>> nextOfType(MsgType type);
 
   comm::ChannelEnd channel_;
   std::vector<std::vector<std::byte>> stash_;
   std::uint32_t nextCommandId_ = 1;
+  std::map<std::uint32_t, clock::time_point> inFlight_;
+  telemetry::LogHistogram roundTrip_;
 };
 
 }  // namespace hemo::steer

@@ -1,0 +1,91 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hemo::telemetry {
+
+namespace {
+
+std::string jsonEscape(const char* s) {
+  std::string out;
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void emitEvent(std::ostringstream& os, bool& first, char ph, int rank,
+               std::int64_t tsNs, Category cat, const char* name) {
+  if (!first) os << ",\n";
+  first = false;
+  char ts[32];
+  std::snprintf(ts, sizeof ts, "%.3f", static_cast<double>(tsNs) / 1e3);
+  os << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << rank
+     << ",\"ts\":" << ts << ",\"cat\":\"" << categoryName(cat)
+     << "\",\"name\":\"" << jsonEscape(name) << "\"}";
+}
+
+}  // namespace
+
+std::string chromeTraceJson(const std::vector<RankTrace>& ranks) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& rt : ranks) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << rt.rank
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << rt.rank
+       << "\"}}";
+
+    // Events are chronological per rank (single producer). Repair sequences
+    // the ring overflow left unbalanced: orphan ends are dropped, unclosed
+    // begins are closed at the rank's last timestamp so viewers always get
+    // matched B/E pairs.
+    struct Open {
+      Category cat;
+      const char* name;
+    };
+    std::vector<Open> stack;
+    std::int64_t lastTs = 0;
+    for (const auto& e : rt.events) {
+      lastTs = std::max(lastTs, e.tsNs);
+      if (e.phase == SpanPhase::kBegin) {
+        emitEvent(os, first, 'B', rt.rank, e.tsNs, e.category, e.name);
+        stack.push_back({e.category, e.name});
+      } else {
+        if (stack.empty()) continue;  // begin lost to ring overflow
+        emitEvent(os, first, 'E', rt.rank, e.tsNs, e.category, e.name);
+        stack.pop_back();
+      }
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      emitEvent(os, first, 'E', rt.rank, lastTs, it->cat, it->name);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<RankTrace>& ranks) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chromeTraceJson(ranks);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace hemo::telemetry

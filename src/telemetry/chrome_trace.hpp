@@ -1,0 +1,32 @@
+#pragma once
+/// \file chrome_trace.hpp
+/// \brief Merge per-rank trace rings into one Chrome-trace JSON document
+/// (chrome://tracing / Perfetto "JSON trace event" format), one tid per
+/// rank, so a whole multi-rank run can be inspected visually.
+
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace hemo::telemetry {
+
+/// One rank's drained events (in record order) plus its drop count.
+struct RankTrace {
+  int rank = 0;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Render the merged trace as Chrome-trace JSON. Begin/end events are
+/// emitted as "B"/"E" pairs in timestamp order per rank; the exporter
+/// repairs sequences left unbalanced by ring overflow (orphan ends are
+/// skipped, unclosed begins get a synthetic end at the rank's last
+/// timestamp), so the output is always loadable.
+std::string chromeTraceJson(const std::vector<RankTrace>& ranks);
+
+/// chromeTraceJson() to a file; false on I/O failure.
+bool writeChromeTrace(const std::string& path,
+                      const std::vector<RankTrace>& ranks);
+
+}  // namespace hemo::telemetry

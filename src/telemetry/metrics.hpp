@@ -1,0 +1,216 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Named metrics registry: counters, gauges, log-bucketed histograms.
+///
+/// The registry is the machine-readable successor to the ad-hoc
+/// printf-reporting around util/timer.hpp and comm/profiler.hpp: every
+/// subsystem publishes its numbers under a stable dotted name
+/// ("lb.steps", "steer.rtt_seconds", ...) and one exporter turns the whole
+/// registry into JSON. One registry per rank, written only by that rank's
+/// thread while it runs and read by others after the runtime joined —
+/// exactly the TrafficCounters ownership discipline, so no locks appear in
+/// the hot loop.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hemo::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram with quantile estimation.
+///
+/// Buckets are geometric: `subBucketsPerOctave` buckets per power of two,
+/// covering [minTrackable, minTrackable * 2^octaves). A recorded value
+/// lands in the bucket holding its magnitude; quantiles interpolate the
+/// bucket's geometric centre, so the worst-case relative error of any
+/// quantile is 2^(1/(2*sub)) - 1 (~2.2% at the default sub = 16).
+/// Out-of-range values clamp to the first/last bucket; exact min/max/sum
+/// are tracked alongside, so quantile results never leave [min, max].
+class LogHistogram {
+ public:
+  explicit LogHistogram(double minTrackable = 1e-9, int octaves = 64,
+                        int subBucketsPerOctave = 16)
+      : minTrackable_(minTrackable),
+        sub_(subBucketsPerOctave),
+        bins_(static_cast<std::size_t>(octaves) *
+                  static_cast<std::size_t>(subBucketsPerOctave),
+              0) {
+    HEMO_CHECK(minTrackable > 0.0 && octaves > 0 && subBucketsPerOctave > 0);
+  }
+
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++bins_[bucketOf(v)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Value below which a fraction `q` in [0, 1] of the samples fall,
+  /// accurate to relativeErrorBound() (see class comment).
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const double clampedQ = std::min(std::max(q, 0.0), 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(clampedQ * static_cast<double>(count_)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      cum += bins_[i];
+      if (cum >= target && bins_[i] > 0) {
+        return std::min(std::max(representative(i), min_), max_);
+      }
+    }
+    return max_;
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Worst-case relative error of quantile() against the exact value.
+  double relativeErrorBound() const {
+    return std::exp2(1.0 / (2.0 * static_cast<double>(sub_))) - 1.0;
+  }
+
+  void reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    std::fill(bins_.begin(), bins_.end(), std::uint64_t{0});
+  }
+
+ private:
+  std::size_t bucketOf(double v) const {
+    if (!(v > minTrackable_)) return 0;
+    const double idx =
+        std::floor(std::log2(v / minTrackable_) * static_cast<double>(sub_));
+    if (idx < 0.0) return 0;
+    const auto last = bins_.size() - 1;
+    return std::min(static_cast<std::size_t>(idx), last);
+  }
+
+  double representative(std::size_t i) const {
+    // Geometric centre of the bucket [min*2^(i/sub), min*2^((i+1)/sub)).
+    return minTrackable_ *
+           std::exp2((static_cast<double>(i) + 0.5) / static_cast<double>(sub_));
+  }
+
+  double minTrackable_;
+  int sub_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Name → metric maps. References returned by counter()/gauge()/histogram()
+/// stay valid for the registry's lifetime (std::map nodes are stable), so
+/// hot paths resolve a metric once and keep the pointer.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LogHistogram& histogram(const std::string& name) {
+    return histograms_.try_emplace(name).first->second;
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Zero every registered metric (names stay registered, so cached
+  /// references remain valid).
+  void reset() {
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, g] : gauges_) g.set(0.0);
+    for (auto& [name, h] : histograms_) h.reset();
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string toJson() const {
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      os << (first ? "" : ",") << '"' << name << "\":" << c.value();
+      first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+      os << (first ? "" : ",") << '"' << name << "\":" << num(g.value());
+      first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      os << (first ? "" : ",") << '"' << name << "\":{\"count\":" << h.count()
+         << ",\"sum\":" << num(h.sum()) << ",\"min\":" << num(h.min())
+         << ",\"max\":" << num(h.max()) << ",\"mean\":" << num(h.mean())
+         << ",\"p50\":" << num(h.p50()) << ",\"p95\":" << num(h.p95())
+         << ",\"p99\":" << num(h.p99()) << "}";
+      first = false;
+    }
+    os << "}}";
+    return os.str();
+  }
+
+ private:
+  static std::string num(double v) {
+    if (!std::isfinite(v)) return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace hemo::telemetry

@@ -1,0 +1,94 @@
+#pragma once
+/// \file step_report.hpp
+/// \brief Per-step (or per-window) performance report and its cross-rank
+/// aggregation — the live numbers §IV.C.3's steering client consumes and the
+/// vis-aware balance equation needs: MLUPS, load-imbalance factor, per-class
+/// communication volume, hidden-communication fraction and vis cost.
+///
+/// StepReport is trivially copyable on purpose: ranks allgather their local
+/// report through the communicator and aggregate the result with
+/// aggregateStepReports(), and the steering protocol frames the aggregate
+/// for the client.
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace hemo::telemetry {
+
+/// Upper bound on comm traffic classes carried in a report (the comm layer
+/// static_asserts its own class count fits).
+inline constexpr int kReportTrafficClasses = 8;
+
+struct StepReport {
+  std::uint64_t step = 0;          ///< simulation step the report covers up to
+  std::uint32_t ranks = 1;         ///< 1 in a local report; N once aggregated
+  std::uint64_t sites = 0;         ///< owned sites (local) / total (aggregate)
+  std::uint64_t stepsCovered = 0;  ///< steps since the previous report
+  double wallSeconds = 0.0;        ///< wall time of the window (max over ranks)
+  double mlups = 0.0;              ///< million site-updates/s (aggregate fills)
+  double collideSeconds = 0.0;     ///< CPU time split of the window (summed
+  double streamSeconds = 0.0;      ///  over ranks in the aggregate)
+  double commSeconds = 0.0;
+  double visSeconds = 0.0;
+  double loadImbalance = 1.0;      ///< busy-time max/mean across ranks
+  double commHiddenFraction = 0.0; ///< halo latency hidden behind compute
+  std::uint64_t bytesSent[kReportTrafficClasses] = {};
+  std::uint64_t msgsSent[kReportTrafficClasses] = {};
+
+  double busySeconds() const { return collideSeconds + streamSeconds; }
+
+  std::uint64_t totalBytesSent() const {
+    std::uint64_t sum = 0;
+    for (const auto b : bytesSent) sum += b;
+    return sum;
+  }
+  std::uint64_t totalMsgsSent() const {
+    std::uint64_t sum = 0;
+    for (const auto m : msgsSent) sum += m;
+    return sum;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<StepReport>);
+
+/// Merge one report per rank into a global view: traffic and phase seconds
+/// are summed, wall time is the slowest rank's, the load-imbalance factor
+/// is recomputed from the per-rank busy times, and MLUPS is total site
+/// updates over the window's wall time.
+inline StepReport aggregateStepReports(const std::vector<StepReport>& perRank) {
+  StepReport out;
+  if (perRank.empty()) return out;
+  out.ranks = static_cast<std::uint32_t>(perRank.size());
+  double busySum = 0.0, busyMax = 0.0, hiddenSum = 0.0;
+  for (const auto& r : perRank) {
+    out.step = std::max(out.step, r.step);
+    out.sites += r.sites;
+    out.stepsCovered = std::max(out.stepsCovered, r.stepsCovered);
+    out.wallSeconds = std::max(out.wallSeconds, r.wallSeconds);
+    out.collideSeconds += r.collideSeconds;
+    out.streamSeconds += r.streamSeconds;
+    out.commSeconds += r.commSeconds;
+    out.visSeconds += r.visSeconds;
+    for (int c = 0; c < kReportTrafficClasses; ++c) {
+      out.bytesSent[c] += r.bytesSent[c];
+      out.msgsSent[c] += r.msgsSent[c];
+    }
+    const double busy = r.busySeconds();
+    busySum += busy;
+    busyMax = std::max(busyMax, busy);
+    hiddenSum += r.commHiddenFraction;
+  }
+  const auto n = static_cast<double>(perRank.size());
+  out.loadImbalance = busySum > 0.0 ? busyMax * n / busySum : 1.0;
+  out.commHiddenFraction = hiddenSum / n;
+  out.mlups = out.wallSeconds > 0.0
+                  ? static_cast<double>(out.sites) *
+                        static_cast<double>(out.stepsCovered) /
+                        out.wallSeconds / 1e6
+                  : 0.0;
+  return out;
+}
+
+}  // namespace hemo::telemetry

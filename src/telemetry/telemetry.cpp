@@ -1,0 +1,13 @@
+#include "telemetry/telemetry.hpp"
+
+namespace hemo::telemetry {
+
+namespace {
+thread_local RankTelemetry* g_threadTelemetry = nullptr;
+}  // namespace
+
+RankTelemetry* threadTelemetry() { return g_threadTelemetry; }
+
+void attachThreadTelemetry(RankTelemetry* t) { g_threadTelemetry = t; }
+
+}  // namespace hemo::telemetry

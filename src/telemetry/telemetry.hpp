@@ -1,0 +1,100 @@
+#pragma once
+/// \file telemetry.hpp
+/// \brief Per-rank telemetry context (metrics registry + trace ring) and the
+/// thread-local attachment that lets instrumentation anywhere in the stack
+/// record without plumbing a handle through every call signature.
+///
+/// The comm runtime owns one RankTelemetry per rank and attaches it to the
+/// rank's thread for the duration of Runtime::run(); HEMO_TSPAN then records
+/// spans into whatever context the current thread carries, and is a no-op on
+/// unattached threads. Configure with -DHEMO_TELEMETRY=OFF to compile every
+/// span out entirely (the overhead baseline for the ≤2% MLUPS budget).
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace hemo::telemetry {
+
+/// One rank's observability state. The owning rank thread is the only
+/// writer while it runs; other threads may drain the tracer concurrently
+/// and read the metrics after the runtime joined.
+class RankTelemetry {
+ public:
+  explicit RankTelemetry(int rank = -1,
+                         std::size_t traceCapacity = Tracer::kDefaultCapacity)
+      : rank_(rank), tracer_(traceCapacity) {}
+
+  int rank() const { return rank_; }
+  void setRank(int rank) { rank_ = rank; }
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  int rank_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+};
+
+/// The context attached to the calling thread (nullptr when unattached).
+RankTelemetry* threadTelemetry();
+
+/// Attach/detach a context to the calling thread (nullptr detaches).
+void attachThreadTelemetry(RankTelemetry* t);
+
+/// RAII attachment used by the runtime around each rank main.
+class ThreadTelemetryScope {
+ public:
+  explicit ThreadTelemetryScope(RankTelemetry* t) : saved_(threadTelemetry()) {
+    attachThreadTelemetry(t);
+  }
+  ~ThreadTelemetryScope() { attachThreadTelemetry(saved_); }
+  ThreadTelemetryScope(const ThreadTelemetryScope&) = delete;
+  ThreadTelemetryScope& operator=(const ThreadTelemetryScope&) = delete;
+
+ private:
+  RankTelemetry* saved_;
+};
+
+/// RAII span against the calling thread's tracer; inert when no telemetry
+/// is attached or tracing is disabled. `name` must be a string literal (or
+/// otherwise outlive the trace export).
+class ScopedSpan {
+ public:
+  ScopedSpan(Category category, const char* name)
+      : category_(category), name_(name) {
+    RankTelemetry* t = threadTelemetry();
+    if (t != nullptr && t->tracer().enabled()) {
+      tracer_ = &t->tracer();
+      tracer_->begin(category_, name_);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(category_, name_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Category category_;
+  const char* name_;
+};
+
+}  // namespace hemo::telemetry
+
+#define HEMO_TSPAN_CONCAT2(a, b) a##b
+#define HEMO_TSPAN_CONCAT(a, b) HEMO_TSPAN_CONCAT2(a, b)
+
+#ifndef HEMO_TELEMETRY_DISABLED
+/// Trace the enclosing scope as a span: HEMO_TSPAN(kCollide, "collide.bulk").
+#define HEMO_TSPAN(category, name)                                   \
+  ::hemo::telemetry::ScopedSpan HEMO_TSPAN_CONCAT(hemo_tspan_,       \
+                                                  __LINE__)(         \
+      ::hemo::telemetry::Category::category, name)
+#else
+#define HEMO_TSPAN(category, name) ((void)0)
+#endif

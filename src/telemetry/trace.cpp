@@ -1,0 +1,29 @@
+#include "telemetry/trace.hpp"
+
+namespace hemo::telemetry {
+
+const char* categoryName(Category c) {
+  switch (c) {
+    case Category::kOther: return "other";
+    case Category::kCollide: return "collide";
+    case Category::kStream: return "stream";
+    case Category::kHaloSend: return "halo-send";
+    case Category::kHaloRecvWait: return "halo-recv-wait";
+    case Category::kVis: return "vis";
+    case Category::kSteer: return "steer";
+    case Category::kIo: return "io";
+    case Category::kPartition: return "partition";
+    case Category::kStep: return "step";
+    default: return "?";
+  }
+}
+
+std::int64_t traceNowNs() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+}  // namespace hemo::telemetry

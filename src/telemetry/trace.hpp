@@ -1,0 +1,126 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Per-rank trace ring buffer of structured span events.
+///
+/// Every instrumented phase (collide, stream, halo-send, halo-recv-wait,
+/// vis, steer, io, partition) records a begin/end event pair into a
+/// fixed-capacity single-producer/single-consumer ring. Recording is two
+/// relaxed atomic loads, one store and a steady_clock read — cheap enough
+/// for the solver hot loop — and never allocates; when the ring is full new
+/// events are counted as dropped instead of blocking the producer. The
+/// rank's own thread is the producer; any other thread (the driver, a test,
+/// the Chrome-trace exporter) may drain concurrently.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace hemo::telemetry {
+
+/// What the code was doing — mirrors the comm::Traffic classification plus
+/// the compute phases the paper's balance equation splits out.
+enum class Category : std::uint8_t {
+  kOther = 0,
+  kCollide,
+  kStream,
+  kHaloSend,
+  kHaloRecvWait,
+  kVis,
+  kSteer,
+  kIo,
+  kPartition,
+  kStep,
+  kCount_
+};
+
+const char* categoryName(Category c);
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+std::int64_t traceNowNs();
+
+enum class SpanPhase : std::uint8_t { kBegin = 0, kEnd = 1 };
+
+struct TraceEvent {
+  std::int64_t tsNs = 0;
+  const char* name = nullptr;  ///< must have static storage duration
+  Category category = Category::kOther;
+  SpanPhase phase = SpanPhase::kBegin;
+};
+
+/// Lock-free SPSC ring. push() from the owning rank thread, drain() from
+/// one consumer thread; both may run concurrently.
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two.
+  explicit TraceRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer only. False (and one dropped event counted) when full.
+  bool push(const TraceEvent& e) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h - t > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[static_cast<std::size_t>(h) & mask_] = e;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Appends all pending events to `out` in record order.
+  std::size_t drain(std::vector<TraceEvent>& out) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = t; i < h; ++i) {
+      out.push_back(slots_[static_cast<std::size_t>(i) & mask_]);
+    }
+    tail_.store(h, std::memory_order_release);
+    return static_cast<std::size_t>(h - t);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// One rank's span recorder. begin()/end() are producer-side; drain() may
+/// run concurrently from another thread.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity) : ring_(capacity) {}
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  void begin(Category cat, const char* name) {
+    ring_.push({traceNowNs(), name, cat, SpanPhase::kBegin});
+  }
+  void end(Category cat, const char* name) {
+    ring_.push({traceNowNs(), name, cat, SpanPhase::kEnd});
+  }
+
+  std::size_t drain(std::vector<TraceEvent>& out) { return ring_.drain(out); }
+  std::uint64_t dropped() const { return ring_.dropped(); }
+
+ private:
+  TraceRing ring_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace hemo::telemetry

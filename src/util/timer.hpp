@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/check.hpp"
+
 namespace hemo {
 
 /// Monotonic wall-clock stopwatch.
@@ -36,18 +38,33 @@ double threadCpuSeconds();
 /// communication / visualisation time for the balance-equation experiments.
 class PhaseTimer {
  public:
-  /// Begin timing; pair with stop(). Nesting is not supported.
-  void start() { t0_ = threadCpuSeconds(); }
+  /// Begin timing; pair with stop(). Nesting is not supported, and a second
+  /// start() while running would silently discard the open interval — so it
+  /// is rejected.
+  void start() {
+    HEMO_CHECK_MSG(!running_, "PhaseTimer::start() while already running");
+    running_ = true;
+    t0_ = threadCpuSeconds();
+  }
 
   /// End timing and add the elapsed CPU time to the accumulator.
-  void stop() { total_ += threadCpuSeconds() - t0_; }
+  void stop() {
+    HEMO_CHECK_MSG(running_, "PhaseTimer::stop() without start()");
+    total_ += threadCpuSeconds() - t0_;
+    running_ = false;
+  }
 
+  bool running() const { return running_; }
   double total() const { return total_; }
-  void reset() { total_ = 0.0; }
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   double t0_ = 0.0;
   double total_ = 0.0;
+  bool running_ = false;
 };
 
 /// Accumulates named phase durations in *wall* time. CPU-time PhaseTimers
@@ -55,18 +72,29 @@ class PhaseTimer {
 /// behind compute (overlap window vs residual receive wait) needs this.
 class WallPhaseTimer {
  public:
-  void start() { t0_ = clock::now(); }
+  void start() {
+    HEMO_CHECK_MSG(!running_, "WallPhaseTimer::start() while already running");
+    running_ = true;
+    t0_ = clock::now();
+  }
   void stop() {
+    HEMO_CHECK_MSG(running_, "WallPhaseTimer::stop() without start()");
     total_ += std::chrono::duration<double>(clock::now() - t0_).count();
+    running_ = false;
   }
 
+  bool running() const { return running_; }
   double total() const { return total_; }
-  void reset() { total_ = 0.0; }
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point t0_{};
   double total_ = 0.0;
+  bool running_ = false;
 };
 
 /// RAII wrapper around PhaseTimer.

@@ -1,5 +1,7 @@
 #include "vis/lic.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -77,6 +79,7 @@ LicResult computeLicSlice(comm::Communicator& comm,
                           const lb::MacroFields& macro,
                           const LicOptions& options) {
   HEMO_CHECK(options.axis >= 0 && options.axis < 3);
+  HEMO_TSPAN(kVis, "vis.lic");
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
   const auto& lat = domain.lattice();
   const Vec3i dims = lat.dims();

@@ -1,5 +1,7 @@
 #include "vis/particles.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 
 #include "util/check.hpp"
@@ -30,6 +32,7 @@ void TracerSwarm::inject(comm::Communicator& comm,
 }
 
 void TracerSwarm::advect(comm::Communicator& comm, double dtSteps) {
+  HEMO_TSPAN(kVis, "vis.particles");
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
   const auto& domain = field_->domain();
   const double h = domain.lattice().voxelSize();

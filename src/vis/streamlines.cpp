@@ -1,5 +1,7 @@
 #include "vis/streamlines.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -50,6 +52,7 @@ std::vector<Polyline> traceStreamlines(comm::Communicator& comm,
                                        const StreamlineParams& params,
                                        TraceStats* statsOut) {
   HEMO_CHECK(params.stepVoxels > 0.0 && params.stepVoxels < 1.0);
+  HEMO_TSPAN(kVis, "vis.streamlines");
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kVis);
   const auto& domain = field.domain();
   const double h = domain.lattice().voxelSize();

@@ -1,5 +1,7 @@
 #include "vis/volume.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -265,6 +267,7 @@ Image compositeBinarySwap(comm::Communicator& comm, const Image& fragment) {
 Image renderVolume(comm::Communicator& comm, const lb::DomainMap& domain,
                    const lb::MacroFields& macro,
                    const VolumeRenderOptions& options, CompositeMode mode) {
+  HEMO_TSPAN(kVis, "vis.volume");
   const Image fragment = renderLocal(domain, macro, options);
   return mode == CompositeMode::kDirectSend
              ? compositeDirectSend(comm, fragment)

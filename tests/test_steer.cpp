@@ -167,6 +167,118 @@ TEST(Server, SteerTrafficIsClassified) {
   EXPECT_GT(rt.totalCounters().of(comm::Traffic::kSteer).bytesSent, 0u);
 }
 
+TEST(Server, ReceivedSteerBytesAreCountedSymmetrically) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  Command c;
+  c.type = MsgType::kPause;
+  client.send(c);
+  c.type = MsgType::kResume;
+  client.send(c);
+  comm::Runtime rt(2);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    server.poll(comm);
+  });
+  // Rank 0 drained two command frames off the channel: both the message
+  // count and the payload bytes must appear on the receive side of kSteer.
+  const auto& steer = rt.counters(0).of(comm::Traffic::kSteer);
+  EXPECT_EQ(steer.messagesReceived, 2u);
+  EXPECT_GT(steer.bytesReceived, 0u);
+  // Non-master ranks see only the one broadcast, not the channel frames.
+  EXPECT_EQ(rt.counters(1).of(comm::Traffic::kSteer).messagesReceived, 1u);
+}
+
+TEST(Client, AckRoundTripFeedsTheRttHistogram) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  Command c;
+  c.type = MsgType::kPause;
+  const std::uint32_t id1 = client.send(c);
+  const std::uint32_t id2 = client.send(c);
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(client.roundTripHistogram().count(), 0u);
+  comm::Runtime rt(2);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    server.poll(comm);
+    server.sendAck(comm, id1);
+    server.sendAck(comm, id2);
+    server.sendAck(comm, 9999);  // unknown id: ack passes, no RTT sample
+  });
+  ASSERT_TRUE(client.awaitAck().has_value());
+  ASSERT_TRUE(client.awaitAck().has_value());
+  ASSERT_TRUE(client.awaitAck().has_value());
+  const auto& rtt = client.roundTripHistogram();
+  EXPECT_EQ(rtt.count(), 2u);
+  EXPECT_GT(rtt.min(), 0.0);
+  EXPECT_GE(rtt.p95(), rtt.p50());
+}
+
+TEST(Protocol, TelemetryReportRoundTrip) {
+  telemetry::StepReport r;
+  r.step = 77;
+  r.ranks = 4;
+  r.sites = 12345;
+  r.stepsCovered = 25;
+  r.wallSeconds = 1.5;
+  r.mlups = 3.25;
+  r.collideSeconds = 0.7;
+  r.streamSeconds = 0.3;
+  r.commSeconds = 0.2;
+  r.visSeconds = 0.1;
+  r.loadImbalance = 1.08;
+  r.commHiddenFraction = 0.9;
+  for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
+    r.bytesSent[c] = static_cast<std::uint64_t>(c) * 1000;
+    r.msgsSent[c] = static_cast<std::uint64_t>(c);
+  }
+  const auto frame = encodeTelemetry(r);
+  EXPECT_EQ(static_cast<int>(frameType(frame)),
+            static_cast<int>(MsgType::kTelemetry));
+  const auto back = decodeTelemetry(frame);
+  EXPECT_EQ(back.step, 77u);
+  EXPECT_EQ(back.ranks, 4u);
+  EXPECT_EQ(back.sites, 12345u);
+  EXPECT_EQ(back.stepsCovered, 25u);
+  EXPECT_DOUBLE_EQ(back.wallSeconds, 1.5);
+  EXPECT_DOUBLE_EQ(back.mlups, 3.25);
+  EXPECT_DOUBLE_EQ(back.collideSeconds, 0.7);
+  EXPECT_DOUBLE_EQ(back.streamSeconds, 0.3);
+  EXPECT_DOUBLE_EQ(back.commSeconds, 0.2);
+  EXPECT_DOUBLE_EQ(back.visSeconds, 0.1);
+  EXPECT_DOUBLE_EQ(back.loadImbalance, 1.08);
+  EXPECT_DOUBLE_EQ(back.commHiddenFraction, 0.9);
+  for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
+    EXPECT_EQ(back.bytesSent[c], r.bytesSent[c]);
+    EXPECT_EQ(back.msgsSent[c], r.msgsSent[c]);
+  }
+}
+
+TEST(Server, TelemetryStreamReachesTheClient) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  comm::Runtime rt(2);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    telemetry::StepReport r;
+    r.step = 40;
+    r.ranks = 2;
+    r.mlups = 5.5;
+    server.sendTelemetry(comm, r);  // no-op on rank 1
+    StatusReport s;
+    s.step = 40;
+    server.sendStatus(comm, s);
+  });
+  // Typed await skips past the interleaved status frame.
+  const auto report = client.awaitTelemetry();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->step, 40u);
+  EXPECT_DOUBLE_EQ(report->mlups, 5.5);
+  const auto status = client.awaitStatus();
+  ASSERT_TRUE(status.has_value());
+}
+
 TEST(Client, EofYieldsNullopt) {
   auto [clientEnd, serverEnd] = comm::makeChannelPair();
   SteeringClient client(clientEnd);
