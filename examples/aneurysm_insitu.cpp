@@ -13,10 +13,16 @@
 // load it in chrome://tracing or https://ui.perfetto.dev to see the four
 // ranks' timelines side by side.
 //
+// Two read-only observer clients watch the run through the serving broker:
+// both subscribe to the image stream (one negotiating the RLE wire codec),
+// so each periodic render is produced once and fanned out from the shared
+// frame cache.
+//
 // Run:  ./aneurysm_insitu   (writes aneurysm_volume.ppm, aneurysm_lic.pgm,
 //                            aneurysm_trace.json)
 
 #include <cstdio>
+#include <thread>
 
 #include "comm/runtime.hpp"
 #include "core/driver.hpp"
@@ -27,6 +33,8 @@
 #include "io/vtk.hpp"
 #include "lb/wss.hpp"
 #include "multires/roi.hpp"
+#include "serve/broker.hpp"
+#include "serve/client.hpp"
 #include "vis/lic.hpp"
 #include "vis/particles.hpp"
 
@@ -44,6 +52,30 @@ int main() {
   core::PreprocessConfig pre;
   pre.partitioner = "kway";
   const auto report = core::preprocess(lattice, ranks, pre);
+
+  // Two passive observers on the serving plane: both watch the image
+  // stream every 100 steps; the second negotiates the RLE codec. The
+  // broker renders each due frame once and serves both from its cache.
+  serve::SessionBroker broker;
+  int observerFrames[2] = {0, 0};
+  std::thread observerThreads[2];
+  for (int i = 0; i < 2; ++i) {
+    observerThreads[i] = std::thread([&, i, end = broker.connect()]() mutable {
+      serve::ServeClient observer(std::move(end));
+      if (i == 1) {
+        serve::CodecConfig codec;
+        codec.rleImage = true;
+        observer.setCodec(codec);
+      }
+      observer.subscribe(serve::StreamKind::kImage, 100);
+      while (auto event = observer.nextEvent()) {
+        if (event->type == steer::MsgType::kImageFrame ||
+            event->type == steer::MsgType::kCodedImage) {
+          ++observerFrames[i];
+        }
+      }
+    });
+  }
 
   comm::Runtime rt(ranks);
   rt.run([&](comm::Communicator& comm) {
@@ -65,6 +97,7 @@ int main() {
     cfg.lic.sliceIndex = lattice.dims().z / 2;
 
     core::SimulationDriver driver(domain, comm, cfg);
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
     // Drive with a pressure drop between inlet and outlet.
     driver.solver().setIoletDensity(0, 1.004);
     driver.solver().setIoletDensity(1, 0.996);
@@ -164,7 +197,18 @@ int main() {
       std::printf("  (full-resolution field would be %.1f KB)\n",
                   static_cast<double>(fullBytes) / 1e3);
     }
+    if (comm.rank() == 0) broker.closeAll();
   });
+  for (auto& t : observerThreads) t.join();
+
+  const auto& stats = broker.stats();
+  std::printf("observers: %d plain frames, %d RLE frames; cache %llu hits / "
+              "%llu misses, %llu wire bytes (%llu raw)\n",
+              observerFrames[0], observerFrames[1],
+              static_cast<unsigned long long>(stats.cacheHits),
+              static_cast<unsigned long long>(stats.cacheMisses),
+              static_cast<unsigned long long>(stats.wireBytes),
+              static_cast<unsigned long long>(stats.rawBytes));
 
   // Merge the four per-rank trace rings into one Chrome-trace document.
   if (rt.writeChromeTrace("aneurysm_trace.json")) {

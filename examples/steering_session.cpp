@@ -6,10 +6,20 @@
 // (inlet pressure) mid-run, pauses to inspect, and finally terminates.
 // Every client action and simulation response is printed as a transcript.
 //
-// Run:  ./steering_session   (writes steering_frame_*.ppm)
+// The session runs through the multi-client serving broker: alongside the
+// steering scientist, `--clients N` (default 2) read-only observers
+// subscribe to the image and status streams — half of them negotiate the
+// RLE wire codec — and passively consume the fan-out. The broker renders
+// each due frame once and serves it to everyone from the shared cache.
+//
+// Run:  ./steering_session [--clients N]   (writes steering_frame_*.ppm)
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
+#include <vector>
 
 #include "comm/runtime.hpp"
 #include "core/driver.hpp"
@@ -17,10 +27,19 @@
 #include "geometry/shapes.hpp"
 #include "geometry/voxelizer.hpp"
 #include "io/ppm.hpp"
+#include "serve/broker.hpp"
+#include "serve/client.hpp"
 #include "steer/server.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hemo;
+
+  int numObservers = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      numObservers = std::atoi(argv[i + 1]);
+    }
+  }
 
   geometry::VoxelizeOptions vox;
   vox.voxelSize = 0.2;
@@ -29,10 +48,13 @@ int main() {
   core::PreprocessConfig pre;
   const auto report = core::preprocess(lattice, 4, pre);
 
-  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  serve::SessionBroker broker;
 
   // --- the scripted user -----------------------------------------------------
-  std::thread user([clientEnd = clientEnd]() mutable {
+  // The steering scientist is just one more broker client: the classic
+  // SteeringClient speaks the same wire protocol, so it plugs straight
+  // into a broker-side channel end.
+  std::thread user([clientEnd = broker.connect()]() mutable {
     steer::SteeringClient client(clientEnd);
     auto say = [](const char* msg) { std::printf("[client] %s\n", msg); };
     steer::Command c;
@@ -134,9 +156,35 @@ int main() {
     client.send(c);
   });
 
+  // --- the read-only observers ------------------------------------------------
+  // Passive consumers of the serving plane: they subscribe to the image
+  // and status streams and count what arrives until the broker closes.
+  // Odd observers negotiate the RLE image codec.
+  std::vector<std::thread> observers;
+  std::vector<int> framesSeen(static_cast<std::size_t>(
+      std::max(0, numObservers)));
+  for (int i = 0; i < numObservers; ++i) {
+    observers.emplace_back([&, i, end = broker.connect()]() mutable {
+      serve::ServeClient observer(std::move(end));
+      if (i % 2 == 1) {
+        serve::CodecConfig codec;
+        codec.rleImage = true;
+        observer.setCodec(codec);
+      }
+      observer.subscribe(serve::StreamKind::kImage, 2);
+      observer.subscribe(serve::StreamKind::kStatus, 5);
+      while (auto event = observer.nextEvent()) {
+        if (event->type == steer::MsgType::kImageFrame ||
+            event->type == steer::MsgType::kCodedImage) {
+          ++framesSeen[static_cast<std::size_t>(i)];
+        }
+      }
+    });
+  }
+
   // --- the simulation ---------------------------------------------------------
   comm::Runtime rt(4);
-  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+  rt.run([&](comm::Communicator& comm) {
     lb::DomainMap domain(lattice, report.partition, comm.rank());
     core::DriverConfig cfg;
     cfg.lb.tau = 0.8;
@@ -147,19 +195,34 @@ int main() {
     cfg.render.width = 256;
     cfg.render.height = 192;
     cfg.render.transfer = vis::TransferFunction::bloodFlow(0.f, 0.02f);
-    core::SimulationDriver driver(
-        domain, comm, cfg,
-        comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    core::SimulationDriver driver(domain, comm, cfg);
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
     const int executed = driver.run(100000000);
     if (comm.rank() == 0) {
       std::printf("[sim] terminated by client after %d steps; final inlet "
                   "density %.4f, tau %.2f\n",
                   executed, driver.solver().ioletDensity(0),
                   driver.solver().params().tau);
+      broker.closeAll();
     }
   });
   user.join();
+  for (auto& t : observers) t.join();
 
+  for (int i = 0; i < numObservers; ++i) {
+    std::printf("[observer %d] %d image frames received (%s codec)\n", i,
+                framesSeen[static_cast<std::size_t>(i)],
+                i % 2 == 1 ? "RLE" : "no");
+  }
+  const auto& stats = broker.stats();
+  std::printf("serving: %d clients, %llu frames served, cache %llu hits / "
+              "%llu misses, %llu wire bytes (%llu raw)\n",
+              broker.numClients(),
+              static_cast<unsigned long long>(stats.framesSent),
+              static_cast<unsigned long long>(stats.cacheHits),
+              static_cast<unsigned long long>(stats.cacheMisses),
+              static_cast<unsigned long long>(stats.wireBytes),
+              static_cast<unsigned long long>(stats.rawBytes));
   const auto steerTraffic = rt.totalCounters().of(comm::Traffic::kSteer);
   std::printf("steering fan-out traffic: %llu messages, %llu bytes\n",
               static_cast<unsigned long long>(steerTraffic.messagesSent),

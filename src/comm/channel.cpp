@@ -7,6 +7,11 @@ bool ChannelEnd::send(std::vector<std::byte> frame) {
   if (out_->closed) return false;
   out_->bytesPushed += frame.size();
   ++out_->framesPushed;
+  if (out_->capacity > 0 && out_->frames.size() >= out_->capacity) {
+    // Latest-wins: evict the oldest undelivered frame to admit this one.
+    out_->frames.pop_front();
+    ++out_->framesDropped;
+  }
   out_->frames.push_back(std::move(frame));
   out_->cv.notify_all();
   return true;
@@ -37,6 +42,11 @@ void ChannelEnd::close() {
   out_->cv.notify_all();
 }
 
+void ChannelEnd::setSendCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  out_->capacity = capacity;
+}
+
 std::uint64_t ChannelEnd::framesSent() const {
   std::lock_guard<std::mutex> lock(out_->mutex);
   return out_->framesPushed;
@@ -45,6 +55,11 @@ std::uint64_t ChannelEnd::framesSent() const {
 std::uint64_t ChannelEnd::bytesSent() const {
   std::lock_guard<std::mutex> lock(out_->mutex);
   return out_->bytesPushed;
+}
+
+std::uint64_t ChannelEnd::framesDropped() const {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  return out_->framesDropped;
 }
 
 std::pair<ChannelEnd, ChannelEnd> makeChannelPair() {

@@ -20,14 +20,19 @@
 namespace hemo::comm {
 
 namespace detail {
-/// One direction of the duplex pipe.
+/// One direction of the duplex pipe. `capacity == 0` means unbounded; a
+/// bounded queue drops its *oldest* queued frame to admit a new one
+/// (latest-wins), counting every eviction — the backpressure primitive the
+/// serving broker builds per-client outboxes from.
 struct FrameQueue {
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<std::vector<std::byte>> frames;
   bool closed = false;
+  std::size_t capacity = 0;  ///< max queued frames; 0 = unbounded
   std::uint64_t framesPushed = 0;
   std::uint64_t bytesPushed = 0;
+  std::uint64_t framesDropped = 0;  ///< evicted by the bound, never delivered
 };
 }  // namespace detail
 
@@ -53,9 +58,18 @@ class ChannelEnd {
   /// Close the outgoing direction; peer receives drain then see EOF.
   void close();
 
+  /// Bound the outgoing queue to `capacity` frames (0 restores unbounded).
+  /// When full, send() evicts the oldest queued frame instead of blocking
+  /// or failing — a stalled reader costs dropped frames, never a stalled
+  /// writer.
+  void setSendCapacity(std::size_t capacity);
+
   /// Frames/bytes ever sent from this end (steering traffic accounting).
   std::uint64_t framesSent() const;
   std::uint64_t bytesSent() const;
+
+  /// Frames this end pushed that were later evicted by the send bound.
+  std::uint64_t framesDropped() const;
 
  private:
   std::shared_ptr<detail::FrameQueue> out_;

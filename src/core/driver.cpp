@@ -46,6 +46,11 @@ SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
   }
 }
 
+void SimulationDriver::attachBroker(serve::SessionBroker* broker) {
+  broker_ = broker;
+  brokerMode_ = true;
+}
+
 void SimulationDriver::runPipelineNow() {
   PipelineContext ctx;
   ctx.comm = comm_;
@@ -57,13 +62,23 @@ void SimulationDriver::runPipelineNow() {
   lastOutputs_ = pipeline_.run(ctx);
 
   // Push the fresh frame to the steering client (loop step 6 of §IV.C.1).
+  // In broker mode the render happens once and fans out through the shared
+  // frame cache to every image subscriber whose cadence is due.
   if (comm_->rank() == 0 && lastOutputs_.volumeImage.numPixels() > 0) {
     steer::ImageFrame frame;
     frame.step = lastOutputs_.step;
     frame.width = lastOutputs_.volumeImage.width();
     frame.height = lastOutputs_.volumeImage.height();
     frame.rgb = lastOutputs_.volumeImage.toRgb8();
-    server_.sendImage(*comm_, frame);
+    lastViewKey_ = serve::viewKey(renderStage_->options());
+    if (brokerMode_) {
+      lastImageFrame_ = std::move(frame);
+      if (broker_ != nullptr) {
+        broker_->publishImage(*comm_, lastViewKey_, lastImageFrame_);
+      }
+    } else {
+      server_.sendImage(*comm_, frame);
+    }
   }
 }
 
@@ -167,11 +182,34 @@ void SimulationDriver::applyCommand(const steer::Command& cmd) {
     case MsgType::kResume:
       paused_ = false;
       break;
-    case MsgType::kRequestStatus:
-      server_.sendStatus(*comm_, computeStatus());
+    case MsgType::kRequestStatus: {
+      const auto status = computeStatus();
+      if (brokerMode_) {
+        if (broker_ != nullptr) {
+          broker_->respondStatus(*comm_, cmd.commandId, status);
+        }
+      } else {
+        server_.sendStatus(*comm_, status);
+      }
       break;
+    }
+    case MsgType::kRequestTelemetry: {
+      const auto report = computeStepReport();
+      if (brokerMode_) {
+        if (broker_ != nullptr) {
+          broker_->respondTelemetry(*comm_, cmd.commandId, report);
+        }
+      } else {
+        server_.sendTelemetry(*comm_, report);
+      }
+      break;
+    }
     case MsgType::kRequestFrame:
       runPipelineNow();
+      if (brokerMode_ && broker_ != nullptr) {
+        broker_->respondImage(*comm_, cmd.commandId, lastViewKey_,
+                              lastImageFrame_);
+      }
       break;
     case MsgType::kSetRoi: {
       // Extract + gather the requested detail region (§V drill-down).
@@ -189,7 +227,13 @@ void SimulationDriver::applyCommand(const steer::Command& cmd) {
       roi.step = solver_->stepsDone();
       roi.level = level;
       roi.nodes = std::move(nodes);
-      server_.sendRoi(*comm_, roi);
+      if (brokerMode_) {
+        if (broker_ != nullptr) {
+          broker_->respondRoi(*comm_, cmd.commandId, roi);
+        }
+      } else {
+        server_.sendRoi(*comm_, roi);
+      }
       break;
     }
     case MsgType::kRequestObservable: {
@@ -257,7 +301,13 @@ void SimulationDriver::applyCommand(const steer::Command& cmd) {
       report.kind = cmd.observable;
       report.value = value;
       report.siteCount = count;
-      server_.sendObservable(*comm_, report);
+      if (brokerMode_) {
+        if (broker_ != nullptr) {
+          broker_->respondObservable(*comm_, cmd.commandId, report);
+        }
+      } else {
+        server_.sendObservable(*comm_, report);
+      }
       break;
     }
     case MsgType::kTerminate:
@@ -268,11 +318,28 @@ void SimulationDriver::applyCommand(const steer::Command& cmd) {
                       << static_cast<int>(cmd.type);
       break;
   }
-  server_.sendAck(*comm_, cmd.commandId);
+  if (brokerMode_) {
+    // Routed ack: reaches only the issuing client(s); suppressed for
+    // synthesized subscription ticks.
+    if (broker_ != nullptr) broker_->respondAck(*comm_, cmd.commandId);
+  } else {
+    server_.sendAck(*comm_, cmd.commandId);
+  }
 }
 
 void SimulationDriver::pollSteering() {
-  for (const auto& cmd : server_.poll(*comm_)) {
+  std::vector<steer::Command> commands;
+  if (brokerMode_) {
+    HEMO_TSPAN(kSteer, "serve.poll");
+    std::vector<steer::Command> drained;
+    if (comm_->rank() == 0 && broker_ != nullptr) {
+      drained = broker_->drainCommands(*comm_, solver_->stepsDone());
+    }
+    commands = steer::broadcastCommands(*comm_, drained);
+  } else {
+    commands = server_.poll(*comm_);
+  }
+  for (const auto& cmd : commands) {
     applyCommand(cmd);
   }
 }
@@ -353,8 +420,22 @@ int SimulationDriver::run(int steps) {
     ++executed;
     ++stepsThisRun_;
     const auto done = solver_->stepsDone();
-    if (config_.visEvery > 0 && done % static_cast<std::uint64_t>(
-                                           config_.visEvery) == 0) {
+    bool renderDue =
+        config_.visEvery > 0 &&
+        done % static_cast<std::uint64_t>(config_.visEvery) == 0;
+    if (brokerMode_) {
+      // Subscription cadences live on rank 0 (the broker); a 1-byte
+      // broadcast keeps the collective render decision identical on every
+      // rank.
+      std::uint8_t due = renderDue ? 1 : 0;
+      if (comm_->rank() == 0 && broker_ != nullptr &&
+          broker_->imageDue(done)) {
+        due = 1;
+      }
+      comm_->bcast(due, 0);
+      renderDue = due != 0;
+    }
+    if (renderDue) {
       WallTimer pipeTimer;
       runPipelineNow();
       if (config_.adaptiveVisBudget > 0.0) {

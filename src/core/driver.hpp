@@ -22,6 +22,7 @@
 #include "core/pipeline.hpp"
 #include "core/scheduler.hpp"
 #include "lb/solver.hpp"
+#include "serve/broker.hpp"
 #include "steer/server.hpp"
 #include "telemetry/step_report.hpp"
 #include "telemetry/telemetry.hpp"
@@ -71,7 +72,16 @@ class SimulationDriver {
   const PipelineOutputs& lastOutputs() const { return lastOutputs_; }
   const steer::StatusReport& lastStatus() const { return lastStatus_; }
   InSituPipeline& pipeline() { return pipeline_; }
+  RenderStage& renderStage() { return *renderStage_; }
   const DriverConfig& config() const { return config_; }
+
+  /// Switch the driver into serving mode (collective: every rank calls
+  /// this; only rank 0 passes the broker, others pass nullptr). Steering
+  /// commands are then drained from the broker's N client channels instead
+  /// of the single SteeringServer channel, responses route back to the
+  /// requesting client(s), and rendered frames fan out through the
+  /// broker's shared frame cache to every due image subscriber.
+  void attachBroker(serve::SessionBroker* broker);
 
   /// Run the in situ pipeline immediately (collective).
   void runPipelineNow();
@@ -102,6 +112,10 @@ class SimulationDriver {
   InSituPipeline pipeline_;
   RenderStage* renderStage_ = nullptr;  // owned by pipeline_
   steer::SteeringServer server_;
+  serve::SessionBroker* broker_ = nullptr;  ///< rank 0 only in broker mode
+  bool brokerMode_ = false;                 ///< identical on every rank
+  steer::ImageFrame lastImageFrame_;        ///< rank 0, broker mode
+  std::uint64_t lastViewKey_ = 0;
 
   PipelineOutputs lastOutputs_;
   steer::StatusReport lastStatus_;

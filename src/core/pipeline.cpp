@@ -65,6 +65,7 @@ void MapStage::run(PipelineContext& ctx) {
 void RenderStage::run(PipelineContext& ctx) {
   ctx.out.volumeImage = vis::renderVolume(*ctx.comm, *ctx.domain, *ctx.macro,
                                           options_);
+  ++rendersDone_;
   if (drawLines_ && ctx.comm->rank() == 0 &&
       ctx.out.volumeImage.numPixels() > 0) {
     vis::drawPolylines(ctx.out.volumeImage, options_.camera,

@@ -138,11 +138,16 @@ class RenderStage final : public Stage {
 
   vis::VolumeRenderOptions& options() { return options_; }
 
+  /// Volume renders executed so far — the serving layer's proof that M
+  /// subscribed clients cost one render, not M.
+  std::uint64_t rendersDone() const { return rendersDone_; }
+
  private:
   vis::VolumeRenderOptions options_;
   bool drawLines_;
   bool lic_;
   vis::LicOptions licOptions_;
+  std::uint64_t rendersDone_ = 0;
 };
 
 }  // namespace hemo::core

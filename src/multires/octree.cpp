@@ -160,4 +160,44 @@ double levelError(const FieldOctree& tree, int level,
   return relativeL2(tree.reconstructScalar(level), scalar);
 }
 
+NodeColumns splitColumns(const std::vector<OctreeNode>& nodes) {
+  NodeColumns cols;
+  const std::size_t n = nodes.size();
+  cols.keys.reserve(n);
+  cols.counts.reserve(n);
+  cols.meanScalar.reserve(n);
+  cols.minScalar.reserve(n);
+  cols.maxScalar.reserve(n);
+  cols.velocity.reserve(3 * n);
+  for (const auto& node : nodes) {
+    cols.keys.push_back(node.key);
+    cols.counts.push_back(node.count);
+    cols.meanScalar.push_back(node.meanScalar);
+    cols.minScalar.push_back(node.minScalar);
+    cols.maxScalar.push_back(node.maxScalar);
+    cols.velocity.push_back(node.meanVelocity.x);
+    cols.velocity.push_back(node.meanVelocity.y);
+    cols.velocity.push_back(node.meanVelocity.z);
+  }
+  return cols;
+}
+
+std::vector<OctreeNode> mergeColumns(const NodeColumns& cols) {
+  const std::size_t n = cols.keys.size();
+  HEMO_CHECK(cols.counts.size() == n && cols.meanScalar.size() == n &&
+             cols.minScalar.size() == n && cols.maxScalar.size() == n &&
+             cols.velocity.size() == 3 * n);
+  std::vector<OctreeNode> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].key = cols.keys[i];
+    nodes[i].count = static_cast<std::uint32_t>(cols.counts[i]);
+    nodes[i].meanScalar = cols.meanScalar[i];
+    nodes[i].minScalar = cols.minScalar[i];
+    nodes[i].maxScalar = cols.maxScalar[i];
+    nodes[i].meanVelocity = {cols.velocity[3 * i], cols.velocity[3 * i + 1],
+                             cols.velocity[3 * i + 2]};
+  }
+  return nodes;
+}
+
 }  // namespace hemo::multires

@@ -98,4 +98,20 @@ class FieldOctree {
 double levelError(const FieldOctree& tree, int level,
                   const std::vector<double>& scalar);
 
+/// Structure-of-arrays split of a node vector for wire encoding: the keys
+/// column delta+varint-compresses (Morton keys of one level are sorted and
+/// close together) and the float columns quantise independently, which an
+/// array-of-structs layout cannot do.
+struct NodeColumns {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> counts;
+  std::vector<float> meanScalar;
+  std::vector<float> minScalar;
+  std::vector<float> maxScalar;
+  std::vector<float> velocity;  ///< xyz interleaved, 3 per node
+};
+
+NodeColumns splitColumns(const std::vector<OctreeNode>& nodes);
+std::vector<OctreeNode> mergeColumns(const NodeColumns& cols);
+
 }  // namespace hemo::multires

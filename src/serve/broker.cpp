@@ -1,0 +1,345 @@
+#include "serve/broker.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace hemo::serve {
+
+namespace {
+
+inline std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+inline std::uint64_t mixInto(std::uint64_t h, std::uint64_t v) {
+  return comm::detail::mix64(h, v);
+}
+
+/// Codec discriminator inside the frame cache key: only features that
+/// change the encoded image bytes participate.
+inline std::uint8_t imageCodecKey(const CodecConfig& codec) {
+  return codec.rleImage ? 1 : 0;
+}
+
+}  // namespace
+
+std::uint64_t viewKey(const vis::VolumeRenderOptions& options) {
+  std::uint64_t h = 0x5e55e11e;
+  const auto& cam = options.camera;
+  for (const double v :
+       {cam.position.x, cam.position.y, cam.position.z, cam.target.x,
+        cam.target.y, cam.target.z, cam.up.x, cam.up.y, cam.up.z,
+        cam.fovYDegrees}) {
+    h = mixInto(h, bits(v));
+  }
+  h = mixInto(h, static_cast<std::uint64_t>(options.field));
+  h = mixInto(h, static_cast<std::uint64_t>(options.width));
+  h = mixInto(h, static_cast<std::uint64_t>(options.height));
+  if (options.clipBox) {
+    for (const double v :
+         {options.clipBox->lo.x, options.clipBox->lo.y, options.clipBox->lo.z,
+          options.clipBox->hi.x, options.clipBox->hi.y,
+          options.clipBox->hi.z}) {
+      h = mixInto(h, bits(v));
+    }
+  }
+  return h;
+}
+
+int SessionBroker::addClient(comm::ChannelEnd end) {
+  HEMO_CHECK_MSG(end.valid(), "broker client end must be connected");
+  end.setSendCapacity(config_.outboxCapacity);
+  clients_.push_back(Client{std::move(end), CodecConfig{}, {}});
+  return static_cast<int>(clients_.size()) - 1;
+}
+
+comm::ChannelEnd SessionBroker::connect() {
+  auto [clientEnd, brokerEnd] = comm::makeChannelPair();
+  addClient(std::move(brokerEnd));
+  return clientEnd;
+}
+
+void SessionBroker::sendTo(comm::Communicator& comm, Client& client,
+                           std::vector<std::byte> frame,
+                           std::uint64_t rawBytes) {
+  auto& counters = comm.counters().of(comm::Traffic::kSteer);
+  ++counters.messagesSent;
+  counters.bytesSent += frame.size();
+  ++stats_.framesSent;
+  stats_.wireBytes += frame.size();
+  stats_.rawBytes += rawBytes;
+  client.end.send(std::move(frame));
+}
+
+std::vector<steer::Command> SessionBroker::drainCommands(
+    comm::Communicator& comm, std::uint64_t step) {
+  std::vector<steer::Command> out;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& client = clients_[i];
+    while (auto frame = client.end.tryRecv()) {
+      // Client→master traffic enters through the channel, not the mailbox;
+      // count it here to keep the kSteer class symmetric.
+      auto& counters = comm.counters().of(comm::Traffic::kSteer);
+      ++counters.messagesReceived;
+      counters.bytesReceived += frame->size();
+      ++stats_.commandsReceived;
+      auto cmd = steer::decodeCommand(*frame);
+      switch (cmd.type) {
+        case steer::MsgType::kSubscribe: {
+          HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
+                         "bad stream kind");
+          auto& s = client.subs[cmd.stream];
+          s.active = true;
+          s.cadence = std::max<std::int32_t>(1, cmd.cadence);
+          s.params = cmd;
+          s.lastFiredStep = ~std::uint64_t{0};
+          sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+          break;
+        }
+        case steer::MsgType::kUnsubscribe: {
+          HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
+                         "bad stream kind");
+          client.subs[cmd.stream].active = false;
+          sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+          break;
+        }
+        case steer::MsgType::kSetCodec: {
+          client.codec = CodecConfig::fromCommand(cmd);
+          sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+          break;
+        }
+        default: {
+          // Forward to the simulation under a broker-unique id so replies
+          // route back to this client even when ids collide across clients.
+          const std::uint32_t brokerId = nextBrokerId_++;
+          pending_[brokerId] =
+              Pending{{static_cast<int>(i)}, {cmd.commandId}, true};
+          cmd.commandId = brokerId;
+          out.push_back(cmd);
+          break;
+        }
+      }
+    }
+  }
+
+  // Synthesize one tick command per *distinct* due request, shared by all
+  // clients whose subscription matches — N status subscribers cost one
+  // collective status computation, not N.
+  struct TickKey {
+    steer::MsgType type;
+    BoxI roi;
+    std::int32_t level = 0;
+    std::uint8_t observable = 0;
+
+    bool operator<(const TickKey& o) const {
+      const auto tup = [](const TickKey& k) {
+        return std::tuple(static_cast<int>(k.type), k.roi.lo.x, k.roi.lo.y,
+                          k.roi.lo.z, k.roi.hi.x, k.roi.hi.y, k.roi.hi.z,
+                          k.level, static_cast<int>(k.observable));
+      };
+      return tup(*this) < tup(o);
+    }
+  };
+  std::map<TickKey, std::uint32_t> ticks;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& client = clients_[i];
+    for (int k = 0; k < kNumStreams; ++k) {
+      const auto kind = static_cast<StreamKind>(k);
+      if (kind == StreamKind::kImage) continue;  // served via publishImage
+      auto& s = client.subs[k];
+      if (!due(s, step) || s.lastFiredStep == step) continue;
+      s.lastFiredStep = step;
+      steer::Command cmd = s.params;
+      switch (kind) {
+        case StreamKind::kStatus:
+          cmd.type = steer::MsgType::kRequestStatus;
+          break;
+        case StreamKind::kTelemetry:
+          cmd.type = steer::MsgType::kRequestTelemetry;
+          break;
+        case StreamKind::kObservable:
+          cmd.type = steer::MsgType::kRequestObservable;
+          break;
+        case StreamKind::kRoi:
+          cmd.type = steer::MsgType::kSetRoi;
+          break;
+        default:
+          continue;
+      }
+      TickKey key{cmd.type, cmd.roi, cmd.roiLevel, cmd.observable};
+      auto [it, inserted] = ticks.try_emplace(key, 0);
+      if (inserted) {
+        const std::uint32_t brokerId = nextBrokerId_++;
+        it->second = brokerId;
+        pending_[brokerId] = Pending{{static_cast<int>(i)}, {}, false};
+        cmd.commandId = brokerId;
+        out.push_back(cmd);
+      } else {
+        pending_[it->second].clients.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return out;
+}
+
+bool SessionBroker::imageDue(std::uint64_t step) const {
+  for (const auto& client : clients_) {
+    if (due(client.subs[static_cast<int>(StreamKind::kImage)], step)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::byte>& SessionBroker::cachedImage(
+    std::uint64_t view, const steer::ImageFrame& frame,
+    const CodecConfig& codec, std::uint64_t* rawBytesOut) {
+  if (frame.step != cacheStep_) {
+    cache_.clear();
+    cacheStep_ = frame.step;
+  }
+  const auto key = std::make_pair(view, imageCodecKey(codec));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.cacheMisses;
+    CacheEntry entry;
+    entry.bytes = encodeImagePayload(frame, codec, &entry.rawBytes);
+    it = cache_.emplace(key, std::move(entry)).first;
+  } else {
+    ++stats_.cacheHits;
+  }
+  if (rawBytesOut != nullptr) *rawBytesOut = it->second.rawBytes;
+  return it->second.bytes;
+}
+
+void SessionBroker::publishImage(comm::Communicator& comm, std::uint64_t view,
+                                 const steer::ImageFrame& frame) {
+  for (auto& client : clients_) {
+    if (!due(client.subs[static_cast<int>(StreamKind::kImage)], frame.step)) {
+      continue;
+    }
+    std::uint64_t raw = 0;
+    const auto& bytes = cachedImage(view, frame, client.codec, &raw);
+    sendTo(comm, client, bytes, raw);  // copy: each outbox owns its frame
+  }
+  publishMetrics();
+}
+
+void SessionBroker::respondAck(comm::Communicator& comm,
+                               std::uint32_t commandId) {
+  const auto it = pending_.find(commandId);
+  if (it == pending_.end()) return;
+  if (it->second.sendAck) {
+    for (std::size_t i = 0; i < it->second.clients.size(); ++i) {
+      sendTo(comm, clients_[static_cast<std::size_t>(it->second.clients[i])],
+             steer::encodeAck(it->second.originalIds[i]), 5);
+    }
+  }
+  pending_.erase(it);
+  publishMetrics();
+}
+
+void SessionBroker::respondStatus(comm::Communicator& comm,
+                                  std::uint32_t commandId,
+                                  const steer::StatusReport& status) {
+  const auto it = pending_.find(commandId);
+  if (it == pending_.end()) return;
+  const auto frame = steer::encodeStatus(status);
+  for (const int c : it->second.clients) {
+    sendTo(comm, clients_[static_cast<std::size_t>(c)], frame, frame.size());
+  }
+}
+
+void SessionBroker::respondImage(comm::Communicator& comm,
+                                 std::uint32_t commandId, std::uint64_t view,
+                                 const steer::ImageFrame& frame) {
+  const auto it = pending_.find(commandId);
+  if (it == pending_.end()) return;
+  for (const int c : it->second.clients) {
+    auto& client = clients_[static_cast<std::size_t>(c)];
+    std::uint64_t raw = 0;
+    const auto& bytes = cachedImage(view, frame, client.codec, &raw);
+    sendTo(comm, client, bytes, raw);
+  }
+}
+
+void SessionBroker::respondRoi(comm::Communicator& comm,
+                               std::uint32_t commandId,
+                               const steer::RoiData& roi) {
+  const auto it = pending_.find(commandId);
+  if (it == pending_.end()) return;
+  // Encode once per distinct codec config among the recipients.
+  std::map<std::uint8_t, std::pair<std::vector<std::byte>, std::uint64_t>>
+      byCodec;
+  for (const int c : it->second.clients) {
+    auto& client = clients_[static_cast<std::size_t>(c)];
+    const std::uint8_t key = client.codec.mask();
+    auto found = byCodec.find(key);
+    if (found == byCodec.end()) {
+      std::uint64_t raw = 0;
+      auto bytes = encodeRoiPayload(roi, client.codec, &raw);
+      found = byCodec.emplace(key, std::make_pair(std::move(bytes), raw)).first;
+    }
+    sendTo(comm, client, found->second.first, found->second.second);
+  }
+}
+
+void SessionBroker::respondObservable(comm::Communicator& comm,
+                                      std::uint32_t commandId,
+                                      const steer::ObservableReport& report) {
+  const auto it = pending_.find(commandId);
+  if (it == pending_.end()) return;
+  const auto frame = steer::encodeObservable(report);
+  for (const int c : it->second.clients) {
+    sendTo(comm, clients_[static_cast<std::size_t>(c)], frame, frame.size());
+  }
+}
+
+void SessionBroker::respondTelemetry(comm::Communicator& comm,
+                                     std::uint32_t commandId,
+                                     const telemetry::StepReport& report) {
+  const auto it = pending_.find(commandId);
+  if (it == pending_.end()) return;
+  const auto frame = steer::encodeTelemetry(report);
+  for (const int c : it->second.clients) {
+    sendTo(comm, clients_[static_cast<std::size_t>(c)], frame, frame.size());
+  }
+}
+
+void SessionBroker::closeAll() {
+  for (auto& client : clients_) client.end.close();
+}
+
+std::uint64_t SessionBroker::totalFramesDropped() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    total += framesDropped(static_cast<int>(i));
+  }
+  return total;
+}
+
+void SessionBroker::publishMetrics() {
+  auto* t = telemetry::threadTelemetry();
+  if (t == nullptr) return;
+  auto& m = t->metrics();
+  auto setTotal = [&m](const char* name, std::uint64_t value) {
+    auto& c = m.counter(name);
+    const std::uint64_t now = c.value();
+    if (value > now) c.add(value - now);
+  };
+  setTotal("serve.cache_hits", stats_.cacheHits);
+  setTotal("serve.cache_misses", stats_.cacheMisses);
+  setTotal("serve.frames_sent", stats_.framesSent);
+  setTotal("serve.wire_bytes", stats_.wireBytes);
+  setTotal("serve.raw_bytes", stats_.rawBytes);
+  setTotal("serve.frames_dropped", totalFramesDropped());
+  m.gauge("serve.clients").set(static_cast<double>(clients_.size()));
+}
+
+}  // namespace hemo::serve

@@ -1,0 +1,199 @@
+#pragma once
+/// \file broker.hpp
+/// \brief Multi-client session broker for the in situ serving plane.
+///
+/// The paper's §IV.C.1 steering loop assumes one client attached to the
+/// simulation master. The broker generalises that to N concurrent clients
+/// on rank 0: it tracks per-client subscriptions (image / status /
+/// telemetry / observable / ROI streams, each with its own cadence),
+/// fans frames out, and isolates slow consumers — every client has a
+/// bounded outbox with a latest-wins drop policy, so a stalled client
+/// costs dropped frames, never a stalled solver or starved peers.
+///
+/// A shared frame cache sits between the vis pipeline and the outboxes:
+/// when M clients subscribe to the same view/field/cadence the pipeline
+/// renders once and the broker serves the cached encoded frame M times
+/// (cache key = view + field + step + codec; hit/miss counters feed the
+/// serve.* telemetry metrics). Wire codecs are negotiated per client
+/// (kSetCodec) and applied at frame encode; raw vs wire byte counters
+/// feed the kSteer traffic class, so Table I–style measurements report
+/// compressed wire bytes.
+///
+/// Threading: all broker methods are called from the serving (rank 0)
+/// thread; client threads only touch their own ChannelEnd, which is
+/// thread-safe. addClient()/connect() must happen before serving starts
+/// or from the serving thread.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/communicator.hpp"
+#include "serve/codec.hpp"
+#include "steer/protocol.hpp"
+#include "telemetry/step_report.hpp"
+#include "vis/volume.hpp"
+
+namespace hemo::serve {
+
+/// Streams a client can subscribe to, each at its own cadence.
+enum class StreamKind : std::uint8_t {
+  kImage = 0,
+  kStatus,
+  kTelemetry,
+  kObservable,
+  kRoi,
+  kCount_
+};
+
+inline constexpr int kNumStreams = static_cast<int>(StreamKind::kCount_);
+
+struct BrokerConfig {
+  /// Frames a client outbox holds before latest-wins eviction kicks in.
+  /// 0 = unbounded (a stalled client then grows without limit — only for
+  /// tests that want the legacy behaviour).
+  std::size_t outboxCapacity = 16;
+};
+
+struct BrokerStats {
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t framesSent = 0;
+  std::uint64_t wireBytes = 0;  ///< encoded bytes pushed to outboxes
+  std::uint64_t rawBytes = 0;   ///< what the same frames cost uncompressed
+  std::uint64_t commandsReceived = 0;
+};
+
+/// Deterministic key identifying a rendered view (camera + field + size):
+/// the view component of the frame-cache key.
+std::uint64_t viewKey(const vis::VolumeRenderOptions& options);
+
+class SessionBroker {
+ public:
+  explicit SessionBroker(BrokerConfig config = {}) : config_(config) {}
+
+  /// Register a connected client; the broker keeps `end` as its outbox
+  /// (bounded per BrokerConfig). Returns the client id.
+  int addClient(comm::ChannelEnd end);
+
+  /// Convenience: create a channel pair, register the broker side, return
+  /// the client side.
+  comm::ChannelEnd connect();
+
+  int numClients() const { return static_cast<int>(clients_.size()); }
+
+  // --- serving surface (rank-0 thread; the driver calls these) ----------
+
+  /// Drain every client channel. Subscription and codec commands are
+  /// handled (and acked) in place; remaining steering commands are
+  /// returned with broker-unique command ids, followed by synthesized
+  /// tick commands for every subscription due at `step`. The caller
+  /// routes responses back through the respond* methods using the
+  /// (rewritten) Command::commandId.
+  std::vector<steer::Command> drainCommands(comm::Communicator& comm,
+                                            std::uint64_t step);
+
+  /// True when any client's image subscription is due at `step`.
+  bool imageDue(std::uint64_t step) const;
+
+  /// Fan `frame` out to every image subscriber due at frame.step. The
+  /// frame is encoded once per distinct codec config through the shared
+  /// cache; `view` is the viewKey() of the rendered options.
+  void publishImage(comm::Communicator& comm, std::uint64_t view,
+                    const steer::ImageFrame& frame);
+
+  // Routed responses for commands returned by drainCommands(). Acks are
+  /// suppressed for synthesized subscription ticks.
+  void respondAck(comm::Communicator& comm, std::uint32_t commandId);
+  void respondStatus(comm::Communicator& comm, std::uint32_t commandId,
+                     const steer::StatusReport& status);
+  void respondImage(comm::Communicator& comm, std::uint32_t commandId,
+                    std::uint64_t view, const steer::ImageFrame& frame);
+  void respondRoi(comm::Communicator& comm, std::uint32_t commandId,
+                  const steer::RoiData& roi);
+  void respondObservable(comm::Communicator& comm, std::uint32_t commandId,
+                         const steer::ObservableReport& report);
+  void respondTelemetry(comm::Communicator& comm, std::uint32_t commandId,
+                        const telemetry::StepReport& report);
+
+  /// Close every client outbox (clients drain queued frames, then EOF).
+  void closeAll();
+
+  // --- observability -----------------------------------------------------
+
+  const BrokerStats& stats() const { return stats_; }
+
+  /// Frames evicted from one client's bounded outbox so far.
+  std::uint64_t framesDropped(int client) const {
+    return clients_[static_cast<std::size_t>(client)].end.framesDropped();
+  }
+
+  /// Frames pushed toward one client (before any eviction).
+  std::uint64_t framesSentTo(int client) const {
+    return clients_[static_cast<std::size_t>(client)].end.framesSent();
+  }
+
+  std::uint64_t totalFramesDropped() const;
+
+ private:
+  struct Subscription {
+    bool active = false;
+    std::int32_t cadence = 1;
+    steer::Command params;  ///< roi / level / observable of the subscribe
+    std::uint64_t lastFiredStep = ~std::uint64_t{0};
+  };
+
+  struct Client {
+    comm::ChannelEnd end;
+    CodecConfig codec;
+    Subscription subs[kNumStreams];
+  };
+
+  /// One routed command: which clients asked, their original command ids
+  /// (empty for synthesized ticks, which also suppress the ack).
+  struct Pending {
+    std::vector<int> clients;
+    std::vector<std::uint32_t> originalIds;
+    bool sendAck = false;
+  };
+
+  Subscription& sub(Client& c, StreamKind k) {
+    return c.subs[static_cast<int>(k)];
+  }
+  static bool due(const Subscription& s, std::uint64_t step) {
+    return s.active && s.cadence > 0 &&
+           step % static_cast<std::uint64_t>(s.cadence) == 0;
+  }
+
+  /// Push one wire frame into a client outbox, charging the kSteer class
+  /// and the serve.* counters.
+  void sendTo(comm::Communicator& comm, Client& client,
+              std::vector<std::byte> frame, std::uint64_t rawBytes);
+
+  /// Encoded image for a codec config via the shared per-step cache.
+  const std::vector<std::byte>& cachedImage(std::uint64_t view,
+                                            const steer::ImageFrame& frame,
+                                            const CodecConfig& codec,
+                                            std::uint64_t* rawBytesOut);
+
+  void publishMetrics();
+
+  BrokerConfig config_;
+  std::vector<Client> clients_;
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint32_t nextBrokerId_ = 1u << 20;  ///< clear of client-issued ids
+
+  // Shared frame cache: one step's encodings, keyed by (view, codec mask).
+  struct CacheEntry {
+    std::vector<std::byte> bytes;
+    std::uint64_t rawBytes = 0;
+  };
+  std::map<std::pair<std::uint64_t, std::uint8_t>, CacheEntry> cache_;
+  std::uint64_t cacheStep_ = ~std::uint64_t{0};
+
+  BrokerStats stats_;
+};
+
+}  // namespace hemo::serve

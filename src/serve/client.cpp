@@ -1,0 +1,119 @@
+#include "serve/client.hpp"
+
+#include "io/serial.hpp"
+#include "util/check.hpp"
+
+namespace hemo::serve {
+
+std::uint32_t ServeClient::subscribe(StreamKind stream, std::int32_t cadence) {
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kSubscribe;
+  cmd.stream = static_cast<std::uint8_t>(stream);
+  cmd.cadence = cadence;
+  return send(cmd);
+}
+
+std::uint32_t ServeClient::subscribeObservable(std::int32_t cadence,
+                                               steer::ObservableKind kind,
+                                               const BoxI& roi) {
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kSubscribe;
+  cmd.stream = static_cast<std::uint8_t>(StreamKind::kObservable);
+  cmd.cadence = cadence;
+  cmd.observable = static_cast<std::uint8_t>(kind);
+  cmd.roi = roi;
+  return send(cmd);
+}
+
+std::uint32_t ServeClient::subscribeRoi(std::int32_t cadence, const BoxI& roi,
+                                        std::int32_t level) {
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kSubscribe;
+  cmd.stream = static_cast<std::uint8_t>(StreamKind::kRoi);
+  cmd.cadence = cadence;
+  cmd.roi = roi;
+  cmd.roiLevel = level;
+  return send(cmd);
+}
+
+std::uint32_t ServeClient::unsubscribe(StreamKind stream) {
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kUnsubscribe;
+  cmd.stream = static_cast<std::uint8_t>(stream);
+  return send(cmd);
+}
+
+std::uint32_t ServeClient::setCodec(const CodecConfig& codec) {
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kSetCodec;
+  cmd.codec = codec.mask();
+  cmd.value = codec.quantError;
+  return send(cmd);
+}
+
+std::uint32_t ServeClient::send(steer::Command cmd) {
+  cmd.commandId = nextCommandId_++;
+  HEMO_CHECK_MSG(end_.send(steer::encodeCommand(cmd)),
+                 "serving channel closed");
+  return cmd.commandId;
+}
+
+ServeClient::Event ServeClient::decode(
+    const std::vector<std::byte>& frame) const {
+  Event event;
+  event.type = steer::frameType(frame);
+  event.wireBytes = frame.size();
+  switch (event.type) {
+    case steer::MsgType::kImageFrame:
+    case steer::MsgType::kCodedImage:
+      event.image = decodeImagePayload(frame);
+      break;
+    case steer::MsgType::kRoiData:
+    case steer::MsgType::kCodedRoi:
+      event.roi = decodeRoiPayload(frame);
+      break;
+    case steer::MsgType::kStatus:
+      event.status = steer::decodeStatus(frame);
+      break;
+    case steer::MsgType::kObservable:
+      event.observable = steer::decodeObservable(frame);
+      break;
+    case steer::MsgType::kTelemetry:
+      event.telemetry = steer::decodeTelemetry(frame);
+      break;
+    case steer::MsgType::kAck: {
+      io::Reader r(frame);
+      r.get<std::uint8_t>();
+      event.ackId = r.get<std::uint32_t>();
+      break;
+    }
+    default:
+      HEMO_CHECK_MSG(false, "unexpected serve frame type");
+  }
+  return event;
+}
+
+std::optional<ServeClient::Event> ServeClient::pollEvent() {
+  auto frame = end_.tryRecv();
+  if (!frame) return std::nullopt;
+  return decode(*frame);
+}
+
+std::optional<ServeClient::Event> ServeClient::nextEvent() {
+  auto frame = end_.recv();
+  if (!frame) return std::nullopt;  // EOF
+  return decode(*frame);
+}
+
+std::optional<steer::ImageFrame> ServeClient::awaitImage() {
+  for (;;) {
+    auto event = nextEvent();
+    if (!event) return std::nullopt;
+    if (event->type == steer::MsgType::kImageFrame ||
+        event->type == steer::MsgType::kCodedImage) {
+      return std::move(event->image);
+    }
+  }
+}
+
+}  // namespace hemo::serve

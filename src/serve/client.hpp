@@ -1,0 +1,81 @@
+#pragma once
+/// \file client.hpp
+/// \brief Client-side session wrapper for the serving plane: typed
+/// subscribe/unsubscribe/codec commands plus blocking and non-blocking
+/// receives that transparently decode coded wire frames.
+///
+/// Unlike steer::SteeringClient (one stream, blocking typed awaits), a
+/// ServeClient consumes an *event stream*: whatever the broker pushed —
+/// images, status, telemetry, observables, ROI data, acks — arrives in
+/// order through pollEvent()/nextEvent(), already decoded from whichever
+/// codec this client negotiated.
+
+#include <optional>
+
+#include "comm/channel.hpp"
+#include "serve/broker.hpp"
+#include "serve/codec.hpp"
+#include "steer/protocol.hpp"
+
+namespace hemo::serve {
+
+class ServeClient {
+ public:
+  explicit ServeClient(comm::ChannelEnd end) : end_(std::move(end)) {}
+
+  // --- commands (return the client-side command id) ----------------------
+
+  /// Subscribe to image/status/telemetry frames every `cadence` steps.
+  std::uint32_t subscribe(StreamKind stream, std::int32_t cadence);
+
+  /// Subscribe to an observable over a lattice-box subset (empty = whole
+  /// domain).
+  std::uint32_t subscribeObservable(std::int32_t cadence,
+                                    steer::ObservableKind kind,
+                                    const BoxI& roi = {});
+
+  /// Subscribe to ROI octree data at `level` every `cadence` steps.
+  std::uint32_t subscribeRoi(std::int32_t cadence, const BoxI& roi,
+                             std::int32_t level);
+
+  std::uint32_t unsubscribe(StreamKind stream);
+
+  /// Negotiate this client's wire codecs.
+  std::uint32_t setCodec(const CodecConfig& codec);
+
+  /// Send an arbitrary steering command (camera, tau, pause, ...).
+  std::uint32_t send(steer::Command cmd);
+
+  // --- event stream -------------------------------------------------------
+
+  struct Event {
+    steer::MsgType type{};
+    steer::ImageFrame image;              ///< kImageFrame / kCodedImage
+    steer::RoiData roi;                   ///< kRoiData / kCodedRoi
+    steer::StatusReport status;           ///< kStatus
+    steer::ObservableReport observable;   ///< kObservable
+    telemetry::StepReport telemetry;      ///< kTelemetry
+    std::uint32_t ackId = 0;              ///< kAck
+    std::uint64_t wireBytes = 0;          ///< frame size on the wire
+  };
+
+  /// Non-blocking: the next queued event, or nullopt when none is waiting.
+  std::optional<Event> pollEvent();
+
+  /// Blocking: the next event; nullopt once the broker closed (EOF).
+  std::optional<Event> nextEvent();
+
+  /// Blocking convenience: skip to the next image (other events are
+  /// discarded); nullopt at EOF.
+  std::optional<steer::ImageFrame> awaitImage();
+
+  void close() { end_.close(); }
+
+ private:
+  Event decode(const std::vector<std::byte>& frame) const;
+
+  comm::ChannelEnd end_;
+  std::uint32_t nextCommandId_ = 1;
+};
+
+}  // namespace hemo::serve

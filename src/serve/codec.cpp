@@ -1,0 +1,266 @@
+#include "serve/codec.hpp"
+
+#include <cmath>
+
+#include "io/serial.hpp"
+#include "multires/octree.hpp"
+#include "util/check.hpp"
+
+namespace hemo::serve {
+
+namespace {
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void putVarint(io::Writer& w, std::uint64_t v) {
+  while (v >= 0x80) {
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t getVarint(io::Reader& r) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const auto byte = r.get<std::uint8_t>();
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    HEMO_CHECK_MSG(shift < 64, "varint overlong");
+  }
+}
+
+void putDeltaVarint(io::Writer& w, const std::vector<std::uint64_t>& values) {
+  putVarint(w, values.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t v : values) {
+    putVarint(w, zigzag(static_cast<std::int64_t>(v - prev)));
+    prev = v;
+  }
+}
+
+std::vector<std::uint64_t> getDeltaVarint(io::Reader& r) {
+  const std::uint64_t n = getVarint(r);
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(n));
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    prev += static_cast<std::uint64_t>(unzigzag(getVarint(r)));
+    values.push_back(prev);
+  }
+  return values;
+}
+
+/// Float column: u8 mode (0 raw, 1 quantised) then the payload.
+void putFloatColumn(io::Writer& w, const std::vector<float>& values,
+                    double maxError) {
+  if (maxError > 0.0) {
+    w.put<std::uint8_t>(1);
+    const auto coded = quantFloatEncode(values, maxError);
+    putVarint(w, coded.size());
+    w.putRaw(coded.data(), coded.size());
+  } else {
+    w.put<std::uint8_t>(0);
+    putVarint(w, values.size());
+    w.putRaw(values.data(), values.size() * sizeof(float));
+  }
+}
+
+std::vector<float> getFloatColumn(io::Reader& r) {
+  const auto mode = r.get<std::uint8_t>();
+  const std::uint64_t n = getVarint(r);
+  if (mode == 1) {
+    std::vector<std::byte> coded(static_cast<std::size_t>(n));
+    r.getRaw(coded.data(), coded.size());
+    return quantFloatDecode(coded);
+  }
+  std::vector<float> values(static_cast<std::size_t>(n));
+  r.getRaw(values.data(), values.size() * sizeof(float));
+  return values;
+}
+
+}  // namespace
+
+std::vector<std::byte> rleEncode(const std::uint8_t* data, std::size_t n) {
+  io::Writer w;
+  putVarint(w, n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t run = 1;
+    while (run < 256 && i + run < n && data[i + run] == data[i]) ++run;
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(run - 1));
+    w.put<std::uint8_t>(data[i]);
+    i += run;
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> rleDecode(const std::vector<std::byte>& coded) {
+  io::Reader r(coded);
+  const std::uint64_t n = getVarint(r);
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (out.size() < n) {
+    const std::size_t run = static_cast<std::size_t>(r.get<std::uint8_t>()) + 1;
+    const auto value = r.get<std::uint8_t>();
+    out.insert(out.end(), run, value);
+  }
+  HEMO_CHECK_MSG(out.size() == n && r.atEnd(), "rle stream corrupt");
+  return out;
+}
+
+std::vector<std::byte> deltaVarintEncode(
+    const std::vector<std::uint64_t>& values) {
+  io::Writer w;
+  putDeltaVarint(w, values);
+  return w.take();
+}
+
+std::vector<std::uint64_t> deltaVarintDecode(const std::vector<std::byte>& c) {
+  io::Reader r(c);
+  auto values = getDeltaVarint(r);
+  HEMO_CHECK_MSG(r.atEnd(), "delta-varint stream corrupt");
+  return values;
+}
+
+std::vector<std::byte> quantFloatEncode(const std::vector<float>& values,
+                                        double maxError) {
+  HEMO_CHECK_MSG(maxError > 0.0, "quantFloatEncode needs maxError > 0");
+  const double pitch = 2.0 * maxError;
+  io::Writer w;
+  w.put<double>(pitch);
+  putVarint(w, values.size());
+  std::int64_t prev = 0;
+  for (const float v : values) {
+    const std::int64_t q =
+        static_cast<std::int64_t>(std::llround(static_cast<double>(v) / pitch));
+    putVarint(w, zigzag(q - prev));
+    prev = q;
+  }
+  return w.take();
+}
+
+std::vector<float> quantFloatDecode(const std::vector<std::byte>& coded) {
+  io::Reader r(coded);
+  const double pitch = r.get<double>();
+  const std::uint64_t n = getVarint(r);
+  std::vector<float> values;
+  values.reserve(static_cast<std::size_t>(n));
+  std::int64_t q = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    q += unzigzag(getVarint(r));
+    values.push_back(static_cast<float>(static_cast<double>(q) * pitch));
+  }
+  HEMO_CHECK_MSG(r.atEnd(), "quant-float stream corrupt");
+  return values;
+}
+
+std::vector<std::byte> encodeImagePayload(const steer::ImageFrame& frame,
+                                          const CodecConfig& codec,
+                                          std::uint64_t* rawBytesOut) {
+  // Raw encoding size: the plain kImageFrame wire frame.
+  const std::uint64_t rawSize =
+      1 + 8 + 4 + 4 + 8 + static_cast<std::uint64_t>(frame.rgb.size());
+  if (rawBytesOut != nullptr) *rawBytesOut = rawSize;
+  if (!codec.rleImage) return steer::encodeImage(frame);
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(steer::MsgType::kCodedImage));
+  w.put<std::uint64_t>(frame.step);
+  w.put<std::int32_t>(frame.width);
+  w.put<std::int32_t>(frame.height);
+  const auto coded = rleEncode(frame.rgb.data(), frame.rgb.size());
+  w.put<std::uint64_t>(coded.size());
+  w.putRaw(coded.data(), coded.size());
+  return w.take();
+}
+
+steer::ImageFrame decodeImagePayload(const std::vector<std::byte>& bytes) {
+  if (steer::frameType(bytes) == steer::MsgType::kImageFrame) {
+    return steer::decodeImage(bytes);
+  }
+  io::Reader r(bytes);
+  HEMO_CHECK(static_cast<steer::MsgType>(r.get<std::uint8_t>()) ==
+             steer::MsgType::kCodedImage);
+  steer::ImageFrame frame;
+  frame.step = r.get<std::uint64_t>();
+  frame.width = r.get<std::int32_t>();
+  frame.height = r.get<std::int32_t>();
+  const auto codedSize = r.get<std::uint64_t>();
+  std::vector<std::byte> coded(static_cast<std::size_t>(codedSize));
+  r.getRaw(coded.data(), coded.size());
+  HEMO_CHECK(r.atEnd());
+  frame.rgb = rleDecode(coded);
+  return frame;
+}
+
+std::vector<std::byte> encodeRoiPayload(const steer::RoiData& roi,
+                                        const CodecConfig& codec,
+                                        std::uint64_t* rawBytesOut) {
+  const std::uint64_t rawSize =
+      1 + 8 + 4 + 8 +
+      static_cast<std::uint64_t>(roi.nodes.size() *
+                                 sizeof(multires::OctreeNode));
+  if (rawBytesOut != nullptr) *rawBytesOut = rawSize;
+  if (!codec.deltaIndices && codec.quantError <= 0.0) {
+    return steer::encodeRoi(roi);
+  }
+  const auto cols = multires::splitColumns(roi.nodes);
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(steer::MsgType::kCodedRoi));
+  w.put<std::uint64_t>(roi.step);
+  w.put<std::int32_t>(roi.level);
+  // Keys/counts: exact. Level keys arrive sorted from gatherRoi, so the
+  // delta stream is short; raw fallback keeps the frame self-describing.
+  w.put<std::uint8_t>(codec.deltaIndices ? 1 : 0);
+  if (codec.deltaIndices) {
+    putDeltaVarint(w, cols.keys);
+    putDeltaVarint(w, cols.counts);
+  } else {
+    w.putVec(cols.keys);
+    w.putVec(cols.counts);
+  }
+  putFloatColumn(w, cols.meanScalar, codec.quantError);
+  putFloatColumn(w, cols.minScalar, codec.quantError);
+  putFloatColumn(w, cols.maxScalar, codec.quantError);
+  putFloatColumn(w, cols.velocity, codec.quantError);
+  return w.take();
+}
+
+steer::RoiData decodeRoiPayload(const std::vector<std::byte>& bytes) {
+  if (steer::frameType(bytes) == steer::MsgType::kRoiData) {
+    return steer::decodeRoi(bytes);
+  }
+  io::Reader r(bytes);
+  HEMO_CHECK(static_cast<steer::MsgType>(r.get<std::uint8_t>()) ==
+             steer::MsgType::kCodedRoi);
+  steer::RoiData roi;
+  roi.step = r.get<std::uint64_t>();
+  roi.level = r.get<std::int32_t>();
+  multires::NodeColumns cols;
+  const bool delta = r.get<std::uint8_t>() != 0;
+  if (delta) {
+    cols.keys = getDeltaVarint(r);
+    cols.counts = getDeltaVarint(r);
+  } else {
+    cols.keys = r.getVec<std::uint64_t>();
+    cols.counts = r.getVec<std::uint64_t>();
+  }
+  cols.meanScalar = getFloatColumn(r);
+  cols.minScalar = getFloatColumn(r);
+  cols.maxScalar = getFloatColumn(r);
+  cols.velocity = getFloatColumn(r);
+  HEMO_CHECK(r.atEnd());
+  roi.nodes = multires::mergeColumns(cols);
+  return roi;
+}
+
+}  // namespace hemo::serve

@@ -1,0 +1,94 @@
+#pragma once
+/// \file codec.hpp
+/// \brief Wire codecs for the in situ serving plane.
+///
+/// The paper's Table I argument is that *communication bytes* decide which
+/// in situ algorithms survive at scale; the serving layer therefore
+/// compresses every stream before it crosses the wire. Three pluggable
+/// lossless/bounded-loss primitives cover the steer payload types:
+///   * run-length coding for rendered images (flat background dominates),
+///   * delta+varint for site-index / Morton-key sequences (sorted, dense),
+///   * optional quantised floats with a *stated* max absolute error for
+///     ROI field payloads.
+/// A client negotiates its codec set with a kSetCodec command; the broker
+/// encodes each frame once per negotiated configuration and counts raw vs
+/// wire bytes so Table I–style measurements report compressed volumes.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "steer/protocol.hpp"
+
+namespace hemo::serve {
+
+/// Per-client codec negotiation, packed into steer::Command::codec as a
+/// feature mask (quantised-float max error travels in Command::value).
+struct CodecConfig {
+  bool rleImage = false;      ///< run-length-code image streams
+  bool deltaIndices = false;  ///< delta+varint ROI keys/counts
+  double quantError = 0.0;    ///< > 0: quantise ROI floats, |err| <= this
+
+  std::uint8_t mask() const {
+    return static_cast<std::uint8_t>((rleImage ? 1 : 0) |
+                                     (deltaIndices ? 2 : 0) |
+                                     (quantError > 0.0 ? 4 : 0));
+  }
+
+  static CodecConfig fromCommand(const steer::Command& cmd) {
+    CodecConfig c;
+    c.rleImage = (cmd.codec & 1) != 0;
+    c.deltaIndices = (cmd.codec & 2) != 0;
+    c.quantError = (cmd.codec & 4) != 0 ? cmd.value : 0.0;
+    return c;
+  }
+
+  bool anyEnabled() const {
+    return rleImage || deltaIndices || quantError > 0.0;
+  }
+};
+
+// --- primitives ------------------------------------------------------------
+
+/// Byte-oriented run-length coding: (run-1, value) pairs, runs up to 256.
+/// Exact round trip; worst case doubles the size, flat images shrink ~128x.
+std::vector<std::byte> rleEncode(const std::uint8_t* data, std::size_t n);
+std::vector<std::uint8_t> rleDecode(const std::vector<std::byte>& coded);
+
+/// Delta + zigzag + LEB128 varint for integer sequences. Exact round trip;
+/// sorted site indices / Morton keys code to ~1 byte per element.
+std::vector<std::byte> deltaVarintEncode(
+    const std::vector<std::uint64_t>& values);
+std::vector<std::uint64_t> deltaVarintDecode(const std::vector<std::byte>& c);
+
+/// Quantised floats: values snap to a uniform grid of pitch 2*maxError
+/// (round-to-nearest => absolute error <= maxError), then the grid indices
+/// are delta+varint coded. maxError must be > 0.
+std::vector<std::byte> quantFloatEncode(const std::vector<float>& values,
+                                        double maxError);
+std::vector<float> quantFloatDecode(const std::vector<std::byte>& coded);
+
+// --- framed payloads -------------------------------------------------------
+
+/// Encode an image frame under `codec` as a kCodedImage wire frame (falls
+/// back to the plain kImageFrame encoding when nothing is enabled).
+/// `rawBytesOut`, if given, receives the uncompressed encoding size the
+/// frame *would* have had — the broker's raw-vs-wire accounting.
+std::vector<std::byte> encodeImagePayload(const steer::ImageFrame& frame,
+                                          const CodecConfig& codec,
+                                          std::uint64_t* rawBytesOut = nullptr);
+
+/// Decode either a kImageFrame or a kCodedImage wire frame.
+steer::ImageFrame decodeImagePayload(const std::vector<std::byte>& bytes);
+
+/// Encode ROI node data under `codec` as a kCodedRoi wire frame (plain
+/// kRoiData encoding when nothing is enabled). Keys/counts are exact;
+/// float columns are exact unless quantError > 0, then within quantError.
+std::vector<std::byte> encodeRoiPayload(const steer::RoiData& roi,
+                                        const CodecConfig& codec,
+                                        std::uint64_t* rawBytesOut = nullptr);
+
+/// Decode either a kRoiData or a kCodedRoi wire frame.
+steer::RoiData decodeRoiPayload(const std::vector<std::byte>& bytes);
+
+}  // namespace hemo::serve

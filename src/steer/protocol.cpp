@@ -63,6 +63,9 @@ std::vector<std::byte> encodeCommand(const Command& cmd) {
   w.put<std::int32_t>(cmd.ioletId);
   putVec3d(w, cmd.force);
   w.put<std::uint8_t>(cmd.observable);
+  w.put<std::uint8_t>(cmd.stream);
+  w.put<std::int32_t>(cmd.cadence);
+  w.put<std::uint8_t>(cmd.codec);
   return w.take();
 }
 
@@ -83,6 +86,9 @@ Command decodeCommand(const std::vector<std::byte>& frame) {
   cmd.ioletId = r.get<std::int32_t>();
   cmd.force = getVec3d(r);
   cmd.observable = r.get<std::uint8_t>();
+  cmd.stream = r.get<std::uint8_t>();
+  cmd.cadence = r.get<std::int32_t>();
+  cmd.codec = r.get<std::uint8_t>();
   HEMO_CHECK(r.atEnd());
   return cmd;
 }

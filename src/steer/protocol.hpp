@@ -39,6 +39,11 @@ enum class MsgType : std::uint8_t {
   kRequestFrame,
   kRequestObservable,
   kTerminate,
+  kRequestTelemetry,  ///< one aggregated StepReport, on demand
+  // client -> master, serving layer (handled by serve::SessionBroker)
+  kSubscribe,    ///< stream (serve::StreamKind) + cadence + params
+  kUnsubscribe,  ///< stream
+  kSetCodec,     ///< codec mask + quantised-float max error (in `value`)
   // master -> client
   kAck = 64,
   kStatus,
@@ -46,6 +51,8 @@ enum class MsgType : std::uint8_t {
   kRoiData,
   kObservable,
   kTelemetry,  ///< aggregated telemetry::StepReport of the last window
+  kCodedImage,  ///< codec-compressed ImageFrame (serve wire layer)
+  kCodedRoi,    ///< codec-compressed RoiData (serve wire layer)
 };
 
 /// Hydrodynamic observables computable over a user-defined subset of the
@@ -68,10 +75,14 @@ struct Command {
   std::int32_t visRate = 10;
   BoxI roi{};
   std::int32_t roiLevel = 0;
-  double value = 0.0;            ///< tau / iolet density
+  double value = 0.0;            ///< tau / iolet density / quant max error
   std::int32_t ioletId = 0;
   Vec3d force{};
   std::uint8_t observable = 0;   ///< ObservableKind for kRequestObservable
+  // Serving-layer fields (kSubscribe/kUnsubscribe/kSetCodec).
+  std::uint8_t stream = 0;       ///< serve::StreamKind
+  std::int32_t cadence = 0;      ///< steps between stream frames
+  std::uint8_t codec = 0;        ///< serve::CodecConfig feature mask
 };
 
 /// Reply to kRequestObservable.

@@ -8,23 +8,18 @@
 
 namespace hemo::steer {
 
-std::vector<Command> SteeringServer::poll(comm::Communicator& comm) {
-  HEMO_TSPAN(kSteer, "steer.poll");
+std::vector<Command> broadcastCommands(
+    comm::Communicator& comm, const std::vector<Command>& rank0Commands) {
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kSteer);
-  // Rank 0 drains the channel, then broadcasts the concatenated frames.
+  // Rank 0 concatenates length-prefixed frames, then broadcasts the blob.
   std::vector<std::byte> packed;
-  if (comm.rank() == 0 && channel_.valid()) {
-    while (auto frame = channel_.tryRecv()) {
-      // Client→master traffic enters the rank through the channel, not the
-      // mailbox, so it must be counted here to keep the steering class
-      // symmetric with the master→client sends.
-      auto& c = comm.counters().of(comm::Traffic::kSteer);
-      ++c.messagesReceived;
-      c.bytesReceived += frame->size();
-      const auto n = static_cast<std::uint32_t>(frame->size());
+  if (comm.rank() == 0) {
+    for (const Command& cmd : rank0Commands) {
+      const auto frame = encodeCommand(cmd);
+      const auto n = static_cast<std::uint32_t>(frame.size());
       const auto* np = reinterpret_cast<const std::byte*>(&n);
       packed.insert(packed.end(), np, np + sizeof(n));
-      packed.insert(packed.end(), frame->begin(), frame->end());
+      packed.insert(packed.end(), frame.begin(), frame.end());
     }
   }
   comm.bcastBytes(packed, 0);
@@ -42,6 +37,25 @@ std::vector<Command> SteeringServer::poll(comm::Communicator& comm) {
     pos += n;
   }
   return commands;
+}
+
+std::vector<Command> SteeringServer::poll(comm::Communicator& comm) {
+  HEMO_TSPAN(kSteer, "steer.poll");
+  // Rank 0 drains the channel into decoded commands, then the collective
+  // broadcast distributes them so all ranks apply the same list.
+  std::vector<Command> drained;
+  if (comm.rank() == 0 && channel_.valid()) {
+    while (auto frame = channel_.tryRecv()) {
+      // Client→master traffic enters the rank through the channel, not the
+      // mailbox, so it must be counted here to keep the steering class
+      // symmetric with the master→client sends.
+      auto& c = comm.counters().of(comm::Traffic::kSteer);
+      ++c.messagesReceived;
+      c.bytesReceived += frame->size();
+      drained.push_back(decodeCommand(*frame));
+    }
+  }
+  return broadcastCommands(comm, drained);
 }
 
 void SteeringServer::sendStatus(comm::Communicator& comm,

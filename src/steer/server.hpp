@@ -22,6 +22,13 @@
 
 namespace hemo::steer {
 
+/// Collective: rank 0 packs `rank0Commands` (ignored elsewhere) and
+/// broadcasts; every rank returns the identical decoded list. The shared
+/// command-propagation step of SteeringServer::poll and the serving-plane
+/// broker, counted as kSteer traffic.
+std::vector<Command> broadcastCommands(comm::Communicator& comm,
+                                       const std::vector<Command>& rank0Commands);
+
 class SteeringServer {
  public:
   /// `clientEnd` is only used on rank 0 (others may pass a default).

@@ -3,9 +3,10 @@
 #
 # The comm runtime simulates ranks as threads, so the solver's fused
 # overlap path (send buffers filled by the frontier pass, bulk compute
-# racing in-flight messages, receives scattered into fNext) and the
-# telemetry SPSC trace ring (rank thread producing, driver/test draining)
-# are exactly the kind of code TSan can vet.
+# racing in-flight messages, receives scattered into fNext), the
+# telemetry SPSC trace ring (rank thread producing, driver/test draining),
+# and the serving broker (N client threads subscribing/receiving against
+# the rank-0 serving thread) are exactly the kind of code TSan can vet.
 # Usage: tests/run_tsan.sh [build-dir]
 # Also registered under `ctest -L sanitize` when -DHEMO_SANITIZE_TESTS=ON.
 set -euo pipefail
@@ -16,10 +17,12 @@ build_dir="${1:-$repo_root/build-tsan}"
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHEMO_SANITIZE=thread
-cmake --build "$build_dir" -j --target test_lb test_lb_fused test_telemetry
+cmake --build "$build_dir" -j --target test_lb test_lb_fused test_telemetry \
+  test_serve
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "$build_dir/tests/test_lb"
 "$build_dir/tests/test_lb_fused"
 "$build_dir/tests/test_telemetry"
+"$build_dir/tests/test_serve"
 echo "TSan run clean."

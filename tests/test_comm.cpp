@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "comm/channel.hpp"
@@ -399,6 +401,92 @@ TEST(Channel, DuplexIndependence) {
   b.send({std::byte{2}});
   EXPECT_EQ((*b.recv())[0], std::byte{1});
   EXPECT_EQ((*a.recv())[0], std::byte{2});
+}
+
+TEST(Channel, BoundedCapacityDropsOldest) {
+  auto [a, b] = makeChannelPair();
+  a.setSendCapacity(2);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(a.send({std::byte{i}}));
+  }
+  EXPECT_EQ(a.framesDropped(), 3u);
+  EXPECT_EQ(a.framesSent(), 5u);  // pushes counted before eviction
+  // Latest-wins: the two newest frames survive, in order.
+  EXPECT_EQ((*b.recv())[0], std::byte{3});
+  EXPECT_EQ((*b.recv())[0], std::byte{4});
+  EXPECT_FALSE(b.tryRecv().has_value());
+}
+
+TEST(Channel, UnboundedByDefaultNeverDrops) {
+  auto [a, b] = makeChannelPair();
+  for (std::uint8_t i = 0; i < 100; ++i) a.send({std::byte{i}});
+  EXPECT_EQ(a.framesDropped(), 0u);
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*b.recv())[0], std::byte{i});
+  }
+}
+
+TEST(Channel, BoundedCapacityKeepsDrainedReaderCurrent) {
+  // A reader that keeps up sees every frame; only a stalled reader loses
+  // the oldest ones.
+  auto [a, b] = makeChannelPair();
+  a.setSendCapacity(1);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    a.send({std::byte{i}});
+    EXPECT_EQ((*b.recv())[0], std::byte{i});
+  }
+  EXPECT_EQ(a.framesDropped(), 0u);
+}
+
+TEST(Channel, ConcurrentSenderReceiverDrainThenEof) {
+  // Close/EOF semantics with a live sender and receiver on separate
+  // threads: the receiver must observe every sent frame in order, then a
+  // clean EOF — never a premature EOF or a lost frame.
+  constexpr int kFrames = 2000;
+  auto [a, b] = makeChannelPair();
+  std::thread sender([end = std::move(a)]() mutable {
+    for (int i = 0; i < kFrames; ++i) {
+      std::vector<std::byte> frame(sizeof(int));
+      std::memcpy(frame.data(), &i, sizeof(int));
+      ASSERT_TRUE(end.send(std::move(frame)));
+    }
+    end.close();
+  });
+  int expect = 0;
+  while (auto frame = b.recv()) {
+    int got;
+    ASSERT_EQ(frame->size(), sizeof(int));
+    std::memcpy(&got, frame->data(), sizeof(int));
+    EXPECT_EQ(got, expect++);
+  }
+  EXPECT_EQ(expect, kFrames);          // drained everything before EOF
+  EXPECT_FALSE(b.recv().has_value());  // EOF is sticky
+  sender.join();
+}
+
+TEST(Channel, HalfCloseConcurrentPeerKeepsSending) {
+  // close() is a half-close: it seals only the closer's outgoing queue.
+  // While the peer b closes concurrently, a's sends must keep succeeding
+  // (b may still drain them) and a's receive side must observe b's final
+  // frame followed by a clean EOF — never a hang or a torn frame.
+  auto [a, b] = makeChannelPair();
+  std::thread peer([end = std::move(b)]() mutable {
+    (void)end.recv();  // wait for a's first frame
+    end.send({std::byte{42}});
+    end.close();  // seals b->a only
+  });
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(a.send({std::byte{1}}));  // a->b stays open throughout
+  }
+  const auto last = a.recv();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ((*last)[0], std::byte{42});
+  EXPECT_FALSE(a.recv().has_value());  // EOF after the drain
+  peer.join();
+  // Sealing is per-direction even after the peer thread is gone.
+  EXPECT_TRUE(a.send({std::byte{2}}));
+  a.close();
+  EXPECT_FALSE(a.send({std::byte{3}}));
 }
 
 TEST(Runtime, ReuseAcrossJobsAccumulatesCounters) {

@@ -1,0 +1,529 @@
+// Serving-plane tests: wire codec round trips (exact lossless, bounded
+// quantised), session-broker subscription/fan-out semantics, the shared
+// frame cache, per-client codec negotiation, and the slow-client isolation
+// guarantee (a stalled client drops frames; the solver and its peers are
+// unaffected).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "core/preprocess.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "serve/broker.hpp"
+#include "serve/client.hpp"
+#include "serve/codec.hpp"
+
+namespace hemo::serve {
+namespace {
+
+// --- codec primitives ------------------------------------------------------
+
+TEST(Codec, RleRoundTripExactAndCompresses) {
+  // Flat-background-like buffer: long runs with sparse structure.
+  std::vector<std::uint8_t> data(4096, 20);
+  for (std::size_t i = 1000; i < 1100; ++i) data[i] = static_cast<std::uint8_t>(i);
+  const auto coded = rleEncode(data.data(), data.size());
+  EXPECT_EQ(rleDecode(coded), data);
+  EXPECT_LE(coded.size() * 2, data.size());  // >= 2x reduction
+}
+
+TEST(Codec, RleRoundTripWorstCaseStaysExact) {
+  std::vector<std::uint8_t> data(257);
+  unsigned seed = 12345;
+  for (auto& v : data) {
+    seed = seed * 1664525u + 1013904223u;
+    v = static_cast<std::uint8_t>(seed >> 24);
+  }
+  EXPECT_EQ(rleDecode(rleEncode(data.data(), data.size())), data);
+  EXPECT_EQ(rleDecode(rleEncode(data.data(), 0)),
+            std::vector<std::uint8_t>{});
+}
+
+TEST(Codec, DeltaVarintRoundTripExact) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1000; ++i) keys.push_back(i * 3 + 7);
+  const auto coded = deltaVarintEncode(keys);
+  EXPECT_EQ(deltaVarintDecode(coded), keys);
+  // Sorted dense keys code to ~1 byte each vs 8 raw.
+  EXPECT_LE(coded.size() * 2, keys.size() * sizeof(std::uint64_t));
+
+  // Unsorted (negative deltas) still round-trips exactly.
+  std::vector<std::uint64_t> wild{5, 1, 1u << 30, 0, ~std::uint64_t{0}, 17};
+  EXPECT_EQ(deltaVarintDecode(deltaVarintEncode(wild)), wild);
+  EXPECT_EQ(deltaVarintDecode(deltaVarintEncode({})),
+            std::vector<std::uint64_t>{});
+}
+
+TEST(Codec, QuantFloatStaysWithinStatedError) {
+  const double maxError = 1e-3;
+  std::vector<float> values;
+  unsigned seed = 99;
+  for (int i = 0; i < 2000; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    values.push_back(static_cast<float>(seed) / 4.0e9f - 0.5f);
+  }
+  const auto back = quantFloatDecode(quantFloatEncode(values, maxError));
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(back[i], values[i], maxError);
+  }
+}
+
+TEST(Codec, ImagePayloadRoundTrip) {
+  steer::ImageFrame frame;
+  frame.step = 42;
+  frame.width = 64;
+  frame.height = 32;
+  frame.rgb.assign(static_cast<std::size_t>(64 * 32 * 3), 20);
+  frame.rgb[100] = 200;
+
+  for (const bool rle : {false, true}) {
+    CodecConfig codec;
+    codec.rleImage = rle;
+    std::uint64_t raw = 0;
+    const auto bytes = encodeImagePayload(frame, codec, &raw);
+    const auto back = decodeImagePayload(bytes);
+    EXPECT_EQ(back.step, frame.step);
+    EXPECT_EQ(back.width, frame.width);
+    EXPECT_EQ(back.height, frame.height);
+    EXPECT_EQ(back.rgb, frame.rgb);  // exact either way
+    if (rle) {
+      EXPECT_LT(bytes.size(), raw);
+    } else {
+      EXPECT_EQ(bytes.size(), raw);
+    }
+  }
+}
+
+steer::RoiData sampleRoi(std::size_t n) {
+  steer::RoiData roi;
+  roi.step = 7;
+  roi.level = 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    multires::OctreeNode node;
+    node.key = 100 + i * 2;
+    node.count = static_cast<std::uint32_t>(1 + i % 5);
+    node.meanScalar = 0.01f * static_cast<float>(i);
+    node.minScalar = node.meanScalar - 0.005f;
+    node.maxScalar = node.meanScalar + 0.005f;
+    node.meanVelocity = {0.001f * static_cast<float>(i), -0.002f, 0.0f};
+    roi.nodes.push_back(node);
+  }
+  return roi;
+}
+
+TEST(Codec, RoiPayloadLosslessRoundTrip) {
+  const auto roi = sampleRoi(300);
+  CodecConfig codec;
+  codec.deltaIndices = true;  // exact: no quantisation
+  std::uint64_t raw = 0;
+  const auto bytes = encodeRoiPayload(roi, codec, &raw);
+  EXPECT_LT(bytes.size(), raw);
+  const auto back = decodeRoiPayload(bytes);
+  ASSERT_EQ(back.nodes.size(), roi.nodes.size());
+  for (std::size_t i = 0; i < roi.nodes.size(); ++i) {
+    EXPECT_EQ(back.nodes[i].key, roi.nodes[i].key);
+    EXPECT_EQ(back.nodes[i].count, roi.nodes[i].count);
+    EXPECT_FLOAT_EQ(back.nodes[i].meanScalar, roi.nodes[i].meanScalar);
+    EXPECT_FLOAT_EQ(back.nodes[i].minScalar, roi.nodes[i].minScalar);
+    EXPECT_FLOAT_EQ(back.nodes[i].maxScalar, roi.nodes[i].maxScalar);
+    EXPECT_FLOAT_EQ(back.nodes[i].meanVelocity.x,
+                    roi.nodes[i].meanVelocity.x);
+  }
+}
+
+TEST(Codec, RoiPayloadQuantisedStaysWithinBound) {
+  const auto roi = sampleRoi(300);
+  CodecConfig codec;
+  codec.deltaIndices = true;
+  codec.quantError = 1e-4;
+  std::uint64_t raw = 0;
+  const auto bytes = encodeRoiPayload(roi, codec, &raw);
+  EXPECT_LT(bytes.size(), raw);
+  const auto back = decodeRoiPayload(bytes);
+  ASSERT_EQ(back.nodes.size(), roi.nodes.size());
+  for (std::size_t i = 0; i < roi.nodes.size(); ++i) {
+    EXPECT_EQ(back.nodes[i].key, roi.nodes[i].key);  // keys stay exact
+    EXPECT_EQ(back.nodes[i].count, roi.nodes[i].count);
+    EXPECT_NEAR(back.nodes[i].meanScalar, roi.nodes[i].meanScalar, 1e-4);
+    EXPECT_NEAR(back.nodes[i].minScalar, roi.nodes[i].minScalar, 1e-4);
+    EXPECT_NEAR(back.nodes[i].maxScalar, roi.nodes[i].maxScalar, 1e-4);
+    EXPECT_NEAR(back.nodes[i].meanVelocity.y, roi.nodes[i].meanVelocity.y,
+                1e-4);
+  }
+}
+
+TEST(Codec, ConfigMaskRoundTripsThroughCommand) {
+  CodecConfig codec;
+  codec.rleImage = true;
+  codec.deltaIndices = true;
+  codec.quantError = 5e-3;
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kSetCodec;
+  cmd.codec = codec.mask();
+  cmd.value = codec.quantError;
+  const auto back =
+      CodecConfig::fromCommand(steer::decodeCommand(steer::encodeCommand(cmd)));
+  EXPECT_TRUE(back.rleImage);
+  EXPECT_TRUE(back.deltaIndices);
+  EXPECT_DOUBLE_EQ(back.quantError, 5e-3);
+}
+
+// --- broker unit tests -----------------------------------------------------
+
+steer::ImageFrame flatFrame(std::uint64_t step, int w = 16, int h = 16) {
+  steer::ImageFrame f;
+  f.step = step;
+  f.width = w;
+  f.height = h;
+  f.rgb.assign(static_cast<std::size_t>(w * h * 3), 20);
+  return f;
+}
+
+TEST(Broker, SubscriptionTicksFollowCadence) {
+  comm::Runtime rt(1);
+  rt.run([](comm::Communicator& comm) {
+    SessionBroker broker;
+    ServeClient client(broker.connect());
+    client.subscribe(StreamKind::kStatus, 3);
+
+    int ticks = 0;
+    for (std::uint64_t step = 0; step < 9; ++step) {
+      for (const auto& cmd : broker.drainCommands(comm, step)) {
+        EXPECT_EQ(static_cast<int>(cmd.type),
+                  static_cast<int>(steer::MsgType::kRequestStatus));
+        steer::StatusReport status;
+        status.step = step;
+        broker.respondStatus(comm, cmd.commandId, status);
+        broker.respondAck(comm, cmd.commandId);
+        ++ticks;
+      }
+    }
+    EXPECT_EQ(ticks, 3);  // steps 0, 3, 6
+
+    // The client sees the subscribe ack plus one status per due step, and
+    // no acks for the synthesized ticks.
+    int statuses = 0, acks = 0;
+    while (auto event = client.pollEvent()) {
+      if (event->type == steer::MsgType::kStatus) ++statuses;
+      if (event->type == steer::MsgType::kAck) ++acks;
+    }
+    EXPECT_EQ(statuses, 3);
+    EXPECT_EQ(acks, 1);
+
+    client.unsubscribe(StreamKind::kStatus);
+    EXPECT_TRUE(broker.drainCommands(comm, 12).empty());
+    broker.closeAll();
+  });
+}
+
+TEST(Broker, TickSharedAcrossMatchingSubscribers) {
+  comm::Runtime rt(1);
+  rt.run([](comm::Communicator& comm) {
+    SessionBroker broker;
+    ServeClient a(broker.connect());
+    ServeClient b(broker.connect());
+    a.subscribe(StreamKind::kStatus, 1);
+    b.subscribe(StreamKind::kStatus, 1);
+
+    const auto cmds = broker.drainCommands(comm, 4);
+    ASSERT_EQ(cmds.size(), 1u);  // deduped: one collective for two clients
+    broker.respondStatus(comm, cmds[0].commandId, steer::StatusReport{});
+    broker.respondAck(comm, cmds[0].commandId);
+
+    for (ServeClient* c : {&a, &b}) {
+      bool sawStatus = false;
+      while (auto event = c->pollEvent()) {
+        sawStatus |= event->type == steer::MsgType::kStatus;
+      }
+      EXPECT_TRUE(sawStatus);
+    }
+    broker.closeAll();
+  });
+}
+
+TEST(Broker, CommandIdsRewrittenPerClient) {
+  comm::Runtime rt(1);
+  rt.run([](comm::Communicator& comm) {
+    SessionBroker broker;
+    ServeClient a(broker.connect());
+    ServeClient b(broker.connect());
+    // Both clients issue command id 1 — the broker must still route each
+    // response (and its ack, carrying the original id) to the right client.
+    const auto idA = a.send([] {
+      steer::Command c;
+      c.type = steer::MsgType::kSetTau;
+      c.value = 0.8;
+      return c;
+    }());
+    const auto idB = b.send([] {
+      steer::Command c;
+      c.type = steer::MsgType::kPause;
+      return c;
+    }());
+    EXPECT_EQ(idA, idB);  // ids collide by construction
+
+    const auto cmds = broker.drainCommands(comm, 0);
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_NE(cmds[0].commandId, cmds[1].commandId);
+    for (const auto& cmd : cmds) broker.respondAck(comm, cmd.commandId);
+
+    for (ServeClient* c : {&a, &b}) {
+      auto event = c->pollEvent();
+      ASSERT_TRUE(event.has_value());
+      EXPECT_EQ(static_cast<int>(event->type),
+                static_cast<int>(steer::MsgType::kAck));
+      EXPECT_EQ(event->ackId, idA);  // original id restored
+      EXPECT_FALSE(c->pollEvent().has_value());  // exactly one ack each
+    }
+    broker.closeAll();
+  });
+}
+
+TEST(Broker, SharedCacheEncodesOncePerCodec) {
+  comm::Runtime rt(1);
+  rt.run([](comm::Communicator& comm) {
+    SessionBroker broker;
+    std::vector<ServeClient> clients;
+    for (int i = 0; i < 4; ++i) clients.emplace_back(broker.connect());
+    for (auto& c : clients) c.subscribe(StreamKind::kImage, 1);
+    CodecConfig rle;
+    rle.rleImage = true;
+    clients[3].setCodec(rle);  // one client negotiates compression
+    for (const auto& cmd : broker.drainCommands(comm, 0)) {
+      broker.respondAck(comm, cmd.commandId);
+    }
+
+    const auto frame = flatFrame(1);
+    broker.publishImage(comm, /*view=*/123, frame);
+    // Two encodings (raw + rle), two hits from the raw-codec repeats.
+    EXPECT_EQ(broker.stats().cacheMisses, 2u);
+    EXPECT_EQ(broker.stats().cacheHits, 2u);
+    EXPECT_LT(broker.stats().wireBytes, broker.stats().rawBytes);
+
+    for (int i = 0; i < 4; ++i) {
+      auto img = clients[static_cast<std::size_t>(i)].awaitImage();
+      ASSERT_TRUE(img.has_value());
+      EXPECT_EQ(img->rgb, frame.rgb);  // identical pixels for every client
+    }
+    broker.closeAll();
+  });
+}
+
+// --- closed loop with a live driver ---------------------------------------
+
+geometry::SparseLattice aneurysmLattice(double voxel = 0.3) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = voxel;
+  return geometry::voxelize(geometry::makeAneurysmVessel(5.0, 1.0, 1.0), opt);
+}
+
+core::DriverConfig smallDriverConfig() {
+  core::DriverConfig dcfg;
+  dcfg.lb.tau = 0.8;
+  dcfg.lb.bodyForce = {1e-5, 0, 0};
+  dcfg.lb.computeStress = true;
+  dcfg.render.width = 32;
+  dcfg.render.height = 32;
+  dcfg.render.camera.position = {2.5, 0.5, 8.0};
+  dcfg.render.camera.target = {2.5, 0.5, 0.0};
+  dcfg.visEvery = 0;  // broker cadences drive all rendering
+  dcfg.statusEvery = 0;
+  return dcfg;
+}
+
+TEST(BrokerLoop, SixteenClientsOneStalledSolverUnaffected) {
+  const auto lat = aneurysmLattice();
+  const auto pre = core::preprocess(lat, 2, core::PreprocessConfig{});
+
+  BrokerConfig bcfg;
+  bcfg.outboxCapacity = 8;
+  SessionBroker broker(bcfg);
+  constexpr int kClients = 16;
+  constexpr int kStalled = 7;  // never drained
+  std::vector<ServeClient> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back(broker.connect());
+    clients.back().subscribe(StreamKind::kImage, 2);
+  }
+
+  std::vector<int> framesGot(kClients, 0);
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, pre.partition, comm.rank());
+    core::SimulationDriver driver(domain, comm, smallDriverConfig());
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
+
+    int executed = 0;
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      executed += driver.run(5);
+      if (comm.rank() != 0) continue;
+      // Well-behaved clients drain between chunks; kStalled never does.
+      for (int i = 0; i < kClients; ++i) {
+        if (i == kStalled) continue;
+        while (auto event = clients[static_cast<std::size_t>(i)].pollEvent()) {
+          if (event->type == steer::MsgType::kImageFrame) {
+            // In-order, every cadence-due step: 2, 4, 6, ...
+            ++framesGot[static_cast<std::size_t>(i)];
+            EXPECT_EQ(event->image.step,
+                      2u * static_cast<std::uint64_t>(
+                               framesGot[static_cast<std::size_t>(i)]));
+          }
+        }
+      }
+    }
+    // The stalled client never blocked the solver.
+    EXPECT_EQ(executed, 40);
+
+    if (comm.rank() == 0) {
+      // Render-once: 20 due steps -> 20 renders for 16 clients.
+      EXPECT_EQ(driver.renderStage().rendersDone(), 20u);
+      // Shared cache served the other 15 clients per step.
+      EXPECT_EQ(broker.stats().cacheMisses, 20u);
+      EXPECT_EQ(broker.stats().cacheHits, 20u * 15u);
+      // Slow-client isolation: only the stalled outbox dropped frames.
+      EXPECT_GT(broker.framesDropped(kStalled), 0u);
+      for (int i = 0; i < kClients; ++i) {
+        if (i != kStalled) EXPECT_EQ(broker.framesDropped(i), 0u) << i;
+      }
+      broker.closeAll();
+    }
+  });
+
+  // Every healthy client received every cadence-due frame.
+  for (int i = 0; i < kClients; ++i) {
+    if (i == kStalled) continue;
+    while (auto event = clients[static_cast<std::size_t>(i)].pollEvent()) {
+      if (event->type == steer::MsgType::kImageFrame) {
+        ++framesGot[static_cast<std::size_t>(i)];
+      }
+    }
+    EXPECT_EQ(framesGot[static_cast<std::size_t>(i)], 20) << i;
+  }
+}
+
+TEST(BrokerLoop, StreamsDeliverOnCadenceWithNegotiatedCodec) {
+  const auto lat = aneurysmLattice();
+  const auto pre = core::preprocess(lat, 2, core::PreprocessConfig{});
+
+  SessionBroker broker;
+  ServeClient coded(broker.connect());
+  ServeClient plain(broker.connect());
+  CodecConfig codec;
+  codec.rleImage = true;
+  codec.deltaIndices = true;
+  coded.setCodec(codec);
+  for (ServeClient* c : {&coded, &plain}) {
+    c->subscribe(StreamKind::kImage, 10);
+    c->subscribe(StreamKind::kStatus, 10);
+    c->subscribe(StreamKind::kTelemetry, 15);
+    c->subscribeObservable(10, steer::ObservableKind::kMeanSpeed);
+    c->subscribeRoi(15, BoxI{{0, 0, 0}, {64, 64, 64}}, 1);
+  }
+
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, pre.partition, comm.rank());
+    core::SimulationDriver driver(domain, comm, smallDriverConfig());
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
+    driver.run(30);
+    if (comm.rank() == 0) broker.closeAll();
+  });
+
+  for (ServeClient* c : {&coded, &plain}) {
+    int images = 0, statuses = 0, telemetries = 0, observables = 0, rois = 0;
+    std::uint64_t imageWire = 0;
+    bool codedImageSeen = false;
+    while (auto event = c->nextEvent()) {
+      switch (event->type) {
+        case steer::MsgType::kImageFrame:
+        case steer::MsgType::kCodedImage:
+          ++images;
+          imageWire = event->wireBytes;
+          codedImageSeen |= event->type == steer::MsgType::kCodedImage;
+          EXPECT_EQ(event->image.width, 32);
+          EXPECT_GT(event->image.rgb.size(), 0u);
+          break;
+        case steer::MsgType::kStatus:
+          ++statuses;
+          break;
+        case steer::MsgType::kTelemetry:
+          ++telemetries;
+          EXPECT_GT(event->telemetry.sites, 0u);
+          break;
+        case steer::MsgType::kObservable:
+          ++observables;
+          EXPECT_GT(event->observable.siteCount, 0u);
+          break;
+        case steer::MsgType::kRoiData:
+        case steer::MsgType::kCodedRoi:
+          ++rois;
+          EXPECT_FALSE(event->roi.nodes.empty());
+          break;
+        default:
+          break;
+      }
+    }
+    // Image cadence 10 over 30 steps: due at 10, 20, 30. Status-like
+    // ticks fire pre-step at 0, 10, 20 (cadence 10) / 0, 15 (cadence 15).
+    EXPECT_EQ(images, 3);
+    EXPECT_EQ(statuses, 3);
+    EXPECT_EQ(telemetries, 2);
+    EXPECT_EQ(observables, 3);
+    EXPECT_EQ(rois, 2);
+    // The negotiated codec actually shrank the wire frames.
+    if (c == &coded) {
+      EXPECT_TRUE(codedImageSeen);
+      const std::uint64_t raw = 1 + 8 + 4 + 4 + 8 + 32 * 32 * 3;
+      EXPECT_LE(imageWire * 2, raw);  // >= 2x reduction on the aneurysm view
+    } else {
+      EXPECT_FALSE(codedImageSeen);
+    }
+  }
+}
+
+TEST(BrokerLoop, ConcurrentClientThreadsUnderLoad) {
+  // N client threads hammer the broker while the solver runs — the TSan
+  // configuration of this test is the data-race gate for the serving plane.
+  const auto lat = aneurysmLattice();
+  const auto pre = core::preprocess(lat, 2, core::PreprocessConfig{});
+
+  SessionBroker broker;
+  constexpr int kClients = 4;
+  std::vector<ServeClient> clients;
+  for (int i = 0; i < kClients; ++i) clients.emplace_back(broker.connect());
+
+  std::vector<std::thread> threads;
+  std::vector<int> eventsSeen(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto& client = clients[static_cast<std::size_t>(i)];
+      client.subscribe(StreamKind::kImage, 3 + i);
+      client.subscribe(StreamKind::kStatus, 5);
+      while (auto event = client.nextEvent()) {
+        ++eventsSeen[static_cast<std::size_t>(i)];
+      }
+    });
+  }
+
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, pre.partition, comm.rank());
+    core::SimulationDriver driver(domain, comm, smallDriverConfig());
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
+    driver.run(25);
+    if (comm.rank() == 0) broker.closeAll();
+  });
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_GT(eventsSeen[static_cast<std::size_t>(i)], 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hemo::serve
