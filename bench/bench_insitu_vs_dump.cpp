@@ -56,6 +56,7 @@ int main() {
         if (comm.rank() == 0) dumpBytes = written;
       });
       std::remove("/tmp/hemo_bench_dump.bin");
+      std::remove("/tmp/hemo_bench_dump.bin.s0");  // v2 stripe file
     }
 
     // (b) in situ pipeline at the same cadence; output = image + stats +

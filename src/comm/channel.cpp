@@ -1,8 +1,33 @@
 #include "comm/channel.hpp"
 
+#include "util/faultinject.hpp"
+
 namespace hemo::comm {
 
 bool ChannelEnd::send(std::vector<std::byte> frame) {
+  {
+    // Fault hook: a channel is the in-process stand-in for a socket, so
+    // this is where wire-level faults (loss, truncation, latency, a dead
+    // peer) are injected for the resilience tests.
+    auto& fi = util::FaultInjector::instance();
+    if (fi.armed()) {
+      util::FaultRule rule;
+      switch (fi.decide(util::FaultSite::kChannelSend, -1, &rule)) {
+        case util::FaultAction::kDrop:
+          return true;  // sender believes the frame was delivered
+        case util::FaultAction::kTruncate:
+          if (frame.size() > rule.truncateTo) frame.resize(rule.truncateTo);
+          break;
+        case util::FaultAction::kDelay:
+          util::FaultInjector::sleepFor(rule.delayMillis);
+          break;
+        case util::FaultAction::kFail:
+          return false;
+        default:
+          break;
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(out_->mutex);
   if (out_->closed) return false;
   out_->bytesPushed += frame.size();
@@ -40,6 +65,11 @@ void ChannelEnd::close() {
     out_->closed = true;
   }
   out_->cv.notify_all();
+}
+
+bool ChannelEnd::eof() const {
+  std::lock_guard<std::mutex> lock(in_->mutex);
+  return in_->closed && in_->frames.empty();
 }
 
 void ChannelEnd::setSendCapacity(std::size_t capacity) {

@@ -58,6 +58,11 @@ class ChannelEnd {
   /// Close the outgoing direction; peer receives drain then see EOF.
   void close();
 
+  /// True when the peer closed its side and the incoming queue drained —
+  /// a subsequent recv() would return nullopt. Lets pollers distinguish
+  /// "nothing yet" from "connection gone" (the reconnect trigger).
+  bool eof() const;
+
   /// Bound the outgoing queue to `capacity` frames (0 restores unbounded).
   /// When full, send() evicts the oldest queued frame instead of blocking
   /// or failing — a stalled reader costs dropped frames, never a stalled

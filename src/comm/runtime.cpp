@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 
 namespace hemo::comm {
@@ -16,6 +17,31 @@ namespace hemo::comm {
 void Communicator::sendBytes(int dest, int tag, const void* data,
                              std::size_t n) {
   HEMO_CHECK_MSG(dest >= 0 && dest < size(), "bad dest rank " << dest);
+  {
+    // Fault hook: rank-addressable send failures and simulated rank death.
+    // A thrown fault unwinds this rank's stack into Runtime::run, whose
+    // abort propagation wakes every blocked peer — the same path a real
+    // crash takes.
+    auto& fi = util::FaultInjector::instance();
+    if (fi.armed()) {
+      util::FaultRule rule;
+      switch (fi.decide(util::FaultSite::kCommSend, worldRank(), &rule)) {
+        case util::FaultAction::kDrop:
+          return;  // message lost in flight
+        case util::FaultAction::kDelay:
+          util::FaultInjector::sleepFor(rule.delayMillis);
+          break;
+        case util::FaultAction::kFail:
+          throw util::InjectedFaultError("injected send failure on rank " +
+                                         std::to_string(worldRank()));
+        case util::FaultAction::kKill:
+          throw util::RankKilledError("injected rank death on rank " +
+                                      std::to_string(worldRank()));
+        default:
+          break;
+      }
+    }
+  }
   Envelope env;
   env.context = context_;
   env.source = rank_;

@@ -5,6 +5,7 @@
 
 #include "lb/wss.hpp"
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
 #include "util/log.hpp"
 
 namespace hemo::core {
@@ -332,8 +333,26 @@ void SimulationDriver::pollSteering() {
   if (brokerMode_) {
     HEMO_TSPAN(kSteer, "serve.poll");
     std::vector<steer::Command> drained;
+    std::uint8_t healthy = 1;
     if (comm_->rank() == 0 && broker_ != nullptr) {
-      drained = broker_->drainCommands(*comm_, solver_->stepsDone());
+      try {
+        drained = broker_->drainCommands(*comm_, solver_->stepsDone());
+      } catch (const std::exception& e) {
+        // Serving-plane failure must not take the solver down: degrade to
+        // solver-only and keep stepping (graceful degradation).
+        HEMO_LOG_WARN() << "broker failed, degrading to solver-only: "
+                        << e.what();
+        healthy = 0;
+      }
+    }
+    comm_->bcast(healthy, 0);
+    if (healthy == 0) {
+      brokerMode_ = false;
+      broker_ = nullptr;
+      if (auto* t = telemetry::threadTelemetry()) {
+        t->metrics().counter("serve.broker_failures").add(1);
+      }
+      return;
     }
     commands = steer::broadcastCommands(*comm_, drained);
   } else {
@@ -342,6 +361,12 @@ void SimulationDriver::pollSteering() {
   for (const auto& cmd : commands) {
     applyCommand(cmd);
   }
+}
+
+lb::RestoreResult SimulationDriver::restoreLatest() {
+  HEMO_CHECK_MSG(!config_.checkpointDir.empty(),
+                 "restoreLatest needs DriverConfig::checkpointDir");
+  return lb::restoreLatest(config_.checkpointDir, *solver_, *comm_);
 }
 
 telemetry::StepReport SimulationDriver::computeStepReport() {
@@ -407,6 +432,26 @@ int SimulationDriver::run(int steps) {
       std::this_thread::yield();
       continue;
     }
+#ifndef HEMO_FAULTINJECT_DISABLED
+    if (util::FaultInjector::instance().armed()) {
+      using util::FaultAction;
+      util::FaultRule rule;
+      switch (util::FaultInjector::instance().decide(
+          util::FaultSite::kDriverStep, comm_->rank(), &rule)) {
+        case FaultAction::kKill:
+          throw util::RankKilledError("injected rank death on rank " +
+                                      std::to_string(comm_->rank()));
+        case FaultAction::kFail:
+          throw util::InjectedFaultError("injected step failure on rank " +
+                                         std::to_string(comm_->rank()));
+        case FaultAction::kDelay:
+          util::FaultInjector::sleepFor(rule.delayMillis);
+          break;
+        default:
+          break;
+      }
+    }
+#endif
     {
       WallTimer stepTimer;
       HEMO_TSPAN(kStep, "driver.step");
@@ -445,6 +490,16 @@ int SimulationDriver::run(int steps) {
         int every = scheduler_.recommendedEvery();
         comm_->bcast(every, 0);
         config_.visEvery = every;
+      }
+    }
+    if (config_.checkpointEvery > 0 && !config_.checkpointDir.empty() &&
+        done % static_cast<std::uint64_t>(config_.checkpointEvery) == 0) {
+      const auto path =
+          config_.checkpointDir + "/" + lb::checkpointFileName(done);
+      lb::writeCheckpoint(path, *solver_, *comm_,
+                          {config_.checkpointStripes});
+      if (comm_->rank() == 0 && config_.checkpointKeep > 0) {
+        lb::pruneCheckpoints(config_.checkpointDir, config_.checkpointKeep);
       }
     }
     if (config_.statusEvery > 0 &&

@@ -16,11 +16,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "comm/channel.hpp"
 #include "comm/profiler.hpp"
 #include "core/pipeline.hpp"
 #include "core/scheduler.hpp"
+#include "lb/checkpoint.hpp"
 #include "lb/solver.hpp"
 #include "serve/broker.hpp"
 #include "steer/server.hpp"
@@ -51,6 +53,15 @@ struct DriverConfig {
   /// If > 0: adapt visEvery automatically so the in situ pipeline consumes
   /// at most this fraction of the runtime (scheduling, §III challenge 4).
   double adaptiveVisBudget = 0.0;
+  /// If > 0 (and checkpointDir set): write a striped checkpoint every this
+  /// many completed steps. Restart with restoreLatest().
+  int checkpointEvery = 0;
+  /// Directory receiving ckpt_<step>.hemockpt manifests + stripe files.
+  std::string checkpointDir;
+  /// Checkpoints retained on disk (older ones are pruned after a write).
+  int checkpointKeep = 2;
+  /// Writer stripes per checkpoint (clamped to the communicator size).
+  int checkpointStripes = 1;
 };
 
 class SimulationDriver {
@@ -85,6 +96,17 @@ class SimulationDriver {
 
   /// Run the in situ pipeline immediately (collective).
   void runPipelineNow();
+
+  /// Restore solver state from the newest valid checkpoint in
+  /// config.checkpointDir, skipping corrupt or truncated candidates
+  /// (collective). Returns the typed outcome; on success the solver's step
+  /// counter is rebased to the checkpointed step.
+  lb::RestoreResult restoreLatest();
+
+  /// True while broker mode is active and the broker is healthy. After a
+  /// broker failure the driver degrades to solver-only and this flips
+  /// false (identical on every rank).
+  bool brokerHealthy() const { return brokerMode_; }
 
   /// Compute a status report (collective).
   steer::StatusReport computeStatus();

@@ -89,6 +89,10 @@ class Solver {
   const LbParams& params() const { return params_; }
   std::uint64_t stepsDone() const { return stepsDone_; }
 
+  /// Rebase the step counter (checkpoint restore): the restored run then
+  /// reports the same stepsDone() as the writing run did.
+  void setStepsDone(std::uint64_t steps) { stepsDone_ = steps; }
+
   /// The frontier/bulk internal permutation (external indexing unchanged).
   const SiteReordering& reordering() const { return reorder_; }
 

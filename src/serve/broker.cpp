@@ -6,6 +6,8 @@
 
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
+#include "util/log.hpp"
 
 namespace hemo::serve {
 
@@ -65,9 +67,74 @@ comm::ChannelEnd SessionBroker::connect() {
   return clientEnd;
 }
 
+comm::ChannelEnd SessionBroker::requestConnect(bool isReconnect) {
+  auto [clientEnd, brokerEnd] = comm::makeChannelPair();
+  {
+    std::lock_guard<std::mutex> lock(pendingMutex_);
+    pendingConnects_.push_back(
+        PendingConnect{std::move(brokerEnd), isReconnect});
+  }
+  return clientEnd;
+}
+
+void SessionBroker::admitPending() {
+  std::vector<PendingConnect> pending;
+  {
+    std::lock_guard<std::mutex> lock(pendingMutex_);
+    pending.swap(pendingConnects_);
+  }
+  for (auto& pc : pending) {
+    addClient(std::move(pc.end));
+    if (pc.isReconnect) ++stats_.reconnects;
+  }
+}
+
+int SessionBroker::numAliveClients() const {
+  int alive = 0;
+  for (const auto& client : clients_) {
+    if (client.alive) ++alive;
+  }
+  return alive;
+}
+
+void SessionBroker::evict(int client, const char* reason) {
+  Client& c = clients_[static_cast<std::size_t>(client)];
+  if (!c.alive) return;
+  c.sentSnapshot = c.end.framesSent();
+  c.droppedSnapshot = c.end.framesDropped();
+  c.end.close();            // client drains queued frames, then sees EOF
+  c.end = comm::ChannelEnd{};  // release the outbox
+  c.alive = false;
+  for (auto& s : c.subs) s.active = false;
+  ++stats_.evictions;
+  HEMO_LOG_WARN() << "broker evicted client " << client << ": " << reason;
+}
+
+void SessionBroker::heartbeat(comm::Communicator& comm, std::uint64_t step) {
+  if (config_.heartbeatEvery <= 0 ||
+      step % static_cast<std::uint64_t>(config_.heartbeatEvery) != 0 ||
+      step == lastHeartbeatStep_) {
+    return;
+  }
+  lastHeartbeatStep_ = step;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& c = clients_[i];
+    if (!c.alive) continue;
+    if (c.hbSent - c.hbAcked >=
+        static_cast<std::uint64_t>(config_.missedHeartbeatLimit)) {
+      evict(static_cast<int>(i), "missed heartbeats");
+      continue;
+    }
+    ++c.hbSent;
+    ++stats_.heartbeats;
+    sendTo(comm, c, steer::encodeHeartbeat(c.hbSent), 9);
+  }
+}
+
 void SessionBroker::sendTo(comm::Communicator& comm, Client& client,
                            std::vector<std::byte> frame,
                            std::uint64_t rawBytes) {
+  if (!client.alive) return;  // evicted while its request was in flight
   auto& counters = comm.counters().of(comm::Traffic::kSteer);
   ++counters.messagesSent;
   counters.bytesSent += frame.size();
@@ -79,54 +146,79 @@ void SessionBroker::sendTo(comm::Communicator& comm, Client& client,
 
 std::vector<steer::Command> SessionBroker::drainCommands(
     comm::Communicator& comm, std::uint64_t step) {
+  {
+    // Fault hook: a thrown fault here models the serving plane itself
+    // dying; the driver catches it and degrades to solver-only.
+    auto& fi = util::FaultInjector::instance();
+    if (fi.armed() && fi.decide(util::FaultSite::kBrokerPoll, 0) ==
+                          util::FaultAction::kFail) {
+      throw util::InjectedFaultError("injected broker poll failure");
+    }
+  }
+  admitPending();
   std::vector<steer::Command> out;
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     Client& client = clients_[i];
-    while (auto frame = client.end.tryRecv()) {
+    while (client.alive) {
+      auto frame = client.end.tryRecv();
+      if (!frame) break;
       // Client→master traffic enters through the channel, not the mailbox;
       // count it here to keep the kSteer class symmetric.
       auto& counters = comm.counters().of(comm::Traffic::kSteer);
       ++counters.messagesReceived;
       counters.bytesReceived += frame->size();
       ++stats_.commandsReceived;
-      auto cmd = steer::decodeCommand(*frame);
-      switch (cmd.type) {
-        case steer::MsgType::kSubscribe: {
-          HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
-                         "bad stream kind");
-          auto& s = client.subs[cmd.stream];
-          s.active = true;
-          s.cadence = std::max<std::int32_t>(1, cmd.cadence);
-          s.params = cmd;
-          s.lastFiredStep = ~std::uint64_t{0};
-          sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
-          break;
+      // A frame that does not decode (truncated or corrupted in flight)
+      // condemns the *client*, never the broker: evict and move on.
+      try {
+        if (steer::frameType(*frame) == steer::MsgType::kHeartbeatAck) {
+          client.hbAcked =
+              std::max(client.hbAcked, steer::decodeHeartbeatSeq(*frame));
+          continue;
         }
-        case steer::MsgType::kUnsubscribe: {
-          HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
-                         "bad stream kind");
-          client.subs[cmd.stream].active = false;
-          sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
-          break;
+        auto cmd = steer::decodeCommand(*frame);
+        switch (cmd.type) {
+          case steer::MsgType::kSubscribe: {
+            HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
+                           "bad stream kind");
+            auto& s = client.subs[cmd.stream];
+            s.active = true;
+            s.cadence = std::max<std::int32_t>(1, cmd.cadence);
+            s.params = cmd;
+            s.lastFiredStep = ~std::uint64_t{0};
+            sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+            break;
+          }
+          case steer::MsgType::kUnsubscribe: {
+            HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
+                           "bad stream kind");
+            client.subs[cmd.stream].active = false;
+            sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+            break;
+          }
+          case steer::MsgType::kSetCodec: {
+            client.codec = CodecConfig::fromCommand(cmd);
+            sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+            break;
+          }
+          default: {
+            // Forward to the simulation under a broker-unique id so
+            // replies route back to this client even when ids collide
+            // across clients.
+            const std::uint32_t brokerId = nextBrokerId_++;
+            pending_[brokerId] =
+                Pending{{static_cast<int>(i)}, {cmd.commandId}, true};
+            cmd.commandId = brokerId;
+            out.push_back(cmd);
+            break;
+          }
         }
-        case steer::MsgType::kSetCodec: {
-          client.codec = CodecConfig::fromCommand(cmd);
-          sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
-          break;
-        }
-        default: {
-          // Forward to the simulation under a broker-unique id so replies
-          // route back to this client even when ids collide across clients.
-          const std::uint32_t brokerId = nextBrokerId_++;
-          pending_[brokerId] =
-              Pending{{static_cast<int>(i)}, {cmd.commandId}, true};
-          cmd.commandId = brokerId;
-          out.push_back(cmd);
-          break;
-        }
+      } catch (const CheckError&) {
+        evict(static_cast<int>(i), "undecodable frame");
       }
     }
   }
+  heartbeat(comm, step);
 
   // Synthesize one tick command per *distinct* due request, shared by all
   // clients whose subscription matches — N status subscribers cost one
@@ -149,6 +241,7 @@ std::vector<steer::Command> SessionBroker::drainCommands(
   std::map<TickKey, std::uint32_t> ticks;
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     Client& client = clients_[i];
+    if (!client.alive) continue;
     for (int k = 0; k < kNumStreams; ++k) {
       const auto kind = static_cast<StreamKind>(k);
       if (kind == StreamKind::kImage) continue;  // served via publishImage
@@ -313,7 +406,19 @@ void SessionBroker::respondTelemetry(comm::Communicator& comm,
 }
 
 void SessionBroker::closeAll() {
-  for (auto& client : clients_) client.end.close();
+  for (auto& client : clients_) {
+    if (client.alive) client.end.close();
+  }
+}
+
+std::uint64_t SessionBroker::framesDropped(int client) const {
+  const Client& c = clients_[static_cast<std::size_t>(client)];
+  return c.alive ? c.end.framesDropped() : c.droppedSnapshot;
+}
+
+std::uint64_t SessionBroker::framesSentTo(int client) const {
+  const Client& c = clients_[static_cast<std::size_t>(client)];
+  return c.alive ? c.end.framesSent() : c.sentSnapshot;
 }
 
 std::uint64_t SessionBroker::totalFramesDropped() const {
@@ -339,7 +444,11 @@ void SessionBroker::publishMetrics() {
   setTotal("serve.wire_bytes", stats_.wireBytes);
   setTotal("serve.raw_bytes", stats_.rawBytes);
   setTotal("serve.frames_dropped", totalFramesDropped());
-  m.gauge("serve.clients").set(static_cast<double>(clients_.size()));
+  setTotal("serve.heartbeats", stats_.heartbeats);
+  setTotal("serve.evictions", stats_.evictions);
+  setTotal("serve.reconnects", stats_.reconnects);
+  setTotal("fault.injected", util::FaultInjector::instance().fired());
+  m.gauge("serve.clients").set(static_cast<double>(numAliveClients()));
 }
 
 }  // namespace hemo::serve

@@ -19,13 +19,23 @@
 /// feed the kSteer traffic class, so Table I–style measurements report
 /// compressed wire bytes.
 ///
+/// Session recovery: the broker probes clients with heartbeats every
+/// `heartbeatEvery` steps; a client that leaves `missedHeartbeatLimit`
+/// probes unanswered is *evicted* — its outbox is closed and released, so
+/// a wedged consumer stops costing memory and fan-out work. Clients that
+/// come back call requestConnect(), the one thread-safe admission path: it
+/// queues a fresh channel that the serving thread adopts at the next
+/// drainCommands(), counting a reconnect.
+///
 /// Threading: all broker methods are called from the serving (rank 0)
 /// thread; client threads only touch their own ChannelEnd, which is
-/// thread-safe. addClient()/connect() must happen before serving starts
-/// or from the serving thread.
+/// thread-safe, and requestConnect(), which is explicitly thread-safe.
+/// addClient()/connect() must happen before serving starts or from the
+/// serving thread.
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -55,6 +65,11 @@ struct BrokerConfig {
   /// 0 = unbounded (a stalled client then grows without limit — only for
   /// tests that want the legacy behaviour).
   std::size_t outboxCapacity = 16;
+  /// Steps between liveness probes to every client (0 disables
+  /// heartbeats, the legacy behaviour).
+  int heartbeatEvery = 0;
+  /// Unanswered probes before a client is declared wedged and evicted.
+  int missedHeartbeatLimit = 3;
 };
 
 struct BrokerStats {
@@ -64,6 +79,9 @@ struct BrokerStats {
   std::uint64_t wireBytes = 0;  ///< encoded bytes pushed to outboxes
   std::uint64_t rawBytes = 0;   ///< what the same frames cost uncompressed
   std::uint64_t commandsReceived = 0;
+  std::uint64_t heartbeats = 0;   ///< probes sent
+  std::uint64_t evictions = 0;    ///< clients dropped (wedged or corrupt)
+  std::uint64_t reconnects = 0;   ///< clients re-admitted via requestConnect
 };
 
 /// Deterministic key identifying a rendered view (camera + field + size):
@@ -82,7 +100,20 @@ class SessionBroker {
   /// the client side.
   comm::ChannelEnd connect();
 
+  /// Thread-safe admission: queue a fresh connection that the serving
+  /// thread adopts at the next drainCommands(). The only broker method a
+  /// client thread may call — (re)connecting clients use this while the
+  /// run is live. `isReconnect` counts toward BrokerStats::reconnects.
+  comm::ChannelEnd requestConnect(bool isReconnect = false);
+
   int numClients() const { return static_cast<int>(clients_.size()); }
+
+  /// Clients currently admitted and not evicted.
+  int numAliveClients() const;
+
+  bool clientAlive(int client) const {
+    return clients_[static_cast<std::size_t>(client)].alive;
+  }
 
   // --- serving surface (rank-0 thread; the driver calls these) ----------
 
@@ -125,15 +156,12 @@ class SessionBroker {
 
   const BrokerStats& stats() const { return stats_; }
 
-  /// Frames evicted from one client's bounded outbox so far.
-  std::uint64_t framesDropped(int client) const {
-    return clients_[static_cast<std::size_t>(client)].end.framesDropped();
-  }
+  /// Frames evicted from one client's bounded outbox so far (frozen at
+  /// the eviction snapshot for evicted clients).
+  std::uint64_t framesDropped(int client) const;
 
   /// Frames pushed toward one client (before any eviction).
-  std::uint64_t framesSentTo(int client) const {
-    return clients_[static_cast<std::size_t>(client)].end.framesSent();
-  }
+  std::uint64_t framesSentTo(int client) const;
 
   std::uint64_t totalFramesDropped() const;
 
@@ -149,6 +177,12 @@ class SessionBroker {
     comm::ChannelEnd end;
     CodecConfig codec;
     Subscription subs[kNumStreams];
+    bool alive = true;
+    std::uint64_t hbSent = 0;   ///< heartbeat probes pushed to this client
+    std::uint64_t hbAcked = 0;  ///< highest sequence the client echoed
+    // Counter snapshots taken at eviction (the ChannelEnd is released).
+    std::uint64_t sentSnapshot = 0;
+    std::uint64_t droppedSnapshot = 0;
   };
 
   /// One routed command: which clients asked, their original command ids
@@ -180,10 +214,31 @@ class SessionBroker {
 
   void publishMetrics();
 
+  /// Drop a wedged or misbehaving client: close + release its outbox
+  /// (freeing queued frames once the client drains), deactivate its
+  /// subscriptions, freeze its counters.
+  void evict(int client, const char* reason);
+
+  /// Adopt connections queued by requestConnect() (serving thread only).
+  void admitPending();
+
+  /// Send due heartbeats and evict clients past the missed-probe limit.
+  void heartbeat(comm::Communicator& comm, std::uint64_t step);
+
   BrokerConfig config_;
   std::vector<Client> clients_;
   std::map<std::uint32_t, Pending> pending_;
   std::uint32_t nextBrokerId_ = 1u << 20;  ///< clear of client-issued ids
+  std::uint64_t lastHeartbeatStep_ = ~std::uint64_t{0};
+
+  // Connections queued by requestConnect() until the serving thread
+  // admits them — the only broker state touched by client threads.
+  struct PendingConnect {
+    comm::ChannelEnd end;
+    bool isReconnect = false;
+  };
+  std::mutex pendingMutex_;
+  std::vector<PendingConnect> pendingConnects_;
 
   // Shared frame cache: one step's encodings, keyed by (view, codec mask).
   struct CacheEntry {

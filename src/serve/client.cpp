@@ -1,5 +1,9 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "io/serial.hpp"
 #include "util/check.hpp"
 
@@ -53,9 +57,95 @@ std::uint32_t ServeClient::setCodec(const CodecConfig& codec) {
 
 std::uint32_t ServeClient::send(steer::Command cmd) {
   cmd.commandId = nextCommandId_++;
-  HEMO_CHECK_MSG(end_.send(steer::encodeCommand(cmd)),
-                 "serving channel closed");
+  recordSessionState(cmd);
+  if (!end_.send(steer::encodeCommand(cmd))) {
+    // Broker side gone (eviction or shutdown): redial once, then resend.
+    // The replay inside tryReconnect() already re-established the session
+    // state, so only this command needs repeating.
+    HEMO_CHECK_MSG(tryReconnect(), "serving channel closed");
+    HEMO_CHECK_MSG(end_.send(steer::encodeCommand(cmd)),
+                   "serving channel closed after reconnect");
+  }
   return cmd.commandId;
+}
+
+void ServeClient::recordSessionState(const steer::Command& cmd) {
+  switch (cmd.type) {
+    case steer::MsgType::kSetCodec:
+      codecCommand_ = cmd;
+      break;
+    case steer::MsgType::kSubscribe: {
+      for (auto& sub : activeSubscriptions_) {
+        if (sub.stream == cmd.stream) {
+          sub = cmd;
+          return;
+        }
+      }
+      activeSubscriptions_.push_back(cmd);
+      break;
+    }
+    case steer::MsgType::kUnsubscribe: {
+      activeSubscriptions_.erase(
+          std::remove_if(activeSubscriptions_.begin(),
+                         activeSubscriptions_.end(),
+                         [&](const steer::Command& sub) {
+                           return sub.stream == cmd.stream;
+                         }),
+          activeSubscriptions_.end());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ServeClient::enableReconnect(
+    std::function<comm::ChannelEnd()> connector, ReconnectConfig config) {
+  connector_ = std::move(connector);
+  reconnectConfig_ = config;
+  jitterRng_ = Rng(config.jitterSeed);
+}
+
+bool ServeClient::tryReconnect() {
+  if (!connector_) return false;
+  for (int attempt = 0; attempt < reconnectConfig_.maxAttempts; ++attempt) {
+    // Full-jitter exponential backoff: U(0, min(cap, base * 2^attempt)).
+    std::int64_t window = reconnectConfig_.baseDelayMillis;
+    window <<= std::min(attempt, 20);
+    window = std::min<std::int64_t>(window, reconnectConfig_.maxDelayMillis);
+    if (window > 0) {
+      const auto jitter =
+          jitterRng_.uniformInt(static_cast<std::uint64_t>(window) + 1);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<std::int64_t>(jitter)));
+    }
+    auto fresh = connector_();
+    if (!fresh.valid()) continue;
+    end_ = std::move(fresh);
+    ++reconnects_;
+    // Replay the session (fresh command ids) so the broker restores this
+    // client's codec and subscriptions and streams resume at the current
+    // step. Sent directly — ServeClient::send would recurse on failure.
+    if (codecCommand_) {
+      auto cmd = *codecCommand_;
+      cmd.commandId = nextCommandId_++;
+      end_.send(steer::encodeCommand(cmd));
+    }
+    for (auto cmd : activeSubscriptions_) {
+      cmd.commandId = nextCommandId_++;
+      end_.send(steer::encodeCommand(cmd));
+    }
+    return true;
+  }
+  return false;
+}
+
+bool ServeClient::handleInternal(const std::vector<std::byte>& frame) {
+  if (steer::frameType(frame) == steer::MsgType::kHeartbeat) {
+    end_.send(steer::encodeHeartbeatAck(steer::decodeHeartbeatSeq(frame)));
+    return true;
+  }
+  return false;
 }
 
 ServeClient::Event ServeClient::decode(
@@ -94,15 +184,39 @@ ServeClient::Event ServeClient::decode(
 }
 
 std::optional<ServeClient::Event> ServeClient::pollEvent() {
-  auto frame = end_.tryRecv();
-  if (!frame) return std::nullopt;
-  return decode(*frame);
+  for (;;) {
+    auto frame = end_.tryRecv();
+    if (!frame) {
+      // Distinguish "nothing queued" from "broker closed this end": only
+      // the latter triggers a redial. After a successful reconnect the
+      // fresh channel is polled once more (usually still empty).
+      if (end_.eof() && tryReconnect()) continue;
+      return std::nullopt;
+    }
+    try {
+      if (handleInternal(*frame)) continue;
+      return decode(*frame);
+    } catch (const CheckError&) {
+      ++corruptFrames_;  // mangled frame: skip it, the stream continues
+    }
+  }
 }
 
 std::optional<ServeClient::Event> ServeClient::nextEvent() {
-  auto frame = end_.recv();
-  if (!frame) return std::nullopt;  // EOF
-  return decode(*frame);
+  for (;;) {
+    auto frame = end_.recv();
+    if (!frame) {
+      // EOF: redial if armed, else surface end-of-stream.
+      if (!tryReconnect()) return std::nullopt;
+      continue;
+    }
+    try {
+      if (handleInternal(*frame)) continue;
+      return decode(*frame);
+    } catch (const CheckError&) {
+      ++corruptFrames_;
+    }
+  }
 }
 
 std::optional<steer::ImageFrame> ServeClient::awaitImage() {

@@ -9,15 +9,38 @@
 /// images, status, telemetry, observables, ROI data, acks — arrives in
 /// order through pollEvent()/nextEvent(), already decoded from whichever
 /// codec this client negotiated.
+///
+/// Session recovery (enableReconnect): when the broker end closes — e.g.
+/// this client was evicted after a frame was truncated in flight — the
+/// client redials through the supplied connector with exponential backoff
+/// plus seeded jitter, then replays its negotiated codec and every active
+/// subscription, so streams resume at the simulation's current step.
+/// Broker heartbeats are acked internally (never surfaced as events), and
+/// a frame that fails to decode is counted and skipped, not fatal.
 
+#include <cstdint>
+#include <functional>
 #include <optional>
+#include <vector>
 
 #include "comm/channel.hpp"
 #include "serve/broker.hpp"
 #include "serve/codec.hpp"
 #include "steer/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace hemo::serve {
+
+/// Backoff policy for enableReconnect(): attempt k sleeps a uniformly
+/// jittered U(0, min(maxDelayMillis, baseDelayMillis * 2^k)) milliseconds
+/// (full jitter, so reconnect storms decorrelate), from a seeded Rng for
+/// reproducible tests.
+struct ReconnectConfig {
+  int maxAttempts = 8;
+  int baseDelayMillis = 1;
+  int maxDelayMillis = 250;
+  std::uint64_t jitterSeed = 0x5eed;
+};
 
 class ServeClient {
  public:
@@ -71,11 +94,44 @@ class ServeClient {
 
   void close() { end_.close(); }
 
+  // --- session recovery ---------------------------------------------------
+
+  /// Arm automatic reconnection. `connector` dials a fresh connection
+  /// (typically [&broker] { return broker.requestConnect(true); }) and
+  /// may return an invalid ChannelEnd to signal "try again later".
+  void enableReconnect(std::function<comm::ChannelEnd()> connector,
+                       ReconnectConfig config = {});
+
+  /// Successful redials so far.
+  std::uint64_t reconnects() const { return reconnects_; }
+
+  /// Frames dropped client-side because they failed to decode.
+  std::uint64_t corruptFramesSkipped() const { return corruptFrames_; }
+
  private:
   Event decode(const std::vector<std::byte>& frame) const;
 
+  /// Track subscriptions/codec so a reconnect can replay them.
+  void recordSessionState(const steer::Command& cmd);
+
+  /// Heartbeats are acked here and never surfaced. Returns true when the
+  /// frame was consumed internally.
+  bool handleInternal(const std::vector<std::byte>& frame);
+
+  /// Redial + replay session state. False when no connector is armed or
+  /// every attempt failed.
+  bool tryReconnect();
+
   comm::ChannelEnd end_;
   std::uint32_t nextCommandId_ = 1;
+
+  std::function<comm::ChannelEnd()> connector_;
+  ReconnectConfig reconnectConfig_;
+  Rng jitterRng_{0};
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t corruptFrames_ = 0;
+  std::optional<steer::Command> codecCommand_;
+  std::vector<steer::Command> activeSubscriptions_;
 };
 
 }  // namespace hemo::serve

@@ -28,15 +28,23 @@ void putVarint(io::Writer& w, std::uint64_t v) {
 }
 
 std::uint64_t getVarint(io::Reader& r) {
+  // A u64 varint is at most 10 bytes, and the 10th byte carries only the
+  // top bit of the value: its payload must be 0 or 1 and it must be the
+  // final byte. Anything else either drops overflow bits silently or is a
+  // non-canonical overlong encoding — both rejected.
   std::uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
+  for (int shift = 0; shift < 64; shift += 7) {
     const auto byte = r.get<std::uint8_t>();
-    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    const auto payload = static_cast<std::uint64_t>(byte & 0x7f);
+    if (shift == 63) {
+      HEMO_CHECK_MSG(payload <= 1, "varint overflows 64 bits");
+      HEMO_CHECK_MSG((byte & 0x80) == 0, "varint overlong");
+    }
+    v |= payload << shift;
     if ((byte & 0x80) == 0) return v;
-    shift += 7;
-    HEMO_CHECK_MSG(shift < 64, "varint overlong");
   }
+  HEMO_CHECK_MSG(false, "varint overlong");
+  return 0;
 }
 
 void putDeltaVarint(io::Writer& w, const std::vector<std::uint64_t>& values) {

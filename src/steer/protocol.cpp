@@ -250,4 +250,29 @@ std::vector<std::byte> encodeAck(std::uint32_t commandId) {
   return w.take();
 }
 
+namespace {
+std::vector<std::byte> encodeSeqFrame(MsgType type, std::uint64_t seq) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
+  w.put<std::uint64_t>(seq);
+  return w.take();
+}
+}  // namespace
+
+std::vector<std::byte> encodeHeartbeat(std::uint64_t seq) {
+  return encodeSeqFrame(MsgType::kHeartbeat, seq);
+}
+
+std::vector<std::byte> encodeHeartbeatAck(std::uint64_t seq) {
+  return encodeSeqFrame(MsgType::kHeartbeatAck, seq);
+}
+
+std::uint64_t decodeHeartbeatSeq(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  const auto type = static_cast<MsgType>(r.get<std::uint8_t>());
+  HEMO_CHECK_MSG(type == MsgType::kHeartbeat || type == MsgType::kHeartbeatAck,
+                 "not a heartbeat frame");
+  return r.get<std::uint64_t>();
+}
+
 }  // namespace hemo::steer

@@ -44,6 +44,7 @@ enum class MsgType : std::uint8_t {
   kSubscribe,    ///< stream (serve::StreamKind) + cadence + params
   kUnsubscribe,  ///< stream
   kSetCodec,     ///< codec mask + quantised-float max error (in `value`)
+  kHeartbeatAck, ///< echoes a broker heartbeat's sequence number
   // master -> client
   kAck = 64,
   kStatus,
@@ -53,6 +54,7 @@ enum class MsgType : std::uint8_t {
   kTelemetry,  ///< aggregated telemetry::StepReport of the last window
   kCodedImage,  ///< codec-compressed ImageFrame (serve wire layer)
   kCodedRoi,    ///< codec-compressed RoiData (serve wire layer)
+  kHeartbeat,   ///< broker liveness probe; clients must echo the sequence
 };
 
 /// Hydrodynamic observables computable over a user-defined subset of the
@@ -134,6 +136,12 @@ std::vector<std::byte> encodeRoi(const RoiData& roi);
 RoiData decodeRoi(const std::vector<std::byte>& bytes);
 
 std::vector<std::byte> encodeAck(std::uint32_t commandId);
+
+/// Heartbeat probe (master -> client) / its echo (client -> master). Both
+/// carry just the sequence number; decodeHeartbeatSeq reads either.
+std::vector<std::byte> encodeHeartbeat(std::uint64_t seq);
+std::vector<std::byte> encodeHeartbeatAck(std::uint64_t seq);
+std::uint64_t decodeHeartbeatSeq(const std::vector<std::byte>& frame);
 
 std::vector<std::byte> encodeObservable(const ObservableReport& report);
 ObservableReport decodeObservable(const std::vector<std::byte>& frame);

@@ -1,0 +1,261 @@
+#pragma once
+/// \file faultinject.hpp
+/// \brief Deterministic fault-injection harness for resiliency testing.
+///
+/// The paper's §III names error resiliency at extreme core counts as a
+/// co-design challenge; recovery paths that are never exercised rot. This
+/// harness lets tests and benches *deterministically* provoke the faults
+/// the recovery layer claims to survive: dropped/truncated/delayed frames
+/// on serving channels, failed sends, a killed simulated rank, corrupted
+/// checkpoint bytes on their way to disk.
+///
+/// Hooks live at named *sites* (see FaultSite); each hook costs one relaxed
+/// atomic load when the injector is disarmed, and compiles down to a no-op
+/// under -DHEMO_FAULTINJECT=OFF (HEMO_FAULTINJECT_DISABLED), the production
+/// setting. Decisions are seeded (hemo::Rng) and rank-addressable, so a
+/// failing run replays bit-identically.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#ifndef HEMO_FAULTINJECT_DISABLED
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+#endif
+
+namespace hemo::util {
+
+/// Where a fault can strike. Each value corresponds to one hook in the
+/// runtime; new sites are cheap (the rule table is searched linearly).
+enum class FaultSite : std::uint8_t {
+  kChannelSend = 0,   ///< serving/steering frame pushed into a ChannelEnd
+  kCommSend,          ///< comm::Communicator::sendBytes (rank p2p)
+  kCheckpointCommit,  ///< checkpoint file bytes on their way to disk
+  kDriverStep,        ///< once per rank per driver step (kill point)
+  kBrokerPoll,        ///< SessionBroker::drainCommands entry
+  kCount_
+};
+
+inline constexpr int kNumFaultSites = static_cast<int>(FaultSite::kCount_);
+
+/// What happens when a rule fires. Sites honour the subset that makes
+/// sense for them (a checkpoint commit cannot be delayed, only mangled).
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kDrop,      ///< discard the frame; the sender believes it was delivered
+  kTruncate,  ///< cut the frame/file to `truncateTo` bytes
+  kDelay,     ///< sleep `delayMillis` before delivering
+  kCorrupt,   ///< flip bits (`corruptXor`) at a seeded byte position
+  kFail,      ///< make the operation fail (send returns false / throws)
+  kKill,      ///< throw RankKilledError out of the calling rank thread
+};
+
+/// One armed fault. Matches by (site, rank); `afterHits` matching hits
+/// pass through untouched, then up to `maxFires` fires happen, each gated
+/// by a seeded coin of `probability`.
+struct FaultRule {
+  FaultSite site = FaultSite::kChannelSend;
+  FaultAction action = FaultAction::kNone;
+  int rank = -1;                ///< world rank to target; -1 = any rank
+  std::uint64_t afterHits = 0;  ///< skip this many matching hits first
+  std::uint64_t maxFires = ~std::uint64_t{0};
+  double probability = 1.0;
+  std::size_t truncateTo = 0;   ///< kTruncate: bytes to keep
+  std::uint8_t corruptXor = 0xa5;
+  int delayMillis = 0;
+};
+
+/// Thrown by a kKill fault: simulates a dying rank. The comm runtime's
+/// abort propagation then unwinds the rest of the group exactly as it
+/// would for a real crash.
+class RankKilledError : public std::runtime_error {
+ public:
+  explicit RankKilledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by a kFail fault on sites whose operation has no boolean result
+/// path (comm sends, broker poll).
+class InjectedFaultError : public std::runtime_error {
+ public:
+  explicit InjectedFaultError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+#ifndef HEMO_FAULTINJECT_DISABLED
+
+/// Process-wide injector. Tests arm() it with a seed, add rules, run the
+/// scenario, then disarm(); production code never arms it, so every hook
+/// is a single relaxed load.
+class FaultInjector {
+ public:
+  static FaultInjector& instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+
+  /// Enable injection with a deterministic decision stream. Clears any
+  /// previous rules and counters.
+  void arm(std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.clear();
+    rng_ = Rng(seed);
+    totalFired_ = 0;
+    for (auto& f : firedBySite_) f = 0;
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Disable injection and drop all rules. Hooks revert to no-ops.
+  void disarm() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(false, std::memory_order_relaxed);
+    rules_.clear();
+  }
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  void addRule(const FaultRule& rule) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.push_back(RuleState{rule, 0, 0});
+  }
+
+  /// The hook entry point: what should happen at `site` on `rank`?
+  /// Returns kNone when disarmed or no rule matches; otherwise the fired
+  /// action, with the matched rule (for its parameters) in `ruleOut`.
+  FaultAction decide(FaultSite site, int rank,
+                     FaultRule* ruleOut = nullptr) {
+    if (!armed_.load(std::memory_order_relaxed)) return FaultAction::kNone;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& state : rules_) {
+      const FaultRule& r = state.rule;
+      if (r.site != site) continue;
+      if (r.rank >= 0 && r.rank != rank) continue;
+      if (state.hits++ < r.afterHits) continue;
+      if (state.fires >= r.maxFires) continue;
+      if (r.probability < 1.0 && rng_.uniform() >= r.probability) continue;
+      ++state.fires;
+      ++totalFired_;
+      ++firedBySite_[static_cast<std::size_t>(site)];
+      if (ruleOut != nullptr) *ruleOut = r;
+      return r.action;
+    }
+    return FaultAction::kNone;
+  }
+
+  /// Convenience for byte-buffer sites (checkpoint commit): applies a
+  /// kCorrupt/kTruncate decision in place. Corruption xors a seeded byte
+  /// so CRC validation sees exactly what a bad disk would leave.
+  template <typename ByteVec>
+  void applyBufferFault(FaultSite site, int rank, ByteVec& bytes) {
+    FaultRule rule;
+    switch (decide(site, rank, &rule)) {
+      case FaultAction::kCorrupt:
+        if (!bytes.empty()) {
+          const std::size_t pos = corruptPosition(bytes.size());
+          bytes[pos] = static_cast<typename ByteVec::value_type>(
+              static_cast<std::uint8_t>(bytes[pos]) ^ rule.corruptXor);
+        }
+        break;
+      case FaultAction::kTruncate:
+        if (bytes.size() > rule.truncateTo) bytes.resize(rule.truncateTo);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Honour a kDelay decision (frame sites).
+  static void sleepFor(int millis) {
+    if (millis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+    }
+  }
+
+  std::uint64_t fired() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalFired_;
+  }
+
+  std::uint64_t fired(FaultSite site) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return firedBySite_[static_cast<std::size_t>(site)];
+  }
+
+ private:
+  FaultInjector() = default;
+
+  std::size_t corruptPosition(std::size_t size) {
+    // Skip the first 16 bytes so magics stay intact and the failure is a
+    // CRC mismatch, not a trivially-rejected bad header.
+    const std::size_t lo = size > 32 ? 16 : 0;
+    return lo + static_cast<std::size_t>(rng_.uniformInt(size - lo));
+  }
+
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
+  std::vector<RuleState> rules_;
+  Rng rng_{0};
+  std::uint64_t totalFired_ = 0;
+  std::uint64_t firedBySite_[kNumFaultSites] = {};
+};
+
+/// RAII arm/disarm for tests: faults never leak across test cases.
+class FaultScope {
+ public:
+  explicit FaultScope(std::uint64_t seed) {
+    FaultInjector::instance().arm(seed);
+  }
+  ~FaultScope() { FaultInjector::instance().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultScope& rule(const FaultRule& r) {
+    FaultInjector::instance().addRule(r);
+    return *this;
+  }
+};
+
+#else  // HEMO_FAULTINJECT_DISABLED: hooks compile to nothing.
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+  void arm(std::uint64_t) {}
+  void disarm() {}
+  bool armed() const { return false; }
+  void addRule(const FaultRule&) {}
+  FaultAction decide(FaultSite, int, FaultRule* = nullptr) {
+    return FaultAction::kNone;
+  }
+  template <typename ByteVec>
+  void applyBufferFault(FaultSite, int, ByteVec&) {}
+  static void sleepFor(int) {}
+  std::uint64_t fired() const { return 0; }
+  std::uint64_t fired(FaultSite) const { return 0; }
+};
+
+class FaultScope {
+ public:
+  explicit FaultScope(std::uint64_t) {}
+  FaultScope& rule(const FaultRule&) { return *this; }
+};
+
+#endif  // HEMO_FAULTINJECT_DISABLED
+
+}  // namespace hemo::util

@@ -286,7 +286,9 @@ TEST(Resiliency, CrashMidRunThenRestartFromCheckpoint) {
     rt2.run([&](comm::Communicator& comm) {
       lb::DomainMap domain(lat, part2, comm.rank());
       lb::SolverD3Q19 solver(domain, comm, params);
-      EXPECT_EQ(lb::readCheckpoint(ckpt, solver, comm), 10u);
+      const auto restored = lb::readCheckpoint(ckpt, solver, comm);
+      EXPECT_TRUE(restored.ok()) << restored.detail;
+      EXPECT_EQ(restored.step, 10u);
       solver.run(10);
       for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
         recovered[static_cast<std::size_t>(domain.globalOf(l))] =

@@ -565,8 +565,10 @@ TEST(Checkpoint, RestartReproducesRunEvenAcrossPartitions) {
     rt.run([&](comm::Communicator& comm) {
       DomainMap domain(lattice, part, comm.rank());
       SolverD3Q19 solver(domain, comm, params);
-      const auto step = readCheckpoint(path, solver, comm);
-      EXPECT_EQ(step, 15u);
+      const auto result = readCheckpoint(path, solver, comm);
+      EXPECT_TRUE(result.ok()) << result.detail;
+      EXPECT_EQ(result.step, 15u);
+      EXPECT_EQ(solver.stepsDone(), 15u);
       solver.run(15);
       for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
         const auto g = static_cast<std::size_t>(domain.globalOf(l));

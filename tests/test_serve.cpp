@@ -17,6 +17,7 @@
 #include "serve/broker.hpp"
 #include "serve/client.hpp"
 #include "serve/codec.hpp"
+#include "util/check.hpp"
 
 namespace hemo::serve {
 namespace {
@@ -57,6 +58,28 @@ TEST(Codec, DeltaVarintRoundTripExact) {
   EXPECT_EQ(deltaVarintDecode(deltaVarintEncode(wild)), wild);
   EXPECT_EQ(deltaVarintDecode(deltaVarintEncode({})),
             std::vector<std::uint64_t>{});
+}
+
+TEST(Codec, VarintRejectsOverflowingAndOverlongEncodings) {
+  const auto craft = [](std::initializer_list<unsigned> raw) {
+    std::vector<std::byte> out;
+    for (const unsigned b : raw) out.push_back(static_cast<std::byte>(b));
+    return out;
+  };
+  // 2^63 zigzags to all-ones — the canonical 10-byte maximum varint —
+  // so the largest legal encoding must keep round-tripping.
+  const std::vector<std::uint64_t> max{std::uint64_t{1} << 63};
+  EXPECT_EQ(deltaVarintDecode(deltaVarintEncode(max)), max);
+
+  // A 10th byte carrying more than the 1 bit a u64 has left used to have
+  // its high bits silently dropped, aliasing distinct encodings.
+  EXPECT_THROW(deltaVarintDecode(craft({0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                                        0xff, 0xff, 0xff, 0x02})),
+               CheckError);
+  // A continuation bit on the 10th byte (an 11-byte varint) is overlong.
+  EXPECT_THROW(deltaVarintDecode(craft({0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                                        0xff, 0xff, 0xff, 0x81, 0x00})),
+               CheckError);
 }
 
 TEST(Codec, QuantFloatStaysWithinStatedError) {
