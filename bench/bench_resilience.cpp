@@ -120,6 +120,33 @@ double runHeartbeatConfig(const geometry::SparseLattice& lattice,
   return mlups;
 }
 
+double runSentinelConfig(const geometry::SparseLattice& lattice,
+                         const partition::Partition& part, int checkEvery,
+                         int steps) {
+  double mlups = 0.0;
+  comm::Runtime rt(kRanks);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    core::DriverConfig cfg;
+    cfg.lb = flowParams(true);
+    cfg.computeWss = false;
+    cfg.visEvery = 0;
+    cfg.statusEvery = 0;
+    cfg.sentinel.checkEvery = checkEvery;
+    core::SimulationDriver driver(domain, comm, cfg);
+
+    comm.barrier();
+    WallTimer wall;
+    driver.run(steps);
+    const double seconds = wall.seconds();
+    if (comm.rank() == 0) {
+      mlups = static_cast<double>(lattice.numFluidSites()) *
+              static_cast<double>(steps) / seconds / 1e6;
+    }
+  });
+  return mlups;
+}
+
 }  // namespace
 
 int main() {
@@ -170,10 +197,27 @@ int main() {
   rowOn.set("mlups", on);
   rowOn.set("fractionOfBaseline", on / off);
 
+  printHeader("R3: stability-sentinel overhead (per-window reduction)");
+  std::printf("%-24s %12s\n", "config", "MLUPS");
+  const double sentinelOff = runSentinelConfig(lattice, part, 0, steps);
+  std::printf("%-24s %12.2f\n", "sentinel off", sentinelOff);
+  const double sentinelOn = runSentinelConfig(lattice, part, 10, steps);
+  std::printf("%-24s %12.2f  (%.1f%% of baseline)\n",
+              "sentinel every 10", sentinelOn,
+              100.0 * sentinelOn / sentinelOff);
+
+  auto& rowSentOff = report.addRow("sentinel_off");
+  rowSentOff.set("checkEvery", std::uint64_t{0});
+  rowSentOff.set("mlups", sentinelOff);
+  auto& rowSentOn = report.addRow("sentinel_on");
+  rowSentOn.set("checkEvery", std::uint64_t{10});
+  rowSentOn.set("mlups", sentinelOn);
+  rowSentOn.set("fractionOfBaseline", sentinelOn / sentinelOff);
+
   report.write();
   std::printf("\nexpected shape: write bandwidth rises with stripe count "
               "(concurrent leader\nwrites) until the filesystem saturates; "
-              "heartbeat probing stays within noise\nof the "
-              "heartbeats-off baseline.\n");
+              "heartbeat probing and the sentinel's\nper-window reduction "
+              "both stay within noise of their off baselines.\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/driver.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <thread>
 
 #include "lb/wss.hpp"
@@ -20,7 +21,8 @@ SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
       solver_(std::make_unique<lb::SolverD3Q19>(domain, comm, config.lb)),
       ghosts_(domain, comm, /*rings=*/2),
       octree_(domain, config.octreeLeafLog2),
-      server_(std::move(steerEnd)) {
+      server_(std::move(steerEnd)),
+      sentinel_(config.sentinel) {
   HEMO_CHECK_MSG(!config.computeWss || config.lb.computeStress,
                  "computeWss requires LbParams::computeStress");
   if (config.adaptiveVisBudget > 0.0) {
@@ -130,13 +132,115 @@ steer::StatusReport SimulationDriver::computeStatus() {
       std::abs(s.totalMass - initialMass_) <= 0.02 * initialMass_;
   const bool machOk = s.maxSpeed < 0.3;
   s.consistencyOk = (massOk && machOk) ? 1 : 0;
+  s.consistencyStep = s.step;
   s.paused = paused_ ? 1 : 0;
+  if (s.consistencyOk == 0) {
+    if (auto* t = telemetry::threadTelemetry()) {
+      t->metrics().counter("lb.consistency_fail").add(1);
+    }
+  }
   lastStatus_ = s;
   return s;
 }
 
+void SimulationDriver::sendRejectRouted(std::uint32_t commandId,
+                                        steer::RejectReason reason,
+                                        steer::MsgType type) {
+  if (brokerMode_) {
+    if (broker_ != nullptr) {
+      broker_->respondReject(*comm_, commandId, reason, type);
+    }
+  } else {
+    steer::Reject reject;
+    reject.type = type;
+    reject.commandId = commandId;
+    reject.reason = reason;
+    server_.sendReject(*comm_, reject);
+  }
+}
+
+void SimulationDriver::recordChange(const steer::Command& cmd) {
+  AppliedChange change;
+  change.cmd = cmd;
+  change.step = solver_->stepsDone();
+  switch (cmd.type) {
+    case steer::MsgType::kSetTau:
+      change.prevValue = solver_->params().tau;
+      break;
+    case steer::MsgType::kSetBodyForce:
+      change.prevVec = solver_->params().bodyForce;
+      break;
+    case steer::MsgType::kSetIoletDensity:
+      change.prevValue =
+          solver_->ioletDensity(static_cast<std::size_t>(cmd.ioletId));
+      break;
+    case steer::MsgType::kSetIoletVelocity:
+      change.prevVec =
+          solver_->ioletVelocity(static_cast<std::size_t>(cmd.ioletId));
+      break;
+    default:
+      return;  // not a recorded mutating command
+  }
+  history_.push_back(std::move(change));
+  if (history_.size() > kHistoryDepth) history_.pop_front();
+}
+
+void SimulationDriver::quarantineLatestChange() {
+  if (history_.empty()) return;
+  const AppliedChange change = history_.back();
+  history_.pop_back();
+  switch (change.cmd.type) {
+    case steer::MsgType::kSetTau:
+      solver_->setTau(change.prevValue);
+      break;
+    case steer::MsgType::kSetBodyForce:
+      solver_->setBodyForce(change.prevVec);
+      break;
+    case steer::MsgType::kSetIoletDensity:
+      solver_->setIoletDensity(static_cast<std::size_t>(change.cmd.ioletId),
+                               change.prevValue);
+      break;
+    case steer::MsgType::kSetIoletVelocity:
+      solver_->setIoletVelocity(static_cast<std::size_t>(change.cmd.ioletId),
+                                change.prevVec);
+      break;
+    default:
+      break;
+  }
+  if (comm_->rank() == 0) {
+    HEMO_LOG_WARN() << "sentinel quarantined steered command "
+                    << change.cmd.commandId << " (applied at step "
+                    << change.step << "); parameter reverted";
+  }
+  sendRejectRouted(change.cmd.commandId, steer::RejectReason::kDivergence,
+                   steer::MsgType::kRejectedAfterRollback);
+}
+
 void SimulationDriver::applyCommand(const steer::Command& cmd) {
   using steer::MsgType;
+  // Stage-1 gate: validate before anything mutates. The check is a pure
+  // function of the broadcast command and static lattice facts, so every
+  // rank reaches the identical verdict; a rejected command is NACKed to
+  // the issuing client (rank 0) and never touches the solver.
+  if (config_.guard.enabled) {
+    steer::GuardContext ctx;
+    ctx.numIolets = domain_->lattice().iolets().size();
+    ctx.lattice = BoxI{{0, 0, 0}, domain_->lattice().dims()};
+    const auto reason = steer::validateCommand(cmd, config_.guard, ctx);
+    if (reason != steer::RejectReason::kNone) {
+      if (auto* t = telemetry::threadTelemetry()) {
+        t->metrics().counter("steer.rejected").add(1);
+      }
+      if (comm_->rank() == 0) {
+        HEMO_LOG_WARN() << "rejected steering command " << cmd.commandId
+                        << " (type " << static_cast<int>(cmd.type)
+                        << "): " << steer::rejectReasonName(reason);
+      }
+      sendRejectRouted(cmd.commandId, reason, MsgType::kReject);
+      return;
+    }
+  }
+  recordChange(cmd);
   switch (cmd.type) {
     case MsgType::kSetCamera:
       renderStage_->options().camera = cmd.camera;
@@ -369,6 +473,106 @@ lb::RestoreResult SimulationDriver::restoreLatest() {
   return lb::restoreLatest(config_.checkpointDir, *solver_, *comm_);
 }
 
+void SimulationDriver::writeDiagnosticDump(const SentinelVerdict& verdict) {
+  if (comm_->rank() != 0) return;
+  std::string path = config_.sentinel.dumpPath;
+  if (path.empty()) {
+    if (config_.checkpointDir.empty()) {
+      HEMO_LOG_WARN() << "sentinel dump skipped: no dumpPath/checkpointDir";
+      return;
+    }
+    path = config_.checkpointDir + "/sentinel_dump.txt";
+  }
+  std::ofstream out(path);
+  if (!out) {
+    HEMO_LOG_WARN() << "sentinel dump failed to open " << path;
+    return;
+  }
+  out << "HemoLB stability-sentinel diagnostic dump\n";
+  out << "offending step: " << verdict.step << "\n";
+  out << "verdict: finite=" << (verdict.finite ? 1 : 0)
+      << " minRho=" << verdict.minRho << " maxRho=" << verdict.maxRho
+      << " maxSpeed=" << verdict.maxSpeed << "\n";
+  out << "bounds: minDensity=" << config_.sentinel.minDensity
+      << " maxDensity=" << config_.sentinel.maxDensity
+      << " maxSpeed=" << config_.sentinel.maxSpeed << "\n";
+  out << "rollbacks performed: " << rollbacksDone_ << " of "
+      << config_.sentinel.maxRollbacks << "\n";
+  out << "per-rank extrema:\n";
+  const auto& perRank = sentinel_.lastPerRank();
+  for (std::size_t rank = 0; rank < perRank.size(); ++rank) {
+    const auto& r = perRank[rank];
+    out << "  rank " << rank << ": finite=" << static_cast<int>(r.finite)
+        << " minRho=" << r.minRho << " maxRho=" << r.maxRho
+        << " maxSpeed=" << r.maxSpeed << "\n";
+  }
+  out << "last applied steered commands (oldest first):\n";
+  for (const AppliedChange& change : history_) {
+    out << "  step " << change.step << ": command " << change.cmd.commandId
+        << " type " << static_cast<int>(change.cmd.type)
+        << " value=" << change.cmd.value << " force=(" << change.cmd.force.x
+        << ", " << change.cmd.force.y << ", " << change.cmd.force.z
+        << ") ioletId=" << change.cmd.ioletId << "\n";
+  }
+  HEMO_LOG_WARN() << "sentinel diagnostic dump written to " << path;
+}
+
+bool SimulationDriver::sentinelGuard(std::uint64_t step) {
+  const auto verdict = sentinel_.check(*comm_, solver_->macro(), step);
+  if (auto* t = telemetry::threadTelemetry()) {
+    t->metrics().gauge("sentinel.headroom").set(sentinel_.headroom(verdict));
+  }
+  if (verdict.ok) return true;
+
+  // Divergence consensus. Record the failure, then: rollback + quarantine
+  // while retries remain, otherwise degrade to the diagnostic dump.
+  if (auto* t = telemetry::threadTelemetry()) {
+    t->metrics().counter("sentinel.triggers").add(1);
+    t->metrics().counter("lb.consistency_fail").add(1);
+  }
+  lastStatus_.consistencyOk = 0;
+  lastStatus_.consistencyStep = step;
+  if (comm_->rank() == 0) {
+    HEMO_LOG_WARN() << "sentinel divergence at step " << step
+                    << ": finite=" << (verdict.finite ? 1 : 0)
+                    << " minRho=" << verdict.minRho
+                    << " maxRho=" << verdict.maxRho
+                    << " maxSpeed=" << verdict.maxSpeed;
+  }
+
+  const bool canRollback = rollbacksDone_ < config_.sentinel.maxRollbacks &&
+                           config_.checkpointEvery > 0 &&
+                           !config_.checkpointDir.empty();
+  if (canRollback) {
+    const auto restored = restoreLatest();
+    if (restored.ok()) {
+      ++rollbacksDone_;
+      if (auto* t = telemetry::threadTelemetry()) {
+        t->metrics().counter("sentinel.rollbacks").add(1);
+      }
+      if (comm_->rank() == 0) {
+        HEMO_LOG_WARN() << "sentinel rolled back to checkpointed step "
+                        << restored.step << " (rollback " << rollbacksDone_
+                        << "/" << config_.sentinel.maxRollbacks << ")";
+      }
+      // Checkpoints hold distributions only — steered parameters survive a
+      // restore, so the rollback must also revert the most recent change,
+      // the prime suspect for the blow-up.
+      quarantineLatestChange();
+      return false;
+    }
+    if (comm_->rank() == 0) {
+      HEMO_LOG_WARN() << "sentinel rollback failed: " << restored.detail;
+    }
+  }
+
+  // Bounded retries exhausted (or no checkpoint to restore): graceful
+  // degradation, not an abort — dump diagnostics and stop cleanly.
+  writeDiagnosticDump(verdict);
+  terminated_ = true;
+  return false;
+}
+
 telemetry::StepReport SimulationDriver::computeStepReport() {
   static_assert(comm::kNumTrafficClasses <=
                     telemetry::kReportTrafficClasses,
@@ -465,6 +669,12 @@ int SimulationDriver::run(int steps) {
     ++executed;
     ++stepsThisRun_;
     const auto done = solver_->stepsDone();
+    // Stage-2 sentinel: consensus divergence check before anything
+    // downstream (render / checkpoint / status) consumes — or persists —
+    // a possibly-poisoned state.
+    if (sentinel_.enabled() && sentinel_.due(done)) {
+      if (!sentinelGuard(done)) continue;
+    }
     bool renderDue =
         config_.visEvery > 0 &&
         done % static_cast<std::uint64_t>(config_.visEvery) == 0;

@@ -14,6 +14,7 @@
 ///   4. every `statusEvery` steps emits a status report (runtime estimate,
 ///      consistency checks — §I's "status informations").
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -22,9 +23,11 @@
 #include "comm/profiler.hpp"
 #include "core/pipeline.hpp"
 #include "core/scheduler.hpp"
+#include "core/sentinel.hpp"
 #include "lb/checkpoint.hpp"
 #include "lb/solver.hpp"
 #include "serve/broker.hpp"
+#include "steer/guard.hpp"
 #include "steer/server.hpp"
 #include "telemetry/step_report.hpp"
 #include "telemetry/telemetry.hpp"
@@ -62,6 +65,12 @@ struct DriverConfig {
   int checkpointKeep = 2;
   /// Writer stripes per checkpoint (clamped to the communicator size).
   int checkpointStripes = 1;
+  /// Stage-1 robustness: validation bounds for state-mutating steering
+  /// commands (rejected commands never reach the solver).
+  steer::GuardConfig guard;
+  /// Stage-2 robustness: divergence sentinel + checkpoint rollback policy
+  /// (checkEvery = 0 keeps it off).
+  SentinelConfig sentinel;
 };
 
 class SimulationDriver {
@@ -121,9 +130,35 @@ class SimulationDriver {
     return lastStepReport_;
   }
 
+  /// Sentinel rollbacks performed so far (bounded by
+  /// SentinelConfig::maxRollbacks).
+  int rollbacksDone() const { return rollbacksDone_; }
+
  private:
+  /// One applied state-mutating steered change, with enough of the prior
+  /// state to revert it under quarantine.
+  struct AppliedChange {
+    steer::Command cmd;
+    std::uint64_t step = 0;
+    double prevValue = 0.0;  ///< tau / iolet density before the change
+    Vec3d prevVec{};         ///< body force / iolet velocity before
+  };
+
   void applyCommand(const steer::Command& cmd);
   void pollSteering();
+  /// Route a typed NACK to the issuing client (broker or plain server).
+  void sendRejectRouted(std::uint32_t commandId, steer::RejectReason reason,
+                        steer::MsgType type);
+  /// Snapshot the pre-change state of a mutating command into history_.
+  void recordChange(const steer::Command& cmd);
+  /// Revert the most recent steered change and NACK it retroactively.
+  void quarantineLatestChange();
+  /// Collective sentinel check + rollback state machine. Returns false
+  /// when the step's results were discarded (rolled back or terminated) —
+  /// the run loop must `continue` without checkpointing.
+  bool sentinelGuard(std::uint64_t step);
+  /// Rank 0: write the graceful-degradation diagnostic dump.
+  void writeDiagnosticDump(const SentinelVerdict& verdict);
 
   const lb::DomainMap* domain_;
   comm::Communicator* comm_;
@@ -138,6 +173,12 @@ class SimulationDriver {
   bool brokerMode_ = false;                 ///< identical on every rank
   steer::ImageFrame lastImageFrame_;        ///< rank 0, broker mode
   std::uint64_t lastViewKey_ = 0;
+
+  StabilitySentinel sentinel_;
+  int rollbacksDone_ = 0;
+  /// Recent applied mutating commands, newest last (bounded).
+  std::deque<AppliedChange> history_;
+  static constexpr std::size_t kHistoryDepth = 16;
 
   PipelineOutputs lastOutputs_;
   steer::StatusReport lastStatus_;

@@ -1,0 +1,64 @@
+#include "core/sentinel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "telemetry/telemetry.hpp"
+
+namespace hemo::core {
+
+SentinelVerdict StabilitySentinel::check(comm::Communicator& comm,
+                                         const lb::MacroFields& macro,
+                                         std::uint64_t step) {
+  HEMO_TSPAN(kOther, "sentinel.check");
+  SentinelLocal local;
+  // Neutral extrema so an empty rank never constrains the reduction.
+  local.minRho = std::numeric_limits<double>::infinity();
+  local.maxRho = -std::numeric_limits<double>::infinity();
+  local.maxSpeed = 0.0;
+  double maxSpeedSq = 0.0;
+  const std::size_t n = macro.rho.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rho = macro.rho[i];
+    const Vec3d& u = macro.u[i];
+    // NaN slips through min/max, so finiteness is tracked explicitly.
+    if (!std::isfinite(rho) || !std::isfinite(u.x) || !std::isfinite(u.y) ||
+        !std::isfinite(u.z)) {
+      local.finite = 0;
+      continue;
+    }
+    local.minRho = std::min(local.minRho, rho);
+    local.maxRho = std::max(local.maxRho, rho);
+    maxSpeedSq = std::max(maxSpeedSq, u.x * u.x + u.y * u.y + u.z * u.z);
+  }
+  local.maxSpeed = std::sqrt(maxSpeedSq);
+
+  // One collective: every rank receives all extrema, reduces identically,
+  // and keeps the per-rank breakdown for the diagnostic dump.
+  {
+    comm::Communicator::TrafficScope scope(comm, comm::Traffic::kOther);
+    lastPerRank_ = comm.allgather(local);
+  }
+
+  SentinelVerdict v;
+  v.step = step;
+  v.minRho = std::numeric_limits<double>::infinity();
+  v.maxRho = -std::numeric_limits<double>::infinity();
+  for (const SentinelLocal& r : lastPerRank_) {
+    if (r.finite == 0) v.finite = false;
+    v.minRho = std::min(v.minRho, r.minRho);
+    v.maxRho = std::max(v.maxRho, r.maxRho);
+    v.maxSpeed = std::max(v.maxSpeed, r.maxSpeed);
+  }
+  v.ok = v.finite && v.minRho >= config_.minDensity &&
+         v.maxRho <= config_.maxDensity && v.maxSpeed < config_.maxSpeed;
+  return v;
+}
+
+double StabilitySentinel::headroom(const SentinelVerdict& v) const {
+  if (!v.ok || config_.maxSpeed <= 0.0) return 0.0;
+  return std::clamp(1.0 - v.maxSpeed / config_.maxSpeed, 0.0, 1.0);
+}
+
+}  // namespace hemo::core

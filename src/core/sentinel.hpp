@@ -1,0 +1,90 @@
+#pragma once
+/// \file sentinel.hpp
+/// \brief Numerical-stability sentinel: a cheap per-window reduction over
+/// the macroscopic fields that reaches cross-rank consensus on divergence.
+///
+/// Stage 2 of the robustness layer (stage 1 is steer::validateCommand): a
+/// guard can only refuse *obviously* bad parameters; a plausible-looking
+/// steered change can still push the run over the stability edge many
+/// steps later. The sentinel scans the owned sites' density/velocity every
+/// `checkEvery` steps — O(sites) with no transcendentals — and allgathers
+/// one small POD per rank, so every rank holds the identical verdict (and
+/// the per-rank extrema, which become the diagnostic dump for free). The
+/// driver reacts to a failed verdict with checkpoint rollback + parameter
+/// quarantine (see SimulationDriver).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "lb/domain_map.hpp"
+
+namespace hemo::core {
+
+struct SentinelConfig {
+  /// Steps between sentinel reductions. 0 disables the sentinel entirely
+  /// (no scan, no collective — the legacy behaviour).
+  int checkEvery = 0;
+  /// Densities outside [minDensity, maxDensity] flag divergence. LB runs
+  /// sit near rho = 1; these bounds only trip on genuine blow-up.
+  double minDensity = 1e-3;
+  double maxDensity = 1e3;
+  /// Speed bound (lattice units). Above ~0.577 (= cs * sqrt(3)... in
+  /// practice anything near 0.5) the D3Q19 expansion is meaningless.
+  double maxSpeed = 0.5;
+  /// Rollback attempts before the driver degrades to a diagnostic dump.
+  int maxRollbacks = 3;
+  /// Where the dump goes; empty = "<checkpointDir>/sentinel_dump.txt".
+  std::string dumpPath;
+};
+
+/// One rank's extrema over its owned sites. Trivially copyable — the
+/// consensus is a single allgather of these.
+struct SentinelLocal {
+  std::uint8_t finite = 1;
+  double minRho = 0.0;
+  double maxRho = 0.0;
+  double maxSpeed = 0.0;
+};
+
+/// Global verdict, identical on every rank.
+struct SentinelVerdict {
+  bool ok = true;
+  bool finite = true;
+  double minRho = 0.0;
+  double maxRho = 0.0;
+  double maxSpeed = 0.0;
+  std::uint64_t step = 0;
+};
+
+class StabilitySentinel {
+ public:
+  explicit StabilitySentinel(SentinelConfig config = {}) : config_(config) {}
+
+  bool enabled() const { return config_.checkEvery > 0; }
+  bool due(std::uint64_t step) const {
+    return enabled() &&
+           step % static_cast<std::uint64_t>(config_.checkEvery) == 0;
+  }
+
+  const SentinelConfig& config() const { return config_; }
+
+  /// Collective: scan the owned sites, allgather per-rank extrema, reduce.
+  /// Deterministic — every rank computes the identical verdict.
+  SentinelVerdict check(comm::Communicator& comm, const lb::MacroFields& macro,
+                        std::uint64_t step);
+
+  /// Per-rank extrema of the most recent check (for the diagnostic dump).
+  const std::vector<SentinelLocal>& lastPerRank() const { return lastPerRank_; }
+
+  /// Stability margin of the most recent check: 1 = quiescent, 0 = at (or
+  /// past) the speed bound. Feeds the sentinel.headroom gauge.
+  double headroom(const SentinelVerdict& v) const;
+
+ private:
+  SentinelConfig config_;
+  std::vector<SentinelLocal> lastPerRank_;
+};
+
+}  // namespace hemo::core

@@ -1,6 +1,7 @@
 #include "geometry/parallel_reader.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "io/serial.hpp"
 #include "telemetry/telemetry.hpp"
@@ -117,9 +118,9 @@ std::vector<int> assignBlocksByFluidVolume(const SgmyHeader& header,
   return owner;
 }
 
-ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
-                                       const std::string& path,
-                                       int numReaders) {
+ParallelReadResult tryReadSgmyDistributed(comm::Communicator& comm,
+                                          const std::string& path,
+                                          int numReaders) {
   HEMO_TSPAN(kIo, "io.read_sgmy");
   comm::Communicator::TrafficScope scope(comm, comm::Traffic::kIo);
   const int size = comm.size();
@@ -129,9 +130,33 @@ ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
   ParallelReadResult result;
 
   // 1. One rank touches the file system for the header; everyone else gets
-  //    it over the interconnect (minimise filesystem stress).
+  //    it over the interconnect (minimise filesystem stress). The status is
+  //    broadcast *before* the header bytes so a malformed file produces the
+  //    same typed failure on every rank instead of rank 0 throwing while
+  //    the others sit in a collective.
+  std::vector<std::byte> statusBytes(1);
+  std::vector<std::byte> detailBytes;
   std::vector<std::byte> headerBytes;
-  if (rank == 0) headerBytes = encodeHeader(readSgmyHeader(path));
+  if (rank == 0) {
+    SgmyHeader h;
+    std::string detail;
+    const GeoStatus status = tryReadSgmyHeader(path, &h, &detail);
+    statusBytes[0] = static_cast<std::byte>(status);
+    if (status == GeoStatus::kOk) {
+      headerBytes = encodeHeader(h);
+    } else {
+      detailBytes.resize(detail.size());
+      std::memcpy(detailBytes.data(), detail.data(), detail.size());
+    }
+  }
+  comm.bcastBytes(statusBytes, 0);
+  result.status = static_cast<GeoStatus>(statusBytes[0]);
+  if (result.status != GeoStatus::kOk) {
+    comm.bcastBytes(detailBytes, 0);
+    result.statusDetail.assign(
+        reinterpret_cast<const char*>(detailBytes.data()), detailBytes.size());
+    return result;
+  }
   comm.bcastBytes(headerBytes, 0);
   result.header = decodeHeader(headerBytes);
   const auto& table = result.header.blockTable;
@@ -204,6 +229,18 @@ ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
                                std::make_move_iterator(sites.end()));
     }
   }
+  return result;
+}
+
+ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
+                                       const std::string& path,
+                                       int numReaders) {
+  auto result = tryReadSgmyDistributed(comm, path, numReaders);
+  // Every rank holds the same status here, so this throw is collectively
+  // consistent — no rank is left waiting inside a collective.
+  HEMO_CHECK_MSG(result.ok(), "sgmy ingest failed ("
+                                  << geoStatusName(result.status) << "): "
+                                  << result.statusDetail);
   return result;
 }
 

@@ -21,6 +21,14 @@
 namespace hemo::geometry {
 
 struct ParallelReadResult {
+  /// Typed ingest outcome — identical on every rank (the header read
+  /// happens on rank 0, but its status is broadcast before any rank
+  /// commits to the collective payload exchange, so a malformed file
+  /// fails everywhere instead of stranding the non-reader ranks).
+  GeoStatus status = GeoStatus::kOk;
+  std::string statusDetail;
+  bool ok() const { return status == GeoStatus::kOk; }
+
   SgmyHeader header;
   /// block-table index -> owning rank, from the coarse fluid-volume balance.
   std::vector<int> blockOwner;
@@ -43,6 +51,15 @@ std::vector<int> assignBlocksByFluidVolume(const SgmyHeader& header,
 /// (classified as Traffic::kIo). With numReaders == size every rank reads
 /// its own blocks (maximum file-system stress, no redistribution); with one
 /// reader the file is touched once and everything crosses the network.
+/// Non-throwing variant: a malformed or missing file yields the same typed
+/// `status` on every rank (broadcast from rank 0 before any payload
+/// exchange), so callers can fail the whole job coherently.
+ParallelReadResult tryReadSgmyDistributed(comm::Communicator& comm,
+                                          const std::string& path,
+                                          int numReaders);
+
+/// Throwing wrapper over tryReadSgmyDistributed; the throw happens on every
+/// rank (collectively consistent).
 ParallelReadResult readSgmyDistributed(comm::Communicator& comm,
                                        const std::string& path,
                                        int numReaders);

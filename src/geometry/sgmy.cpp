@@ -158,47 +158,134 @@ bool writeSgmy(const std::string& path, const SparseLattice& lattice) {
   return ok;
 }
 
-SgmyHeader readSgmyHeader(const std::string& path) {
+const char* geoStatusName(GeoStatus status) {
+  switch (status) {
+    case GeoStatus::kOk: return "ok";
+    case GeoStatus::kOpenFailed: return "open-failed";
+    case GeoStatus::kBadMagic: return "bad-magic";
+    case GeoStatus::kBadVersion: return "bad-version";
+    case GeoStatus::kTruncated: return "truncated";
+    case GeoStatus::kInconsistent: return "inconsistent";
+  }
+  return "unknown";
+}
+
+namespace {
+GeoStatus fail(GeoStatus status, std::string* detail, const std::string& why) {
+  if (detail != nullptr) *detail = why;
+  return status;
+}
+/// Per-entry on-disk sizes, used to bound table counts *before* reserving.
+constexpr std::uint64_t kIoletEntryBytes = 74;
+constexpr std::uint64_t kBlockEntryBytes = 28;
+/// Minimum payload bytes one fluid site can encode to (u16 local index +
+/// 26 one-byte bulk links + hasNormal u8).
+constexpr std::uint64_t kMinSiteBytes = 29;
+}  // namespace
+
+GeoStatus tryReadSgmyHeader(const std::string& path, SgmyHeader* header,
+                            std::string* detail) {
   std::ifstream f(path, std::ios::binary);
-  HEMO_CHECK_MSG(f.good(), "cannot open " << path);
+  if (!f.good()) {
+    return fail(GeoStatus::kOpenFailed, detail, "cannot open " + path);
+  }
   const std::string raw((std::istreambuf_iterator<char>(f)),
                         std::istreambuf_iterator<char>());
   io::Reader r(reinterpret_cast<const std::byte*>(raw.data()), raw.size());
 
-  char magic[4];
-  r.getRaw(magic, 4);
-  HEMO_CHECK_MSG(std::string(magic, 4) == "SGMY", "bad magic in " << path);
-  const auto version = r.get<std::uint32_t>();
-  HEMO_CHECK_MSG(version == kVersion, "unsupported sgmy version " << version);
-
   SgmyHeader h;
-  h.dims = getVec3i(r);
-  h.blockSize = r.get<std::int32_t>();
-  h.voxelSize = r.get<double>();
-  h.origin = getVec3d(r);
-  const auto numIolets = r.get<std::uint32_t>();
-  for (std::uint32_t i = 0; i < numIolets; ++i) {
-    Iolet io;
-    io.kind = static_cast<Iolet::Kind>(r.get<std::uint8_t>());
-    io.bc = static_cast<Iolet::Bc>(r.get<std::uint8_t>());
-    io.center = getVec3d(r);
-    io.normal = getVec3d(r);
-    io.radius = r.get<double>();
-    io.density = r.get<double>();
-    io.speed = r.get<double>();
-    h.iolets.push_back(io);
-  }
-  const auto numBlocks = r.get<std::uint64_t>();
-  h.blockTable.reserve(static_cast<std::size_t>(numBlocks));
-  for (std::uint64_t i = 0; i < numBlocks; ++i) {
-    SgmyBlockEntry e;
-    e.blockLinear = r.get<std::uint64_t>();
-    e.fluidCount = r.get<std::uint32_t>();
-    e.payloadOffset = r.get<std::uint64_t>();
-    e.payloadBytes = r.get<std::uint64_t>();
-    h.blockTable.push_back(e);
+  try {
+    char magic[4];
+    r.getRaw(magic, 4);
+    if (std::string(magic, 4) != "SGMY") {
+      return fail(GeoStatus::kBadMagic, detail, "bad magic in " + path);
+    }
+    const auto version = r.get<std::uint32_t>();
+    if (version != kVersion) {
+      return fail(GeoStatus::kBadVersion, detail,
+                  "unsupported sgmy version " + std::to_string(version));
+    }
+
+    h.dims = getVec3i(r);
+    h.blockSize = r.get<std::int32_t>();
+    h.voxelSize = r.get<double>();
+    h.origin = getVec3d(r);
+    if (h.dims.x <= 0 || h.dims.y <= 0 || h.dims.z <= 0 || h.blockSize <= 0) {
+      return fail(GeoStatus::kInconsistent, detail,
+                  "non-positive dims/blockSize in " + path);
+    }
+    const auto numIolets = r.get<std::uint32_t>();
+    // Count sanity *before* the loop allocates: each entry has a fixed
+    // on-disk size, so a count the remaining bytes cannot hold is corrupt.
+    if (numIolets > r.remaining() / kIoletEntryBytes) {
+      return fail(GeoStatus::kTruncated, detail,
+                  "iolet table exceeds file size in " + path);
+    }
+    for (std::uint32_t i = 0; i < numIolets; ++i) {
+      Iolet io;
+      io.kind = static_cast<Iolet::Kind>(r.get<std::uint8_t>());
+      io.bc = static_cast<Iolet::Bc>(r.get<std::uint8_t>());
+      io.center = getVec3d(r);
+      io.normal = getVec3d(r);
+      io.radius = r.get<double>();
+      io.density = r.get<double>();
+      io.speed = r.get<double>();
+      h.iolets.push_back(io);
+    }
+    const auto numBlocks = r.get<std::uint64_t>();
+    if (numBlocks > r.remaining() / kBlockEntryBytes) {
+      return fail(GeoStatus::kTruncated, detail,
+                  "block table exceeds file size in " + path);
+    }
+    h.blockTable.reserve(static_cast<std::size_t>(numBlocks));
+    for (std::uint64_t i = 0; i < numBlocks; ++i) {
+      SgmyBlockEntry e;
+      e.blockLinear = r.get<std::uint64_t>();
+      e.fluidCount = r.get<std::uint32_t>();
+      e.payloadOffset = r.get<std::uint64_t>();
+      e.payloadBytes = r.get<std::uint64_t>();
+      h.blockTable.push_back(e);
+    }
+  } catch (const CheckError&) {
+    return fail(GeoStatus::kTruncated, detail,
+                "file ends inside the header in " + path);
   }
   h.payloadStart = raw.size() - r.remaining();
+
+  // Table-vs-file consistency: every payload must lie inside the payload
+  // section and be large enough to hold its declared fluid sites. Overflow-
+  // safe forms, since all three quantities come from the (untrusted) file.
+  const std::uint64_t payloadSection = raw.size() - h.payloadStart;
+  const std::uint64_t numBlockCells =
+      static_cast<std::uint64_t>(h.blockDims().x) *
+      static_cast<std::uint64_t>(h.blockDims().y) *
+      static_cast<std::uint64_t>(h.blockDims().z);
+  for (const auto& e : h.blockTable) {
+    if (e.blockLinear >= numBlockCells) {
+      return fail(GeoStatus::kInconsistent, detail,
+                  "block index outside the lattice in " + path);
+    }
+    if (e.payloadOffset > payloadSection ||
+        e.payloadBytes > payloadSection - e.payloadOffset) {
+      return fail(GeoStatus::kInconsistent, detail,
+                  "block payload beyond end of file in " + path);
+    }
+    if (e.fluidCount > e.payloadBytes / kMinSiteBytes) {
+      return fail(GeoStatus::kInconsistent, detail,
+                  "block fluid count exceeds its payload in " + path);
+    }
+  }
+  *header = std::move(h);
+  return GeoStatus::kOk;
+}
+
+SgmyHeader readSgmyHeader(const std::string& path) {
+  SgmyHeader h;
+  std::string detail;
+  const GeoStatus status = tryReadSgmyHeader(path, &h, &detail);
+  HEMO_CHECK_MSG(status == GeoStatus::kOk,
+                 "sgmy read failed (" << geoStatusName(status)
+                                      << "): " << detail);
   return h;
 }
 

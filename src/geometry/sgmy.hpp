@@ -67,7 +67,27 @@ struct DecodedSite {
 /// Write a finalized lattice to disk. Returns false on I/O failure.
 bool writeSgmy(const std::string& path, const SparseLattice& lattice);
 
+/// Typed outcome of header ingest — malformed input files are an expected
+/// operational condition (wrong path, interrupted transfer, version skew),
+/// not a programming error, so they must not abort the run.
+enum class GeoStatus : std::uint8_t {
+  kOk = 0,
+  kOpenFailed,    ///< file missing or unreadable
+  kBadMagic,      ///< not an sgmy file
+  kBadVersion,    ///< sgmy, but a version this build cannot read
+  kTruncated,     ///< file ends inside the header or a table
+  kInconsistent,  ///< tables disagree with the file (counts, offsets)
+};
+
+const char* geoStatusName(GeoStatus status);
+
 /// Read only the header + coarse block table (cheap; what every rank does).
+/// Returns kOk and fills `*header` on success; on failure returns the typed
+/// error and, when `detail` is non-null, a human-readable explanation.
+GeoStatus tryReadSgmyHeader(const std::string& path, SgmyHeader* header,
+                            std::string* detail = nullptr);
+
+/// Throwing wrapper over tryReadSgmyHeader (legacy callers, trusted input).
 SgmyHeader readSgmyHeader(const std::string& path);
 
 /// Encode one block's sites to its payload bytes (exposed for testing and

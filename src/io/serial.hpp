@@ -95,7 +95,8 @@ class Reader {
   std::vector<T> getVec() {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto n = get<std::uint64_t>();
-    HEMO_CHECK_MSG(remaining() >= n * sizeof(T), "serial underrun (vector)");
+    // Division form: `n * sizeof(T)` wraps for adversarial counts.
+    HEMO_CHECK_MSG(n <= remaining() / sizeof(T), "serial underrun (vector)");
     std::vector<T> v(static_cast<std::size_t>(n));
     if (n > 0) {
       std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(n) * sizeof(T));

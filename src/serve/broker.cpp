@@ -206,8 +206,14 @@ std::vector<steer::Command> SessionBroker::drainCommands(
             // replies route back to this client even when ids collide
             // across clients.
             const std::uint32_t brokerId = nextBrokerId_++;
-            pending_[brokerId] =
-                Pending{{static_cast<int>(i)}, {cmd.commandId}, true};
+            const Pending route{{static_cast<int>(i)}, {cmd.commandId}, true};
+            pending_[brokerId] = route;
+            routes_[brokerId] = route;
+            routeOrder_.push_back(brokerId);
+            if (routeOrder_.size() > kRouteHistory) {
+              routes_.erase(routeOrder_.front());
+              routeOrder_.erase(routeOrder_.begin());
+            }
             cmd.commandId = brokerId;
             out.push_back(cmd);
             break;
@@ -335,6 +341,31 @@ void SessionBroker::respondAck(comm::Communicator& comm,
     }
   }
   pending_.erase(it);
+  publishMetrics();
+}
+
+void SessionBroker::respondReject(comm::Communicator& comm,
+                                  std::uint32_t commandId,
+                                  steer::RejectReason reason,
+                                  steer::MsgType type) {
+  // Prefer the live pending entry; fall back to the bounded route history
+  // for retroactive NACKs of commands respondAck already retired.
+  auto it = pending_.find(commandId);
+  const bool live = it != pending_.end();
+  if (!live) {
+    it = routes_.find(commandId);
+    if (it == routes_.end()) return;
+  }
+  const Pending& route = it->second;
+  for (std::size_t i = 0; i < route.originalIds.size(); ++i) {
+    steer::Reject reject;
+    reject.type = type;
+    reject.commandId = route.originalIds[i];
+    reject.reason = reason;
+    sendTo(comm, clients_[static_cast<std::size_t>(route.clients[i])],
+           steer::encodeReject(reject), 6);
+  }
+  if (live) pending_.erase(it);
   publishMetrics();
 }
 

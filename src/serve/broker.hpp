@@ -148,6 +148,13 @@ class SessionBroker {
                          const steer::ObservableReport& report);
   void respondTelemetry(comm::Communicator& comm, std::uint32_t commandId,
                         const telemetry::StepReport& report);
+  /// Typed NACK routed to the *issuing* client only. With the default
+  /// kReject type it consumes the pending entry (the command will not be
+  /// acked); with kRejectedAfterRollback it also reaches commands already
+  /// acked and erased, via a bounded forwarding-route history.
+  void respondReject(comm::Communicator& comm, std::uint32_t commandId,
+                     steer::RejectReason reason,
+                     steer::MsgType type = steer::MsgType::kReject);
 
   /// Close every client outbox (clients drain queued frames, then EOF).
   void closeAll();
@@ -228,6 +235,12 @@ class SessionBroker {
   BrokerConfig config_;
   std::vector<Client> clients_;
   std::map<std::uint32_t, Pending> pending_;
+  /// Forwarding routes of recently relayed (non-tick) commands, kept after
+  /// respondAck erases the pending entry so a sentinel rollback can NACK a
+  /// command retroactively (kRejectedAfterRollback). Bounded FIFO.
+  std::map<std::uint32_t, Pending> routes_;
+  std::vector<std::uint32_t> routeOrder_;
+  static constexpr std::size_t kRouteHistory = 128;
   std::uint32_t nextBrokerId_ = 1u << 20;  ///< clear of client-issued ids
   std::uint64_t lastHeartbeatStep_ = ~std::uint64_t{0};
 

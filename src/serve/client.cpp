@@ -177,6 +177,13 @@ ServeClient::Event ServeClient::decode(
       event.ackId = r.get<std::uint32_t>();
       break;
     }
+    case steer::MsgType::kReject:
+    case steer::MsgType::kRejectedAfterRollback: {
+      const auto reject = steer::decodeReject(frame);
+      event.rejectId = reject.commandId;
+      event.rejectReason = reject.reason;
+      break;
+    }
     default:
       HEMO_CHECK_MSG(false, "unexpected serve frame type");
   }

@@ -79,6 +79,10 @@ class ServeClient {
     steer::ObservableReport observable;   ///< kObservable
     telemetry::StepReport telemetry;      ///< kTelemetry
     std::uint32_t ackId = 0;              ///< kAck
+    /// kReject / kRejectedAfterRollback: the refused command's id (as the
+    /// client issued it) and the reason.
+    std::uint32_t rejectId = 0;
+    steer::RejectReason rejectReason = steer::RejectReason::kNone;
     std::uint64_t wireBytes = 0;          ///< frame size on the wire
   };
 

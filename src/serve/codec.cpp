@@ -58,6 +58,9 @@ void putDeltaVarint(io::Writer& w, const std::vector<std::uint64_t>& values) {
 
 std::vector<std::uint64_t> getDeltaVarint(io::Reader& r) {
   const std::uint64_t n = getVarint(r);
+  // Each encoded value is at least one byte, so an adversarial count must
+  // be rejected *before* the reserve allocates it.
+  HEMO_CHECK_MSG(n <= r.remaining(), "delta-varint count exceeds payload");
   std::vector<std::uint64_t> values;
   values.reserve(static_cast<std::size_t>(n));
   std::uint64_t prev = 0;
@@ -87,10 +90,13 @@ std::vector<float> getFloatColumn(io::Reader& r) {
   const auto mode = r.get<std::uint8_t>();
   const std::uint64_t n = getVarint(r);
   if (mode == 1) {
+    HEMO_CHECK_MSG(n <= r.remaining(), "float column exceeds payload");
     std::vector<std::byte> coded(static_cast<std::size_t>(n));
     r.getRaw(coded.data(), coded.size());
     return quantFloatDecode(coded);
   }
+  HEMO_CHECK_MSG(n <= r.remaining() / sizeof(float),
+                 "float column exceeds payload");
   std::vector<float> values(static_cast<std::size_t>(n));
   r.getRaw(values.data(), values.size() * sizeof(float));
   return values;
@@ -115,6 +121,10 @@ std::vector<std::byte> rleEncode(const std::uint8_t* data, std::size_t n) {
 std::vector<std::uint8_t> rleDecode(const std::vector<std::byte>& coded) {
   io::Reader r(coded);
   const std::uint64_t n = getVarint(r);
+  // Every 2-byte (run, value) pair expands to at most 256 output bytes;
+  // division form avoids overflow on adversarial counts, and bounds the
+  // reserve before it allocates.
+  HEMO_CHECK_MSG(n / 256 <= coded.size(), "rle count exceeds payload");
   std::vector<std::uint8_t> out;
   out.reserve(static_cast<std::size_t>(n));
   while (out.size() < n) {
@@ -161,6 +171,7 @@ std::vector<float> quantFloatDecode(const std::vector<std::byte>& coded) {
   io::Reader r(coded);
   const double pitch = r.get<double>();
   const std::uint64_t n = getVarint(r);
+  HEMO_CHECK_MSG(n <= r.remaining(), "quant-float count exceeds payload");
   std::vector<float> values;
   values.reserve(static_cast<std::size_t>(n));
   std::int64_t q = 0;
@@ -203,6 +214,7 @@ steer::ImageFrame decodeImagePayload(const std::vector<std::byte>& bytes) {
   frame.width = r.get<std::int32_t>();
   frame.height = r.get<std::int32_t>();
   const auto codedSize = r.get<std::uint64_t>();
+  HEMO_CHECK_MSG(codedSize <= r.remaining(), "coded image exceeds payload");
   std::vector<std::byte> coded(static_cast<std::size_t>(codedSize));
   r.getRaw(coded.data(), coded.size());
   HEMO_CHECK(r.atEnd());
@@ -269,6 +281,24 @@ steer::RoiData decodeRoiPayload(const std::vector<std::byte>& bytes) {
   HEMO_CHECK(r.atEnd());
   roi.nodes = multires::mergeColumns(cols);
   return roi;
+}
+
+std::optional<steer::ImageFrame> tryDecodeImagePayload(
+    const std::vector<std::byte>& bytes) {
+  try {
+    return decodeImagePayload(bytes);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<steer::RoiData> tryDecodeRoiPayload(
+    const std::vector<std::byte>& bytes) {
+  try {
+    return decodeRoiPayload(bytes);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace hemo::serve

@@ -91,4 +91,11 @@ std::vector<std::byte> encodeRoiPayload(const steer::RoiData& roi,
 /// Decode either a kRoiData or a kCodedRoi wire frame.
 steer::RoiData decodeRoiPayload(const std::vector<std::byte>& bytes);
 
+/// Non-throwing decode variants for untrusted input: nullopt instead of
+/// CheckError on truncated / oversized / malformed frames.
+std::optional<steer::ImageFrame> tryDecodeImagePayload(
+    const std::vector<std::byte>& bytes);
+std::optional<steer::RoiData> tryDecodeRoiPayload(
+    const std::vector<std::byte>& bytes);
+
 }  // namespace hemo::serve

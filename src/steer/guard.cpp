@@ -1,0 +1,78 @@
+#include "steer/guard.hpp"
+
+#include <cmath>
+
+namespace hemo::steer {
+
+namespace {
+
+bool finite(double v) { return std::isfinite(v); }
+bool finite(const Vec3d& v) {
+  return finite(v.x) && finite(v.y) && finite(v.z);
+}
+
+/// Empty boxes are always allowed: they mean "clear the clip" (kSetRenderClip)
+/// or "whole domain" (kRequestObservable). A deliberately non-empty box that
+/// misses the lattice entirely is a client bug worth refusing loudly.
+RejectReason validateRoi(const BoxI& roi, const GuardContext& ctx) {
+  if (roi.isEmpty()) return RejectReason::kNone;
+  if (roi.intersect(ctx.lattice).isEmpty()) {
+    return RejectReason::kRoiOutsideLattice;
+  }
+  return RejectReason::kNone;
+}
+
+}  // namespace
+
+double minStableTau(double machCeiling) {
+  return 0.5 + 1.5 * machCeiling * machCeiling;
+}
+
+RejectReason validateCommand(const Command& cmd, const GuardConfig& cfg,
+                             const GuardContext& ctx) {
+  if (!cfg.enabled) return RejectReason::kNone;
+  switch (cmd.type) {
+    case MsgType::kSetTau:
+      if (!finite(cmd.value)) return RejectReason::kNonFinite;
+      if (cmd.value < minStableTau(cfg.machCeiling) || cmd.value > cfg.maxTau) {
+        return RejectReason::kTauUnstable;
+      }
+      return RejectReason::kNone;
+    case MsgType::kSetBodyForce:
+      if (!finite(cmd.force)) return RejectReason::kNonFinite;
+      if (std::abs(cmd.force.x) > cfg.maxBodyForce ||
+          std::abs(cmd.force.y) > cfg.maxBodyForce ||
+          std::abs(cmd.force.z) > cfg.maxBodyForce) {
+        return RejectReason::kValueOutOfRange;
+      }
+      return RejectReason::kNone;
+    case MsgType::kSetIoletDensity:
+      if (cmd.ioletId < 0 ||
+          static_cast<std::size_t>(cmd.ioletId) >= ctx.numIolets) {
+        return RejectReason::kIoletOutOfRange;
+      }
+      if (!finite(cmd.value)) return RejectReason::kNonFinite;
+      if (cmd.value < cfg.minIoletDensity || cmd.value > cfg.maxIoletDensity) {
+        return RejectReason::kValueOutOfRange;
+      }
+      return RejectReason::kNone;
+    case MsgType::kSetIoletVelocity:
+      if (cmd.ioletId < 0 ||
+          static_cast<std::size_t>(cmd.ioletId) >= ctx.numIolets) {
+        return RejectReason::kIoletOutOfRange;
+      }
+      if (!finite(cmd.force)) return RejectReason::kNonFinite;
+      if (cmd.force.norm() > cfg.maxIoletSpeed) {
+        return RejectReason::kValueOutOfRange;
+      }
+      return RejectReason::kNone;
+    case MsgType::kSetRoi:
+    case MsgType::kSetRenderClip:
+    case MsgType::kRequestObservable:
+      return validateRoi(cmd.roi, ctx);
+    default:
+      return RejectReason::kNone;
+  }
+}
+
+}  // namespace hemo::steer

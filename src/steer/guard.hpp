@@ -1,0 +1,58 @@
+#pragma once
+/// \file guard.hpp
+/// \brief Validation gate for state-mutating steering commands (§IV.C.3).
+///
+/// The paper requires the master to run "consistency and validity checks"
+/// before client-supplied parameters reach the solver. This is the validity
+/// half: a pure, deterministic predicate over a Command that every rank can
+/// evaluate identically after the broadcast, so either all ranks apply a
+/// command or none do. Rejected commands never touch solver state; the
+/// issuing client gets a typed kReject with the reason.
+
+#include <cstddef>
+
+#include "steer/protocol.hpp"
+#include "util/bbox.hpp"
+
+namespace hemo::steer {
+
+/// Bounds the guard enforces. Defaults are permissive enough for every
+/// documented workload (tau 0.8/0.9, iolet density ~1.0, forces ~1e-3)
+/// while refusing the classic run-killers (tau <= stability bound, NaN
+/// anything, out-of-domain ROI).
+struct GuardConfig {
+  bool enabled = true;
+  /// Mach ceiling the run is expected to respect (lattice speed over cs).
+  /// Sets the minimum stable tau via minStableTau().
+  double machCeiling = 0.3;
+  double maxTau = 10.0;
+  double maxBodyForce = 0.1;      ///< per-component magnitude bound
+  double minIoletDensity = 0.5;
+  double maxIoletDensity = 2.0;
+  double maxIoletSpeed = 0.3;     ///< lattice units
+};
+
+/// Minimum relaxation time considered stable at a given Mach ceiling.
+///
+/// BGK stability heuristic: the scheme needs viscosity nu = cs^2 (tau - 1/2)
+/// of at least u_max^2 / 2 to damp grid-scale modes at velocity u_max
+/// (= machCeiling * cs, cs^2 = 1/3). Substituting gives
+///   tau_min = 1/2 + 3/2 * mach^2
+/// e.g. 0.635 at the default 0.3 ceiling — comfortably below the tau 0.8
+/// used throughout the examples.
+double minStableTau(double machCeiling);
+
+/// Lattice facts the ROI / iolet checks need; cheap to rebuild per command.
+struct GuardContext {
+  std::size_t numIolets = 0;
+  BoxI lattice;  ///< [0, dims) in voxel coordinates (ROI boxes use the same
+                 ///< frame at every octree level; the driver clamps roiLevel)
+};
+
+/// Validate a decoded command. kNone means "apply it"; anything else names
+/// the first violated bound. Pure function of its arguments — safe to call
+/// on every rank with the broadcast command.
+RejectReason validateCommand(const Command& cmd, const GuardConfig& cfg,
+                             const GuardContext& ctx);
+
+}  // namespace hemo::steer

@@ -105,6 +105,7 @@ std::vector<std::byte> encodeStatus(const StatusReport& s) {
   w.put<double>(s.etaSeconds);
   w.put<std::uint8_t>(s.consistencyOk);
   w.put<std::uint8_t>(s.paused);
+  w.put<std::uint64_t>(s.consistencyStep);
   return w.take();
 }
 
@@ -121,8 +122,28 @@ StatusReport decodeStatus(const std::vector<std::byte>& frame) {
   s.etaSeconds = r.get<double>();
   s.consistencyOk = r.get<std::uint8_t>();
   s.paused = r.get<std::uint8_t>();
+  // Wire back-compat: pre-consistencyStep frames end here; treat the
+  // verdict as fresh (computed at the reported step).
+  s.consistencyStep =
+      r.remaining() >= sizeof(std::uint64_t) ? r.get<std::uint64_t>() : s.step;
   HEMO_CHECK(r.atEnd());
   return s;
+}
+
+std::optional<Command> tryDecodeCommand(const std::vector<std::byte>& frame) {
+  try {
+    return decodeCommand(frame);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<StatusReport> tryDecodeStatus(const std::vector<std::byte>& frame) {
+  try {
+    return decodeStatus(frame);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
 }
 
 std::vector<std::byte> encodeImage(const ImageFrame& f) {
@@ -258,6 +279,40 @@ std::vector<std::byte> encodeSeqFrame(MsgType type, std::uint64_t seq) {
   return w.take();
 }
 }  // namespace
+
+const char* rejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kTauUnstable: return "tau-unstable";
+    case RejectReason::kNonFinite: return "non-finite";
+    case RejectReason::kValueOutOfRange: return "value-out-of-range";
+    case RejectReason::kIoletOutOfRange: return "iolet-out-of-range";
+    case RejectReason::kRoiOutsideLattice: return "roi-outside-lattice";
+    case RejectReason::kDivergence: return "divergence";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encodeReject(const Reject& reject) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(reject.type));
+  w.put<std::uint32_t>(reject.commandId);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(reject.reason));
+  return w.take();
+}
+
+Reject decodeReject(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  Reject reject;
+  reject.type = static_cast<MsgType>(r.get<std::uint8_t>());
+  HEMO_CHECK_MSG(reject.type == MsgType::kReject ||
+                     reject.type == MsgType::kRejectedAfterRollback,
+                 "not a reject frame");
+  reject.commandId = r.get<std::uint32_t>();
+  reject.reason = static_cast<RejectReason>(r.get<std::uint8_t>());
+  HEMO_CHECK(r.atEnd());
+  return reject;
+}
 
 std::vector<std::byte> encodeHeartbeat(std::uint64_t seq) {
   return encodeSeqFrame(MsgType::kHeartbeat, seq);

@@ -12,6 +12,7 @@
 /// and multiresolution ROI node data.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "multires/octree.hpp"
@@ -55,6 +56,30 @@ enum class MsgType : std::uint8_t {
   kCodedImage,  ///< codec-compressed ImageFrame (serve wire layer)
   kCodedRoi,    ///< codec-compressed RoiData (serve wire layer)
   kHeartbeat,   ///< broker liveness probe; clients must echo the sequence
+  kReject,      ///< typed NACK: command failed validation, state untouched
+  kRejectedAfterRollback,  ///< retroactive NACK: command quarantined after a
+                           ///< sentinel-triggered checkpoint rollback
+};
+
+/// Why a steering command was refused (carried in a kReject /
+/// kRejectedAfterRollback frame).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kTauUnstable,       ///< tau below the stability bound or above the ceiling
+  kNonFinite,         ///< NaN / inf in a value, force or velocity
+  kValueOutOfRange,   ///< finite but outside the configured safe range
+  kIoletOutOfRange,   ///< iolet id does not exist in the lattice
+  kRoiOutsideLattice, ///< non-empty ROI with no overlap with the domain
+  kDivergence,        ///< quarantined after a sentinel rollback
+};
+
+const char* rejectReasonName(RejectReason reason);
+
+/// Typed NACK answering a refused command.
+struct Reject {
+  MsgType type = MsgType::kReject;  ///< kReject or kRejectedAfterRollback
+  std::uint32_t commandId = 0;
+  RejectReason reason = RejectReason::kNone;
 };
 
 /// Hydrodynamic observables computable over a user-defined subset of the
@@ -106,6 +131,11 @@ struct StatusReport {
   double etaSeconds = 0.0;      ///< estimate to finish the requested steps
   std::uint8_t consistencyOk = 1;  ///< mass drift + stability checks
   std::uint8_t paused = 0;
+  /// Step at which `consistencyOk` was actually computed. Status windows
+  /// can lag the consistency window, so a verdict without its provenance
+  /// step is ambiguous. Decoders of pre-field frames default this to
+  /// `step` (wire back-compat).
+  std::uint64_t consistencyStep = 0;
 };
 
 struct ImageFrame {
@@ -128,6 +158,14 @@ Command decodeCommand(const std::vector<std::byte>& frame);
 
 std::vector<std::byte> encodeStatus(const StatusReport& status);
 StatusReport decodeStatus(const std::vector<std::byte>& frame);
+
+/// Non-throwing decode variants for untrusted input: nullopt instead of
+/// CheckError on truncated / oversized / malformed frames.
+std::optional<Command> tryDecodeCommand(const std::vector<std::byte>& frame);
+std::optional<StatusReport> tryDecodeStatus(const std::vector<std::byte>& frame);
+
+std::vector<std::byte> encodeReject(const Reject& reject);
+Reject decodeReject(const std::vector<std::byte>& frame);
 
 std::vector<std::byte> encodeImage(const ImageFrame& frame);
 ImageFrame decodeImage(const std::vector<std::byte>& bytes);

@@ -99,6 +99,13 @@ void SteeringServer::sendAck(comm::Communicator& comm,
   }
 }
 
+void SteeringServer::sendReject(comm::Communicator& comm,
+                                const Reject& reject) {
+  if (comm.rank() == 0 && channel_.valid()) {
+    channel_.send(encodeReject(reject));
+  }
+}
+
 // --- SteeringClient -------------------------------------------------------------
 
 std::uint32_t SteeringClient::send(Command cmd) {
@@ -109,10 +116,17 @@ std::uint32_t SteeringClient::send(Command cmd) {
   return cmd.commandId;
 }
 
-std::optional<std::vector<std::byte>> SteeringClient::nextOfType(
-    MsgType type) {
+std::optional<std::vector<std::byte>> SteeringClient::nextOfAny(
+    std::initializer_list<MsgType> types) {
+  const auto wanted = [&](const std::vector<std::byte>& frame) {
+    const MsgType t = frameType(frame);
+    for (const MsgType w : types) {
+      if (t == w) return true;
+    }
+    return false;
+  };
   for (std::size_t i = 0; i < stash_.size(); ++i) {
-    if (frameType(stash_[i]) == type) {
+    if (wanted(stash_[i])) {
       auto frame = std::move(stash_[i]);
       stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
       return frame;
@@ -121,9 +135,14 @@ std::optional<std::vector<std::byte>> SteeringClient::nextOfType(
   for (;;) {
     auto frame = channel_.recv();
     if (!frame) return std::nullopt;  // EOF
-    if (frameType(*frame) == type) return frame;
+    if (wanted(*frame)) return frame;
     stash_.push_back(std::move(*frame));
   }
+}
+
+std::optional<std::vector<std::byte>> SteeringClient::nextOfType(
+    MsgType type) {
+  return nextOfAny({type});
 }
 
 std::optional<StatusReport> SteeringClient::awaitStatus() {
@@ -169,6 +188,15 @@ std::optional<std::uint32_t> SteeringClient::awaitAck() {
     inFlight_.erase(it);
   }
   return commandId;
+}
+
+std::optional<Reject> SteeringClient::awaitReject() {
+  const auto frame =
+      nextOfAny({MsgType::kReject, MsgType::kRejectedAfterRollback});
+  if (!frame) return std::nullopt;
+  const Reject reject = decodeReject(*frame);
+  inFlight_.erase(reject.commandId);
+  return reject;
 }
 
 }  // namespace hemo::steer

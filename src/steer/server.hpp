@@ -48,6 +48,7 @@ class SteeringServer {
   void sendTelemetry(comm::Communicator& comm,
                      const telemetry::StepReport& report);
   void sendAck(comm::Communicator& comm, std::uint32_t commandId);
+  void sendReject(comm::Communicator& comm, const Reject& reject);
 
   /// Rank 0 only: frames/bytes pushed to the client so far.
   std::uint64_t framesSent() const {
@@ -75,6 +76,8 @@ class SteeringClient {
   std::optional<ObservableReport> awaitObservable();
   std::optional<telemetry::StepReport> awaitTelemetry();
   std::optional<std::uint32_t> awaitAck();
+  /// Next kReject or kRejectedAfterRollback frame (either type).
+  std::optional<Reject> awaitReject();
 
   /// Command → ack round-trip latency (seconds) of every awaitAck() whose
   /// command id was issued by this client.
@@ -88,6 +91,8 @@ class SteeringClient {
   using clock = std::chrono::steady_clock;
 
   std::optional<std::vector<std::byte>> nextOfType(MsgType type);
+  std::optional<std::vector<std::byte>> nextOfAny(
+      std::initializer_list<MsgType> types);
 
   comm::ChannelEnd channel_;
   std::vector<std::vector<std::byte>> stash_;

@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <set>
 
 #include "comm/runtime.hpp"
+#include "util/check.hpp"
 #include "util/stats.hpp"
 #include "geometry/parallel_reader.hpp"
 #include "geometry/sgmy.hpp"
@@ -272,6 +277,165 @@ TEST(BlockAssignment, CoversAllAndIsBalanced) {
     for (double l : load) EXPECT_GT(l, 0.0);
     // Block granularity bounds the imbalance loosely.
     EXPECT_LT(hemo::imbalanceFactor(load), 2.0);
+  }
+  std::remove(path.c_str());
+}
+
+// --- malformed-input hardening ---------------------------------------------
+
+namespace malformed {
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes a small valid .sgmy and returns its bytes for corruption.
+std::vector<char> validFixture(const std::string& path) {
+  VoxelizeOptions opt;
+  opt.voxelSize = 0.3;
+  const auto lat = voxelize(makeStraightTube(4.0, 1.0), opt);
+  EXPECT_TRUE(writeSgmy(path, lat));
+  return slurp(path);
+}
+
+/// File offset of the block-table count (magic 4 + version 4 + dims 12 +
+/// blockSize 4 + voxelSize 8 + origin 24 + ioletCount 4 + 74 per iolet).
+std::size_t blockCountOffset(const std::string& path) {
+  SgmyHeader h;
+  EXPECT_EQ(static_cast<int>(tryReadSgmyHeader(path, &h)),
+            static_cast<int>(GeoStatus::kOk));
+  return 60 + 74 * h.iolets.size();
+}
+
+}  // namespace malformed
+
+TEST(SgmyHardening, MissingFileIsOpenFailed) {
+  SgmyHeader h;
+  std::string detail;
+  EXPECT_EQ(static_cast<int>(tryReadSgmyHeader(
+                "/tmp/hemo_no_such_file_ever.sgmy", &h, &detail)),
+            static_cast<int>(GeoStatus::kOpenFailed));
+  EXPECT_FALSE(detail.empty());
+}
+
+TEST(SgmyHardening, CorruptMagicIsBadMagic) {
+  const std::string path = "/tmp/hemo_test_badmagic.sgmy";
+  auto bytes = malformed::validFixture(path);
+  bytes[0] = 'X';
+  malformed::spit(path, bytes);
+  SgmyHeader h;
+  EXPECT_EQ(static_cast<int>(tryReadSgmyHeader(path, &h)),
+            static_cast<int>(GeoStatus::kBadMagic));
+  std::remove(path.c_str());
+}
+
+TEST(SgmyHardening, UnknownVersionIsBadVersion) {
+  const std::string path = "/tmp/hemo_test_badversion.sgmy";
+  auto bytes = malformed::validFixture(path);
+  const std::uint32_t v = 999;
+  std::memcpy(bytes.data() + 4, &v, sizeof(v));
+  malformed::spit(path, bytes);
+  SgmyHeader h;
+  EXPECT_EQ(static_cast<int>(tryReadSgmyHeader(path, &h)),
+            static_cast<int>(GeoStatus::kBadVersion));
+  std::remove(path.c_str());
+}
+
+TEST(SgmyHardening, TruncationAnywhereInTheHeaderIsTyped) {
+  const std::string path = "/tmp/hemo_test_trunc.sgmy";
+  const auto bytes = malformed::validFixture(path);
+  const auto tableEnd = malformed::blockCountOffset(path) + 8;
+  // Every prefix that ends inside the fixed header or the tables must map
+  // to a typed status, never an abort or a bogus kOk.
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                        std::size_t{30}, std::size_t{59}, tableEnd - 1,
+                        tableEnd + 5}) {
+    malformed::spit(path,
+                    std::vector<char>(bytes.begin(), bytes.begin() + n));
+    SgmyHeader h;
+    const auto status = tryReadSgmyHeader(path, &h);
+    EXPECT_NE(static_cast<int>(status), static_cast<int>(GeoStatus::kOk))
+        << "prefix " << n;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SgmyHardening, HugeBlockCountIsTruncatedNotAllocated) {
+  const std::string path = "/tmp/hemo_test_hugecount.sgmy";
+  auto bytes = malformed::validFixture(path);
+  const auto off = malformed::blockCountOffset(path);
+  // A count whose table could never fit in the file must be refused
+  // *before* any reserve — an OOM here would be a remote-triggered crash.
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max() / 4;
+  std::memcpy(bytes.data() + off, &huge, sizeof(huge));
+  malformed::spit(path, bytes);
+  SgmyHeader h;
+  EXPECT_EQ(static_cast<int>(tryReadSgmyHeader(path, &h)),
+            static_cast<int>(GeoStatus::kTruncated));
+  std::remove(path.c_str());
+}
+
+TEST(SgmyHardening, PayloadBytesBeyondFileIsInconsistent) {
+  const std::string path = "/tmp/hemo_test_badpayload.sgmy";
+  auto bytes = malformed::validFixture(path);
+  // First table entry: blockLinear u64, fluidCount u32, then payloadOffset
+  // u64 and payloadBytes u64 — point the size past the end of the file.
+  const auto entry = malformed::blockCountOffset(path) + 8;
+  const std::uint64_t bogus = 1u << 30;
+  std::memcpy(bytes.data() + entry + 8 + 4 + 8, &bogus, sizeof(bogus));
+  malformed::spit(path, bytes);
+  SgmyHeader h;
+  std::string detail;
+  EXPECT_EQ(static_cast<int>(tryReadSgmyHeader(path, &h, &detail)),
+            static_cast<int>(GeoStatus::kInconsistent));
+  std::remove(path.c_str());
+}
+
+TEST(SgmyHardening, ThrowingReaderReportsTheTypedStatus) {
+  const std::string path = "/tmp/hemo_test_throwmsg.sgmy";
+  auto bytes = malformed::validFixture(path);
+  bytes[0] = '?';
+  malformed::spit(path, bytes);
+  try {
+    (void)readSgmyHeader(path);
+    FAIL() << "expected CheckError";
+  } catch (const hemo::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad-magic"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SgmyHardening, DistributedReadFailsIdenticallyOnEveryRank) {
+  const std::string path = "/tmp/hemo_test_distfail.sgmy";
+  auto bytes = malformed::validFixture(path);
+  bytes.resize(40);  // ends inside the fixed header
+  malformed::spit(path, bytes);
+
+  constexpr int kRanks = 3;
+  std::vector<GeoStatus> status(kRanks, GeoStatus::kOk);
+  std::vector<std::string> detail(kRanks);
+  comm::Runtime rt(kRanks);
+  rt.run([&](comm::Communicator& comm) {
+    // Only rank 0 touches the file; the typed status must still arrive on
+    // every rank (no rank left stranded in a collective by a rank-0 throw).
+    const auto res = tryReadSgmyDistributed(comm, path, 2);
+    status[static_cast<std::size_t>(comm.rank())] = res.status;
+    detail[static_cast<std::size_t>(comm.rank())] = res.statusDetail;
+    EXPECT_FALSE(res.ok());
+    EXPECT_TRUE(res.ownedSites.empty());
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(static_cast<int>(status[static_cast<std::size_t>(r)]),
+              static_cast<int>(GeoStatus::kTruncated))
+        << "rank " << r;
+    EXPECT_EQ(detail[static_cast<std::size_t>(r)], detail[0]);
   }
   std::remove(path.c_str());
 }

@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <thread>
 
 #include "comm/runtime.hpp"
 #include "core/driver.hpp"
@@ -23,6 +26,7 @@
 #include "partition/partitioners.hpp"
 #include "serve/broker.hpp"
 #include "serve/client.hpp"
+#include "steer/server.hpp"
 #include "util/faultinject.hpp"
 
 namespace hemo {
@@ -642,6 +646,249 @@ TEST(DriverRecovery, CheckpointEveryWritesAndPrunes) {
     EXPECT_NE(entry.path().extension(), ".tmp");
   }
   std::filesystem::remove_all(dir);
+}
+
+// --- guarded steering + stability sentinel ----------------------------------
+
+/// Gather this rank's macroscopic fields into global arrays for exact
+/// (bit-identical) cross-run comparison.
+void collectMacro(const lb::DomainMap& domain, const lb::SolverD3Q19& solver,
+                  std::vector<double>& rho, std::vector<Vec3d>& u) {
+  for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+    const auto g = static_cast<std::size_t>(domain.globalOf(l));
+    rho[g] = solver.macro().rho[l];
+    u[g] = solver.macro().u[l];
+  }
+}
+
+TEST(Guard, RejectedCommandsNeverTouchSolverState) {
+  const auto lat = tubeLattice();
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  steer::SteeringClient client(clientEnd);
+  // Every classic run-killer, pre-queued so the driver sees them on its
+  // first poll. Each must be refused with its own reason, in order.
+  struct BadCommand {
+    steer::Command cmd;
+    steer::RejectReason want;
+  };
+  std::vector<BadCommand> bad;
+  {
+    steer::Command c;
+    c.type = steer::MsgType::kSetTau;
+    c.value = 0.2;  // below the stability bound
+    bad.push_back({c, steer::RejectReason::kTauUnstable});
+    c.value = std::numeric_limits<double>::quiet_NaN();
+    bad.push_back({c, steer::RejectReason::kNonFinite});
+    c = {};
+    c.type = steer::MsgType::kSetBodyForce;
+    c.force = {std::numeric_limits<double>::infinity(), 0, 0};
+    bad.push_back({c, steer::RejectReason::kNonFinite});
+    c = {};
+    c.type = steer::MsgType::kSetIoletDensity;
+    c.ioletId = 99;
+    c.value = 1.0;
+    bad.push_back({c, steer::RejectReason::kIoletOutOfRange});
+    c.ioletId = 0;
+    c.value = -5.0;
+    bad.push_back({c, steer::RejectReason::kValueOutOfRange});
+    c = {};
+    c.type = steer::MsgType::kSetRoi;
+    c.roi = {{1000, 1000, 1000}, {1010, 1010, 1010}};  // fully outside
+    bad.push_back({c, steer::RejectReason::kRoiOutsideLattice});
+  }
+  std::vector<std::uint32_t> sentIds;
+  for (const auto& b : bad) sentIds.push_back(client.send(b.cmd));
+
+  std::vector<double> steeredRho(lat.numFluidSites());
+  std::vector<Vec3d> steeredU(lat.numFluidSites());
+  {
+    comm::Runtime rt(2);
+    rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part, comm.rank());
+      core::SimulationDriver driver(
+          domain, comm, plainDriverConfig(),
+          comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+      EXPECT_EQ(driver.run(30), 30);
+      collectMacro(domain, driver.solver(), steeredRho, steeredU);
+    });
+  }
+
+  // Every command was answered with its typed NACK, in order.
+  for (std::size_t i = 0; i < bad.size(); ++i) {
+    const auto rej = client.awaitReject();
+    ASSERT_TRUE(rej.has_value()) << "command " << i;
+    EXPECT_EQ(static_cast<int>(rej->type),
+              static_cast<int>(steer::MsgType::kReject));
+    EXPECT_EQ(rej->commandId, sentIds[i]);
+    EXPECT_EQ(static_cast<int>(rej->reason), static_cast<int>(bad[i].want))
+        << steer::rejectReasonName(bad[i].want);
+  }
+
+  // Reference: the identical run with no steering attached at all.
+  std::vector<double> cleanRho(lat.numFluidSites());
+  std::vector<Vec3d> cleanU(lat.numFluidSites());
+  {
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part, comm.rank());
+      core::SimulationDriver driver(domain, comm, plainDriverConfig());
+      EXPECT_EQ(driver.run(30), 30);
+      collectMacro(domain, driver.solver(), cleanRho, cleanU);
+    });
+  }
+
+  // Rejected commands provably never mutated solver state: the fields are
+  // bit-identical, not just close.
+  for (std::size_t g = 0; g < cleanRho.size(); ++g) {
+    ASSERT_EQ(steeredRho[g], cleanRho[g]) << "site " << g;
+    ASSERT_EQ(steeredU[g].x, cleanU[g].x) << "site " << g;
+    ASSERT_EQ(steeredU[g].y, cleanU[g].y) << "site " << g;
+    ASSERT_EQ(steeredU[g].z, cleanU[g].z) << "site " << g;
+  }
+}
+
+TEST(Sentinel, OffAndOnAreBitIdentical) {
+  // The sentinel is a pure observer: enabling it must not perturb the
+  // trajectory by a single bit (its reductions run out-of-band).
+  const auto lat = tubeLattice();
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+
+  auto runWith = [&](int checkEvery, std::vector<double>& rho,
+                     std::vector<Vec3d>& u) {
+    auto cfg = plainDriverConfig();
+    cfg.sentinel.checkEvery = checkEvery;
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part, comm.rank());
+      core::SimulationDriver driver(domain, comm, cfg);
+      EXPECT_EQ(driver.run(20), 20);
+      EXPECT_EQ(driver.rollbacksDone(), 0);
+      collectMacro(domain, driver.solver(), rho, u);
+    });
+  };
+  std::vector<double> offRho(lat.numFluidSites()), onRho(lat.numFluidSites());
+  std::vector<Vec3d> offU(lat.numFluidSites()), onU(lat.numFluidSites());
+  runWith(0, offRho, offU);
+  runWith(5, onRho, onU);
+  for (std::size_t g = 0; g < offRho.size(); ++g) {
+    ASSERT_EQ(offRho[g], onRho[g]) << "site " << g;
+    ASSERT_EQ(offU[g].x, onU[g].x) << "site " << g;
+    ASSERT_EQ(offU[g].y, onU[g].y) << "site " << g;
+    ASSERT_EQ(offU[g].z, onU[g].z) << "site " << g;
+  }
+}
+
+TEST(Sentinel, DivergenceTriggersRollbackAndQuarantine) {
+  const auto lat = tubeLattice();
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+  const std::string dir = "/tmp/hemo_test_sentinel_rollback";
+  std::filesystem::remove_all(dir);
+
+  auto cfg = plainDriverConfig();
+  cfg.lb.bodyForce = {5e-3, 0, 0};  // keeps accelerating a low-tau run
+  cfg.statusEvery = 10;
+  cfg.checkpointEvery = 10;
+  cfg.checkpointDir = dir;
+  cfg.checkpointKeep = 8;
+  cfg.sentinel.checkEvery = 5;
+  cfg.sentinel.maxSpeed = 0.3;
+  cfg.sentinel.maxRollbacks = 3;
+  // The injected tau (0.502) is exactly what the stage-1 guard exists to
+  // refuse — disable it so the stage-2 sentinel has something to catch.
+  cfg.guard.enabled = false;
+
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  std::uint32_t badId = 0;
+  std::optional<steer::Reject> nack;
+  std::thread user([clientEnd = clientEnd, &badId, &nack]() mutable {
+    steer::SteeringClient client(clientEnd);
+    // Wait for the first status: by then the step-10 checkpoint exists.
+    const auto status = client.awaitStatus();
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->consistencyStep, status->step);
+    steer::Command c;
+    c.type = steer::MsgType::kSetTau;
+    c.value = 0.502;  // near-zero viscosity: diverges under the body force
+    badId = client.send(c);
+    // The sentinel must eventually quarantine it retroactively.
+    nack = client.awaitReject();
+  });
+
+  comm::Runtime rt(2);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, comm.rank());
+    core::SimulationDriver driver(
+        domain, comm, cfg, comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    const int executed = driver.run(200);
+    // Divergence was caught and rolled back — the run finished all its
+    // steps instead of aborting or terminating early.
+    EXPECT_EQ(executed, 200);
+    EXPECT_FALSE(driver.terminated());
+    EXPECT_GE(driver.rollbacksDone(), 1);
+    // The quarantine reverted the poisoned parameter...
+    EXPECT_DOUBLE_EQ(driver.solver().params().tau, 0.8);
+    // ...and the final state is finite everywhere.
+    for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+      ASSERT_TRUE(std::isfinite(driver.solver().macro().rho[l]));
+      ASSERT_TRUE(std::isfinite(driver.solver().macro().u[l].norm()));
+    }
+  });
+  user.join();
+
+  ASSERT_TRUE(nack.has_value());
+  EXPECT_EQ(static_cast<int>(nack->type),
+            static_cast<int>(steer::MsgType::kRejectedAfterRollback));
+  EXPECT_EQ(nack->commandId, badId);
+  EXPECT_EQ(static_cast<int>(nack->reason),
+            static_cast<int>(steer::RejectReason::kDivergence));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Sentinel, ExhaustedRetriesProduceDiagnosticDumpNotAbort) {
+  const auto lat = tubeLattice();
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+  const std::string dump = "/tmp/hemo_test_sentinel_dump.txt";
+  std::remove(dump.c_str());
+
+  auto cfg = plainDriverConfig();
+  // A violent body force with no checkpoints to roll back to: the sentinel
+  // must degrade to the diagnostic dump and stop cleanly, never abort.
+  cfg.lb.bodyForce = {0.2, 0, 0};
+  cfg.sentinel.checkEvery = 2;
+  cfg.sentinel.dumpPath = dump;
+
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, comm.rank());
+    core::SimulationDriver driver(domain, comm, cfg);
+    const int executed = driver.run(50);
+    EXPECT_LT(executed, 50);  // stopped at the first unrecoverable window
+    EXPECT_TRUE(driver.terminated());
+    EXPECT_EQ(driver.rollbacksDone(), 0);
+    EXPECT_EQ(driver.lastStatus().consistencyOk, 0);
+  });
+
+  // The dump names the offending window, the per-rank extrema, and the
+  // recent command history — what an operator needs post mortem.
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << dump;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("offending step"), std::string::npos);
+  EXPECT_NE(text.find("per-rank extrema"), std::string::npos);
+  EXPECT_NE(text.find("rank 1"), std::string::npos);
+  EXPECT_NE(text.find("last applied steered commands"), std::string::npos);
+  std::remove(dump.c_str());
 }
 
 }  // namespace

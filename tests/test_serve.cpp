@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <random>
 #include <thread>
 
 #include "comm/runtime.hpp"
@@ -197,6 +198,94 @@ TEST(Codec, ConfigMaskRoundTripsThroughCommand) {
   EXPECT_DOUBLE_EQ(back.quantError, 5e-3);
 }
 
+TEST(Codec, OversizedCountsAreTypedErrorsNotAllocations) {
+  // An adversarial frame can claim any element count in a few bytes; every
+  // decoder must bound the count against the remaining payload before
+  // reserving memory, and fail with CheckError rather than bad_alloc/OOB.
+  steer::ImageFrame img;
+  img.width = 2;
+  img.height = 2;
+  img.rgb.assign(12, 9);
+  CodecConfig rle;
+  rle.rleImage = true;
+  auto coded = encodeImagePayload(img, rle);
+  coded.resize(coded.size() / 2);  // truncate mid-payload
+  EXPECT_THROW(decodeImagePayload(coded), CheckError);
+  EXPECT_FALSE(tryDecodeImagePayload(coded).has_value());
+
+  steer::RoiData roi;
+  roi.nodes.resize(8);
+  CodecConfig delta;
+  delta.deltaIndices = true;
+  auto codedRoi = encodeRoiPayload(roi, delta);
+  codedRoi.resize(codedRoi.size() - 3);
+  EXPECT_THROW(decodeRoiPayload(codedRoi), CheckError);
+  EXPECT_FALSE(tryDecodeRoiPayload(codedRoi).has_value());
+}
+
+TEST(Codec, FuzzedPayloadsNeverCrashTheDecoders) {
+  std::mt19937 rng(0x5E7EuL);  // seeded: failures are reproducible
+  std::uniform_int_distribution<int> byteDist(0, 255);
+  const auto tryAll = [](const std::vector<std::byte>& coded) {
+    const auto tryOne = [&](auto&& decode) {
+      try {
+        (void)decode(coded);
+      } catch (const CheckError&) {
+        // typed rejection is the accepted outcome for garbage
+      }
+    };
+    tryOne([](const auto& c) { return rleDecode(c); });
+    tryOne([](const auto& c) { return deltaVarintDecode(c); });
+    tryOne([](const auto& c) { return quantFloatDecode(c); });
+    tryOne([](const auto& c) { return decodeImagePayload(c); });
+    tryOne([](const auto& c) { return decodeRoiPayload(c); });
+    (void)tryDecodeImagePayload(coded);
+    (void)tryDecodeRoiPayload(coded);
+  };
+
+  // Mutations of valid coded frames keep most structure intact, reaching
+  // the deep decode paths.
+  steer::ImageFrame img;
+  img.width = 4;
+  img.height = 4;
+  img.rgb.assign(48, 20);
+  steer::RoiData roi;
+  roi.nodes.resize(5);
+  for (std::size_t i = 0; i < roi.nodes.size(); ++i) {
+    roi.nodes[i].key = i * 7;
+    roi.nodes[i].count = static_cast<std::uint32_t>(i + 1);
+  }
+  CodecConfig all;
+  all.rleImage = true;
+  all.deltaIndices = true;
+  all.quantError = 1e-3;
+  std::vector<std::vector<std::byte>> seeds;
+  seeds.push_back(encodeImagePayload(img, CodecConfig{}));
+  seeds.push_back(encodeImagePayload(img, all));
+  seeds.push_back(encodeRoiPayload(roi, CodecConfig{}));
+  seeds.push_back(encodeRoiPayload(roi, all));
+  seeds.push_back(quantFloatEncode({1.0f, 2.0f, 3.5f}, 1e-4));
+  for (const auto& seed : seeds) {
+    for (int trial = 0; trial < 200; ++trial) {
+      auto mutated = seed;
+      const auto pos = static_cast<std::size_t>(rng() % mutated.size());
+      mutated[pos] = static_cast<std::byte>(byteDist(rng));
+      tryAll(mutated);
+    }
+    // Every prefix truncation as well.
+    for (std::size_t n = 0; n < seed.size(); ++n) {
+      tryAll(std::vector<std::byte>(seed.begin(), seed.begin() + n));
+    }
+  }
+
+  // Pure random frames, 0..512 bytes.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::byte> coded(rng() % 513);
+    for (auto& b : coded) b = static_cast<std::byte>(byteDist(rng));
+    tryAll(coded);
+  }
+}
+
 // --- broker unit tests -----------------------------------------------------
 
 steer::ImageFrame flatFrame(std::uint64_t step, int w = 16, int h = 16) {
@@ -304,6 +393,87 @@ TEST(Broker, CommandIdsRewrittenPerClient) {
       EXPECT_EQ(event->ackId, idA);  // original id restored
       EXPECT_FALSE(c->pollEvent().has_value());  // exactly one ack each
     }
+    broker.closeAll();
+  });
+}
+
+TEST(Broker, RejectRoutedToIssuingClientOnly) {
+  comm::Runtime rt(1);
+  rt.run([](comm::Communicator& comm) {
+    SessionBroker broker;
+    ServeClient a(broker.connect());
+    ServeClient b(broker.connect());
+    const auto idA = a.send([] {
+      steer::Command c;
+      c.type = steer::MsgType::kSetTau;
+      c.value = 0.2;  // would be guard-rejected by a driver
+      return c;
+    }());
+    b.send([] {
+      steer::Command c;
+      c.type = steer::MsgType::kPause;
+      return c;
+    }());
+
+    const auto cmds = broker.drainCommands(comm, 0);
+    ASSERT_EQ(cmds.size(), 2u);
+    // The driver rejects A's command and acks B's.
+    broker.respondReject(comm, cmds[0].commandId,
+                         steer::RejectReason::kTauUnstable);
+    broker.respondAck(comm, cmds[1].commandId);
+
+    auto eventA = a.pollEvent();
+    ASSERT_TRUE(eventA.has_value());
+    EXPECT_EQ(static_cast<int>(eventA->type),
+              static_cast<int>(steer::MsgType::kReject));
+    EXPECT_EQ(eventA->rejectId, idA);  // original id restored
+    EXPECT_EQ(static_cast<int>(eventA->rejectReason),
+              static_cast<int>(steer::RejectReason::kTauUnstable));
+    EXPECT_FALSE(a.pollEvent().has_value());  // exactly one frame
+
+    auto eventB = b.pollEvent();
+    ASSERT_TRUE(eventB.has_value());
+    EXPECT_EQ(static_cast<int>(eventB->type),
+              static_cast<int>(steer::MsgType::kAck));
+    EXPECT_FALSE(b.pollEvent().has_value());  // no reject leaked to B
+    broker.closeAll();
+  });
+}
+
+TEST(Broker, RetroactiveRejectAfterAckStillReachesTheClient) {
+  comm::Runtime rt(1);
+  rt.run([](comm::Communicator& comm) {
+    SessionBroker broker;
+    ServeClient client(broker.connect());
+    const auto id = client.send([] {
+      steer::Command c;
+      c.type = steer::MsgType::kSetTau;
+      c.value = 0.7;
+      return c;
+    }());
+
+    const auto cmds = broker.drainCommands(comm, 0);
+    ASSERT_EQ(cmds.size(), 1u);
+    // Normal flow: the command is applied and acked...
+    broker.respondAck(comm, cmds[0].commandId);
+    // ...then a sentinel rollback quarantines it, long after the ack
+    // erased the live pending entry. The broker's route history must
+    // still deliver the retroactive NACK with the original id.
+    broker.respondReject(comm, cmds[0].commandId,
+                         steer::RejectReason::kDivergence,
+                         steer::MsgType::kRejectedAfterRollback);
+
+    auto ack = client.pollEvent();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(static_cast<int>(ack->type),
+              static_cast<int>(steer::MsgType::kAck));
+    auto nack = client.pollEvent();
+    ASSERT_TRUE(nack.has_value());
+    EXPECT_EQ(static_cast<int>(nack->type),
+              static_cast<int>(steer::MsgType::kRejectedAfterRollback));
+    EXPECT_EQ(nack->rejectId, id);
+    EXPECT_EQ(static_cast<int>(nack->rejectReason),
+              static_cast<int>(steer::RejectReason::kDivergence));
     broker.closeAll();
   });
 }

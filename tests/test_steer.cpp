@@ -3,11 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
 #include <thread>
 
 #include "comm/runtime.hpp"
+#include "steer/guard.hpp"
 #include "steer/protocol.hpp"
 #include "steer/server.hpp"
+#include "util/check.hpp"
 
 namespace hemo::steer {
 namespace {
@@ -277,6 +283,269 @@ TEST(Server, TelemetryStreamReachesTheClient) {
   EXPECT_DOUBLE_EQ(report->mlups, 5.5);
   const auto status = client.awaitStatus();
   ASSERT_TRUE(status.has_value());
+}
+
+TEST(Protocol, RejectRoundTripBothTypesAllReasons) {
+  const RejectReason reasons[] = {
+      RejectReason::kNone,           RejectReason::kTauUnstable,
+      RejectReason::kNonFinite,      RejectReason::kValueOutOfRange,
+      RejectReason::kIoletOutOfRange, RejectReason::kRoiOutsideLattice,
+      RejectReason::kDivergence};
+  const MsgType types[] = {MsgType::kReject, MsgType::kRejectedAfterRollback};
+  for (const auto type : types) {
+    for (const auto reason : reasons) {
+      Reject rej;
+      rej.type = type;
+      rej.commandId = 0xDEADu;
+      rej.reason = reason;
+      const auto frame = encodeReject(rej);
+      EXPECT_EQ(static_cast<int>(frameType(frame)), static_cast<int>(type));
+      const auto back = decodeReject(frame);
+      EXPECT_EQ(static_cast<int>(back.type), static_cast<int>(type));
+      EXPECT_EQ(back.commandId, 0xDEADu);
+      EXPECT_EQ(static_cast<int>(back.reason), static_cast<int>(reason));
+      EXPECT_NE(rejectReasonName(reason), nullptr);
+    }
+  }
+}
+
+TEST(Protocol, StatusCarriesConsistencyStep) {
+  StatusReport s;
+  s.step = 200;
+  s.consistencyOk = 0;
+  s.consistencyStep = 195;  // verdict computed at an earlier sentinel window
+  const auto back = decodeStatus(encodeStatus(s));
+  EXPECT_EQ(back.consistencyOk, 0);
+  EXPECT_EQ(back.consistencyStep, 195u);
+}
+
+TEST(Protocol, StatusDecodeIsWireBackCompatible) {
+  // A frame from a build that predates consistencyStep is the same frame
+  // minus the trailing u64; the decoder must accept it and default the
+  // provenance step to the report step.
+  StatusReport s;
+  s.step = 321;
+  s.consistencyStep = 321;
+  auto frame = encodeStatus(s);
+  frame.resize(frame.size() - sizeof(std::uint64_t));
+  const auto back = decodeStatus(frame);
+  EXPECT_EQ(back.step, 321u);
+  EXPECT_EQ(back.consistencyStep, 321u);
+}
+
+TEST(Protocol, OversizedVectorCountIsATypedError) {
+  // Patch an image frame's rgb count (at tag u8 + step u64 + w i32 + h i32)
+  // to a value whose byte size would wrap or exhaust memory. The decoder
+  // must throw CheckError before allocating anything.
+  ImageFrame f;
+  f.step = 1;
+  f.width = 1;
+  f.height = 1;
+  f.rgb = {1, 2, 3};
+  auto frame = encodeImage(f);
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max() / 2;
+  std::memcpy(frame.data() + 1 + 8 + 4 + 4, &huge, sizeof(huge));
+  EXPECT_THROW(decodeImage(frame), CheckError);
+}
+
+TEST(Protocol, TruncatedFramesYieldNulloptNotCrash) {
+  Command cmd;
+  cmd.type = MsgType::kSetTau;
+  cmd.value = 0.9;
+  const auto cmdFrame = encodeCommand(cmd);
+  for (std::size_t n = 0; n < cmdFrame.size(); ++n) {
+    const std::vector<std::byte> prefix(cmdFrame.begin(),
+                                        cmdFrame.begin() + n);
+    EXPECT_FALSE(tryDecodeCommand(prefix).has_value()) << "prefix " << n;
+  }
+  StatusReport s;
+  s.step = 9;
+  const auto statusFrame = encodeStatus(s);
+  // All prefixes short of the optional trailing consistencyStep must fail.
+  for (std::size_t n = 0; n + sizeof(std::uint64_t) < statusFrame.size();
+       ++n) {
+    const std::vector<std::byte> prefix(statusFrame.begin(),
+                                        statusFrame.begin() + n);
+    EXPECT_FALSE(tryDecodeStatus(prefix).has_value()) << "prefix " << n;
+  }
+}
+
+TEST(Protocol, FuzzedFramesNeverCrashTheDecoders) {
+  std::mt19937 rng(20260805u);  // seeded: failures are reproducible
+  std::uniform_int_distribution<int> byteDist(0, 255);
+  auto decodeAll = [](const std::vector<std::byte>& frame) {
+    // Throwing decoders are exercised under try/catch: a typed CheckError
+    // is the accepted outcome for garbage; anything else (OOB, bad_alloc,
+    // crash) fails the test by escaping or killing the process.
+    (void)tryDecodeCommand(frame);
+    (void)tryDecodeStatus(frame);
+    const auto tryOne = [&](auto&& decode) {
+      try {
+        (void)decode(frame);
+      } catch (const CheckError&) {
+      }
+    };
+    tryOne([](const auto& f) { return decodeReject(f); });
+    tryOne([](const auto& f) { return decodeImage(f); });
+    tryOne([](const auto& f) { return decodeRoi(f); });
+    tryOne([](const auto& f) { return decodeObservable(f); });
+    tryOne([](const auto& f) { return decodeTelemetry(f); });
+    tryOne([](const auto& f) { return decodeHeartbeatSeq(f); });
+  };
+
+  // Mode 1: single-byte mutations of valid frames (keeps structure mostly
+  // intact so deep decoder paths are reached).
+  Command cmd;
+  cmd.type = MsgType::kSetBodyForce;
+  cmd.force = {1e-4, 0, 0};
+  std::vector<std::vector<std::byte>> seeds;
+  seeds.push_back(encodeCommand(cmd));
+  seeds.push_back(encodeStatus(StatusReport{}));
+  seeds.push_back(encodeReject(Reject{}));
+  ImageFrame img;
+  img.width = 2;
+  img.height = 2;
+  img.rgb.assign(12, 7);
+  seeds.push_back(encodeImage(img));
+  RoiData roi;
+  roi.nodes.resize(3);
+  seeds.push_back(encodeRoi(roi));
+  for (const auto& seed : seeds) {
+    for (int trial = 0; trial < 200; ++trial) {
+      auto mutated = seed;
+      const auto pos = static_cast<std::size_t>(rng() % mutated.size());
+      mutated[pos] = static_cast<std::byte>(byteDist(rng));
+      decodeAll(mutated);
+    }
+  }
+
+  // Mode 2: pure random frames, 0..512 bytes.
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<std::byte> frame(rng() % 513);
+    for (auto& b : frame) b = static_cast<std::byte>(byteDist(rng));
+    decodeAll(frame);
+  }
+}
+
+TEST(Guard, MinStableTauMatchesTheHeuristic) {
+  EXPECT_DOUBLE_EQ(minStableTau(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(minStableTau(0.3), 0.5 + 1.5 * 0.09);
+  // The documented workloads (tau 0.8/0.9) clear the default ceiling.
+  EXPECT_LT(minStableTau(0.3), 0.8);
+}
+
+TEST(Guard, ValidCommandsPass) {
+  GuardConfig cfg;
+  GuardContext ctx;
+  ctx.numIolets = 2;
+  ctx.lattice = BoxI{{0, 0, 0}, {32, 32, 32}};
+  Command cmd;
+  cmd.type = MsgType::kSetTau;
+  cmd.value = 0.8;
+  EXPECT_EQ(static_cast<int>(validateCommand(cmd, cfg, ctx)),
+            static_cast<int>(RejectReason::kNone));
+  cmd.type = MsgType::kSetIoletDensity;
+  cmd.ioletId = 1;
+  cmd.value = 1.02;
+  EXPECT_EQ(static_cast<int>(validateCommand(cmd, cfg, ctx)),
+            static_cast<int>(RejectReason::kNone));
+  cmd.type = MsgType::kSetRoi;
+  cmd.roi = BoxI{{0, 0, 0}, {64, 64, 64}};  // oversized but overlapping: OK
+  EXPECT_EQ(static_cast<int>(validateCommand(cmd, cfg, ctx)),
+            static_cast<int>(RejectReason::kNone));
+  cmd.roi = BoxI{};  // empty ROI means "reset"; always allowed
+  EXPECT_EQ(static_cast<int>(validateCommand(cmd, cfg, ctx)),
+            static_cast<int>(RejectReason::kNone));
+  // Non-mutating commands are never rejected.
+  cmd.type = MsgType::kPause;
+  cmd.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(static_cast<int>(validateCommand(cmd, cfg, ctx)),
+            static_cast<int>(RejectReason::kNone));
+}
+
+TEST(Guard, EachViolationMapsToItsReason) {
+  GuardConfig cfg;
+  GuardContext ctx;
+  ctx.numIolets = 2;
+  ctx.lattice = BoxI{{0, 0, 0}, {32, 32, 32}};
+  const auto expect = [&](const Command& cmd, RejectReason want) {
+    EXPECT_EQ(static_cast<int>(validateCommand(cmd, cfg, ctx)),
+              static_cast<int>(want))
+        << rejectReasonName(want);
+  };
+  Command cmd;
+  cmd.type = MsgType::kSetTau;
+  cmd.value = 0.55;  // below minStableTau(0.3) = 0.635
+  expect(cmd, RejectReason::kTauUnstable);
+  cmd.value = 50.0;
+  expect(cmd, RejectReason::kTauUnstable);
+  cmd.value = std::numeric_limits<double>::quiet_NaN();
+  expect(cmd, RejectReason::kNonFinite);
+
+  cmd = Command{};
+  cmd.type = MsgType::kSetBodyForce;
+  cmd.force = {0, std::numeric_limits<double>::infinity(), 0};
+  expect(cmd, RejectReason::kNonFinite);
+  cmd.force = {0.5, 0, 0};  // above maxBodyForce
+  expect(cmd, RejectReason::kValueOutOfRange);
+
+  cmd = Command{};
+  cmd.type = MsgType::kSetIoletDensity;
+  cmd.ioletId = 99;
+  cmd.value = 1.0;
+  expect(cmd, RejectReason::kIoletOutOfRange);
+  cmd.ioletId = -1;
+  expect(cmd, RejectReason::kIoletOutOfRange);
+  cmd.ioletId = 0;
+  cmd.value = -5.0;
+  expect(cmd, RejectReason::kValueOutOfRange);
+
+  cmd = Command{};
+  cmd.type = MsgType::kSetIoletVelocity;
+  cmd.ioletId = 0;
+  cmd.force = {0.9, 0, 0};  // above maxIoletSpeed
+  expect(cmd, RejectReason::kValueOutOfRange);
+
+  cmd = Command{};
+  cmd.type = MsgType::kSetRoi;
+  cmd.roi = BoxI{{100, 100, 100}, {120, 120, 120}};  // fully outside
+  expect(cmd, RejectReason::kRoiOutsideLattice);
+
+  // Disabling the guard waves everything through.
+  cfg.enabled = false;
+  cmd.type = MsgType::kSetTau;
+  cmd.value = 0.501;
+  expect(cmd, RejectReason::kNone);
+}
+
+TEST(Server, RejectReachesTheClient) {
+  auto [clientEnd, serverEnd] = comm::makeChannelPair();
+  SteeringClient client(clientEnd);
+  Command cmd;
+  cmd.type = MsgType::kSetTau;
+  cmd.value = 0.1;
+  const std::uint32_t id = client.send(cmd);
+  comm::Runtime rt(2);
+  rt.run([&, serverEnd = serverEnd](comm::Communicator& comm) {
+    SteeringServer server(comm.rank() == 0 ? serverEnd : comm::ChannelEnd{});
+    const auto cmds = server.poll(comm);
+    ASSERT_EQ(cmds.size(), 1u);
+    StatusReport s;
+    s.step = 3;
+    server.sendStatus(comm, s);  // interleaved frame; await must skip it
+    Reject rej;
+    rej.commandId = cmds[0].commandId;
+    rej.reason = RejectReason::kTauUnstable;
+    server.sendReject(comm, rej);  // no-op on rank 1
+  });
+  const auto rej = client.awaitReject();
+  ASSERT_TRUE(rej.has_value());
+  EXPECT_EQ(rej->commandId, id);
+  EXPECT_EQ(static_cast<int>(rej->reason),
+            static_cast<int>(RejectReason::kTauUnstable));
+  const auto status = client.awaitStatus();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->step, 3u);
 }
 
 TEST(Client, EofYieldsNullopt) {
