@@ -32,7 +32,7 @@ struct ScalePoint {
 };
 
 ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
-                   int steps) {
+                   int steps, const lb::LbParams& params) {
   const auto part = kwayPartition(lattice, ranks);
   ScalePoint point;
   point.ranks = ranks;
@@ -40,7 +40,7 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
   comm::Runtime rt(ranks);
   rt.run([&](comm::Communicator& comm) {
     lb::DomainMap domain(lattice, part, comm.rank());
-    lb::SolverD3Q19 solver(domain, comm, flowParams());
+    lb::SolverD3Q19 solver(domain, comm, params);
     solver.run(10);  // warm up (plans, caches)
     solver.resetTimers();
     comm.barrier();
@@ -85,10 +85,12 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
 
 /// One JSON row per scale point, same fields for strong and weak scaling.
 void addScaleRow(BenchReport& report, const char* series,
-                 const ScalePoint& p, double speedup) {
+                 const ScalePoint& p, double speedup,
+                 const char* kernel = "fused") {
   auto& row = report.addRow(std::string(series) + "/ranks=" +
                             std::to_string(p.ranks));
   row.set("series", std::string(series));
+  row.set("kernel", std::string(kernel));
   row.set("ranks", static_cast<std::uint64_t>(p.ranks));
   row.set("sites", p.sites);
   row.set("mlups", p.mlups);
@@ -127,7 +129,7 @@ int main() {
               "eff", "hidden%");
   ScalePoint base;
   for (const int ranks : {1, 2, 4, 8, 16, 32}) {
-    const auto p = measure(lattice, ranks, steps);
+    const auto p = measure(lattice, ranks, steps, flowParams());
     if (ranks == 1) base = p;
     const double speedup =
         p.modeledSeconds > 0.0 ? base.modeledSeconds / p.modeledSeconds : 0.0;
@@ -139,6 +141,27 @@ int main() {
     addScaleRow(report, "strong", p, speedup);
   }
 
+  // Same strong-scaling sweep with the vectorised SoA kernel: the busy
+  // time per rank drops, so the halo window is a larger fraction of the
+  // step — the series shows whether the overlap still hides it.
+  printHeader("Strong scaling, SIMD kernel (S2)");
+  std::printf("%-7s %12s %12s %10s %10s\n", "ranks", "mod.time s",
+              "speedup", "eff", "hidden%");
+  ScalePoint simdBase;
+  for (const int ranks : {1, 2, 4, 8, 16, 32}) {
+    auto params = flowParams();
+    params.kernel = lb::LbParams::Kernel::kSimd;
+    const auto p = measure(lattice, ranks, steps, params);
+    if (ranks == 1) simdBase = p;
+    const double speedup =
+        p.modeledSeconds > 0.0 ? simdBase.modeledSeconds / p.modeledSeconds
+                               : 0.0;
+    std::printf("%-7d %12.4f %12.2f %9.0f%% %9.0f%%\n", ranks,
+                p.modeledSeconds, speedup, 100.0 * speedup / ranks,
+                100.0 * p.commHidden);
+    addScaleRow(report, "strong-simd", p, speedup, "simd");
+  }
+
   // --- weak scaling --------------------------------------------------------------
   // Hold sites/rank roughly constant by lengthening the tube with the rank
   // count.
@@ -148,7 +171,7 @@ int main() {
   double weakBase = 0.0;
   for (const int ranks : {1, 2, 4, 8}) {
     const auto tube = makeTube(0.12, 3.0 * ranks);
-    const auto p = measure(tube, ranks, steps);
+    const auto p = measure(tube, ranks, steps, flowParams());
     if (ranks == 1) weakBase = p.modeledSeconds;
     const double eff =
         p.modeledSeconds > 0.0 ? weakBase / p.modeledSeconds : 0.0;

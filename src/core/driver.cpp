@@ -40,12 +40,22 @@ SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
 
   initialMass_ = comm.allreduceSum(solver_->localMass());
 
+  if (comm.rank() == 0) {
+    HEMO_LOG_INFO() << "lb hot path: kernel=" << config.lb.kernelName()
+                    << " layout=" << lb::layoutName(config.lb.layout)
+                    << " simd=" << simd::backendName() << " width="
+                    << simd::kWidth
+                    << (solver_->usesNtStores() ? " nt-stores=on"
+                                                : " nt-stores=off");
+  }
+
   // Resolve the per-rank metrics once (map nodes are stable, so the hot
   // loop only touches raw pointers). Null when the thread runs without an
   // attached telemetry context (e.g. plain unit tests).
   if (auto* t = telemetry::threadTelemetry()) {
     stepsCounter_ = &t->metrics().counter("lb.steps");
     stepSecondsHist_ = &t->metrics().histogram("driver.step_seconds");
+    t->metrics().gauge("lb.simd_width").set(simd::kWidth);
   }
 }
 

@@ -18,13 +18,17 @@ namespace hemo::lb {
 
 namespace detail {
 
+/// The member tables are 64-byte aligned so both the scalar and the SIMD
+/// kernels read them with whole-cache-line (and, for the vector code,
+/// aligned broadcast) accesses; the sets themselves are constexpr, so the
+/// tables live in .rodata.
 template <int Q>
 struct VelocitySet {
-  std::array<Vec3i, Q> c{};
-  std::array<double, Q> w{};
-  std::array<int, Q> opposite{};
+  alignas(64) std::array<Vec3i, Q> c{};
+  alignas(64) std::array<double, Q> w{};
+  alignas(64) std::array<int, Q> opposite{};
   /// geometry-direction index of each velocity (-1 for the rest velocity).
-  std::array<int, Q> geoDir{};
+  alignas(64) std::array<int, Q> geoDir{};
 };
 
 /// Build a velocity set that keeps the rest velocity plus all geometry

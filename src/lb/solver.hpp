@@ -7,8 +7,27 @@
 /// pressure inlets/outlets, Guo forcing, and per-step halo exchange of the
 /// distribution values that stream across rank boundaries.
 ///
-/// Two kernels drive the hot path (LbParams::kernel):
+/// Distributions live behind a layout-agnostic storage class
+/// (lb/layout.hpp): **kSoA** keeps one aligned, padded plane per velocity
+/// direction (what the vectorised kernel requires), **kAoS** the textbook
+/// site-major record layout kept as the layout-equivalence reference. Every
+/// public surface (checkpointing, observables, vis extraction) goes through
+/// the same gather/scatter accessors, so the external format is identical
+/// under either layout.
 ///
+/// Three kernels drive the hot path (LbParams::kernel):
+///
+/// * **kSimd**: the fused push sweep with the bulk pass rewritten as
+///   cache-blocked, branch-free SIMD strips over the SoA planes
+///   (util/simd.hpp: AVX-512/AVX2 intrinsics with a scalar fallback). Bulk
+///   sites are sorted row-major (x fastest) instead of by Morton code, so
+///   the per-direction push destinations decompose into long unit-stride
+///   runs (the propagation-optimised layout of Wittmann et al.); the
+///   streamed writes then retire through non-temporal stores once the
+///   working set outgrows the last-level cache. Frontier sites vectorise
+///   the same way — their local pushes and wall folds also decompose into
+///   unit-stride runs — leaving only iolet rules and halo sends on the
+///   per-op scalar path.
 /// * **kFused** (default): one pass per site fuses collision and streaming.
 ///   Owned sites are internally reordered frontier-first (see
 ///   SiteReordering): the frontier pass collides every site whose update
@@ -34,12 +53,18 @@
 #include <unordered_map>
 #include <vector>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #include "comm/communicator.hpp"
 #include "lb/domain_map.hpp"
 #include "lb/lattice.hpp"
+#include "lb/layout.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/morton.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace hemo::lb {
@@ -56,12 +81,29 @@ struct LbParams {
   Vec3d bodyForce{0, 0, 0};
   /// Also accumulate the deviatoric stress tensor during collision.
   bool computeStress = false;
-  /// Hot-path kernel; kReference is the three-phase collide/exchange/stream
-  /// sweep kept for equivalence testing and benchmarking.
-  enum class Kernel { kFused, kReference } kernel = Kernel::kFused;
+  /// Hot-path kernel; kSimd is the vectorised fused sweep (requires the
+  /// SoA layout), kReference the three-phase collide/exchange/stream sweep
+  /// kept for equivalence testing and benchmarking.
+  enum class Kernel { kFused, kReference, kSimd } kernel = Kernel::kFused;
+  /// Distribution storage layout (lb/layout.hpp). kAoS is the site-major
+  /// reference layout for layout-equivalence tests.
+  Layout layout = Layout::kSoA;
+  /// Non-temporal store policy for the SIMD kernel's streamed writes.
+  /// kAuto streams only once the distribution working set clearly exceeds
+  /// cache capacity (NT stores evict lines the next step would rehit).
+  enum class NtStores { kAuto, kOn, kOff } ntStores = NtStores::kAuto;
 
   /// Kinematic viscosity implied by tau (lattice units).
   double viscosity() const { return kCs2 * (tau - 0.5); }
+
+  const char* kernelName() const {
+    switch (kernel) {
+      case Kernel::kFused: return "fused";
+      case Kernel::kReference: return "reference";
+      case Kernel::kSimd: return "simd";
+    }
+    return "?";
+  }
 };
 
 template <typename Lattice>
@@ -71,11 +113,46 @@ class Solver {
   /// Bulk sites collided per block in the fused kernel; the block buffer
   /// (kBulkBlock * kQ doubles) must stay L1-resident.
   static constexpr std::uint32_t kBulkBlock = 64;
+  /// Sites per SIMD store strip (frontier and bulk passes share the one
+  /// strip buffer). Sized so the per-direction drain writes long
+  /// sequential bursts (the buffer, ~150 KB for D3Q19, spills to L2 —
+  /// collision is compute-bound enough that the extra L1 misses are
+  /// noise, while short write bursts measurably defeat the core's
+  /// write-combining).
+  static constexpr std::uint32_t kBulkStrip = 1024;
+  static_assert(kBulkStrip % simd::kWidth == 0);
+  /// kAuto NT-store fallback threshold when the LLC size is unknown:
+  /// stream past the cache only when f + fNext exceed this (smaller
+  /// lattices rehit the lines next step).
+  static constexpr std::size_t kNtAutoBytes = std::size_t{16} << 20;
+
+  /// kAuto NT-store threshold: the last-level cache size when the OS
+  /// reports it, else kNtAutoBytes. Non-temporal stores only pay once
+  /// the slabs cannot stay LLC-resident between steps — streaming an
+  /// LLC-resident working set to DRAM was measured ~20% slower.
+  static std::size_t ntAutoThresholdBytes() {
+#if defined(__linux__) && defined(_SC_LEVEL3_CACHE_SIZE)
+    const long l3 = ::sysconf(_SC_LEVEL3_CACHE_SIZE);
+    if (l3 > 0) return static_cast<std::size_t>(l3);
+#endif
+    return kNtAutoBytes;
+  }
 
   Solver(const DomainMap& domain, comm::Communicator& comm,
          const LbParams& params)
       : domain_(&domain), comm_(&comm), params_(params) {
     HEMO_CHECK_MSG(params.tau > 0.5, "tau must exceed 0.5 for stability");
+    HEMO_CHECK_MSG(
+        params.kernel != LbParams::Kernel::kSimd ||
+            params.layout == Layout::kSoA,
+        "the SIMD kernel requires the SoA layout (LbParams::layout)");
+    f_.init(params.layout, domain.numOwned());
+    fNext_.init(params.layout, domain.numOwned());
+    const std::size_t distBytes =
+        2 * domain.numOwned() * static_cast<std::size_t>(kQ) * sizeof(double);
+    useNt_ = params.ntStores == LbParams::NtStores::kOn ||
+             (params.ntStores == LbParams::NtStores::kAuto &&
+              distBytes > ntAutoThresholdBytes());
     for (const auto& io : domain.lattice().iolets()) {
       ioletDensity_.push_back(io.density);
       ioletVelocity_.push_back(io.normal.normalized() * io.speed);
@@ -88,6 +165,12 @@ class Solver {
   const DomainMap& domain() const { return *domain_; }
   const LbParams& params() const { return params_; }
   std::uint64_t stepsDone() const { return stepsDone_; }
+
+  /// Vector lanes of the SIMD backend this binary was built with (the
+  /// kernels see it via util/simd.hpp; reported in benches/telemetry).
+  static constexpr int simdWidth() { return simd::kWidth; }
+  /// Whether the SIMD kernel retires streamed writes via NT stores here.
+  bool usesNtStores() const { return useNt_; }
 
   /// Rebase the step counter (checkpoint restore): the restored run then
   /// reports the same stepsDone() as the writing run did.
@@ -127,11 +210,9 @@ class Solver {
   /// Reset all distributions to equilibrium at (rho, u).
   void initEquilibrium(double rho, const Vec3d& u) {
     const std::size_t n = domain_->numOwned();
-    double feq[kQ];
-    for (int i = 0; i < kQ; ++i) feq[i] = equilibrium<Lattice>(i, rho, u);
     for (int i = 0; i < kQ; ++i) {
-      f_[static_cast<std::size_t>(i)].assign(n, feq[i]);
-      fNext_[static_cast<std::size_t>(i)].assign(n, 0.0);
+      f_.fill(i, equilibrium<Lattice>(i, rho, u));
+      fNext_.fill(i, 0.0);
     }
     macro_.rho.assign(n, rho);
     macro_.u.assign(n, u);
@@ -149,25 +230,42 @@ class Solver {
       const auto [rho, u] = fn(w);
       const auto l = static_cast<std::size_t>(reorder_.internalOf[e]);
       for (int i = 0; i < kQ; ++i) {
-        f_[static_cast<std::size_t>(i)][l] = equilibrium<Lattice>(i, rho, u);
+        f_.at(i, l) = equilibrium<Lattice>(i, rho, u);
       }
       macro_.rho[e] = rho;
       macro_.u[e] = u;
     }
   }
 
-  /// One full LB update.
+  /// One full LB update. The scalar kernels are instantiated per layout
+  /// (site stride 1 for SoA planes, kQ for AoS records); the SIMD kernel
+  /// is SoA-only by construction.
   void step() {
-    if (params_.kernel == LbParams::Kernel::kReference) {
-      collide();
-      exchange();
-      stream();
-    } else {
-      stepFused();
+    const bool soa = params_.layout == Layout::kSoA;
+    switch (params_.kernel) {
+      case LbParams::Kernel::kReference:
+        if (soa) {
+          collide<1>();
+          exchange<1>();
+          stream<1>();
+        } else {
+          collide<kQ>();
+          exchange<kQ>();
+          stream<kQ>();
+        }
+        break;
+      case LbParams::Kernel::kFused:
+        if (soa) {
+          stepFused<1>();
+        } else {
+          stepFused<kQ>();
+        }
+        break;
+      case LbParams::Kernel::kSimd:
+        stepSimd();
+        break;
     }
-    for (int i = 0; i < kQ; ++i) {
-      f_[static_cast<std::size_t>(i)].swap(fNext_[static_cast<std::size_t>(i)]);
-    }
+    f_.swapWith(fNext_);
     ++stepsDone_;
   }
 
@@ -229,21 +327,24 @@ class Solver {
   }
 
   /// As distribution(), but into caller-owned storage (checkpointing).
+  /// Layout-agnostic: identical external-order bytes under kSoA and kAoS.
   void gatherDistribution(int i, std::vector<double>& out) const {
     const std::size_t n = domain_->numOwned();
     out.resize(n);
-    const auto& fi = f_[static_cast<std::size_t>(i)];
+    const double* fi = f_.dirBase(i);
+    const std::size_t s = f_.siteStride();
     for (std::size_t l = 0; l < n; ++l) {
-      out[static_cast<std::size_t>(reorder_.externalOf[l])] = fi[l];
+      out[static_cast<std::size_t>(reorder_.externalOf[l])] = fi[l * s];
     }
   }
 
   /// Overwrite distribution i from external-order values (restore, tests).
   void setDistribution(int i, const std::vector<double>& values) {
     HEMO_CHECK(values.size() == domain_->numOwned());
-    auto& fi = f_[static_cast<std::size_t>(i)];
+    double* fi = f_.dirBase(i);
+    const std::size_t s = f_.siteStride();
     for (std::size_t e = 0; e < values.size(); ++e) {
-      fi[static_cast<std::size_t>(reorder_.internalOf[e])] = values[e];
+      fi[static_cast<std::size_t>(reorder_.internalOf[e]) * s] = values[e];
     }
     refreshMacros();
   }
@@ -302,12 +403,26 @@ class Solver {
       }
     }
     reorder_.numFrontier = static_cast<std::uint32_t>(reorder_.externalOf.size());
+    // Bulk ordering: Morton for the scalar kernels (neighbour locality),
+    // row-major (x fastest) for the SIMD kernel — consecutive internal
+    // indices are then x-consecutive sites, so the per-direction push
+    // destinations decompose into long unit-stride runs the store pass can
+    // retire as whole vectors (the propagation-optimised layout).
+    const bool rowMajor = params_.kernel == LbParams::Kernel::kSimd;
+    const auto sortKey = [&](const Vec3i& p) -> std::uint64_t {
+      if (!rowMajor) return morton3(p);
+      return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.z))
+              << 42) |
+             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y))
+              << 21) |
+             static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x));
+    };
     std::vector<std::pair<std::uint64_t, std::uint32_t>> bulk;
     bulk.reserve(n - reorder_.numFrontier);
     for (std::size_t e = 0; e < n; ++e) {
       if (!isFrontier[e]) {
         bulk.emplace_back(
-            morton3(lat.sitePosition(
+            sortKey(lat.sitePosition(
                 domain_->globalOf(static_cast<std::uint32_t>(e)))),
             static_cast<std::uint32_t>(e));
       }
@@ -429,6 +544,138 @@ class Solver {
     sendFlat_.assign(sendTotal, 0.0);
 
     buildFusedTables();
+    if (params_.kernel == LbParams::Kernel::kSimd) buildSimdRuns();
+  }
+
+  /// Decompose the bulk push targets into unit-stride runs. For row-major
+  /// bulk ordering almost every destination advances in lockstep with the
+  /// source (dst[k+1] == dst[k]+1 whenever two x-consecutive sites stream
+  /// to two x-consecutive sites), so the streamed writes of the SIMD store
+  /// pass become a handful of contiguous vector copies per strip instead
+  /// of kQ scatter loops. Runs never cross strip boundaries — the store
+  /// pass drains them strip by strip with one cursor per direction.
+  void buildSimdRuns() {
+    const std::uint32_t nf = reorder_.numFrontier;
+    const auto n = static_cast<std::uint32_t>(domain_->numOwned());
+    constexpr auto kW = static_cast<std::uint32_t>(simd::kWidth);
+    // Start the vector groups at the first kW-aligned bulk site: the SoA
+    // planes are 64-byte aligned with a pitch that is a multiple of kW
+    // doubles, so an aligned group index makes every per-plane group load
+    // a full aligned vector (an odd frontier count would otherwise split
+    // all 19 loads of every group across two cache lines). The few bulk
+    // sites before the aligned start take the scalar path.
+    simdVecStart_ = nf;
+    if (simdVecStart_ % kW != 0) simdVecStart_ += kW - simdVecStart_ % kW;
+    if (simdVecStart_ > n) simdVecStart_ = n;
+    const std::uint32_t nb = n - simdVecStart_;
+    simdVecSites_ = nb - nb % kW;
+    for (int i = 1; i < kQ; ++i) {
+      auto& runs = simdRuns_[static_cast<std::size_t>(i)];
+      runs.clear();
+      const std::uint32_t* dst =
+          push_[static_cast<std::size_t>(i)].data() + simdVecStart_;
+      for (std::uint32_t k = 0; k < simdVecSites_; ++k) {
+        if (k % kBulkStrip == 0 || dst[k] != dst[k - 1] + 1) {
+          runs.push_back({k, dst[k], 1});
+        } else {
+          ++runs.back().len;
+        }
+      }
+    }
+    bulkStrip_.assign(
+        static_cast<std::size_t>(kStripPlanes) * kBulkStrip, 0.0);
+
+    // Unit-stride runs over the external indices of the two vectorised
+    // ranges: the reorder preserves relative order, so extOf is strictly
+    // increasing with gaps where the other class' sites sit — the macro
+    // fields (external order) drain from the strip's moment planes as
+    // sequential bursts instead of a per-lane scatter.
+    const auto buildExtRuns = [&](std::vector<StreamRun>& runs,
+                                  std::uint32_t first, std::uint32_t count) {
+      runs.clear();
+      const std::uint32_t* ext = reorder_.externalOf.data() + first;
+      for (std::uint32_t k = 0; k < count; ++k) {
+        if (!runs.empty() && runs.back().srcK + runs.back().len == k &&
+            runs.back().dst + runs.back().len == ext[k] &&
+            k % kBulkStrip != 0) {
+          ++runs.back().len;
+        } else {
+          runs.push_back({k, ext[k], 1});
+        }
+      }
+    };
+    buildExtRuns(macroRunsBulk_, simdVecStart_, simdVecSites_);
+
+    // Frontier split for the SIMD path: local pushes become per-direction
+    // destination tables so the strips retire them without per-op
+    // dispatch, halfway-bounce-back wall folds (dst plane = op.dir, dst
+    // index = the site itself, src plane = the opposite direction — unit
+    // stride on both sides) become per-direction wall tables, and only
+    // the iolet/halo-send actions stay in a (much shorter) boundary-only
+    // CSR. The full CSR remains the scalar kernels' path. The vector
+    // tail [nfVec, nf) keeps everything in the CSR: it runs through the
+    // scalar processFrontierSite, which the strips never touch.
+    const std::uint32_t nfVec = nf - nf % kW;
+    buildExtRuns(macroRunsFrontier_, 0, nfVec);
+    std::array<std::vector<std::uint8_t>, kQ> wallAt;
+    for (int i = 1; i < kQ; ++i) {
+      frontierLocalDst_[static_cast<std::size_t>(i)].assign(nf, kNoDst);
+      wallAt[static_cast<std::size_t>(i)].assign(nf, 0);
+    }
+    frontierBoundaryStart_.assign(static_cast<std::size_t>(nf) + 1, 0);
+    frontierBoundaryOps_.clear();
+    for (std::uint32_t l = 0; l < nf; ++l) {
+      for (std::uint32_t k = frontierOpStart_[l]; k < frontierOpStart_[l + 1];
+           ++k) {
+        const FrontierOp op = frontierOps_[k];
+        if (static_cast<OpKind>(op.kind) == OpKind::kPushLocal) {
+          frontierLocalDst_[static_cast<std::size_t>(op.dir)][l] = op.index;
+        } else if (static_cast<OpKind>(op.kind) == OpKind::kWall &&
+                   l < nfVec) {
+          wallAt[static_cast<std::size_t>(op.dir)][l] = 1;
+        } else {
+          frontierBoundaryOps_.push_back(op);
+        }
+      }
+      frontierBoundaryStart_[l + 1] =
+          static_cast<std::uint32_t>(frontierBoundaryOps_.size());
+    }
+    for (int i = 1; i < kQ; ++i) {
+      auto& runs = frontierWallRuns_[static_cast<std::size_t>(i)];
+      runs.clear();
+      const std::uint8_t* at = wallAt[static_cast<std::size_t>(i)].data();
+      for (std::uint32_t k = 0; k < nfVec; ++k) {
+        if (!at[k]) continue;
+        if (!runs.empty() && runs.back().srcK + runs.back().len == k &&
+            k % kBulkStrip != 0) {
+          ++runs.back().len;
+        } else {
+          runs.push_back({k, k, 1});
+        }
+      }
+    }
+
+    // Unit-stride runs over the frontier dst tables, exactly like the
+    // bulk runs: consecutive frontier sites usually push to consecutive
+    // slots of the same plane, so the strips can retire them as
+    // sequential bursts instead of 18 interleaved element stores per
+    // site. kNoDst lanes (boundary ops) break runs, as do strip edges.
+    for (int i = 1; i < kQ; ++i) {
+      auto& runs = frontierRuns_[static_cast<std::size_t>(i)];
+      runs.clear();
+      const std::uint32_t* dst =
+          frontierLocalDst_[static_cast<std::size_t>(i)].data();
+      for (std::uint32_t k = 0; k < nfVec; ++k) {
+        if (dst[k] == kNoDst) continue;
+        if (!runs.empty() && runs.back().srcK + runs.back().len == k &&
+            runs.back().dst + runs.back().len == dst[k] &&
+            k % kBulkStrip != 0) {
+          ++runs.back().len;
+        } else {
+          runs.push_back({k, dst[k], 1});
+        }
+      }
+    }
   }
 
   /// Push tables for the fused kernel, derived from the same geometry/
@@ -551,7 +798,10 @@ class Solver {
   /// the int->double casts and Vec3 temporaries the generic VelocitySet
   /// accessors would cost per site.
   struct DirConsts {
-    std::array<double, kQ> cx{}, cy{}, cz{}, w{};
+    alignas(64) std::array<double, kQ> cx{};
+    alignas(64) std::array<double, kQ> cy{};
+    alignas(64) std::array<double, kQ> cz{};
+    alignas(64) std::array<double, kQ> w{};
   };
 
   static DirConsts makeDirConsts() {
@@ -666,7 +916,10 @@ class Solver {
 
   // --- fused kernel ------------------------------------------------------
 
-  /// Raw hot-loop pointers, hoisted once per step.
+  /// Raw hot-loop pointers, hoisted once per step. Direction i of site l
+  /// is fsrc[i][l * S] where S is the layout's site stride (1 for SoA, kQ
+  /// for AoS) — the kernels carry S as a template parameter so the common
+  /// SoA case compiles to plain unit-stride pointers.
   struct SweepPtrs {
     const double* fsrc[kQ];
     double* fdst[kQ];
@@ -678,8 +931,8 @@ class Solver {
   SweepPtrs sweepPtrs() {
     SweepPtrs p;
     for (int i = 0; i < kQ; ++i) {
-      p.fsrc[i] = f_[static_cast<std::size_t>(i)].data();
-      p.fdst[i] = fNext_[static_cast<std::size_t>(i)].data();
+      p.fsrc[i] = f_.dirBase(i);
+      p.fdst[i] = fNext_.dirBase(i);
       p.pdst[i] = push_[static_cast<std::size_t>(i)].data();
     }
     p.extOf = reorder_.externalOf.data();
@@ -687,6 +940,7 @@ class Solver {
     return p;
   }
 
+  template <int S>
   void stepFused() {
     const CollisionCtx ctx = collisionCtx();
     const SweepPtrs ptrs = sweepPtrs();
@@ -700,7 +954,7 @@ class Solver {
       ScopedPhase phase(collideTimer_);
       HEMO_TSPAN(kCollide, "collide.frontier");
       for (std::uint32_t l = 0; l < nf; ++l) {
-        processFrontierSite(ctx, ptrs, l);
+        processFrontierSite<S>(ctx, ptrs, l);
       }
     }
     // Post all halo sends (buffered, never block).
@@ -728,18 +982,23 @@ class Solver {
         const std::uint32_t count = std::min(kBulkBlock, n - base);
         for (std::uint32_t k = 0; k < count; ++k) {
           double* fl = block + k * kQ;
-          for (int i = 0; i < kQ; ++i) fl[i] = ptrs.fsrc[i][base + k];
+          for (int i = 0; i < kQ; ++i) {
+            fl[i] = ptrs.fsrc[i][static_cast<std::size_t>(base + k) * S];
+          }
           relaxSite(ctx, fl, static_cast<std::size_t>(ptrs.extOf[base + k]));
         }
         {
-          double* out0 = ptrs.fdst[0] + base;
-          for (std::uint32_t k = 0; k < count; ++k) out0[k] = block[k * kQ];
+          double* out0 = ptrs.fdst[0];
+          for (std::uint32_t k = 0; k < count; ++k) {
+            out0[static_cast<std::size_t>(base + k) * S] = block[k * kQ];
+          }
         }
         for (int i = 1; i < kQ; ++i) {
           const std::uint32_t* dst = ptrs.pdst[i] + base;
           double* out = ptrs.fdst[i];
           for (std::uint32_t k = 0; k < count; ++k) {
-            out[dst[k]] = block[k * kQ + static_cast<std::uint32_t>(i)];
+            out[static_cast<std::size_t>(dst[k]) * S] =
+                block[k * kQ + static_cast<std::uint32_t>(i)];
           }
         }
       }
@@ -761,21 +1020,35 @@ class Solver {
         HEMO_TSPAN(kStream, "stream.scatter");
         for (std::uint32_t k = off; k < off + count; ++k) {
           const RecvDst d = recvDst_[k];
-          fNext_[static_cast<std::size_t>(d.dir)]
-                [static_cast<std::size_t>(d.dest)] = recvFlat_[k];
+          ptrs.fdst[d.dir][static_cast<std::size_t>(d.dest) * S] =
+              recvFlat_[k];
         }
       }
     }
   }
 
+  template <int S>
   void processFrontierSite(const CollisionCtx& ctx, const SweepPtrs& ptrs,
                            std::uint32_t l) {
-    const auto& set = Lattice::kSet;
     double fl[kQ];
-    for (int i = 0; i < kQ; ++i) fl[i] = ptrs.fsrc[i][l];
+    for (int i = 0; i < kQ; ++i) {
+      fl[i] = ptrs.fsrc[i][static_cast<std::size_t>(l) * S];
+    }
     const auto ext = static_cast<std::size_t>(ptrs.extOf[l]);
     relaxSite(ctx, fl, ext);
-    ptrs.fdst[0][l] = fl[0];
+    scatterFrontierOps<S>(ctx, ptrs, l, fl, 1);
+  }
+
+  /// Apply the CSR boundary/halo actions of frontier site l to its
+  /// post-collision populations fl[i * flStride] (flStride lets the SIMD
+  /// path scatter straight out of a direction-major strip buffer).
+  template <int S>
+  void scatterFrontierOps(const CollisionCtx& ctx, const SweepPtrs& ptrs,
+                          std::uint32_t l, const double* fl,
+                          std::size_t flStride) {
+    const auto& set = Lattice::kSet;
+    const auto ext = static_cast<std::size_t>(ptrs.extOf[l]);
+    ptrs.fdst[0][static_cast<std::size_t>(l) * S] = fl[0];
     const std::uint32_t begin = frontierOpStart_[l];
     const std::uint32_t end = frontierOpStart_[l + 1];
     for (std::uint32_t k = begin; k < end; ++k) {
@@ -783,25 +1056,29 @@ class Solver {
       const auto dir = static_cast<std::size_t>(op.dir);
       switch (static_cast<OpKind>(op.kind)) {
         case OpKind::kPushLocal:
-          ptrs.fdst[dir][static_cast<std::size_t>(op.index)] = fl[dir];
+          ptrs.fdst[dir][static_cast<std::size_t>(op.index) * S] =
+              fl[dir * flStride];
           break;
         case OpKind::kSend:
-          ptrs.sendFlat[static_cast<std::size_t>(op.index)] = fl[dir];
+          ptrs.sendFlat[static_cast<std::size_t>(op.index)] =
+              fl[dir * flStride];
           break;
         case OpKind::kWall:
           // Halfway bounce-back off the vessel wall.
-          ptrs.fdst[dir][l] = fl[set.opposite[dir]];
+          ptrs.fdst[dir][static_cast<std::size_t>(l) * S] =
+              fl[static_cast<std::size_t>(set.opposite[dir]) * flStride];
           break;
         case OpKind::kIolet: {
           const auto id = static_cast<std::size_t>(op.index);
           const Vec3d c = set.c[dir].template cast<double>();
           const double w = set.w[dir];
-          const double bounce = fl[set.opposite[dir]];
+          const double bounce =
+              fl[static_cast<std::size_t>(set.opposite[dir]) * flStride];
           if (ioletIsVelocityBc_[id]) {
             // Ladd bounce-back off a "wall" moving at the prescribed
             // iolet velocity: injects the target momentum flux.
             const double rho = ctx.rhoOut[ext];
-            ptrs.fdst[dir][l] =
+            ptrs.fdst[dir][static_cast<std::size_t>(l) * S] =
                 bounce + 6.0 * w * rho * c.dot(ioletVelocity_[id]);
           } else {
             // Anti-bounce-back pressure boundary at the prescribed
@@ -810,13 +1087,503 @@ class Solver {
             const double rhoIo = ioletDensity_[id];
             const Vec3d u = ctx.uOut[ext];
             const double cu = c.dot(u);
-            ptrs.fdst[dir][l] =
+            ptrs.fdst[dir][static_cast<std::size_t>(l) * S] =
                 -bounce + 2.0 * w * rhoIo *
                               (1.0 + 4.5 * cu * cu - 1.5 * u.dot(u));
           }
           break;
         }
       }
+    }
+  }
+
+  /// Boundary actions (wall/iolet/halo-send) of frontier site l in the
+  /// SIMD path — the local pushes were already retired direction-major
+  /// from the strip, so this walks the short boundary-only CSR. `fl`
+  /// holds the post-collision populations at stride flStride (the
+  /// direction-major strip buffer).
+  void scatterBoundaryOps(const CollisionCtx& ctx, const SweepPtrs& ptrs,
+                          std::uint32_t l, const double* fl,
+                          std::size_t flStride) {
+    const std::uint32_t begin = frontierBoundaryStart_[l];
+    const std::uint32_t end = frontierBoundaryStart_[l + 1];
+    if (begin == end) return;
+    const auto& set = Lattice::kSet;
+    const auto ext = static_cast<std::size_t>(ptrs.extOf[l]);
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const FrontierOp op = frontierBoundaryOps_[k];
+      const auto dir = static_cast<std::size_t>(op.dir);
+      switch (static_cast<OpKind>(op.kind)) {
+        case OpKind::kPushLocal:
+          break;  // never present in the boundary-only CSR
+        case OpKind::kSend:
+          ptrs.sendFlat[static_cast<std::size_t>(op.index)] =
+              fl[dir * flStride];
+          break;
+        case OpKind::kWall:
+          ptrs.fdst[dir][static_cast<std::size_t>(l)] =
+              fl[static_cast<std::size_t>(set.opposite[dir]) * flStride];
+          break;
+        case OpKind::kIolet: {
+          const auto id = static_cast<std::size_t>(op.index);
+          const Vec3d c = set.c[dir].template cast<double>();
+          const double w = set.w[dir];
+          const double bounce =
+              fl[static_cast<std::size_t>(set.opposite[dir]) * flStride];
+          if (ioletIsVelocityBc_[id]) {
+            const double rho = ctx.rhoOut[ext];
+            ptrs.fdst[dir][static_cast<std::size_t>(l)] =
+                bounce + 6.0 * w * rho * c.dot(ioletVelocity_[id]);
+          } else {
+            const double rhoIo = ioletDensity_[id];
+            const Vec3d u = ctx.uOut[ext];
+            const double cu = c.dot(u);
+            ptrs.fdst[dir][static_cast<std::size_t>(l)] =
+                -bounce + 2.0 * w * rhoIo *
+                              (1.0 + 4.5 * cu * cu - 1.5 * u.dot(u));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // --- vectorised fused kernel (SoA layout only) -------------------------
+
+  /// A maximal unit-stride stretch of strip writes: `len` consecutive
+  /// source slots landing in `len` consecutive destination slots.
+  struct StreamRun {
+    std::uint32_t srcK;  ///< first vector-relative source index of the run
+    std::uint32_t dst;   ///< destination index of that first site
+    std::uint32_t len;
+  };
+
+  /// Retire this strip's share of the macro-field runs: rho as straight
+  /// copies, u re-interleaved to Vec3d — per run a single sequential
+  /// destination stream each.
+  void drainMacroRuns(const CollisionCtx& ctx,
+                      const std::vector<StreamRun>& runs, std::size_t& cur,
+                      const double* strip, std::uint32_t base,
+                      std::uint32_t stripEnd) {
+    const double* rhoS =
+        strip + static_cast<std::size_t>(kQ) * kBulkStrip - base;
+    const double* uxS =
+        strip + static_cast<std::size_t>(kQ + 1) * kBulkStrip - base;
+    const double* uyS =
+        strip + static_cast<std::size_t>(kQ + 2) * kBulkStrip - base;
+    const double* uzS =
+        strip + static_cast<std::size_t>(kQ + 3) * kBulkStrip - base;
+    while (cur < runs.size() && runs[cur].srcK < stripEnd) {
+      const StreamRun r = runs[cur];
+      simd::copyDoubles(ctx.rhoOut + r.dst, rhoS + r.srcK, r.len, false);
+      Vec3d* u = ctx.uOut + r.dst;
+      for (std::uint32_t k = 0; k < r.len; ++k) {
+        u[k] = Vec3d{uxS[r.srcK + k], uyS[r.srcK + k], uzS[r.srcK + k]};
+      }
+      ++cur;
+    }
+  }
+
+  /// stepFused with both sweeps rewritten as SIMD strips: collision runs
+  /// kBulkStrip sites at a time into a direction-major L2 buffer and the
+  /// streamed writes retire as unit-stride runs, one direction at a time.
+  /// Frontier boundary actions (walls/iolets/halo sends) and the
+  /// sub-group tails keep the scalar path (branchy minority).
+  void stepSimd() {
+    const CollisionCtx ctx = collisionCtx();
+    const SweepPtrs ptrs = sweepPtrs();
+    const auto n = static_cast<std::uint32_t>(domain_->numOwned());
+    const std::uint32_t nf = reorder_.numFrontier;
+
+    constexpr auto kW = static_cast<std::uint32_t>(simd::kWidth);
+    // Frontier pass: collision is uniform, so it vectorises exactly like
+    // the bulk (frontier sites are contiguous at the front of every
+    // plane). Local pushes retire direction-major through the dst tables;
+    // only the boundary-only CSR (walls/iolets/halo sends) needs per-op
+    // dispatch.
+    {
+      ScopedPhase phase(collideTimer_);
+      HEMO_TSPAN(kCollide, "collide.frontier");
+      const std::uint32_t nfVec = nf - nf % kW;
+      double* strip = bulkStrip_.data();
+      runCursor_.fill(0);
+      wallCursor_.fill(0);
+      macroCursor_ = 0;
+      for (std::uint32_t base = 0; base < nfVec; base += kBulkStrip) {
+        const std::uint32_t cnt = std::min(kBulkStrip, nfVec - base);
+        collideStripSimd(ctx, ptrs, base, cnt, strip, kBulkStrip);
+        // Macro fields first: the iolet boundary ops below read them.
+        drainMacroRuns(ctx, macroRunsFrontier_, macroCursor_, strip, base,
+                       base + cnt);
+        // Rest population: destination is the site itself.
+        simd::copyDoubles(ptrs.fdst[0] + base, strip, cnt, false);
+        // Local pushes: drain each direction's unit-stride runs (kNoDst
+        // lanes — the boundary ops — sit in the gaps between runs).
+        const std::uint32_t stripEnd = base + cnt;
+        for (int i = 1; i < kQ; ++i) {
+          const auto& runs = frontierRuns_[static_cast<std::size_t>(i)];
+          std::size_t& cur = runCursor_[static_cast<std::size_t>(i)];
+          const double* src =
+              strip + static_cast<std::size_t>(i) * kBulkStrip - base;
+          while (cur < runs.size() && runs[cur].srcK < stripEnd) {
+            const StreamRun r = runs[cur];
+            simd::copyDoubles(ptrs.fdst[i] + r.dst, src + r.srcK, r.len,
+                              false);
+            ++cur;
+          }
+        }
+        // Wall folds: fdst[i][l] = post-collision opposite(i) population
+        // of site l — unit stride on both sides, drained the same way.
+        for (int i = 1; i < kQ; ++i) {
+          const auto& runs = frontierWallRuns_[static_cast<std::size_t>(i)];
+          std::size_t& cur = wallCursor_[static_cast<std::size_t>(i)];
+          const double* src =
+              strip +
+              static_cast<std::size_t>(
+                  Lattice::kSet.opposite[static_cast<std::size_t>(i)]) *
+                  kBulkStrip -
+              base;
+          while (cur < runs.size() && runs[cur].srcK < stripEnd) {
+            const StreamRun r = runs[cur];
+            simd::copyDoubles(ptrs.fdst[i] + r.dst, src + r.srcK, r.len,
+                              false);
+            ++cur;
+          }
+        }
+        // Boundary CSR (iolets/halo sends only): most strips of a large
+        // domain have an empty range — the offsets are monotone, so one
+        // compare skips the whole per-site walk.
+        if (frontierBoundaryStart_[base] != frontierBoundaryStart_[stripEnd]) {
+          for (std::uint32_t k = 0; k < cnt; ++k) {
+            scatterBoundaryOps(ctx, ptrs, base + k, strip + k, kBulkStrip);
+          }
+        }
+      }
+      for (std::uint32_t l = nfVec; l < nf; ++l) {
+        processFrontierSite<1>(ctx, ptrs, l);
+      }
+    }
+    {
+      ScopedPhase phase(commTimer_);
+      HEMO_TSPAN(kHaloSend, "halo.send");
+      comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
+      for (std::size_t p = 0; p < sendPlans_.size(); ++p) {
+        comm_->sendBytes(sendPlans_[p].dest, kHaloTag,
+                         sendFlat_.data() + sendFlatOffset_[p],
+                         sendPlans_[p].entries.size() * sizeof(double));
+      }
+    }
+    {
+      ScopedPhase phase(collideTimer_);
+      ScopedWallPhase overlap(overlapTimer_);
+      HEMO_TSPAN(kCollide, "collide.simd");
+      // Head: bulk sites before the aligned vector start (scalar push).
+      for (std::uint32_t l = nf; l < simdVecStart_; ++l) {
+        double fl[kQ];
+        for (int i = 0; i < kQ; ++i) fl[i] = ptrs.fsrc[i][l];
+        relaxSite(ctx, fl, static_cast<std::size_t>(ptrs.extOf[l]));
+        ptrs.fdst[0][l] = fl[0];
+        for (int i = 1; i < kQ; ++i) {
+          ptrs.fdst[i][ptrs.pdst[i][l]] = fl[i];
+        }
+      }
+      // Aligned bulk: collide whole strips into the direction-major
+      // buffer, then retire each direction's unit-stride runs one stream
+      // at a time. Interleaving the 19 write streams store-by-store
+      // defeats the core's full-line write combining (measured ~9x lower
+      // write bandwidth), so the drain keeps exactly one destination
+      // stream hot; with useNt_ the copies stream past the cache instead.
+      runCursor_.fill(0);
+      macroCursor_ = 0;
+      double* strip = bulkStrip_.data();
+      for (std::uint32_t base = 0; base < simdVecSites_; base += kBulkStrip) {
+        const std::uint32_t cnt = std::min(kBulkStrip, simdVecSites_ - base);
+        collideStripSimd(ctx, ptrs, simdVecStart_ + base, cnt, strip,
+                         kBulkStrip);
+        drainMacroRuns(ctx, macroRunsBulk_, macroCursor_, strip, base,
+                       base + cnt);
+        // Rest population: destination is the site itself — one
+        // contiguous copy per strip.
+        simd::copyDoubles(ptrs.fdst[0] + simdVecStart_ + base, strip, cnt,
+                          useNt_);
+        // Moving populations: drain this strip's unit-stride runs.
+        const std::uint32_t stripEnd = base + cnt;
+        for (int i = 1; i < kQ; ++i) {
+          const auto& runs = simdRuns_[static_cast<std::size_t>(i)];
+          std::size_t& cur = runCursor_[static_cast<std::size_t>(i)];
+          const double* src =
+              strip + static_cast<std::size_t>(i) * kBulkStrip - base;
+          while (cur < runs.size() && runs[cur].srcK < stripEnd) {
+            const StreamRun r = runs[cur];
+            simd::copyDoubles(ptrs.fdst[i] + r.dst, src + r.srcK, r.len,
+                              useNt_ && r.len >= 2 * simd::kWidth);
+            ++cur;
+          }
+        }
+      }
+      // Sub-group tail: scalar fused push (bulk sites are all-local).
+      for (std::uint32_t l = simdVecStart_ + simdVecSites_; l < n; ++l) {
+        double fl[kQ];
+        for (int i = 0; i < kQ; ++i) fl[i] = ptrs.fsrc[i][l];
+        relaxSite(ctx, fl, static_cast<std::size_t>(ptrs.extOf[l]));
+        ptrs.fdst[0][l] = fl[0];
+        for (int i = 1; i < kQ; ++i) {
+          ptrs.fdst[i][ptrs.pdst[i][l]] = fl[i];
+        }
+      }
+      if (useNt_) simd::storeFence();
+    }
+    {
+      comm::Communicator::TrafficScope scope(*comm_, comm::Traffic::kHalo);
+      for (const int r : recvRanks_) {
+        const auto off = recvOffset_[static_cast<std::size_t>(r)];
+        const auto count =
+            recvOffset_[static_cast<std::size_t>(r) + 1] - off;
+        {
+          ScopedPhase cphase(commTimer_);
+          ScopedWallPhase wait(recvWaitTimer_);
+          HEMO_TSPAN(kHaloRecvWait, "halo.recv");
+          comm_->recvInto(r, kHaloTag, recvFlat_.data() + off, count);
+        }
+        ScopedPhase sphase(streamTimer_);
+        HEMO_TSPAN(kStream, "stream.scatter");
+        for (std::uint32_t k = off; k < off + count; ++k) {
+          const RecvDst d = recvDst_[k];
+          ptrs.fdst[d.dir][static_cast<std::size_t>(d.dest)] = recvFlat_[k];
+        }
+      }
+    }
+  }
+
+  /// One vector group of post-collision populations (lane w = site s0+w).
+  struct VecGroup {
+    simd::VecD f[kQ];
+    /// Macroscopic moments of the group, staged for the strip's run
+    /// drain instead of lane-scattered through extOf.
+    simd::VecD rho, ux, uy, uz;
+  };
+  /// Strip planes: kQ post-collision populations, then rho/ux/uy/uz.
+  static constexpr int kStripPlanes = kQ + 4;
+
+  /// Collide simd::kWidth consecutive sites starting at s0 (SoA planes,
+  /// unit stride, s0 a multiple of simd::kWidth so every plane load is an
+  /// aligned full vector) into g. Per lane the arithmetic replicates
+  /// relaxSite() operation for operation, so the trajectories of kSimd
+  /// and kFused agree to round-off (the paired equivalence tests hold
+  /// 1e-12 over 100 steps). Stress/forcing are hoisted to template
+  /// parameters — with 19 live population vectors the register file is
+  /// full, and per-direction runtime branches are measurable.
+  void collideGroupSimd(const CollisionCtx& ctx, const SweepPtrs& ptrs,
+                        std::size_t s0, VecGroup& g) {
+    if (ctx.stress) {
+      if (ctx.forced) {
+        collideGroupSimdImpl<true, true>(ctx, ptrs, s0, g);
+      } else {
+        collideGroupSimdImpl<true, false>(ctx, ptrs, s0, g);
+      }
+    } else {
+      if (ctx.forced) {
+        collideGroupSimdImpl<false, true>(ctx, ptrs, s0, g);
+      } else {
+        collideGroupSimdImpl<false, false>(ctx, ptrs, s0, g);
+      }
+    }
+  }
+
+  template <bool Stress, bool Forced>
+  void collideGroupSimdImpl(const CollisionCtx& ctx, const SweepPtrs& ptrs,
+                            std::size_t s0, VecGroup& g) {
+    using simd::VecD;
+    using simd::broadcast;
+    using simd::fmadd;
+    constexpr int W = simd::kWidth;
+    const auto& d = dir_;
+    const auto& set = Lattice::kSet;
+    const VecD one = broadcast(1.0);
+    const VecD half = broadcast(0.5);
+    const VecD three = broadcast(3.0);
+    const VecD fourHalf = broadcast(4.5);
+    const VecD mThreeHalf = broadcast(-1.5);
+    const VecD omega = broadcast(ctx.omega);
+
+    VecD* fv = g.f;
+    VecD rho = simd::zero();
+    VecD mx = simd::zero(), my = simd::zero(), mz = simd::zero();
+    for (int i = 0; i < kQ; ++i) {
+      fv[i] = simd::load(ptrs.fsrc[i] + s0);
+      rho += fv[i];
+      // c components are -1/0/1; zero terms change no bit of the sums.
+      const double cx = d.cx[static_cast<std::size_t>(i)];
+      const double cy = d.cy[static_cast<std::size_t>(i)];
+      const double cz = d.cz[static_cast<std::size_t>(i)];
+      if (cx != 0.0) mx = fmadd(broadcast(cx), fv[i], mx);
+      if (cy != 0.0) my = fmadd(broadcast(cy), fv[i], my);
+      if (cz != 0.0) mz = fmadd(broadcast(cz), fv[i], mz);
+    }
+    const VecD invRho = one / rho;
+    VecD ux = mx * invRho, uy = my * invRho, uz = mz * invRho;
+    if constexpr (Forced) {
+      const VecD h = half * invRho;
+      ux = fmadd(broadcast(ctx.F.x), h, ux);
+      uy = fmadd(broadcast(ctx.F.y), h, uy);
+      uz = fmadd(broadcast(ctx.F.z), h, uz);
+    }
+    // Macroscopic moments are not scattered here: they ride along in the
+    // group and the strip drains them as unit-stride external-index runs
+    // (the per-lane extOf scatter was a measured ~10% of the step).
+    g.rho = rho;
+    g.ux = ux;
+    g.uy = uy;
+    g.uz = uz;
+
+    VecD u2 = ux * ux;
+    u2 = fmadd(uy, uy, u2);
+    u2 = fmadd(uz, uz, u2);
+    const VecD eqBase = fmadd(mThreeHalf, u2, one);
+
+    [[maybe_unused]] VecD pxx, pyy, pzz, pxy, pxz, pyz;
+    if constexpr (Stress) {
+      pxx = pyy = pzz = pxy = pxz = pyz = simd::zero();
+    }
+
+    // Split loops with per-direction spill arrays on purpose: a single
+    // fused pass was measured ~45% slower here — with 19 live population
+    // vectors the register allocator handles several small loops better
+    // than one big body.
+    VecD feq[kQ], cus[kQ];
+    for (int i = 0; i < kQ; ++i) {
+      const double cx = d.cx[static_cast<std::size_t>(i)];
+      const double cy = d.cy[static_cast<std::size_t>(i)];
+      const double cz = d.cz[static_cast<std::size_t>(i)];
+      VecD cu = simd::zero();
+      if (cx != 0.0) cu = fmadd(broadcast(cx), ux, cu);
+      if (cy != 0.0) cu = fmadd(broadcast(cy), uy, cu);
+      if (cz != 0.0) cu = fmadd(broadcast(cz), uz, cu);
+      cus[i] = cu;
+      const VecD poly = fmadd(cu, fmadd(fourHalf, cu, three), eqBase);
+      feq[i] = broadcast(d.w[static_cast<std::size_t>(i)]) * rho * poly;
+    }
+
+    if constexpr (Stress) {
+      for (int i = 0; i < kQ; ++i) {
+        const VecD fneq = fv[i] - feq[i];
+        const double cx = d.cx[static_cast<std::size_t>(i)];
+        const double cy = d.cy[static_cast<std::size_t>(i)];
+        const double cz = d.cz[static_cast<std::size_t>(i)];
+        if (cx != 0.0) pxx += fneq;
+        if (cy != 0.0) pyy += fneq;
+        if (cz != 0.0) pzz += fneq;
+        if (cx * cy != 0.0) pxy = fmadd(broadcast(cx * cy), fneq, pxy);
+        if (cx * cz != 0.0) pxz = fmadd(broadcast(cx * cz), fneq, pxz);
+        if (cy * cz != 0.0) pyz = fmadd(broadcast(cy * cz), fneq, pyz);
+      }
+    }
+
+    if (!ctx.trt) {
+      for (int i = 0; i < kQ; ++i) {
+        fv[i] = fmadd(omega, feq[i] - fv[i], fv[i]);
+      }
+    } else {
+      const VecD omegaMinus = broadcast(ctx.omegaMinus);
+      for (int i = 0; i < kQ; ++i) {
+        const int j = set.opposite[static_cast<std::size_t>(i)];
+        if (j < i) continue;
+        const VecD fPlus = half * (fv[i] + fv[j]);
+        const VecD fMinus = half * (fv[i] - fv[j]);
+        const VecD eqPlus = half * (feq[i] + feq[j]);
+        const VecD eqMinus = half * (feq[i] - feq[j]);
+        const VecD dPlus = omega * (eqPlus - fPlus);
+        const VecD dMinus = omegaMinus * (eqMinus - fMinus);
+        fv[i] += dPlus + dMinus;
+        if (j != i) fv[j] += dPlus - dMinus;
+      }
+    }
+
+    if constexpr (Forced) {
+      const VecD fPref = broadcast(1.0 - 0.5 * ctx.omega);
+      const VecD nine = broadcast(9.0);
+      // A zero force component contributes only a ±0 addend to termF, so
+      // its whole chain is skipped: a third of the force math per absent
+      // axis (body forces are typically single-axis), with a result that
+      // can differ from the full sum in at most the sign of an exact
+      // zero.
+      const bool hasFx = ctx.F.x != 0.0;
+      const bool hasFy = ctx.F.y != 0.0;
+      const bool hasFz = ctx.F.z != 0.0;
+      for (int i = 0; i < kQ; ++i) {
+        const VecD nineCu = nine * cus[i];
+        VecD termF = simd::zero();
+        bool first = true;
+        if (hasFx) {
+          const VecD vcx = broadcast(d.cx[static_cast<std::size_t>(i)]);
+          const VecD t = three * (vcx - ux) + vcx * nineCu;
+          termF = t * broadcast(ctx.F.x);
+          first = false;
+        }
+        if (hasFy) {
+          const VecD vcy = broadcast(d.cy[static_cast<std::size_t>(i)]);
+          const VecD t = three * (vcy - uy) + vcy * nineCu;
+          const VecD vF = broadcast(ctx.F.y);
+          termF = first ? t * vF : fmadd(t, vF, termF);
+          first = false;
+        }
+        if (hasFz) {
+          const VecD vcz = broadcast(d.cz[static_cast<std::size_t>(i)]);
+          const VecD t = three * (vcz - uz) + vcz * nineCu;
+          const VecD vF = broadcast(ctx.F.z);
+          termF = first ? t * vF : fmadd(t, vF, termF);
+        }
+        fv[i] = fmadd(
+            fPref * broadcast(d.w[static_cast<std::size_t>(i)]), termF,
+            fv[i]);
+      }
+    }
+
+    if constexpr (Stress) {
+      const VecD pref = broadcast(ctx.stressPrefactor);
+      VecD sxx = pxx * pref, syy = pyy * pref, szz = pzz * pref;
+      const VecD sxy = pxy * pref, sxz = pxz * pref, syz = pyz * pref;
+      const VecD trace3 = (sxx + syy + szz) / three;
+      sxx = sxx - trace3;
+      syy = syy - trace3;
+      szz = szz - trace3;
+      alignas(64) double t[6][W];
+      simd::store(t[0], sxx);
+      simd::store(t[1], syy);
+      simd::store(t[2], szz);
+      simd::store(t[3], sxy);
+      simd::store(t[4], sxz);
+      simd::store(t[5], syz);
+      for (int w = 0; w < W; ++w) {
+        const auto ext = static_cast<std::size_t>(
+            ptrs.extOf[s0 + static_cast<std::size_t>(w)]);
+        ctx.stressOut[ext].m = {t[0][w], t[1][w], t[2][w],
+                                t[3][w], t[4][w], t[5][w]};
+      }
+    }
+  }
+
+  /// Collide `count` sites (a multiple of simd::kWidth, at most `stride`;
+  /// site0 itself a multiple of simd::kWidth) from site0 into the
+  /// direction-major buffer strip[i*stride + k].
+  void collideStripSimd(const CollisionCtx& ctx, const SweepPtrs& ptrs,
+                        std::uint32_t site0, std::uint32_t count,
+                        double* strip, std::uint32_t stride) {
+    VecGroup g;
+    for (std::uint32_t k = 0; k < count;
+         k += static_cast<std::uint32_t>(simd::kWidth)) {
+      collideGroupSimd(ctx, ptrs, site0 + k, g);
+      for (int i = 0; i < kQ; ++i) {
+        simd::store(strip + static_cast<std::size_t>(i) * stride + k,
+                    g.f[i]);
+      }
+      simd::store(strip + static_cast<std::size_t>(kQ) * stride + k, g.rho);
+      simd::store(strip + static_cast<std::size_t>(kQ + 1) * stride + k,
+                  g.ux);
+      simd::store(strip + static_cast<std::size_t>(kQ + 2) * stride + k,
+                  g.uy);
+      simd::store(strip + static_cast<std::size_t>(kQ + 3) * stride + k,
+                  g.uz);
     }
   }
 
@@ -897,20 +1664,24 @@ class Solver {
     }
   }
 
+  template <int S>
   void collide() {
     ScopedPhase phase(collideTimer_);
     HEMO_TSPAN(kCollide, "collide");
     const CollisionCtx ctx = collisionCtx();
     const std::size_t n = domain_->numOwned();
+    double* base[kQ];
+    for (int i = 0; i < kQ; ++i) base[i] = f_.dirBase(i);
     for (std::size_t l = 0; l < n; ++l) {
       double fl[kQ];
-      for (int i = 0; i < kQ; ++i) fl[i] = f_[static_cast<std::size_t>(i)][l];
+      for (int i = 0; i < kQ; ++i) fl[i] = base[i][l * S];
       relaxSiteReference(ctx, fl,
                          static_cast<std::size_t>(reorder_.externalOf[l]));
-      for (int i = 0; i < kQ; ++i) f_[static_cast<std::size_t>(i)][l] = fl[i];
+      for (int i = 0; i < kQ; ++i) base[i][l * S] = fl[i];
     }
   }
 
+  template <int S>
   void exchange() {
     ScopedPhase phase(commTimer_);
     HEMO_TSPAN(kHaloSend, "halo.exchange");
@@ -920,8 +1691,8 @@ class Solver {
       double* buf = sendFlat_.data() + sendFlatOffset_[p];
       for (std::size_t k = 0; k < plan.entries.size(); ++k) {
         const auto& e = plan.entries[k];
-        buf[k] = f_[static_cast<std::size_t>(e.velocity)]
-                   [static_cast<std::size_t>(e.local)];
+        buf[k] =
+            f_.dirBase(e.velocity)[static_cast<std::size_t>(e.local) * S];
       }
       comm_->sendBytes(plan.dest, kHaloTag, buf,
                        plan.entries.size() * sizeof(double));
@@ -933,31 +1704,36 @@ class Solver {
     }
   }
 
+  template <int S>
   void stream() {
     ScopedPhase phase(streamTimer_);
     HEMO_TSPAN(kStream, "stream");
     const std::size_t n = domain_->numOwned();
     const auto& set = Lattice::kSet;
     // Rest population never moves.
-    fNext_[0] = f_[0];
+    {
+      const double* src = f_.dirBase(0);
+      double* out = fNext_.dirBase(0);
+      for (std::size_t l = 0; l < n; ++l) out[l * S] = src[l * S];
+    }
     for (int i = 1; i < kQ; ++i) {
       const int opp = set.opposite[static_cast<std::size_t>(i)];
       const auto& srcs = pull_[static_cast<std::size_t>(i)];
-      auto& out = fNext_[static_cast<std::size_t>(i)];
-      const auto& bounce = f_[static_cast<std::size_t>(opp)];
-      const auto& local = f_[static_cast<std::size_t>(i)];
+      double* out = fNext_.dirBase(i);
+      const double* bounce = f_.dirBase(opp);
+      const double* local = f_.dirBase(i);
       for (std::size_t l = 0; l < n; ++l) {
         const PullSrc s = srcs[l];
         switch (s.kind) {
           case PullKind::kLocal:
-            out[l] = local[static_cast<std::size_t>(s.index)];
+            out[l * S] = local[static_cast<std::size_t>(s.index) * S];
             break;
           case PullKind::kRecv:
-            out[l] = recvFlat_[static_cast<std::size_t>(s.index)];
+            out[l * S] = recvFlat_[static_cast<std::size_t>(s.index)];
             break;
           case PullKind::kWall:
             // Halfway bounce-back off the vessel wall.
-            out[l] = bounce[l];
+            out[l * S] = bounce[l * S];
             break;
           case PullKind::kIolet: {
             const auto id = static_cast<std::size_t>(s.index);
@@ -969,8 +1745,8 @@ class Solver {
               // Ladd bounce-back off a "wall" moving at the prescribed
               // iolet velocity: injects the target momentum flux.
               const double rho = macro_.rho[ext];
-              out[l] = bounce[l] +
-                       6.0 * w * rho * c.dot(ioletVelocity_[id]);
+              out[l * S] = bounce[l * S] +
+                           6.0 * w * rho * c.dot(ioletVelocity_[id]);
             } else {
               // Anti-bounce-back pressure boundary at the prescribed
               // density, using the site's own velocity as the boundary
@@ -978,9 +1754,9 @@ class Solver {
               const double rhoIo = ioletDensity_[id];
               const Vec3d u = macro_.u[ext];
               const double cu = c.dot(u);
-              out[l] = -bounce[l] +
-                       2.0 * w * rhoIo *
-                           (1.0 + 4.5 * cu * cu - 1.5 * u.dot(u));
+              out[l * S] = -bounce[l * S] +
+                           2.0 * w * rhoIo *
+                               (1.0 + 4.5 * cu * cu - 1.5 * u.dot(u));
             }
             break;
           }
@@ -998,7 +1774,7 @@ class Solver {
       double rho = 0.0;
       Vec3d mom{0, 0, 0};
       for (int i = 0; i < kQ; ++i) {
-        const double fi = f_[static_cast<std::size_t>(i)][l];
+        const double fi = f_.at(i, l);
         rho += fi;
         mom += set.c[static_cast<std::size_t>(i)].template cast<double>() * fi;
       }
@@ -1027,9 +1803,36 @@ class Solver {
 
   SiteReordering reorder_;
 
-  /// Distributions in internal (frontier-first) site order.
-  std::array<std::vector<double>, kQ> f_;
-  std::array<std::vector<double>, kQ> fNext_;
+  /// Distributions in internal (frontier-first) site order, behind the
+  /// layout-agnostic DistField (SoA planes or AoS records).
+  DistField<kQ> f_;
+  DistField<kQ> fNext_;
+  /// Unit-stride push-destination runs of the SIMD bulk sweep: within each
+  /// kBulkStrip strip, consecutive bulk sites of direction i stream to
+  /// consecutive fNext slots (row-major bulk order makes these runs long).
+  std::array<std::vector<StreamRun>, kQ> simdRuns_;
+  std::array<std::size_t, kQ> runCursor_{};
+  std::uint32_t simdVecStart_ = 0;  ///< first (kWidth-aligned) vector site
+  std::uint32_t simdVecSites_ = 0;  ///< bulk sites covered by vector groups
+  simd::AVector<double> bulkStrip_;  ///< direction-major bulk store strip
+  bool useNt_ = false;               ///< resolved NtStores policy
+  /// SIMD frontier split: per direction, the local push destination of
+  /// each frontier site (kNoDst when that lane is a boundary op), plus
+  /// the boundary-only CSR the per-op dispatch shrinks to.
+  static constexpr std::uint32_t kNoDst = 0xFFFFFFFFu;
+  std::array<std::vector<std::uint32_t>, kQ> frontierLocalDst_;
+  std::vector<std::uint32_t> frontierBoundaryStart_;
+  std::vector<FrontierOp> frontierBoundaryOps_;
+  /// Unit-stride runs over frontierLocalDst_ (same shape as simdRuns_),
+  /// plus the wall-fold runs (srcK == dst: the site folds into itself)
+  /// and their per-direction drain cursors.
+  std::array<std::vector<StreamRun>, kQ> frontierRuns_;
+  std::array<std::vector<StreamRun>, kQ> frontierWallRuns_;
+  std::array<std::size_t, kQ> wallCursor_{};
+  /// Unit-stride macro-field runs (srcK internal-relative, dst external).
+  std::vector<StreamRun> macroRunsFrontier_;
+  std::vector<StreamRun> macroRunsBulk_;
+  std::size_t macroCursor_ = 0;
   /// Pull table (reference kernel), internal order.
   std::array<std::vector<PullSrc>, kQ> pull_;
   /// Local push targets per direction (fused kernel, bulk range only).

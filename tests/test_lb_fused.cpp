@@ -173,6 +173,127 @@ TEST(FusedVsReference, StressFieldMatches) {
   EXPECT_LE(maxD, 1e-12);
 }
 
+// --- simd vs fused equivalence ------------------------------------------------
+
+// The vectorised kernel replicates the scalar per-site operation order, so
+// its trajectory must track the fused kernel to round-off (FMA contraction
+// is the only permitted difference).
+
+TEST(SimdVsFused, BgkBodyForceMatches) {
+  const auto lattice = tube();
+  LbParams params;
+  params.tau = 0.8;
+  params.collision = LbParams::Collision::kBgk;
+  params.bodyForce = Vec3d{1e-5, 0, 0};
+
+  params.kernel = LbParams::Kernel::kSimd;
+  const auto simd = runGatheredState(lattice, 3, params, 100);
+  params.kernel = LbParams::Kernel::kFused;
+  const auto fused = runGatheredState(lattice, 3, params, 100);
+  expectStatesMatch(simd, fused, 1e-12);
+}
+
+TEST(SimdVsFused, TrtBothIoletKindsMatch) {
+  const auto lattice = tube();
+  ASSERT_GE(lattice.iolets().size(), 2u);
+  LbParams params;
+  params.tau = 0.9;
+  params.collision = LbParams::Collision::kTrt;
+  const auto setup = [](SolverD3Q19& solver) {
+    solver.setIoletVelocity(0, Vec3d{0.0, 0.0, 0.005});
+    solver.setIoletDensity(1, 0.995);
+  };
+
+  params.kernel = LbParams::Kernel::kSimd;
+  const auto simd = runGatheredState(lattice, 2, params, 100, setup);
+  params.kernel = LbParams::Kernel::kFused;
+  const auto fused = runGatheredState(lattice, 2, params, 100, setup);
+  expectStatesMatch(simd, fused, 1e-12);
+}
+
+TEST(SimdVsFused, SingleRankMatches) {
+  // One rank maximises the bulk segment, so the SIMD strips (not the
+  // scalar tail) carry nearly all sites.
+  const auto lattice = tube();
+  LbParams params;
+  params.tau = 0.8;
+  params.bodyForce = Vec3d{1e-5, 0, 0};
+
+  params.kernel = LbParams::Kernel::kSimd;
+  const auto simd = runGatheredState(lattice, 1, params, 100);
+  params.kernel = LbParams::Kernel::kFused;
+  const auto fused = runGatheredState(lattice, 1, params, 100);
+  expectStatesMatch(simd, fused, 1e-12);
+}
+
+TEST(SimdVsFused, StressFieldMatches) {
+  const auto lattice = tube();
+  LbParams params;
+  params.tau = 0.8;
+  params.bodyForce = Vec3d{1e-5, 0, 0};
+  params.computeStress = true;
+
+  const auto graph = partition::buildSiteGraph(lattice);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+  std::vector<double> stressNorm[2];
+  for (const auto kernel :
+       {LbParams::Kernel::kSimd, LbParams::Kernel::kFused}) {
+    params.kernel = kernel;
+    auto& out = stressNorm[kernel == LbParams::Kernel::kSimd ? 0 : 1];
+    out.assign(lattice.numFluidSites(), 0.0);
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      DomainMap domain(lattice, part, comm.rank());
+      SolverD3Q19 solver(domain, comm, params);
+      solver.run(50);
+      for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+        out[static_cast<std::size_t>(domain.globalOf(l))] =
+            solver.macro().stress[static_cast<std::size_t>(l)].frobenius();
+      }
+    });
+  }
+  double maxD = 0.0;
+  for (std::size_t g = 0; g < stressNorm[0].size(); ++g) {
+    maxD = std::max(maxD, std::abs(stressNorm[0][g] - stressNorm[1][g]));
+  }
+  EXPECT_LE(maxD, 1e-12);
+}
+
+// --- layout equivalence -------------------------------------------------------
+
+// The AoS record layout must produce the same trajectory as the SoA planes
+// through both scalar kernels: the layout only changes where values live,
+// never what arithmetic runs.
+
+TEST(LayoutEquivalence, FusedAosMatchesSoa) {
+  const auto lattice = tube();
+  LbParams params;
+  params.tau = 0.8;
+  params.bodyForce = Vec3d{1e-5, 0, 0};
+  params.kernel = LbParams::Kernel::kFused;
+
+  params.layout = Layout::kAoS;
+  const auto aos = runGatheredState(lattice, 2, params, 100);
+  params.layout = Layout::kSoA;
+  const auto soa = runGatheredState(lattice, 2, params, 100);
+  expectStatesMatch(aos, soa, 0.0);  // identical arithmetic → bit-exact
+}
+
+TEST(LayoutEquivalence, ReferenceAosMatchesSoa) {
+  const auto lattice = tube();
+  LbParams params;
+  params.tau = 0.9;
+  params.collision = LbParams::Collision::kTrt;
+  params.kernel = LbParams::Kernel::kReference;
+
+  params.layout = Layout::kAoS;
+  const auto aos = runGatheredState(lattice, 2, params, 50);
+  params.layout = Layout::kSoA;
+  const auto soa = runGatheredState(lattice, 2, params, 50);
+  expectStatesMatch(aos, soa, 0.0);
+}
+
 // --- conservation on the fused path ------------------------------------------
 
 TEST(FusedConservation, ClosedCavityMassExact) {
@@ -219,6 +340,50 @@ TEST(FusedConservation, AtRestCavityStaysAtRest) {
     EXPECT_NEAR(mass, static_cast<double>(lattice.numFluidSites()), 1e-10);
   });
 }
+
+class ConservationEveryKernel
+    : public ::testing::TestWithParam<std::pair<LbParams::Kernel, Layout>> {};
+
+TEST_P(ConservationEveryKernel, ClosedCavityMassExact) {
+  const auto [kernel, layout] = GetParam();
+  const auto lattice = closedCavity();
+  LbParams params;
+  params.tau = 0.7;
+  params.kernel = kernel;
+  params.layout = layout;
+
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    const auto graph = partition::buildSiteGraph(lattice);
+    partition::SfcPartitioner sfc;
+    const auto part = sfc.partition(graph, comm.size());
+    DomainMap domain(lattice, part, comm.rank());
+    SolverD3Q19 solver(domain, comm, params);
+    solver.initWith([](const Vec3d& w) {
+      return std::pair{1.0, Vec3d{0.01 * w.y, -0.01 * w.x, 0.0}};
+    });
+    solver.step();
+    const double m0 = comm.allreduceSum(solver.localMass());
+    solver.run(100);
+    const double m1 = comm.allreduceSum(solver.localMass());
+    EXPECT_NEAR(m1 / m0, 1.0, 1e-12);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ConservationEveryKernel,
+    ::testing::Values(
+        std::pair{LbParams::Kernel::kFused, Layout::kSoA},
+        std::pair{LbParams::Kernel::kFused, Layout::kAoS},
+        std::pair{LbParams::Kernel::kReference, Layout::kAoS},
+        std::pair{LbParams::Kernel::kSimd, Layout::kSoA}),
+    [](const auto& info) {
+      const std::string name =
+          info.param.first == LbParams::Kernel::kFused  ? "Fused"
+          : info.param.first == LbParams::Kernel::kSimd ? "Simd"
+                                                        : "Reference";
+      return name + (info.param.second == Layout::kSoA ? "Soa" : "Aos");
+    });
 
 // --- reordering contract ------------------------------------------------------
 

@@ -319,6 +319,68 @@ TEST(Checkpoint, StripedWriteRestoresAcrossDifferentPartition) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Checkpoint, CrossLayoutWriteAndRestoreBitExact) {
+  // The checkpoint format is layout-agnostic: a run stores the same bytes
+  // whether its distributions live in SoA planes or AoS records, and a
+  // file written under one layout restores bit-exactly under the other.
+  const auto lat = tubeLattice();
+  const auto graph = partition::buildSiteGraph(lat);
+  auto params = tubeParams();
+  const std::string dir = "/tmp/hemo_test_layout_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+
+  const auto readAll = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+
+  // Same 10-step run under each layout → byte-identical checkpoints.
+  for (const auto layout : {lb::Layout::kSoA, lb::Layout::kAoS}) {
+    params.layout = layout;
+    const std::string path =
+        dir + (layout == lb::Layout::kSoA ? "/soa.hemockpt" : "/aos.hemockpt");
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part, comm.rank());
+      lb::SolverD3Q19 solver(domain, comm, params);
+      solver.run(10);
+      lb::writeCheckpoint(path, solver, comm, {1});
+    });
+  }
+  EXPECT_EQ(readAll(dir + "/soa.hemockpt"), readAll(dir + "/aos.hemockpt"));
+  EXPECT_EQ(readAll(lb::ckptdetail::stripePath(dir + "/soa.hemockpt", 0)),
+            readAll(lb::ckptdetail::stripePath(dir + "/aos.hemockpt", 0)));
+
+  // Restore the SoA-written file under both layouts and gather every
+  // distribution: the values must agree bit for bit.
+  std::vector<std::vector<double>> gathered[2];
+  for (const auto layout : {lb::Layout::kSoA, lb::Layout::kAoS}) {
+    params.layout = layout;
+    auto& out = gathered[layout == lb::Layout::kSoA ? 0 : 1];
+    out.assign(19, std::vector<double>(lat.numFluidSites(), 0.0));
+    comm::Runtime rt(2);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lat, part, comm.rank());
+      lb::SolverD3Q19 solver(domain, comm, params);
+      const auto r = lb::readCheckpoint(dir + "/soa.hemockpt", solver, comm);
+      ASSERT_TRUE(r.ok()) << r.detail;
+      for (int i = 0; i < 19; ++i) {
+        const auto fi = solver.distribution(i);
+        for (std::uint32_t l = 0; l < domain.numOwned(); ++l) {
+          out[static_cast<std::size_t>(i)]
+             [static_cast<std::size_t>(domain.globalOf(l))] = fi[l];
+        }
+      }
+    });
+  }
+  EXPECT_EQ(gathered[0], gathered[1]);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Checkpoint, RestoreLatestFallsBackPastCorruptedCheckpoint) {
   const auto lat = tubeLattice();
   const auto graph = partition::buildSiteGraph(lat);
