@@ -9,6 +9,8 @@
 // wall clock on a time-shared host measures contention, not scaling).
 
 #include "common.hpp"
+#include "telemetry/step_report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -29,6 +31,14 @@ struct ScalePoint {
   double mlups = 0.0;
   /// Total bytes sent during the measured phase, by comm::Traffic class.
   std::uint64_t classBytes[comm::kNumTrafficClasses] = {};
+  /// Wait-state attribution of the measured phase (telemetry/waitstate.hpp):
+  /// per-cause share of the classified blocked time, the cross-rank
+  /// straggler vote and the classified/measured coverage fraction.
+  double waitLateSenderPct = 0.0;
+  double waitLateReceiverPct = 0.0;
+  double waitCollectivePct = 0.0;
+  std::int32_t waitStragglerRank = -1;
+  double waitAttributed = 0.0;
 };
 
 ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
@@ -44,6 +54,10 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
     solver.run(10);  // warm up (plans, caches)
     solver.resetTimers();
     comm.barrier();
+    // Measure wait attribution over the timed phase only: drop the warmup
+    // and barrier waits by snapping the recorder's window baseline here.
+    auto* rankTel = telemetry::threadTelemetry();
+    if (rankTel != nullptr) rankTel->waitState().window();
     const comm::TrafficCounters before = comm.counters();
     const auto sample =
         measurePhase(comm, [&] { solver.run(steps); });
@@ -57,6 +71,22 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
     const auto s = summarizePhase(comm, sample);
     const double overlap = comm.allreduceSum(solver.overlapTimer().total());
     const double wait = comm.allreduceSum(solver.recvWaitTimer().total());
+    // Cross-rank wait attribution: every rank votes with its window delta
+    // (one StepReport each), rank 0 aggregates via the same reduction the
+    // driver uses for live telemetry.
+    telemetry::StepReport waitLocal;
+    waitLocal.collideSeconds = sample.busySeconds;  // busiest-rank fallback
+    if (rankTel != nullptr) {
+      const auto w = rankTel->waitState().window();
+      waitLocal.waitLateSenderSeconds = w.lateSenderSeconds;
+      waitLocal.waitLateReceiverSeconds = w.lateReceiverSeconds;
+      waitLocal.waitCollectiveSeconds = w.collectiveSeconds;
+      waitLocal.waitLateReceiverSlackSeconds = w.lateReceiverSlackSeconds;
+      waitLocal.waitBlamedRank = w.topBlamedRank;
+      waitLocal.waitBlamedSeconds = w.topBlamedSeconds;
+      waitLocal.waitMeasuredSeconds = solver.recvWaitTimer().total();
+    }
+    const auto waitReports = comm.gather(waitLocal, 0);
     std::uint64_t classTotal[comm::kNumTrafficClasses];
     for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
       classTotal[c] = comm.allreduceSum(classDelta[c]);
@@ -78,6 +108,18 @@ ScalePoint measure(const geometry::SparseLattice& lattice, int ranks,
       for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
         point.classBytes[c] = classTotal[c];
       }
+      const auto agg = telemetry::aggregateStepReports(waitReports);
+      const double classified = agg.waitClassifiedSeconds();
+      if (classified > 0.0) {
+        point.waitLateSenderPct =
+            100.0 * agg.waitLateSenderSeconds / classified;
+        point.waitLateReceiverPct =
+            100.0 * agg.waitLateReceiverSeconds / classified;
+        point.waitCollectivePct =
+            100.0 * agg.waitCollectiveSeconds / classified;
+      }
+      point.waitStragglerRank = agg.waitStragglerRank;
+      point.waitAttributed = agg.waitAttributedFraction;
     }
   });
   return point;
@@ -105,6 +147,11 @@ void addScaleRow(BenchReport& report, const char* series,
                 comm::trafficName(static_cast<comm::Traffic>(c)),
             p.classBytes[c]);
   }
+  row.set("wait.late_sender_pct", p.waitLateSenderPct);
+  row.set("wait.late_receiver_pct", p.waitLateReceiverPct);
+  row.set("wait.collective_pct", p.waitCollectivePct);
+  row.set("wait.straggler_rank", static_cast<double>(p.waitStragglerRank));
+  row.set("wait.attributed", p.waitAttributed);
 }
 
 }  // namespace
@@ -124,20 +171,24 @@ int main() {
               static_cast<unsigned long long>(lattice.numFluidSites()),
               steps);
   printHeader("Strong scaling of the sparse LB solver (S2)");
-  std::printf("%-7s %12s %12s %14s %14s %10s %10s %10s\n", "ranks",
-              "mod.time s", "speedup", "halo KB/step", "msgs/step", "imbal",
-              "eff", "hidden%");
+  std::printf("%-7s %12s %12s %14s %14s %10s %10s %10s %9s %9s %7s %6s\n",
+              "ranks", "mod.time s", "speedup", "halo KB/step", "msgs/step",
+              "imbal", "eff", "hidden%", "late-snd%", "late-rcv%", "coll%",
+              "strag");
   ScalePoint base;
   for (const int ranks : {1, 2, 4, 8, 16, 32}) {
     const auto p = measure(lattice, ranks, steps, flowParams());
     if (ranks == 1) base = p;
     const double speedup =
         p.modeledSeconds > 0.0 ? base.modeledSeconds / p.modeledSeconds : 0.0;
-    std::printf("%-7d %12.4f %12.2f %14.1f %14llu %10.3f %9.0f%% %9.0f%%\n",
+    std::printf("%-7d %12.4f %12.2f %14.1f %14llu %10.3f %9.0f%% %9.0f%% "
+                "%8.0f%% %8.0f%% %6.0f%% %6d\n",
                 ranks, p.modeledSeconds, speedup,
                 static_cast<double>(p.haloBytesPerStep) / 1e3,
                 static_cast<unsigned long long>(p.haloMsgsPerStep),
-                p.imbalance, 100.0 * speedup / ranks, 100.0 * p.commHidden);
+                p.imbalance, 100.0 * speedup / ranks, 100.0 * p.commHidden,
+                p.waitLateSenderPct, p.waitLateReceiverPct,
+                p.waitCollectivePct, p.waitStragglerRank);
     addScaleRow(report, "strong", p, speedup);
   }
 
@@ -145,8 +196,9 @@ int main() {
   // time per rank drops, so the halo window is a larger fraction of the
   // step — the series shows whether the overlap still hides it.
   printHeader("Strong scaling, SIMD kernel (S2)");
-  std::printf("%-7s %12s %12s %10s %10s\n", "ranks", "mod.time s",
-              "speedup", "eff", "hidden%");
+  std::printf("%-7s %12s %12s %10s %10s %9s %9s %7s %6s\n", "ranks",
+              "mod.time s", "speedup", "eff", "hidden%", "late-snd%",
+              "late-rcv%", "coll%", "strag");
   ScalePoint simdBase;
   for (const int ranks : {1, 2, 4, 8, 16, 32}) {
     auto params = flowParams();
@@ -156,9 +208,12 @@ int main() {
     const double speedup =
         p.modeledSeconds > 0.0 ? simdBase.modeledSeconds / p.modeledSeconds
                                : 0.0;
-    std::printf("%-7d %12.4f %12.2f %9.0f%% %9.0f%%\n", ranks,
-                p.modeledSeconds, speedup, 100.0 * speedup / ranks,
-                100.0 * p.commHidden);
+    std::printf("%-7d %12.4f %12.2f %9.0f%% %9.0f%% %8.0f%% %8.0f%% %6.0f%% "
+                "%6d\n",
+                ranks, p.modeledSeconds, speedup, 100.0 * speedup / ranks,
+                100.0 * p.commHidden, p.waitLateSenderPct,
+                p.waitLateReceiverPct, p.waitCollectivePct,
+                p.waitStragglerRank);
     addScaleRow(report, "strong-simd", p, speedup, "simd");
   }
 

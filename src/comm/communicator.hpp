@@ -176,6 +176,9 @@ class Communicator {
   template <typename T, typename Op>
   void reduceVec(std::vector<T>& values, int root, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    TrafficScope scope(*this, traffic_ == Traffic::kOther
+                                  ? Traffic::kCollective
+                                  : traffic_);
     const int n = size();
     const int tag = nextCollectiveTag();
     const int vrank = (rank_ - root + n) % n;
@@ -229,6 +232,9 @@ class Communicator {
   template <typename T>
   std::vector<T> gather(const T& value, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    TrafficScope scope(*this, traffic_ == Traffic::kOther
+                                  ? Traffic::kCollective
+                                  : traffic_);
     const int tag = nextCollectiveTag();
     if (rank_ != root) {
       send(root, tag, value);
@@ -248,6 +254,9 @@ class Communicator {
   std::vector<std::vector<T>> gatherVec(const std::vector<T>& values,
                                         int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    TrafficScope scope(*this, traffic_ == Traffic::kOther
+                                  ? Traffic::kCollective
+                                  : traffic_);
     const int tag = nextCollectiveTag();
     if (rank_ != root) {
       sendVec(root, tag, values);
@@ -343,6 +352,12 @@ class Communicator {
     // makes wrap-around safe.
     return kMaxUserTag + static_cast<int>(collectiveSeq_++ % 4096);
   }
+
+  /// Blocking mailbox pop with wait-state classification: measures the
+  /// blocked interval, classifies it against the envelope's piggybacked
+  /// post time (telemetry::WaitStateRecorder) and records the halo flow
+  /// arrow. Falls through to a plain pop when no telemetry is attached.
+  Envelope popClassified(int source, int tag);
 
   Runtime* rt_;
   std::uint64_t context_;

@@ -17,10 +17,18 @@ inline constexpr int kMaxUserTag = 1 << 20;
 
 /// A message in flight. `context` separates communicators (like an MPI
 /// context id) so traffic on split communicators can never cross-match.
+///
+/// `postTsNs`/`epoch` are the wait-state piggyback header (telemetry
+/// waitstate.hpp): the sender stamps its trace-clock post time and current
+/// step epoch, so the receiver can classify its blocked time as
+/// late-sender vs late-receiver without any extra messages. Zero when the
+/// sender ran without an attached telemetry context.
 struct Envelope {
   std::uint64_t context = 0;
   int source = 0;
   int tag = 0;
+  std::int64_t postTsNs = 0;
+  std::uint64_t epoch = 0;
   std::vector<std::byte> payload;
 };
 

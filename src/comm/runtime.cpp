@@ -6,11 +6,25 @@
 #include <numeric>
 #include <thread>
 
+#include "telemetry/flightrec.hpp"
 #include "util/check.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
 
 namespace hemo::comm {
+
+namespace {
+
+/// Flow-arrow id tying one halo send to its receive: both sides derive it
+/// from (sender world rank, receiver world rank, step epoch). Collisions
+/// only smudge a viewer arrow, so a 64-bit mix is plenty.
+std::uint64_t haloFlowId(int srcWorld, int dstWorld, std::uint64_t epoch) {
+  return detail::mix64(epoch + 1,
+                       (static_cast<std::uint64_t>(srcWorld) << 20) |
+                           static_cast<std::uint64_t>(dstWorld));
+}
+
+}  // namespace
 
 // --- Communicator methods needing Runtime ---------------------------------
 
@@ -48,6 +62,23 @@ void Communicator::sendBytes(int dest, int tag, const void* data,
   env.tag = tag;
   env.payload.resize(n);
   if (n > 0) std::memcpy(env.payload.data(), data, n);
+#ifndef HEMO_TELEMETRY_DISABLED
+  // Piggyback the wait-state header (post time + step epoch) so the
+  // receiver can classify its blocked time; halo sends also drop the
+  // sender half of a Chrome-trace flow arrow.
+  if (auto* t = telemetry::threadTelemetry()) {
+    env.epoch = t->waitState().epoch();
+    env.postTsNs = telemetry::traceNowNs();
+    if (traffic_ == Traffic::kHalo && t->tracer().enabled()) {
+      t->tracer().flow(
+          telemetry::Category::kHaloSend, "halo.flow",
+          telemetry::SpanPhase::kFlowStart,
+          haloFlowId(worldRank(), groupToWorld_[static_cast<std::size_t>(dest)],
+                     env.epoch),
+          env.postTsNs);
+    }
+  }
+#endif
   auto& c = counters().of(traffic_);
   ++c.messagesSent;
   c.bytesSent += n;
@@ -55,9 +86,32 @@ void Communicator::sendBytes(int dest, int tag, const void* data,
       .push(std::move(env));
 }
 
+Envelope Communicator::popClassified(int source, int tag) {
+#ifndef HEMO_TELEMETRY_DISABLED
+  auto* t = telemetry::threadTelemetry();
+  if (t != nullptr && t->waitState().enabled()) {
+    const std::int64_t waitBegin = telemetry::traceNowNs();
+    Envelope env = rt_->mailbox(worldRank()).pop(context_, source, tag);
+    const std::int64_t waitEnd = telemetry::traceNowNs();
+    const int srcWorld =
+        groupToWorld_[static_cast<std::size_t>(env.source)];
+    t->waitState().recordRecv(static_cast<int>(traffic_),
+                              traffic_ == Traffic::kCollective, srcWorld,
+                              waitBegin, waitEnd, env.postTsNs);
+    if (traffic_ == Traffic::kHalo && t->tracer().enabled()) {
+      t->tracer().flow(telemetry::Category::kHaloRecvWait, "halo.flow",
+                       telemetry::SpanPhase::kFlowEnd,
+                       haloFlowId(srcWorld, worldRank(), env.epoch), waitEnd);
+    }
+    return env;
+  }
+#endif
+  return rt_->mailbox(worldRank()).pop(context_, source, tag);
+}
+
 std::vector<std::byte> Communicator::recvBytes(int source, int tag,
                                                int* sourceOut) {
-  Envelope env = rt_->mailbox(worldRank()).pop(context_, source, tag);
+  Envelope env = popClassified(source, tag);
   auto& c = counters().of(traffic_);
   ++c.messagesReceived;
   c.bytesReceived += env.payload.size();
@@ -67,7 +121,7 @@ std::vector<std::byte> Communicator::recvBytes(int source, int tag,
 
 void Communicator::recvBytesInto(int source, int tag, void* dst,
                                  std::size_t n) {
-  Envelope env = rt_->mailbox(worldRank()).pop(context_, source, tag);
+  Envelope env = popClassified(source, tag);
   HEMO_CHECK_MSG(env.payload.size() == n,
                  "recvBytesInto size mismatch: got " << env.payload.size()
                                                      << " want " << n);
@@ -194,11 +248,20 @@ Runtime::Runtime(int size) : size_(size) {
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     telemetry_.push_back(std::make_unique<telemetry::RankTelemetry>(i));
+    // Make every rank's flight recorder reachable from the crash paths
+    // (signal/terminate handlers, flush-on-rank-exception). Flushing stays
+    // a no-op until a driver arms the registry with a bundle directory.
+    telemetry::FlightRegistry::instance().registerRank(
+        &telemetry_.back()->flightRecorder(), &telemetry_.back()->tracer());
   }
   counters_.resize(static_cast<std::size_t>(size));
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  for (auto& t : telemetry_) {
+    telemetry::FlightRegistry::instance().unregisterRank(&t->flightRecorder());
+  }
+}
 
 void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
   for (auto& mb : mailboxes_) mb->resetAbort();
@@ -217,12 +280,30 @@ void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
     try {
       rankMain(comm);
     } catch (...) {
+      bool isFirst = false;
       {
         std::lock_guard<std::mutex> lock(errMutex);
-        if (!firstError) firstError = std::current_exception();
+        if (!firstError) {
+          firstError = std::current_exception();
+          isFirst = true;
+        }
       }
       // Wake every blocked receive so the group can unwind.
       for (auto& mb : mailboxes_) mb->abort();
+      // The first failing rank writes the postmortem bundle (if a driver
+      // armed the registry) while the rest of the group is still
+      // unwinding — the recorders' mutexes keep that safe.
+      if (isFirst) {
+        std::string detail = "unknown exception";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          detail = e.what();
+        } catch (...) {
+        }
+        auto& registry = telemetry::FlightRegistry::instance();
+        if (registry.armed()) registry.flush("rank-exception", detail);
+      }
     }
   };
 
@@ -260,7 +341,9 @@ std::vector<telemetry::RankTrace> Runtime::drainTraces() {
   for (auto& t : telemetry_) {
     telemetry::RankTrace rt;
     rt.rank = t->rank();
-    t->tracer().drain(rt.events);
+    // Retained flight-recorder tail first (older), then the pending ring
+    // events — the recorder's mutex serialises all ring consumers.
+    rt.events = t->flightRecorder().takeTrace(t->tracer());
     rt.dropped = t->tracer().dropped();
     out.push_back(std::move(rt));
   }
@@ -273,9 +356,9 @@ bool Runtime::writeChromeTrace(const std::string& path) {
 
 void Runtime::resetTelemetry() {
   for (auto& t : telemetry_) {
-    std::vector<telemetry::TraceEvent> sink;
-    t->tracer().drain(sink);
+    t->flightRecorder().takeTrace(t->tracer());
     t->metrics().reset();
+    t->waitState().reset();
   }
 }
 

@@ -57,6 +57,27 @@ SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
     stepSecondsHist_ = &t->metrics().histogram("driver.step_seconds");
     t->metrics().gauge("lb.simd_width").set(simd::kWidth);
   }
+
+#ifndef HEMO_TELEMETRY_DISABLED
+  // Flight recorder: size this rank's retention ring, then arm the global
+  // registry with a bundle directory so the crash paths have somewhere to
+  // flush. Arming is collective-safe (every rank passes the same dir).
+  if (auto* t = telemetry::threadTelemetry()) {
+    telemetry::FlightRecorder::Config fc;
+    fc.keepWindows = config.flight.keepWindows;
+    fc.keepTraceEvents = config.flight.keepTraceEvents;
+    t->flightRecorder().configure(fc);
+  }
+  if (config.flight.enabled) {
+    const std::string dir =
+        !config.flight.dir.empty() ? config.flight.dir : config.checkpointDir;
+    if (!dir.empty()) {
+      auto& registry = telemetry::FlightRegistry::instance();
+      registry.arm(dir);
+      if (config.flight.installCrashHandlers) registry.installCrashHandlers();
+    }
+  }
+#endif
 }
 
 void SimulationDriver::attachBroker(serve::SessionBroker* broker) {
@@ -144,6 +165,12 @@ steer::StatusReport SimulationDriver::computeStatus() {
   s.consistencyOk = (massOk && machOk) ? 1 : 0;
   s.consistencyStep = s.step;
   s.paused = paused_ ? 1 : 0;
+  // Critical-path gauges from the last telemetry window: who the run is
+  // waiting on and why, surfaced to steering clients next to the
+  // consistency verdict.
+  s.waitStragglerRank = lastStepReport_.waitStragglerRank;
+  s.waitDominantCause = lastStepReport_.waitDominantCause;
+  s.waitSeconds = lastStepReport_.waitClassifiedSeconds();
   if (s.consistencyOk == 0) {
     if (auto* t = telemetry::threadTelemetry()) {
       t->metrics().counter("lb.consistency_fail").add(1);
@@ -222,6 +249,9 @@ void SimulationDriver::quarantineLatestChange() {
                     << change.cmd.commandId << " (applied at step "
                     << change.step << "); parameter reverted";
   }
+  noteFlight("quarantined steered command " +
+             std::to_string(change.cmd.commandId) + " applied at step " +
+             std::to_string(change.step));
   sendRejectRouted(change.cmd.commandId, steer::RejectReason::kDivergence,
                    steer::MsgType::kRejectedAfterRollback);
 }
@@ -466,6 +496,9 @@ void SimulationDriver::pollSteering() {
       if (auto* t = telemetry::threadTelemetry()) {
         t->metrics().counter("serve.broker_failures").add(1);
       }
+      noteFlight("broker failed at step " +
+                 std::to_string(solver_->stepsDone()) +
+                 "; degraded to solver-only");
       return;
     }
     commands = steer::broadcastCommands(*comm_, drained);
@@ -527,12 +560,30 @@ void SimulationDriver::writeDiagnosticDump(const SentinelVerdict& verdict) {
   HEMO_LOG_WARN() << "sentinel diagnostic dump written to " << path;
 }
 
+void SimulationDriver::noteFlight(const std::string& what) {
+#ifndef HEMO_TELEMETRY_DISABLED
+  if (auto* t = telemetry::threadTelemetry()) {
+    t->flightRecorder().note(what);
+  }
+#else
+  (void)what;
+#endif
+}
+
 bool SimulationDriver::sentinelGuard(std::uint64_t step) {
   const auto verdict = sentinel_.check(*comm_, solver_->macro(), step);
   if (auto* t = telemetry::threadTelemetry()) {
     t->metrics().gauge("sentinel.headroom").set(sentinel_.headroom(verdict));
   }
+  lastSentinel_.valid = 1;
+  lastSentinel_.finite = verdict.finite ? 1 : 0;
+  lastSentinel_.minRho = verdict.minRho;
+  lastSentinel_.maxRho = verdict.maxRho;
+  lastSentinel_.maxSpeed = verdict.maxSpeed;
+  lastSentinel_.headroom = sentinel_.headroom(verdict);
+  lastSentinel_.step = verdict.step;
   if (verdict.ok) return true;
+  noteFlight("sentinel divergence at step " + std::to_string(step));
 
   // Divergence consensus. Record the failure, then: rollback + quarantine
   // while retries remain, otherwise degrade to the diagnostic dump.
@@ -565,6 +616,8 @@ bool SimulationDriver::sentinelGuard(std::uint64_t step) {
                         << restored.step << " (rollback " << rollbacksDone_
                         << "/" << config_.sentinel.maxRollbacks << ")";
       }
+      noteFlight("sentinel rollback to checkpointed step " +
+                 std::to_string(restored.step));
       // Checkpoints hold distributions only — steered parameters survive a
       // restore, so the rollback must also revert the most recent change,
       // the prime suspect for the blow-up.
@@ -579,6 +632,19 @@ bool SimulationDriver::sentinelGuard(std::uint64_t step) {
   // Bounded retries exhausted (or no checkpoint to restore): graceful
   // degradation, not an abort — dump diagnostics and stop cleanly.
   writeDiagnosticDump(verdict);
+  noteFlight("sentinel exhausted at step " + std::to_string(step) +
+             " after " + std::to_string(rollbacksDone_) + " rollbacks");
+#ifndef HEMO_TELEMETRY_DISABLED
+  // The run is about to stop on a diverged state — flush the flight
+  // recorder so the postmortem bundle sits next to the text dump.
+  if (comm_->rank() == 0) {
+    auto& registry = telemetry::FlightRegistry::instance();
+    if (registry.armed()) {
+      registry.flush("sentinel-exhausted",
+                     "divergence at step " + std::to_string(step));
+    }
+  }
+#endif
   terminated_ = true;
   return false;
 }
@@ -601,6 +667,22 @@ telemetry::StepReport SimulationDriver::computeStepReport() {
   }
   local.visSeconds = visTotal - windowVis_;
   local.commHiddenFraction = solver_->commHiddenFraction();
+#ifndef HEMO_TELEMETRY_DISABLED
+  // Wait-state window: what this rank's blocked time was spent on, and
+  // which peer it most blames (classified at every recv from the
+  // piggybacked sender post-times; see telemetry/waitstate.hpp).
+  local.waitMeasuredSeconds =
+      solver_->recvWaitTimer().total() - windowRecvWait_;
+  if (auto* t = telemetry::threadTelemetry()) {
+    const auto waitWindow = t->waitState().window();
+    local.waitLateSenderSeconds = waitWindow.lateSenderSeconds;
+    local.waitLateReceiverSeconds = waitWindow.lateReceiverSeconds;
+    local.waitCollectiveSeconds = waitWindow.collectiveSeconds;
+    local.waitLateReceiverSlackSeconds = waitWindow.lateReceiverSlackSeconds;
+    local.waitBlamedRank = waitWindow.topBlamedRank;
+    local.waitBlamedSeconds = waitWindow.topBlamedSeconds;
+  }
+#endif
   const comm::TrafficCounters& now = comm_->counters();
   for (int c = 0; c < comm::kNumTrafficClasses; ++c) {
     const auto& cur = now.perClass[static_cast<std::size_t>(c)];
@@ -617,6 +699,7 @@ telemetry::StepReport SimulationDriver::computeStepReport() {
   windowStream_ = solver_->streamTimer().total();
   windowComm_ = solver_->commTimer().total();
   windowVis_ = visTotal;
+  windowRecvWait_ = solver_->recvWaitTimer().total();
   windowCounters_ = now;
 
   const auto perRank = comm_->allgather(local);
@@ -630,6 +713,43 @@ telemetry::StepReport SimulationDriver::computeStepReport() {
     m.gauge("lb.comm_hidden_fraction").set(
         lastStepReport_.commHiddenFraction);
     m.gauge("vis.seconds").set(lastStepReport_.visSeconds);
+    // Cross-rank critical path: who the window waited on and why.
+    m.gauge("lb.wait.late_sender_seconds")
+        .set(lastStepReport_.waitLateSenderSeconds);
+    m.gauge("lb.wait.late_receiver_seconds")
+        .set(lastStepReport_.waitLateReceiverSeconds);
+    m.gauge("lb.wait.collective_seconds")
+        .set(lastStepReport_.waitCollectiveSeconds);
+    m.gauge("lb.wait.straggler_rank")
+        .set(lastStepReport_.waitStragglerRank);
+    m.gauge("lb.wait.attributed_fraction")
+        .set(lastStepReport_.waitAttributedFraction);
+    // Trace-ring overflow is observability loss; surface it as a metric
+    // (the Chrome exporter also marks it in the trace itself).
+    m.gauge("trace.dropped").set(static_cast<double>(t->tracer().dropped()));
+
+    // Retain this window in the flight recorder: metrics snapshot, local +
+    // aggregate report, sentinel extrema and serving-plane state — the
+    // postmortem bundle is built from these rings.
+    telemetry::FlightWindow fw;
+    fw.step = lastStepReport_.step;
+    fw.tsNs = telemetry::traceNowNs();
+    fw.local = local;
+    fw.aggregate = lastStepReport_;
+    fw.sentinel = lastSentinel_;
+    fw.broker.active = brokerMode_ ? 1 : 0;
+    if (brokerMode_ && broker_ != nullptr) {
+      fw.broker.clients = broker_->numClients();
+      fw.broker.aliveClients = broker_->numAliveClients();
+    }
+    for (const auto& [name, c] : m.counters()) {
+      fw.metrics.emplace_back(name, static_cast<double>(c.value()));
+    }
+    for (const auto& [name, g] : m.gauges()) {
+      fw.metrics.emplace_back(name, g.value());
+    }
+    t->flightRecorder().captureWindow(std::move(fw));
+    t->flightRecorder().retainTrace(t->tracer());
   }
   return lastStepReport_;
 }

@@ -71,6 +71,21 @@ struct DriverConfig {
   /// Stage-2 robustness: divergence sentinel + checkpoint rollback policy
   /// (checkEvery = 0 keeps it off).
   SentinelConfig sentinel;
+  /// Always-on flight recorder (telemetry/flightrec.hpp): every
+  /// computeStepReport() window is retained in a bounded ring and flushed
+  /// as a postmortem bundle when the run dies. `dir` empty falls back to
+  /// checkpointDir; when both are empty the registry stays unarmed and no
+  /// bundle is ever written.
+  struct FlightConfig {
+    bool enabled = true;
+    std::size_t keepWindows = 32;
+    std::size_t keepTraceEvents = std::size_t{1} << 14;
+    std::string dir;
+    /// Also install the process-wide fatal-signal/std::terminate hooks
+    /// when arming (they chain to the previous handlers and re-raise).
+    bool installCrashHandlers = false;
+  };
+  FlightConfig flight;
 };
 
 class SimulationDriver {
@@ -157,6 +172,9 @@ class SimulationDriver {
   /// when the step's results were discarded (rolled back or terminated) —
   /// the run loop must `continue` without checkpointing.
   bool sentinelGuard(std::uint64_t step);
+  /// Timestamped breadcrumb into this rank's flight recorder (no-op when
+  /// telemetry is compiled out or unattached).
+  void noteFlight(const std::string& what);
   /// Rank 0: write the graceful-degradation diagnostic dump.
   void writeDiagnosticDump(const SentinelVerdict& verdict);
 
@@ -196,7 +214,10 @@ class SimulationDriver {
   std::uint64_t windowStartStep_ = 0;
   double windowCollide_ = 0.0, windowStream_ = 0.0, windowComm_ = 0.0;
   double windowVis_ = 0.0;
+  double windowRecvWait_ = 0.0;
   comm::TrafficCounters windowCounters_;
+  /// Latest sentinel extrema, copied into each retained flight window.
+  telemetry::SentinelSnapshot lastSentinel_;
   // Pre-resolved per-rank metrics (null when no telemetry is attached).
   telemetry::Counter* stepsCounter_ = nullptr;
   telemetry::LogHistogram* stepSecondsHist_ = nullptr;

@@ -241,6 +241,14 @@ class Solver {
   /// (site stride 1 for SoA planes, kQ for AoS records); the SIMD kernel
   /// is SoA-only by construction.
   void step() {
+#ifndef HEMO_TELEMETRY_DISABLED
+    // Phase-tag the step for wait-state attribution: every envelope this
+    // step posts (halo, step collectives) carries the epoch, so receivers
+    // can pin blocked time to a specific step on a specific sender.
+    if (auto* t = telemetry::threadTelemetry()) {
+      t->waitState().setEpoch(stepsDone_ + 1);
+    }
+#endif
     const bool soa = params_.layout == Layout::kSoA;
     switch (params_.kernel) {
       case LbParams::Kernel::kReference:

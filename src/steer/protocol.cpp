@@ -106,6 +106,9 @@ std::vector<std::byte> encodeStatus(const StatusReport& s) {
   w.put<std::uint8_t>(s.consistencyOk);
   w.put<std::uint8_t>(s.paused);
   w.put<std::uint64_t>(s.consistencyStep);
+  w.put<std::int32_t>(s.waitStragglerRank);
+  w.put<std::uint8_t>(s.waitDominantCause);
+  w.put<double>(s.waitSeconds);
   return w.take();
 }
 
@@ -126,6 +129,15 @@ StatusReport decodeStatus(const std::vector<std::byte>& frame) {
   // verdict as fresh (computed at the reported step).
   s.consistencyStep =
       r.remaining() >= sizeof(std::uint64_t) ? r.get<std::uint64_t>() : s.step;
+  // Wait-state gauges arrived later still; the block is all-or-nothing so
+  // a frame can only ever end on a field boundary.
+  constexpr std::size_t kWaitBlock =
+      sizeof(std::int32_t) + sizeof(std::uint8_t) + sizeof(double);
+  if (r.remaining() >= kWaitBlock) {
+    s.waitStragglerRank = r.get<std::int32_t>();
+    s.waitDominantCause = r.get<std::uint8_t>();
+    s.waitSeconds = r.get<double>();
+  }
   HEMO_CHECK(r.atEnd());
   return s;
 }
@@ -234,6 +246,18 @@ std::vector<std::byte> encodeTelemetry(const telemetry::StepReport& s) {
   for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
     w.put<std::uint64_t>(s.msgsSent[c]);
   }
+  // Wait-state attribution block (appended after the original layout so
+  // old decoders still read their prefix).
+  w.put<double>(s.waitLateSenderSeconds);
+  w.put<double>(s.waitLateReceiverSeconds);
+  w.put<double>(s.waitCollectiveSeconds);
+  w.put<double>(s.waitLateReceiverSlackSeconds);
+  w.put<double>(s.waitMeasuredSeconds);
+  w.put<std::int32_t>(s.waitBlamedRank);
+  w.put<double>(s.waitBlamedSeconds);
+  w.put<std::int32_t>(s.waitStragglerRank);
+  w.put<std::uint8_t>(s.waitDominantCause);
+  w.put<double>(s.waitAttributedFraction);
   return w.take();
 }
 
@@ -259,6 +283,23 @@ telemetry::StepReport decodeTelemetry(const std::vector<std::byte>& frame) {
   }
   for (int c = 0; c < telemetry::kReportTrafficClasses; ++c) {
     s.msgsSent[c] = r.get<std::uint64_t>();
+  }
+  // Wait-state block (all-or-nothing; pre-field frames end above and the
+  // defaults — zero wait, no straggler — stand in).
+  constexpr std::size_t kWaitBlock = 7 * sizeof(double) +
+                                     2 * sizeof(std::int32_t) +
+                                     sizeof(std::uint8_t);
+  if (r.remaining() >= kWaitBlock) {
+    s.waitLateSenderSeconds = r.get<double>();
+    s.waitLateReceiverSeconds = r.get<double>();
+    s.waitCollectiveSeconds = r.get<double>();
+    s.waitLateReceiverSlackSeconds = r.get<double>();
+    s.waitMeasuredSeconds = r.get<double>();
+    s.waitBlamedRank = r.get<std::int32_t>();
+    s.waitBlamedSeconds = r.get<double>();
+    s.waitStragglerRank = r.get<std::int32_t>();
+    s.waitDominantCause = r.get<std::uint8_t>();
+    s.waitAttributedFraction = r.get<double>();
   }
   HEMO_CHECK(r.atEnd());
   return s;

@@ -136,6 +136,12 @@ struct StatusReport {
   /// step is ambiguous. Decoders of pre-field frames default this to
   /// `step` (wire back-compat).
   std::uint64_t consistencyStep = 0;
+  /// Critical-path gauges from the last telemetry window (wait-state
+  /// attribution, telemetry/waitstate.hpp). Decoders of pre-field frames
+  /// keep the defaults: no straggler, kNone, zero wait.
+  std::int32_t waitStragglerRank = -1;
+  std::uint8_t waitDominantCause = 0;  ///< telemetry::WaitCause value
+  double waitSeconds = 0.0;            ///< classified wait in the window
 };
 
 struct ImageFrame {

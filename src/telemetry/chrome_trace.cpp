@@ -26,15 +26,35 @@ std::string jsonEscape(const char* s) {
   return out;
 }
 
-void emitEvent(std::ostringstream& os, bool& first, char ph, int rank,
-               std::int64_t tsNs, Category cat, const char* name) {
+void emitPrefix(std::ostringstream& os, bool& first, char ph, int rank,
+                std::int64_t tsNs, Category cat, const char* name) {
   if (!first) os << ",\n";
   first = false;
   char ts[32];
   std::snprintf(ts, sizeof ts, "%.3f", static_cast<double>(tsNs) / 1e3);
   os << "{\"ph\":\"" << ph << "\",\"pid\":0,\"tid\":" << rank
      << ",\"ts\":" << ts << ",\"cat\":\"" << categoryName(cat)
-     << "\",\"name\":\"" << jsonEscape(name) << "\"}";
+     << "\",\"name\":\"" << jsonEscape(name) << "\"";
+}
+
+void emitEvent(std::ostringstream& os, bool& first, char ph, int rank,
+               std::int64_t tsNs, Category cat, const char* name) {
+  emitPrefix(os, first, ph, rank, tsNs, cat, name);
+  os << "}";
+}
+
+/// Flow arrow half: "s" (start) on the sender, "f" (finish, bound to the
+/// enclosing slice's end) on the receiver; matched by id.
+void emitFlowEvent(std::ostringstream& os, bool& first, int rank,
+                   const TraceEvent& e) {
+  const char ph = e.phase == SpanPhase::kFlowStart ? 's' : 'f';
+  emitPrefix(os, first, ph, rank, e.tsNs, e.category, e.name);
+  char id[32];
+  std::snprintf(id, sizeof id, "0x%llx",
+                static_cast<unsigned long long>(e.flowId));
+  os << ",\"id\":\"" << id << "\"";
+  if (ph == 'f') os << ",\"bp\":\"e\"";
+  os << "}";
 }
 
 }  // namespace
@@ -62,17 +82,36 @@ std::string chromeTraceJson(const std::vector<RankTrace>& ranks) {
     std::int64_t lastTs = 0;
     for (const auto& e : rt.events) {
       lastTs = std::max(lastTs, e.tsNs);
-      if (e.phase == SpanPhase::kBegin) {
-        emitEvent(os, first, 'B', rt.rank, e.tsNs, e.category, e.name);
-        stack.push_back({e.category, e.name});
-      } else {
-        if (stack.empty()) continue;  // begin lost to ring overflow
-        emitEvent(os, first, 'E', rt.rank, e.tsNs, e.category, e.name);
-        stack.pop_back();
+      switch (e.phase) {
+        case SpanPhase::kBegin:
+          emitEvent(os, first, 'B', rt.rank, e.tsNs, e.category, e.name);
+          stack.push_back({e.category, e.name});
+          break;
+        case SpanPhase::kEnd:
+          if (stack.empty()) break;  // begin lost to ring overflow
+          emitEvent(os, first, 'E', rt.rank, e.tsNs, e.category, e.name);
+          stack.pop_back();
+          break;
+        case SpanPhase::kFlowStart:
+        case SpanPhase::kFlowEnd:
+          // Flow arrows live outside the B/E balance bookkeeping.
+          emitFlowEvent(os, first, rt.rank, e);
+          break;
+        case SpanPhase::kInstant:
+          emitPrefix(os, first, 'i', rt.rank, e.tsNs, e.category, e.name);
+          os << ",\"s\":\"t\"}";
+          break;
       }
     }
     for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
       emitEvent(os, first, 'E', rt.rank, lastTs, it->cat, it->name);
+    }
+    // Surface ring overflow in the trace itself: silent repair hides that
+    // the recorded picture is incomplete.
+    if (rt.dropped > 0) {
+      emitPrefix(os, first, 'i', rt.rank, lastTs, Category::kOther,
+                 "trace.dropped");
+      os << ",\"s\":\"t\",\"args\":{\"dropped\":" << rt.dropped << "}}";
     }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -1,0 +1,379 @@
+#include "telemetry/flightrec.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+
+#include "telemetry/chrome_trace.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hemo::telemetry {
+
+namespace {
+
+thread_local FlightRecorder* tlsRecorder = nullptr;
+
+std::string num(double v) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// File-name slug: keep [a-zA-Z0-9-], everything else becomes '_'.
+std::string slug(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("unknown") : out;
+}
+
+}  // namespace
+
+// --- FlightRecorder --------------------------------------------------------
+
+void FlightRecorder::configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  if (config_.keepWindows == 0) config_.keepWindows = 1;
+  if (config_.keepAnnotations == 0) config_.keepAnnotations = 1;
+  pruneLocked();
+}
+
+void FlightRecorder::setRank(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rank_ = rank;
+}
+
+int FlightRecorder::rank() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rank_;
+}
+
+void FlightRecorder::captureWindow(FlightWindow w) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  windows_.push_back(std::move(w));
+  pruneLocked();
+}
+
+void FlightRecorder::retainTrace(Tracer& tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> fresh;
+  tracer.drain(fresh);
+  retained_.insert(retained_.end(), fresh.begin(), fresh.end());
+  pruneLocked();
+}
+
+void FlightRecorder::note(std::string what) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  annotations_.push_back({traceNowNs(), std::move(what)});
+  pruneLocked();
+}
+
+std::vector<FlightWindow> FlightRecorder::windows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {windows_.begin(), windows_.end()};
+}
+
+std::vector<FlightAnnotation> FlightRecorder::annotations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {annotations_.begin(), annotations_.end()};
+}
+
+std::vector<TraceEvent> FlightRecorder::takeTrace(Tracer& tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out(retained_.begin(), retained_.end());
+  retained_.clear();
+  tracer.drain(out);
+  return out;
+}
+
+void FlightRecorder::pruneLocked() {
+  while (windows_.size() > config_.keepWindows) windows_.pop_front();
+  while (retained_.size() > config_.keepTraceEvents) retained_.pop_front();
+  while (annotations_.size() > config_.keepAnnotations) {
+    annotations_.pop_front();
+  }
+}
+
+// --- thread-local hook target ----------------------------------------------
+
+void setThreadFlightRecorder(FlightRecorder* recorder) {
+  tlsRecorder = recorder;
+}
+
+FlightRecorder* threadFlightRecorder() { return tlsRecorder; }
+
+// --- bundle serialization --------------------------------------------------
+
+std::string stepReportJson(const StepReport& r) {
+  std::ostringstream os;
+  os << "{\"step\":" << r.step << ",\"ranks\":" << r.ranks
+     << ",\"sites\":" << r.sites << ",\"stepsCovered\":" << r.stepsCovered
+     << ",\"wallSeconds\":" << num(r.wallSeconds)
+     << ",\"mlups\":" << num(r.mlups)
+     << ",\"collideSeconds\":" << num(r.collideSeconds)
+     << ",\"streamSeconds\":" << num(r.streamSeconds)
+     << ",\"commSeconds\":" << num(r.commSeconds)
+     << ",\"visSeconds\":" << num(r.visSeconds)
+     << ",\"loadImbalance\":" << num(r.loadImbalance)
+     << ",\"commHiddenFraction\":" << num(r.commHiddenFraction)
+     << ",\"waitLateSenderSeconds\":" << num(r.waitLateSenderSeconds)
+     << ",\"waitLateReceiverSeconds\":" << num(r.waitLateReceiverSeconds)
+     << ",\"waitCollectiveSeconds\":" << num(r.waitCollectiveSeconds)
+     << ",\"waitLateReceiverSlackSeconds\":"
+     << num(r.waitLateReceiverSlackSeconds)
+     << ",\"waitMeasuredSeconds\":" << num(r.waitMeasuredSeconds)
+     << ",\"waitBlamedRank\":" << r.waitBlamedRank
+     << ",\"waitBlamedSeconds\":" << num(r.waitBlamedSeconds)
+     << ",\"waitStragglerRank\":" << r.waitStragglerRank
+     << ",\"waitDominantCause\":\""
+     << waitCauseName(static_cast<WaitCause>(r.waitDominantCause))
+     << "\",\"waitAttributedFraction\":" << num(r.waitAttributedFraction)
+     << ",\"bytesSent\":[";
+  for (int c = 0; c < kReportTrafficClasses; ++c) {
+    os << (c > 0 ? "," : "") << r.bytesSent[c];
+  }
+  os << "],\"msgsSent\":[";
+  for (int c = 0; c < kReportTrafficClasses; ++c) {
+    os << (c > 0 ? "," : "") << r.msgsSent[c];
+  }
+  os << "]}";
+  return os.str();
+}
+
+// --- FlightRegistry --------------------------------------------------------
+
+FlightRegistry& FlightRegistry::instance() {
+  static FlightRegistry registry;
+  return registry;
+}
+
+void FlightRegistry::arm(std::string bundleDir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bundleDir_ = std::move(bundleDir);
+  armed_ = !bundleDir_.empty();
+}
+
+void FlightRegistry::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  bundleDir_.clear();
+}
+
+bool FlightRegistry::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+void FlightRegistry::registerRank(FlightRecorder* recorder, Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e.recorder == recorder) return;
+  }
+  entries_.push_back({recorder, tracer});
+}
+
+void FlightRegistry::unregisterRank(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->recorder == recorder) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string FlightRegistry::flush(const std::string& reason,
+                                  const std::string& detail) {
+  std::vector<Entry> entries;
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || entries_.empty()) return {};
+    entries = entries_;
+    dir = bundleDir_;
+  }
+  const std::string stem = dir + "/postmortem_" + slug(reason);
+  const std::string bundlePath = stem + ".json";
+  const std::string tracePath = stem + ".trace.json";
+
+  // Chrome trace of the retained span tails (plus whatever is still
+  // pending in the rings). Drained through each recorder's mutex, so a
+  // concurrent window capture on a still-running rank cannot corrupt the
+  // SPSC rings.
+  std::vector<RankTrace> traces;
+  traces.reserve(entries.size());
+  std::ostringstream os;
+  os << "{\"schema\":\"hemo-postmortem-1\",\"reason\":\"" << jsonEscape(reason)
+     << "\",\"detail\":\"" << jsonEscape(detail)
+     << "\",\"flushTsNs\":" << traceNowNs() << ",\"traceFile\":\""
+     << jsonEscape(tracePath) << "\",\"ranks\":[";
+  bool firstRank = true;
+  for (const auto& e : entries) {
+    RankTrace rt;
+    rt.rank = e.recorder->rank();
+    rt.events = e.recorder->takeTrace(*e.tracer);
+    rt.dropped = e.tracer->dropped();
+
+    if (!firstRank) os << ",";
+    firstRank = false;
+    os << "{\"rank\":" << rt.rank << ",\"traceDropped\":" << rt.dropped
+       << ",\"annotations\":[";
+    bool first = true;
+    for (const auto& a : e.recorder->annotations()) {
+      os << (first ? "" : ",") << "{\"tsNs\":" << a.tsNs << ",\"what\":\""
+         << jsonEscape(a.what) << "\"}";
+      first = false;
+    }
+    os << "],\"windows\":[";
+    first = true;
+    for (const auto& w : e.recorder->windows()) {
+      os << (first ? "" : ",") << "{\"step\":" << w.step
+         << ",\"tsNs\":" << w.tsNs << ",\"local\":" << stepReportJson(w.local)
+         << ",\"aggregate\":" << stepReportJson(w.aggregate)
+         << ",\"sentinel\":{\"valid\":" << static_cast<int>(w.sentinel.valid)
+         << ",\"finite\":" << static_cast<int>(w.sentinel.finite)
+         << ",\"minRho\":" << num(w.sentinel.minRho)
+         << ",\"maxRho\":" << num(w.sentinel.maxRho)
+         << ",\"maxSpeed\":" << num(w.sentinel.maxSpeed)
+         << ",\"headroom\":" << num(w.sentinel.headroom)
+         << ",\"step\":" << w.sentinel.step
+         << "},\"broker\":{\"active\":" << static_cast<int>(w.broker.active)
+         << ",\"clients\":" << w.broker.clients
+         << ",\"aliveClients\":" << w.broker.aliveClients << "},\"metrics\":{";
+      bool firstMetric = true;
+      for (const auto& [name, value] : w.metrics) {
+        os << (firstMetric ? "" : ",") << "\"" << jsonEscape(name)
+           << "\":" << num(value);
+        firstMetric = false;
+      }
+      os << "}}";
+      first = false;
+    }
+    os << "]}";
+    traces.push_back(std::move(rt));
+  }
+  os << "]}\n";
+
+  const std::string json = os.str();
+  std::FILE* f = std::fopen(bundlePath.c_str(), "w");
+  if (f == nullptr) {
+    HEMO_LOG_WARN() << "postmortem bundle failed to open " << bundlePath;
+    return {};
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return {};
+  writeChromeTrace(tracePath, traces);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lastBundlePath_ = bundlePath;
+  }
+  HEMO_LOG_WARN() << "postmortem bundle written to " << bundlePath
+                  << " (reason: " << reason << ")";
+  return bundlePath;
+}
+
+std::string FlightRegistry::lastBundlePath() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lastBundlePath_;
+}
+
+void FlightRegistry::noteCheckFailure(const char* what) {
+  if (auto* rec = threadFlightRecorder()) {
+    rec->note(std::string("HEMO_CHECK: ") + (what != nullptr ? what : ""));
+  }
+}
+
+// --- crash handlers ---------------------------------------------------------
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGBUS,
+                                 SIGTERM, SIGINT};
+using SignalHandler = void (*)(int);
+SignalHandler previousHandlers[sizeof(kFatalSignals) /
+                               sizeof(kFatalSignals[0])] = {};
+std::atomic<bool> inCrashFlush{false};
+std::terminate_handler previousTerminate = nullptr;
+
+void crashSignalHandler(int sig) {
+  // Flush once; recursive faults fall straight through to the previous
+  // disposition. The flush is not async-signal-safe, but this is the
+  // artifact of last resort on an already-dying process.
+  if (!inCrashFlush.exchange(true)) {
+    FlightRegistry::instance().flush(
+        std::string("signal-") + std::to_string(sig), "fatal signal");
+  }
+  for (std::size_t i = 0; i < sizeof(kFatalSignals) / sizeof(int); ++i) {
+    if (kFatalSignals[i] == sig) {
+      std::signal(sig, previousHandlers[i] != nullptr ? previousHandlers[i]
+                                                      : SIG_DFL);
+      break;
+    }
+  }
+  std::raise(sig);
+}
+
+[[noreturn]] void crashTerminateHandler() {
+  if (!inCrashFlush.exchange(true)) {
+    std::string detail = "std::terminate";
+    if (auto eptr = std::current_exception()) {
+      try {
+        std::rethrow_exception(eptr);
+      } catch (const std::exception& e) {
+        detail = e.what();
+      } catch (...) {
+      }
+    }
+    FlightRegistry::instance().flush("terminate", detail);
+  }
+  if (previousTerminate != nullptr) previousTerminate();
+  std::abort();
+}
+
+void checkFailureHook(const char* what) {
+  FlightRegistry::instance().noteCheckFailure(what);
+}
+
+std::atomic<bool> handlersInstalled{false};
+
+}  // namespace
+
+void FlightRegistry::installCrashHandlers() {
+  if (handlersInstalled.exchange(true)) return;
+  for (std::size_t i = 0; i < sizeof(kFatalSignals) / sizeof(int); ++i) {
+    const SignalHandler prev =
+        std::signal(kFatalSignals[i], crashSignalHandler);
+    previousHandlers[i] = prev == SIG_ERR ? nullptr : prev;
+  }
+  previousTerminate = std::set_terminate(crashTerminateHandler);
+  detail::setCheckFailHook(checkFailureHook);
+}
+
+}  // namespace hemo::telemetry

@@ -1,0 +1,166 @@
+#pragma once
+/// \file flightrec.hpp
+/// \brief Always-on flight recorder + postmortem bundle writer.
+///
+/// A crash, deadlock or sentinel exhaustion used to leave at best a text
+/// dump; the flight recorder keeps a bounded ring of the last K telemetry
+/// windows (local + aggregate StepReport, wait-state window, metric
+/// snapshots, sentinel extrema, broker state) and a bounded tail of trace
+/// spans per rank, cheap enough to stay on for every run. When something
+/// dies — a rank throws out of Runtime::run, a fatal signal or
+/// std::terminate fires, the sentinel exhausts its rollbacks — the global
+/// FlightRegistry flushes everything as a self-contained postmortem bundle:
+/// `postmortem_<reason>.json` plus a Chrome trace of the retained spans.
+/// `hemo_postmortem` (tools/) pretty-prints a bundle.
+///
+/// Thread model: captureWindow()/retainTrace() run on the owning rank's
+/// thread; note() and the flush path may run from any thread, so the
+/// recorder state sits behind a mutex (all cold paths). Ring drains funnel
+/// through the recorder's mutex so the SPSC single-consumer contract holds
+/// even when a flush races a window capture on another rank.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/step_report.hpp"
+#include "telemetry/trace.hpp"
+
+namespace hemo::telemetry {
+
+/// Sentinel extrema captured into a window (valid=0 when no sentinel ran).
+struct SentinelSnapshot {
+  std::uint8_t valid = 0;
+  std::uint8_t finite = 1;
+  double minRho = 0.0;
+  double maxRho = 0.0;
+  double maxSpeed = 0.0;
+  double headroom = 0.0;
+  std::uint64_t step = 0;
+};
+
+/// Serving-plane state captured into a window (rank 0 in broker mode).
+struct BrokerSnapshot {
+  std::uint8_t active = 0;
+  std::int32_t clients = 0;
+  std::int32_t aliveClients = 0;
+};
+
+/// One retained telemetry window.
+struct FlightWindow {
+  std::uint64_t step = 0;
+  std::int64_t tsNs = 0;  ///< capture time (traceNowNs clock)
+  StepReport local;
+  StepReport aggregate;
+  SentinelSnapshot sentinel;
+  BrokerSnapshot broker;
+  /// Flattened counter/gauge samples at capture time.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct FlightAnnotation {
+  std::int64_t tsNs = 0;
+  std::string what;
+};
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t keepWindows = 32;
+    std::size_t keepTraceEvents = 1u << 14;
+    std::size_t keepAnnotations = 128;
+  };
+
+  void configure(const Config& config);
+  void setRank(int rank);
+  int rank() const;
+
+  /// Retain one telemetry window (oldest dropped past keepWindows).
+  void captureWindow(FlightWindow w);
+
+  /// Drain `tracer` into the bounded retained tail. Serialised against
+  /// every other consumer of the same ring by this recorder's mutex.
+  void retainTrace(Tracer& tracer);
+
+  /// Timestamped annotation ("sentinel rollback", "HEMO_CHECK: ...");
+  /// bounded, any thread.
+  void note(std::string what);
+
+  // --- flush/export side (any thread) ---------------------------------
+  std::vector<FlightWindow> windows() const;
+  std::vector<FlightAnnotation> annotations() const;
+  /// Retained tail + everything still pending in `tracer` (drained through
+  /// the same mutex), chronological. Clears the retained tail.
+  std::vector<TraceEvent> takeTrace(Tracer& tracer);
+
+ private:
+  void pruneLocked();
+
+  mutable std::mutex mutex_;
+  Config config_;
+  int rank_ = -1;
+  std::deque<FlightWindow> windows_;
+  std::deque<TraceEvent> retained_;
+  std::deque<FlightAnnotation> annotations_;
+};
+
+/// Process-wide rendezvous between the rank recorders and the crash paths.
+/// Runtime registers each rank's recorder+tracer for its lifetime; the
+/// driver arms the registry with a bundle directory. flush() is a no-op
+/// until armed, so unit tests that kill ranks without opting in stay
+/// artifact-free.
+class FlightRegistry {
+ public:
+  static FlightRegistry& instance();
+
+  void arm(std::string bundleDir);
+  void disarm();
+  bool armed() const;
+
+  void registerRank(FlightRecorder* recorder, Tracer* tracer);
+  void unregisterRank(FlightRecorder* recorder);
+
+  /// Write `<dir>/postmortem_<reason>.json` (+ `.trace.json`) covering all
+  /// registered recorders. Returns the bundle path, or empty when not
+  /// armed / nothing registered / the write failed.
+  std::string flush(const std::string& reason, const std::string& detail);
+
+  std::string lastBundlePath() const;
+
+  /// Install the fatal-signal + std::terminate + HEMO_CHECK hooks
+  /// (idempotent, process-wide). Handlers flush-if-armed, restore the
+  /// previous disposition and re-raise.
+  void installCrashHandlers();
+
+  /// HEMO_CHECK hook target: annotate the calling thread's recorder with
+  /// the failed check (cheap; recoverable CheckErrors only leave a note).
+  void noteCheckFailure(const char* what);
+
+ private:
+  FlightRegistry() = default;
+
+  struct Entry {
+    FlightRecorder* recorder = nullptr;
+    Tracer* tracer = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  std::string bundleDir_;
+  bool armed_ = false;
+  std::vector<Entry> entries_;
+  std::string lastBundlePath_;
+};
+
+/// Thread-local recorder used by the HEMO_CHECK hook (set alongside the
+/// thread telemetry attachment; nullptr detaches).
+void setThreadFlightRecorder(FlightRecorder* recorder);
+FlightRecorder* threadFlightRecorder();
+
+/// Serialize one StepReport as a JSON object (shared by the bundle writer
+/// and tests).
+std::string stepReportJson(const StepReport& r);
+
+}  // namespace hemo::telemetry

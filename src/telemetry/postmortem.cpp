@@ -1,0 +1,191 @@
+#include "telemetry/postmortem.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace hemo::telemetry {
+
+namespace {
+
+using util::JsonValue;
+
+std::string fmt(double v, const char* spec = "%.3f") {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+std::string pct(double part, double whole) {
+  if (whole <= 0.0) return "   -";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%3.0f%%", 100.0 * part / whole);
+  return buf;
+}
+
+/// Right-pad/truncate to a column width (report stays grep- and eye-able).
+std::string col(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+const JsonValue* arr(const JsonValue& v, const std::string& key) {
+  const JsonValue* a = v.find(key);
+  return a != nullptr && a->type == JsonValue::Type::kArray ? a : nullptr;
+}
+
+const JsonValue* obj(const JsonValue& v, const std::string& key) {
+  const JsonValue* o = v.find(key);
+  return o != nullptr && o->type == JsonValue::Type::kObject ? o : nullptr;
+}
+
+}  // namespace
+
+std::string renderPostmortem(const std::string& bundleJson) {
+  JsonValue doc = util::parseJson(bundleJson);
+  if (doc.type != JsonValue::Type::kObject) {
+    throw std::runtime_error("postmortem: bundle root is not an object");
+  }
+  const std::string schema = doc.stringOr("schema", "");
+  if (schema != "hemo-postmortem-1") {
+    throw std::runtime_error("postmortem: unknown bundle schema '" + schema +
+                             "'");
+  }
+
+  std::ostringstream os;
+  os << "== hemo postmortem ==\n";
+  os << "reason:  " << doc.stringOr("reason", "(unknown)") << "\n";
+  const std::string detail = doc.stringOr("detail", "");
+  if (!detail.empty()) os << "detail:  " << detail << "\n";
+  const std::string traceFile = doc.stringOr("traceFile", "");
+  if (!traceFile.empty()) os << "trace:   " << traceFile << "\n";
+
+  const JsonValue* ranks = arr(doc, "ranks");
+  if (ranks == nullptr || ranks->array.empty()) {
+    os << "(no ranks recorded)\n";
+    return os.str();
+  }
+  os << "ranks:   " << ranks->array.size() << "\n";
+
+  // --- cross-rank wait-blame tally (sum of per-window local blame) -------
+  std::map<int, double> blame;
+  std::uint64_t lastStep = 0;
+  for (const auto& r : ranks->array) {
+    const JsonValue* windows = arr(r, "windows");
+    if (windows == nullptr) continue;
+    for (const auto& w : windows->array) {
+      lastStep = std::max(lastStep,
+                          static_cast<std::uint64_t>(w.numberOr("step", 0)));
+      const JsonValue* local = obj(w, "local");
+      if (local == nullptr) continue;
+      const int blamed = static_cast<int>(local->numberOr("waitBlamedRank", -1));
+      const double sec = local->numberOr("waitBlamedSeconds", 0.0);
+      if (blamed >= 0 && sec > 0.0) blame[blamed] += sec;
+    }
+  }
+  os << "last retained step: " << lastStep << "\n";
+
+  // --- per-rank window timelines -----------------------------------------
+  for (const auto& r : ranks->array) {
+    const int rank = static_cast<int>(r.numberOr("rank", -1));
+    const auto dropped =
+        static_cast<std::uint64_t>(r.numberOr("traceDropped", 0));
+    os << "\n-- rank " << rank;
+    if (dropped > 0) os << "  (trace ring dropped " << dropped << " events)";
+    os << " --\n";
+
+    const JsonValue* windows = arr(r, "windows");
+    if (windows == nullptr || windows->array.empty()) {
+      os << "  (no telemetry windows retained)\n";
+    } else {
+      os << "  " << col("step", 10) << col("mlups", 10) << col("imbal", 8)
+         << col("wait.s", 9) << col("late-snd", 9) << col("late-rcv", 9)
+         << col("coll", 6) << col("straggler", 11) << "cause\n";
+      for (const auto& w : windows->array) {
+        const JsonValue* local = obj(w, "local");
+        const JsonValue* agg = obj(w, "aggregate");
+        if (local == nullptr || agg == nullptr) continue;
+        const double measured = local->numberOr("waitMeasuredSeconds", 0.0);
+        const double ls = local->numberOr("waitLateSenderSeconds", 0.0);
+        const double lr = local->numberOr("waitLateReceiverSeconds", 0.0);
+        const double co = local->numberOr("waitCollectiveSeconds", 0.0);
+        const int straggler =
+            static_cast<int>(agg->numberOr("waitStragglerRank", -1));
+        os << "  "
+           << col(fmt(w.numberOr("step", 0), "%.0f"), 10)
+           << col(fmt(agg->numberOr("mlups", 0.0), "%.2f"), 10)
+           << col(fmt(agg->numberOr("loadImbalance", 0.0), "%.2f"), 8)
+           << col(fmt(measured, "%.4f"), 9) << col(pct(ls, measured), 9)
+           << col(pct(lr, measured), 9) << col(pct(co, measured), 6)
+           << col(straggler >= 0 ? ("rank " + std::to_string(straggler))
+                                 : std::string("-"),
+                  11)
+           << agg->stringOr("waitDominantCause", "-") << "\n";
+      }
+
+      // Last sentinel extrema seen by this rank, if any window carried one.
+      const JsonValue* lastSentinel = nullptr;
+      for (const auto& w : windows->array) {
+        const JsonValue* s = obj(w, "sentinel");
+        if (s != nullptr && s->numberOr("valid", 0) != 0) lastSentinel = s;
+      }
+      if (lastSentinel != nullptr) {
+        os << "  sentinel: step "
+           << fmt(lastSentinel->numberOr("step", 0), "%.0f")
+           << (lastSentinel->numberOr("finite", 1) != 0 ? "" : "  NON-FINITE")
+           << "  rho [" << fmt(lastSentinel->numberOr("minRho", 0), "%.4f")
+           << ", " << fmt(lastSentinel->numberOr("maxRho", 0), "%.4f")
+           << "]  max|u| "
+           << fmt(lastSentinel->numberOr("maxSpeed", 0), "%.4f")
+           << "  headroom "
+           << fmt(lastSentinel->numberOr("headroom", 0), "%.2f") << "\n";
+      }
+    }
+
+    const JsonValue* notes = arr(r, "annotations");
+    if (notes != nullptr && !notes->array.empty()) {
+      os << "  annotations:\n";
+      for (const auto& a : notes->array) {
+        os << "    [" << fmt(a.numberOr("tsNs", 0) / 1e9, "%.3f") << "s] "
+           << a.stringOr("what", "") << "\n";
+      }
+    }
+  }
+
+  // --- top wait contributors ---------------------------------------------
+  if (!blame.empty()) {
+    std::vector<std::pair<int, double>> ordered(blame.begin(), blame.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    os << "\n-- top wait contributors (late-sender blame, retained windows) "
+          "--\n";
+    const std::size_t top = std::min<std::size_t>(ordered.size(), 5);
+    for (std::size_t i = 0; i < top; ++i) {
+      os << "  rank " << ordered[i].first << ": "
+         << fmt(ordered[i].second, "%.4f") << " s of peer wait\n";
+    }
+  }
+
+  return os.str();
+}
+
+std::string renderPostmortemFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("postmortem: cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return renderPostmortem(text);
+}
+
+}  // namespace hemo::telemetry

@@ -1,0 +1,26 @@
+#pragma once
+/// \file postmortem.hpp
+/// \brief Human-readable rendering of flight-recorder postmortem bundles.
+///
+/// The flight recorder (flightrec.hpp) flushes a JSON bundle when a run
+/// dies; renderPostmortem() turns that bundle into the report a human reads
+/// first: why the run stopped, the last retained telemetry windows per
+/// rank, who the critical-path straggler was, and the annotations leading
+/// up to the event. `hemo_postmortem` (tools/) is a thin CLI over this.
+
+#include <string>
+
+namespace hemo::telemetry {
+
+/// Render a postmortem bundle (the JSON written by FlightRegistry::flush)
+/// as a plain-text report. Throws std::runtime_error when `bundleJson` is
+/// not valid JSON or not a postmortem bundle (wrong/missing schema tag).
+/// Tolerant of missing optional fields — old or truncated-but-parseable
+/// bundles still render.
+std::string renderPostmortem(const std::string& bundleJson);
+
+/// Read `path` and render it. Throws std::runtime_error when the file
+/// cannot be read or the content fails renderPostmortem().
+std::string renderPostmortemFile(const std::string& path);
+
+}  // namespace hemo::telemetry

@@ -15,6 +15,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "telemetry/waitstate.hpp"
+
 namespace hemo::telemetry {
 
 /// Upper bound on comm traffic classes carried in a report (the comm layer
@@ -37,7 +39,26 @@ struct StepReport {
   std::uint64_t bytesSent[kReportTrafficClasses] = {};
   std::uint64_t msgsSent[kReportTrafficClasses] = {};
 
+  // Wait-state attribution (waitstate.hpp taxonomy). The per-cause seconds
+  // are summed over ranks in the aggregate, like the phase seconds above.
+  double waitLateSenderSeconds = 0.0;    ///< blocked, sender posted late
+  double waitLateReceiverSeconds = 0.0;  ///< blocked, data already queued
+  double waitCollectiveSeconds = 0.0;    ///< blocked inside collectives
+  double waitLateReceiverSlackSeconds = 0.0;  ///< arrival lag behind data
+  double waitMeasuredSeconds = 0.0;  ///< independent recv-wait wall clock
+  std::int32_t waitBlamedRank = -1;  ///< local: source this rank blames most
+  double waitBlamedSeconds = 0.0;    ///< blocked time charged to that source
+  // Filled by aggregateStepReports() on the cross-rank aggregate:
+  std::int32_t waitStragglerRank = -1;  ///< rank blamed most across all ranks
+  std::uint8_t waitDominantCause = 0;   ///< WaitCause with the most seconds
+  double waitAttributedFraction = 0.0;  ///< classified / measured wait time
+
   double busySeconds() const { return collideSeconds + streamSeconds; }
+
+  double waitClassifiedSeconds() const {
+    return waitLateSenderSeconds + waitLateReceiverSeconds +
+           waitCollectiveSeconds;
+  }
 
   std::uint64_t totalBytesSent() const {
     std::uint64_t sum = 0;
@@ -62,6 +83,9 @@ inline StepReport aggregateStepReports(const std::vector<StepReport>& perRank) {
   if (perRank.empty()) return out;
   out.ranks = static_cast<std::uint32_t>(perRank.size());
   double busySum = 0.0, busyMax = 0.0, hiddenSum = 0.0;
+  // Blame votes: each rank names the source it blames most; summing the
+  // votes per target picks the cross-rank straggler.
+  std::vector<double> blame(perRank.size(), 0.0);
   for (const auto& r : perRank) {
     out.step = std::max(out.step, r.step);
     out.sites += r.sites;
@@ -75,11 +99,61 @@ inline StepReport aggregateStepReports(const std::vector<StepReport>& perRank) {
       out.bytesSent[c] += r.bytesSent[c];
       out.msgsSent[c] += r.msgsSent[c];
     }
+    out.waitLateSenderSeconds += r.waitLateSenderSeconds;
+    out.waitLateReceiverSeconds += r.waitLateReceiverSeconds;
+    out.waitCollectiveSeconds += r.waitCollectiveSeconds;
+    out.waitLateReceiverSlackSeconds += r.waitLateReceiverSlackSeconds;
+    out.waitMeasuredSeconds += r.waitMeasuredSeconds;
+    if (r.waitBlamedRank >= 0 &&
+        r.waitBlamedRank < static_cast<std::int32_t>(blame.size())) {
+      blame[static_cast<std::size_t>(r.waitBlamedRank)] += r.waitBlamedSeconds;
+    }
     const double busy = r.busySeconds();
     busySum += busy;
     busyMax = std::max(busyMax, busy);
     hiddenSum += r.commHiddenFraction;
   }
+  // Critical-path breakdown: who the group blames (falling back to the
+  // busiest rank when no one was caught posting late) and why.
+  double blameMax = 0.0;
+  for (std::size_t r = 0; r < blame.size(); ++r) {
+    if (blame[r] > blameMax) {
+      blameMax = blame[r];
+      out.waitStragglerRank = static_cast<std::int32_t>(r);
+    }
+  }
+  if (out.waitStragglerRank < 0) {
+    double worstBusy = -1.0;
+    for (std::size_t r = 0; r < perRank.size(); ++r) {
+      if (perRank[r].busySeconds() > worstBusy) {
+        worstBusy = perRank[r].busySeconds();
+        out.waitStragglerRank = static_cast<std::int32_t>(r);
+      }
+    }
+  }
+  out.waitBlamedRank = out.waitStragglerRank;
+  out.waitBlamedSeconds = blameMax;
+  const double causes[] = {out.waitLateSenderSeconds,
+                           out.waitLateReceiverSeconds,
+                           out.waitCollectiveSeconds};
+  const WaitCause causeIds[] = {WaitCause::kLateSender,
+                                WaitCause::kLateReceiver,
+                                WaitCause::kCollective};
+  double causeMax = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    if (causes[i] > causeMax) {
+      causeMax = causes[i];
+      out.waitDominantCause = static_cast<std::uint8_t>(causeIds[i]);
+    }
+  }
+  // Coverage of the independently measured recv-wait clock by the
+  // classified point-to-point wait time (collective waits happen outside
+  // that clock, so they are excluded from the numerator).
+  const double p2p = out.waitLateSenderSeconds + out.waitLateReceiverSeconds;
+  out.waitAttributedFraction =
+      out.waitMeasuredSeconds > 0.0
+          ? std::min(1.0, p2p / out.waitMeasuredSeconds)
+          : (out.waitClassifiedSeconds() > 0.0 ? 1.0 : 0.0);
   const auto n = static_cast<double>(perRank.size());
   out.loadImbalance = busySum > 0.0 ? busyMax * n / busySum : 1.0;
   out.commHiddenFraction = hiddenSum / n;

@@ -8,6 +8,11 @@ thread_local RankTelemetry* g_threadTelemetry = nullptr;
 
 RankTelemetry* threadTelemetry() { return g_threadTelemetry; }
 
-void attachThreadTelemetry(RankTelemetry* t) { g_threadTelemetry = t; }
+void attachThreadTelemetry(RankTelemetry* t) {
+  g_threadTelemetry = t;
+  // Keep the HEMO_CHECK/flight-recorder hook pointing at the same rank's
+  // recorder so check failures annotate the right postmortem section.
+  setThreadFlightRecorder(t != nullptr ? &t->flightRecorder() : nullptr);
+}
 
 }  // namespace hemo::telemetry

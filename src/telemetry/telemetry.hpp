@@ -10,8 +10,10 @@
 /// unattached threads. Configure with -DHEMO_TELEMETRY=OFF to compile every
 /// span out entirely (the overhead baseline for the ≤2% MLUPS budget).
 
+#include "telemetry/flightrec.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/waitstate.hpp"
 
 namespace hemo::telemetry {
 
@@ -22,10 +24,15 @@ class RankTelemetry {
  public:
   explicit RankTelemetry(int rank = -1,
                          std::size_t traceCapacity = Tracer::kDefaultCapacity)
-      : rank_(rank), tracer_(traceCapacity) {}
+      : rank_(rank), tracer_(traceCapacity) {
+    flight_.setRank(rank);
+  }
 
   int rank() const { return rank_; }
-  void setRank(int rank) { rank_ = rank; }
+  void setRank(int rank) {
+    rank_ = rank;
+    flight_.setRank(rank);
+  }
 
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
@@ -33,10 +40,18 @@ class RankTelemetry {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  WaitStateRecorder& waitState() { return waitState_; }
+  const WaitStateRecorder& waitState() const { return waitState_; }
+
+  FlightRecorder& flightRecorder() { return flight_; }
+  const FlightRecorder& flightRecorder() const { return flight_; }
+
  private:
   int rank_;
   Tracer tracer_;
   MetricsRegistry metrics_;
+  WaitStateRecorder waitState_;
+  FlightRecorder flight_;
 };
 
 /// The context attached to the calling thread (nullptr when unattached).

@@ -39,13 +39,23 @@ const char* categoryName(Category c);
 /// Nanoseconds since the process-wide trace epoch (first use).
 std::int64_t traceNowNs();
 
-enum class SpanPhase : std::uint8_t { kBegin = 0, kEnd = 1 };
+/// kBegin/kEnd delimit duration spans; kFlowStart/kFlowEnd are Chrome-trace
+/// flow arrows tying a halo send on one rank to its receive on another
+/// (matched by flowId); kInstant is a point annotation.
+enum class SpanPhase : std::uint8_t {
+  kBegin = 0,
+  kEnd = 1,
+  kFlowStart = 2,
+  kFlowEnd = 3,
+  kInstant = 4
+};
 
 struct TraceEvent {
   std::int64_t tsNs = 0;
   const char* name = nullptr;  ///< must have static storage duration
   Category category = Category::kOther;
   SpanPhase phase = SpanPhase::kBegin;
+  std::uint64_t flowId = 0;  ///< nonzero only for kFlowStart/kFlowEnd
 };
 
 /// Lock-free SPSC ring. push() from the owning rank thread, drain() from
@@ -109,10 +119,16 @@ class Tracer {
   void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
   void begin(Category cat, const char* name) {
-    ring_.push({traceNowNs(), name, cat, SpanPhase::kBegin});
+    ring_.push({traceNowNs(), name, cat, SpanPhase::kBegin, 0});
   }
   void end(Category cat, const char* name) {
-    ring_.push({traceNowNs(), name, cat, SpanPhase::kEnd});
+    ring_.push({traceNowNs(), name, cat, SpanPhase::kEnd, 0});
+  }
+  /// Record one side of a cross-rank flow arrow (phase kFlowStart on the
+  /// sender, kFlowEnd on the receiver; both sides pass the same id).
+  void flow(Category cat, const char* name, SpanPhase phase, std::uint64_t id,
+            std::int64_t tsNs) {
+    ring_.push({tsNs, name, cat, phase, id});
   }
 
   std::size_t drain(std::vector<TraceEvent>& out) { return ring_.drain(out); }

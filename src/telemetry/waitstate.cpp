@@ -1,0 +1,98 @@
+#include "telemetry/waitstate.hpp"
+
+namespace hemo::telemetry {
+
+const char* waitCauseName(WaitCause c) {
+  switch (c) {
+    case WaitCause::kNone:
+      return "none";
+    case WaitCause::kLateSender:
+      return "late-sender";
+    case WaitCause::kLateReceiver:
+      return "late-receiver";
+    case WaitCause::kCollective:
+      return "collective";
+    default:
+      return "?";
+  }
+}
+
+void WaitStateRecorder::recordRecv(int trafficClass, bool collective,
+                                   int sourceWorldRank,
+                                   std::int64_t waitBeginNs,
+                                   std::int64_t waitEndNs,
+                                   std::int64_t senderPostNs) {
+  if (!enabled_) return;
+  const std::int64_t waitNs = std::max<std::int64_t>(0, waitEndNs - waitBeginNs);
+  const bool senderLate = senderPostNs > waitBeginNs;
+  WaitCause cause;
+  if (collective) {
+    cause = WaitCause::kCollective;
+  } else if (senderLate) {
+    cause = WaitCause::kLateSender;
+  } else {
+    // The message was already queued (or the post time is unknown): the
+    // receiver is the late party. Blocked time here is just wake-up cost;
+    // the interesting quantity is how long the data sat waiting for us.
+    cause = WaitCause::kLateReceiver;
+    if (senderPostNs > 0) {
+      totals_.lateReceiverSlackNs += waitBeginNs - senderPostNs;
+    }
+  }
+  totals_.causeNs[static_cast<int>(cause)] += waitNs;
+  ++totals_.classifiedRecvs;
+  const int cls = std::clamp(trafficClass, 0, kWaitTrafficClasses - 1);
+  phaseNs_[cls][static_cast<int>(cause)] += waitNs;
+  if (senderLate && sourceWorldRank >= 0) {
+    const auto idx = static_cast<std::size_t>(sourceWorldRank);
+    if (blameNs_.size() <= idx) blameNs_.resize(idx + 1, 0);
+    blameNs_[idx] += waitNs;
+  }
+}
+
+std::int64_t WaitStateRecorder::phaseCauseNs(int trafficClass,
+                                             WaitCause c) const {
+  const int cls = std::clamp(trafficClass, 0, kWaitTrafficClasses - 1);
+  return phaseNs_[cls][static_cast<int>(c)];
+}
+
+WaitStateRecorder::Window WaitStateRecorder::window() {
+  Window w;
+  auto delta = [&](WaitCause c) {
+    const int i = static_cast<int>(c);
+    return static_cast<double>(totals_.causeNs[i] - prevTotals_.causeNs[i]) /
+           1e9;
+  };
+  w.lateSenderSeconds = delta(WaitCause::kLateSender);
+  w.lateReceiverSeconds = delta(WaitCause::kLateReceiver);
+  w.collectiveSeconds = delta(WaitCause::kCollective);
+  w.lateReceiverSlackSeconds =
+      static_cast<double>(totals_.lateReceiverSlackNs -
+                          prevTotals_.lateReceiverSlackNs) /
+      1e9;
+  std::int64_t best = 0;
+  for (std::size_t r = 0; r < blameNs_.size(); ++r) {
+    const std::int64_t prev = r < prevBlameNs_.size() ? prevBlameNs_[r] : 0;
+    const std::int64_t d = blameNs_[r] - prev;
+    if (d > best) {
+      best = d;
+      w.topBlamedRank = static_cast<std::int32_t>(r);
+    }
+  }
+  w.topBlamedSeconds = static_cast<double>(best) / 1e9;
+  prevTotals_ = totals_;
+  prevBlameNs_ = blameNs_;
+  return w;
+}
+
+void WaitStateRecorder::reset() {
+  totals_ = Totals{};
+  prevTotals_ = Totals{};
+  for (auto& perClass : phaseNs_) {
+    for (auto& ns : perClass) ns = 0;
+  }
+  blameNs_.clear();
+  prevBlameNs_.clear();
+}
+
+}  // namespace hemo::telemetry

@@ -1,0 +1,113 @@
+#pragma once
+/// \file waitstate.hpp
+/// \brief Scalasca-style wait-state attribution for the thread-rank runtime.
+///
+/// Knowing *that* ranks wait (recvWaitTimer, commSeconds) is not enough to
+/// fix imbalance — the repartitioner and the human both need to know *who*
+/// made them wait and *why*. Every Envelope carries a piggybacked timing
+/// header (sender post time + step epoch, stamped in Communicator::sendBytes);
+/// when a blocking receive completes, the comm layer hands the wait interval
+/// and the header to this recorder, which classifies the blocked time:
+///
+///  - late sender        the message was posted *after* we started waiting —
+///                       the blocked time is the sender's fault, charged to
+///                       its world rank in the blame vector;
+///  - late receiver      the message was already queued when we arrived —
+///                       we are the late party; the (tiny) blocked time is
+///                       ours, and the arrival lag behind the post time is
+///                       tracked separately as "slack";
+///  - collective         blocked inside a collective (barrier / bcast /
+///                       reduce rounds): straggler wait, blamed on the peer
+///                       whose token arrived late.
+///
+/// Everything here is rank-thread-local (owned by RankTelemetry); windows
+/// are snapshotted by the driver into StepReport fields and reduced
+/// cross-rank by aggregateStepReports() into a per-window critical-path
+/// breakdown (straggler rank, dominant cause).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hemo::telemetry {
+
+/// Why a rank was blocked. Values are wire-stable (StepReport /
+/// StatusReport carry them as uint8).
+enum class WaitCause : std::uint8_t {
+  kNone = 0,
+  kLateSender = 1,
+  kLateReceiver = 2,
+  kCollective = 3,
+  kCount_
+};
+
+inline constexpr int kNumWaitCauses = static_cast<int>(WaitCause::kCount_);
+
+const char* waitCauseName(WaitCause c);
+
+/// Upper bound on comm traffic classes tracked per phase (mirrors
+/// kReportTrafficClasses; the comm layer's class enum fits).
+inline constexpr int kWaitTrafficClasses = 8;
+
+class WaitStateRecorder {
+ public:
+  /// Cumulative totals since construction (or reset()).
+  struct Totals {
+    std::int64_t causeNs[kNumWaitCauses] = {};
+    std::int64_t lateReceiverSlackNs = 0;  ///< arrival lag behind queued data
+    std::uint64_t classifiedRecvs = 0;
+  };
+
+  /// Delta since the previous window() call.
+  struct Window {
+    double lateSenderSeconds = 0.0;
+    double lateReceiverSeconds = 0.0;
+    double collectiveSeconds = 0.0;
+    double lateReceiverSlackSeconds = 0.0;
+    std::int32_t topBlamedRank = -1;  ///< source blamed most this window
+    double topBlamedSeconds = 0.0;
+  };
+
+  bool enabled() const { return enabled_; }
+  void setEnabled(bool on) { enabled_ = on; }
+
+  /// Step epoch piggybacked on outgoing envelopes (the solver tags it with
+  /// the step number before the halo exchange).
+  void setEpoch(std::uint64_t e) { epoch_ = e; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Classify one completed blocking receive. `trafficClass` is the comm
+  /// layer's Traffic value (opaque small int here — telemetry sits below
+  /// comm); `senderPostNs` is the piggybacked post time (<= 0: unknown).
+  void recordRecv(int trafficClass, bool collective, int sourceWorldRank,
+                  std::int64_t waitBeginNs, std::int64_t waitEndNs,
+                  std::int64_t senderPostNs);
+
+  const Totals& totals() const { return totals_; }
+  double causeSeconds(WaitCause c) const {
+    return static_cast<double>(totals_.causeNs[static_cast<int>(c)]) / 1e9;
+  }
+  /// Blocked ns accumulated in (traffic class, cause); class clamped.
+  std::int64_t phaseCauseNs(int trafficClass, WaitCause c) const;
+  /// Cumulative blame: blameNs()[r] = blocked ns this rank attributes to
+  /// world rank r having posted late. May be shorter than the world size.
+  const std::vector<std::int64_t>& blameNs() const { return blameNs_; }
+
+  /// Snapshot the delta since the previous window() call and advance the
+  /// window baseline. Rank-thread only.
+  Window window();
+
+  void reset();
+
+ private:
+  bool enabled_ = true;
+  std::uint64_t epoch_ = 0;
+  Totals totals_;
+  std::int64_t phaseNs_[kWaitTrafficClasses][kNumWaitCauses] = {};
+  std::vector<std::int64_t> blameNs_;
+  // Window baselines (previous snapshot).
+  Totals prevTotals_;
+  std::vector<std::int64_t> prevBlameNs_;
+};
+
+}  // namespace hemo::telemetry

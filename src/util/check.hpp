@@ -7,6 +7,7 @@
 /// always evaluates and throws a descriptive std::logic_error on failure so
 /// that the thread-rank runtime can propagate it to the caller.
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -20,12 +21,31 @@ class CheckError : public std::logic_error {
 };
 
 namespace detail {
+/// Observer invoked with the failure message before the CheckError is
+/// thrown. The flight recorder installs one so postmortem bundles record
+/// the first failed invariant even when the unwind loses it; the hook must
+/// not throw. nullptr disables.
+using CheckFailHook = void (*)(const char* what);
+
+inline std::atomic<CheckFailHook>& checkFailHookRef() {
+  static std::atomic<CheckFailHook> hook{nullptr};
+  return hook;
+}
+
+inline void setCheckFailHook(CheckFailHook hook) {
+  checkFailHookRef().store(hook, std::memory_order_release);
+}
+
 [[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
                                    const std::string& msg) {
   std::ostringstream os;
   os << "HEMO_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
+  const std::string what = os.str();
+  if (auto* hook = checkFailHookRef().load(std::memory_order_acquire)) {
+    hook(what.c_str());
+  }
+  throw CheckError(what);
 }
 }  // namespace detail
 

@@ -1,0 +1,592 @@
+// Observability tests: wait-state classification against hand-built
+// two-rank scenarios (late sender, late receiver, collective straggler),
+// cross-rank critical-path aggregation in StepReport, the wait-state wire
+// extensions (round trip + legacy-frame back-compat), Chrome-trace flow /
+// instant / drop-marker emission, flight-recorder retention bounds, and
+// the crash postmortem path: bundles written after an injected rank kill
+// and after a HEMO_CHECK failure must parse and render.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "partition/partitioners.hpp"
+#include "steer/protocol.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flightrec.hpp"
+#include "telemetry/postmortem.hpp"
+#include "telemetry/step_report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/waitstate.hpp"
+#include "util/check.hpp"
+#include "util/faultinject.hpp"
+#include "util/json.hpp"
+
+namespace hemo {
+namespace {
+
+using telemetry::WaitCause;
+
+[[maybe_unused]] void sleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// --- wait-state classification ---------------------------------------------
+
+TEST(WaitState, ClassifiesHandBuiltIntervals) {
+  telemetry::WaitStateRecorder ws;
+
+  // Late sender: the message was posted 5ms after we started waiting.
+  ws.recordRecv(/*trafficClass=*/1, /*collective=*/false,
+                /*sourceWorldRank=*/3, /*waitBeginNs=*/1'000'000,
+                /*waitEndNs=*/21'000'000, /*senderPostNs=*/6'000'000);
+  // Late receiver: data was queued 4ms before we arrived.
+  ws.recordRecv(1, false, 2, 10'000'000, 10'500'000, 6'000'000);
+  // Collective straggler wait.
+  ws.recordRecv(2, true, 1, 0, 8'000'000, 0);
+
+  EXPECT_NEAR(ws.causeSeconds(WaitCause::kLateSender), 0.020, 1e-9);
+  EXPECT_NEAR(ws.causeSeconds(WaitCause::kLateReceiver), 0.0005, 1e-9);
+  EXPECT_NEAR(ws.causeSeconds(WaitCause::kCollective), 0.008, 1e-9);
+  EXPECT_EQ(ws.totals().classifiedRecvs, 3u);
+  EXPECT_EQ(ws.totals().lateReceiverSlackNs, 4'000'000);
+  ASSERT_GE(ws.blameNs().size(), 4u);
+  EXPECT_EQ(ws.blameNs()[3], 20'000'000);  // only the late sender is blamed
+  EXPECT_EQ(ws.blameNs()[2], 0);
+  EXPECT_EQ(ws.phaseCauseNs(1, WaitCause::kLateSender), 20'000'000);
+  EXPECT_EQ(ws.phaseCauseNs(2, WaitCause::kCollective), 8'000'000);
+
+  // Window deltas advance the baseline.
+  auto w = ws.window();
+  EXPECT_NEAR(w.lateSenderSeconds, 0.020, 1e-9);
+  EXPECT_EQ(w.topBlamedRank, 3);
+  EXPECT_NEAR(w.topBlamedSeconds, 0.020, 1e-9);
+  w = ws.window();
+  EXPECT_EQ(w.lateSenderSeconds, 0.0);
+  EXPECT_EQ(w.topBlamedRank, -1);
+}
+
+// The live scenarios below need the comm-layer classification hooks, which
+// -DHEMO_TELEMETRY=OFF compiles out.
+#ifndef HEMO_TELEMETRY_DISABLED
+TEST(WaitState, TwoRankLateSenderScenarioBlamesTheSleeper) {
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    comm::Communicator::TrafficScope scope(comm, comm::Traffic::kHalo);
+    std::uint64_t payload = 42;
+    if (comm.rank() == 1) {
+      sleepMs(25);  // the straggler: posts its halo late
+      comm.sendBytes(0, 7, &payload, sizeof payload);
+    } else {
+      std::uint64_t got = 0;
+      comm.recvBytesInto(1, 7, &got, sizeof got);
+      EXPECT_EQ(got, 42u);
+    }
+  });
+  auto& ws = rt.telemetry(0).waitState();
+  EXPECT_GE(ws.causeSeconds(WaitCause::kLateSender), 0.015);
+  EXPECT_LT(ws.causeSeconds(WaitCause::kLateReceiver), 0.005);
+  ASSERT_GE(ws.blameNs().size(), 2u);
+  EXPECT_GT(ws.blameNs()[1], 10'000'000);  // world rank 1 is at fault
+  const auto w = ws.window();
+  EXPECT_EQ(w.topBlamedRank, 1);
+  EXPECT_GE(w.topBlamedSeconds, 0.015);
+}
+
+TEST(WaitState, LateReceiverRecordsSlackNotBlame) {
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    comm::Communicator::TrafficScope scope(comm, comm::Traffic::kHalo);
+    std::uint64_t payload = 7;
+    if (comm.rank() == 1) {
+      comm.sendBytes(0, 9, &payload, sizeof payload);  // posted immediately
+    } else {
+      sleepMs(25);  // we arrive late; the data has long been queued
+      std::uint64_t got = 0;
+      comm.recvBytesInto(1, 9, &got, sizeof got);
+    }
+  });
+  auto& ws = rt.telemetry(0).waitState();
+  EXPECT_LT(ws.causeSeconds(WaitCause::kLateSender), 0.005);
+  const auto w = ws.window();
+  EXPECT_EQ(w.topBlamedRank, -1);  // nobody else to blame
+  EXPECT_GE(w.lateReceiverSlackSeconds, 0.015);
+}
+
+TEST(WaitState, CollectiveStragglerChargesCollectiveCause) {
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    if (comm.rank() == 1) sleepMs(25);
+    comm.allreduceSum(1.0);
+  });
+  auto& ws = rt.telemetry(0).waitState();
+  EXPECT_GE(ws.causeSeconds(WaitCause::kCollective), 0.015);
+}
+#endif  // HEMO_TELEMETRY_DISABLED
+
+// --- cross-rank aggregation --------------------------------------------------
+
+TEST(StepReport, AggregationPicksStragglerAndDominantCause) {
+  std::vector<telemetry::StepReport> perRank(3);
+  // Ranks 0 and 2 both blame rank 1; rank 1 blames rank 0 a little.
+  perRank[0].waitLateSenderSeconds = 0.10;
+  perRank[0].waitMeasuredSeconds = 0.11;
+  perRank[0].waitBlamedRank = 1;
+  perRank[0].waitBlamedSeconds = 0.10;
+  perRank[1].waitLateSenderSeconds = 0.01;
+  perRank[1].waitMeasuredSeconds = 0.01;
+  perRank[1].waitBlamedRank = 0;
+  perRank[1].waitBlamedSeconds = 0.01;
+  perRank[2].waitLateSenderSeconds = 0.05;
+  perRank[2].waitCollectiveSeconds = 0.02;
+  perRank[2].waitMeasuredSeconds = 0.06;
+  perRank[2].waitBlamedRank = 1;
+  perRank[2].waitBlamedSeconds = 0.05;
+
+  const auto agg = telemetry::aggregateStepReports(perRank);
+  EXPECT_EQ(agg.waitStragglerRank, 1);
+  EXPECT_EQ(agg.waitDominantCause,
+            static_cast<std::uint8_t>(WaitCause::kLateSender));
+  EXPECT_NEAR(agg.waitLateSenderSeconds, 0.16, 1e-12);
+  EXPECT_NEAR(agg.waitBlamedSeconds, 0.15, 1e-12);
+  // 0.16s of classified p2p wait over 0.18s measured.
+  EXPECT_NEAR(agg.waitAttributedFraction, 0.16 / 0.18, 1e-9);
+  EXPECT_GE(agg.waitAttributedFraction, 0.85);
+}
+
+TEST(StepReport, AggregationFallsBackToBusiestRankWhenNobodyBlames) {
+  std::vector<telemetry::StepReport> perRank(2);
+  perRank[0].collideSeconds = 0.1;
+  perRank[1].collideSeconds = 0.4;  // the busiest rank is the implicit drag
+  const auto agg = telemetry::aggregateStepReports(perRank);
+  EXPECT_EQ(agg.waitStragglerRank, 1);
+  EXPECT_EQ(agg.waitDominantCause,
+            static_cast<std::uint8_t>(WaitCause::kNone));
+  EXPECT_EQ(agg.waitAttributedFraction, 0.0);
+}
+
+// --- wire format -------------------------------------------------------------
+
+TEST(SteerProtocol, StatusWaitFieldsRoundTripAndLegacyFramesDefault) {
+  steer::StatusReport s;
+  s.step = 123;
+  s.consistencyStep = 120;
+  s.waitStragglerRank = 7;
+  s.waitDominantCause = static_cast<std::uint8_t>(WaitCause::kLateSender);
+  s.waitSeconds = 0.25;
+  const auto frame = steer::encodeStatus(s);
+
+  const auto d = steer::decodeStatus(frame);
+  EXPECT_EQ(d.waitStragglerRank, 7);
+  EXPECT_EQ(d.waitDominantCause,
+            static_cast<std::uint8_t>(WaitCause::kLateSender));
+  EXPECT_NEAR(d.waitSeconds, 0.25, 1e-12);
+
+  // A frame from a pre-wait-state encoder ends at consistencyStep; the
+  // decoder must keep its defaults instead of choking.
+  auto legacy = frame;
+  legacy.resize(legacy.size() - (sizeof(std::int32_t) + sizeof(std::uint8_t) +
+                                 sizeof(double)));
+  const auto old = steer::decodeStatus(legacy);
+  EXPECT_EQ(old.step, 123u);
+  EXPECT_EQ(old.consistencyStep, 120u);
+  EXPECT_EQ(old.waitStragglerRank, -1);
+  EXPECT_EQ(old.waitDominantCause, 0);
+  EXPECT_EQ(old.waitSeconds, 0.0);
+}
+
+TEST(SteerProtocol, TelemetryWaitBlockRoundTripsAndLegacyFramesDefault) {
+  telemetry::StepReport r;
+  r.step = 50;
+  r.mlups = 12.5;
+  r.waitLateSenderSeconds = 0.5;
+  r.waitLateReceiverSeconds = 0.125;
+  r.waitCollectiveSeconds = 0.0625;
+  r.waitLateReceiverSlackSeconds = 0.03125;
+  r.waitMeasuredSeconds = 0.75;
+  r.waitBlamedRank = 3;
+  r.waitBlamedSeconds = 0.5;
+  r.waitStragglerRank = 3;
+  r.waitDominantCause = static_cast<std::uint8_t>(WaitCause::kLateSender);
+  r.waitAttributedFraction = 0.9375;
+  const auto frame = steer::encodeTelemetry(r);
+
+  const auto d = steer::decodeTelemetry(frame);
+  EXPECT_EQ(d.waitBlamedRank, 3);
+  EXPECT_EQ(d.waitStragglerRank, 3);
+  EXPECT_NEAR(d.waitLateSenderSeconds, 0.5, 1e-12);
+  EXPECT_NEAR(d.waitAttributedFraction, 0.9375, 1e-12);
+
+  constexpr std::size_t kWaitBlock = 7 * sizeof(double) +
+                                     2 * sizeof(std::int32_t) +
+                                     sizeof(std::uint8_t);
+  auto legacy = frame;
+  legacy.resize(legacy.size() - kWaitBlock);
+  const auto old = steer::decodeTelemetry(legacy);
+  EXPECT_EQ(old.step, 50u);
+  EXPECT_NEAR(old.mlups, 12.5, 1e-12);
+  EXPECT_EQ(old.waitBlamedRank, -1);
+  EXPECT_EQ(old.waitStragglerRank, -1);
+  EXPECT_EQ(old.waitAttributedFraction, 0.0);
+}
+
+// --- chrome trace flow / instant / drop markers ------------------------------
+
+TEST(ChromeTrace, EmitsFlowArrowsInstantsAndDropMarker) {
+  telemetry::RankTrace rt0;
+  rt0.rank = 0;
+  rt0.dropped = 3;
+  rt0.events = {
+      {100, "driver.step", telemetry::Category::kStep,
+       telemetry::SpanPhase::kBegin, 0},
+      {150, "halo.flow", telemetry::Category::kHaloSend,
+       telemetry::SpanPhase::kFlowStart, 0x2a},
+      {200, "halo.flow", telemetry::Category::kHaloRecvWait,
+       telemetry::SpanPhase::kFlowEnd, 0x2a},
+      {250, "note", telemetry::Category::kOther,
+       telemetry::SpanPhase::kInstant, 0},
+      {300, "driver.step", telemetry::Category::kStep,
+       telemetry::SpanPhase::kEnd, 0},
+  };
+  const std::string json = telemetry::chromeTraceJson({rt0});
+
+  util::JsonValue doc;
+  ASSERT_NO_THROW(doc = util::parseJson(json)) << json;
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int flowStarts = 0, flowEnds = 0, instants = 0;
+  bool sawDropMarker = false;
+  for (const auto& e : events->array) {
+    const std::string ph = e.stringOr("ph", "");
+    if (ph == "s") {
+      ++flowStarts;
+      EXPECT_EQ(e.stringOr("id", ""), "0x2a");
+    } else if (ph == "f") {
+      ++flowEnds;
+      EXPECT_EQ(e.stringOr("id", ""), "0x2a");
+      EXPECT_EQ(e.stringOr("bp", ""), "e");
+    } else if (ph == "i") {
+      ++instants;
+      if (e.stringOr("name", "") == "trace.dropped") {
+        sawDropMarker = true;
+        const auto* args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        EXPECT_EQ(args->numberOr("dropped", 0), 3.0);
+      }
+    }
+  }
+  EXPECT_EQ(flowStarts, 1);
+  EXPECT_EQ(flowEnds, 1);
+  EXPECT_EQ(instants, 2);  // the note + the drop marker
+  EXPECT_TRUE(sawDropMarker);
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RingsAreBounded) {
+  telemetry::FlightRecorder rec;
+  telemetry::FlightRecorder::Config cfg;
+  cfg.keepWindows = 4;
+  cfg.keepAnnotations = 3;
+  rec.configure(cfg);
+  for (int i = 0; i < 10; ++i) {
+    telemetry::FlightWindow w;
+    w.step = static_cast<std::uint64_t>(i);
+    rec.captureWindow(std::move(w));
+    rec.note("note " + std::to_string(i));
+  }
+  const auto windows = rec.windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().step, 6u);  // oldest retained
+  EXPECT_EQ(windows.back().step, 9u);
+  const auto notes = rec.annotations();
+  ASSERT_EQ(notes.size(), 3u);
+  EXPECT_EQ(notes.back().what, "note 9");
+}
+
+TEST(FlightRecorder, RegistryFlushWritesRenderableBundle) {
+  const std::string dir = "/tmp/hemo_test_postmortem_unit";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  telemetry::FlightRecorder rec;
+  rec.setRank(0);
+  telemetry::Tracer tracer(64);
+  tracer.begin(telemetry::Category::kStep, "driver.step");
+  tracer.end(telemetry::Category::kStep, "driver.step");
+  telemetry::FlightWindow w;
+  w.step = 12;
+  w.local.waitLateSenderSeconds = 0.5;
+  w.local.waitMeasuredSeconds = 0.5;
+  w.local.waitBlamedRank = 1;
+  w.local.waitBlamedSeconds = 0.5;
+  w.aggregate = w.local;
+  w.aggregate.waitStragglerRank = 1;
+  w.aggregate.waitDominantCause =
+      static_cast<std::uint8_t>(WaitCause::kLateSender);
+  w.sentinel.valid = 1;
+  w.sentinel.minRho = 0.99;
+  w.sentinel.maxRho = 1.01;
+  w.metrics.emplace_back("lb.mlups", 42.0);
+  rec.captureWindow(std::move(w));
+  rec.note("sentinel rollback to checkpointed step 10");
+
+  auto& registry = telemetry::FlightRegistry::instance();
+  registry.registerRank(&rec, &tracer);
+  registry.arm(dir);
+  const std::string path = registry.flush("unit-test", "synthetic bundle");
+  registry.disarm();
+  registry.unregisterRank(&rec);
+
+  ASSERT_EQ(path, dir + "/postmortem_unit-test.json");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ASSERT_TRUE(
+      std::filesystem::exists(dir + "/postmortem_unit-test.trace.json"));
+
+  // The bundle must be strict JSON and renderable.
+  ASSERT_NO_THROW(util::parseJson(readFile(path)));
+  std::string report;
+  ASSERT_NO_THROW(report = telemetry::renderPostmortemFile(path));
+  EXPECT_NE(report.find("unit-test"), std::string::npos);
+  EXPECT_NE(report.find("synthetic bundle"), std::string::npos);
+  EXPECT_NE(report.find("-- rank 0"), std::string::npos);
+  EXPECT_NE(report.find("late-snd"), std::string::npos);
+  EXPECT_NE(report.find("sentinel rollback"), std::string::npos);
+  EXPECT_NE(report.find("rank 1"), std::string::npos);  // top contributor
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorder, FlushIsNoOpWhenDisarmed) {
+  telemetry::FlightRecorder rec;
+  telemetry::Tracer tracer(64);
+  auto& registry = telemetry::FlightRegistry::instance();
+  registry.disarm();
+  registry.registerRank(&rec, &tracer);
+  EXPECT_EQ(registry.flush("nope", ""), "");
+  registry.unregisterRank(&rec);
+}
+
+// --- postmortem renderer edge cases -----------------------------------------
+
+TEST(Postmortem, RejectsMalformedInput) {
+  EXPECT_THROW(telemetry::renderPostmortem("not json at all"),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::renderPostmortem("{}"), std::runtime_error);
+  EXPECT_THROW(telemetry::renderPostmortem("{\"schema\":\"other\"}"),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::renderPostmortemFile("/nonexistent/path.json"),
+               std::runtime_error);
+}
+
+TEST(Postmortem, RendersZeroWindowBundles) {
+  const std::string minimal =
+      "{\"schema\":\"hemo-postmortem-1\",\"reason\":\"signal-15\","
+      "\"ranks\":[{\"rank\":0,\"windows\":[],\"annotations\":[]}]}";
+  std::string report;
+  ASSERT_NO_THROW(report = telemetry::renderPostmortem(minimal));
+  EXPECT_NE(report.find("signal-15"), std::string::npos);
+  EXPECT_NE(report.find("no telemetry windows"), std::string::npos);
+}
+
+// --- crash paths -------------------------------------------------------------
+
+void forwardCheckFailure(const char* what) {
+  telemetry::FlightRegistry::instance().noteCheckFailure(what);
+}
+
+TEST(Postmortem, CheckFailureAnnotatesThreadRecorder) {
+  telemetry::FlightRecorder rec;
+  telemetry::setThreadFlightRecorder(&rec);
+  detail::setCheckFailHook(&forwardCheckFailure);
+  EXPECT_THROW(HEMO_CHECK_MSG(false, "synthetic check failure"), CheckError);
+  detail::setCheckFailHook(nullptr);
+  telemetry::setThreadFlightRecorder(nullptr);
+
+  const auto notes = rec.annotations();
+  ASSERT_FALSE(notes.empty());
+  EXPECT_NE(notes.back().what.find("HEMO_CHECK"), std::string::npos);
+  EXPECT_NE(notes.back().what.find("synthetic check failure"),
+            std::string::npos);
+}
+
+TEST(Postmortem, BundleWrittenAfterCheckFailureInRankMain) {
+  const std::string dir = "/tmp/hemo_test_postmortem_check";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto& registry = telemetry::FlightRegistry::instance();
+  registry.arm(dir);
+
+  comm::Runtime rt(2);
+  EXPECT_THROW(
+      rt.run([&](comm::Communicator& comm) {
+        comm.allreduceSum(1.0);
+        if (comm.rank() == 0) {
+          HEMO_CHECK_MSG(false, "observability check blew up");
+        }
+        // Rank 1 blocks here until the abort propagation wakes it.
+        std::uint64_t buf = 0;
+        comm.recvBytesInto(0, 5, &buf, sizeof buf);
+      }),
+      CheckError);
+  registry.disarm();
+
+  const std::string bundle = dir + "/postmortem_rank-exception.json";
+  ASSERT_TRUE(std::filesystem::exists(bundle));
+  std::string report;
+  ASSERT_NO_THROW(report = telemetry::renderPostmortemFile(bundle));
+  EXPECT_NE(report.find("rank-exception"), std::string::npos);
+  EXPECT_NE(report.find("observability check blew up"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// Needs both the kill hook and the driver-side registry arming (the latter
+// is compiled out with telemetry).
+#if !defined(HEMO_FAULTINJECT_DISABLED) && !defined(HEMO_TELEMETRY_DISABLED)
+TEST(Postmortem, BundleAfterInjectedDriverKillRendersWithoutError) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.3;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+
+  const std::string dir = "/tmp/hemo_test_postmortem_kill";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  core::DriverConfig cfg;
+  cfg.lb.tau = 0.8;
+  cfg.lb.bodyForce = {1e-5, 0, 0};
+  cfg.computeWss = false;
+  cfg.visEvery = 0;
+  cfg.statusEvery = 2;  // capture flight windows as the run progresses
+  cfg.flight.dir = dir;
+
+  util::FaultScope scope(11);
+  util::FaultRule r;
+  r.site = util::FaultSite::kDriverStep;
+  r.action = util::FaultAction::kKill;
+  r.rank = 1;
+  r.afterHits = 6;
+  r.maxFires = 1;
+  scope.rule(r);
+
+  {
+    comm::Runtime rt(2);
+    EXPECT_THROW(rt.run([&](comm::Communicator& comm) {
+                   lb::DomainMap domain(lat, part, comm.rank());
+                   core::SimulationDriver driver(domain, comm, cfg);
+                   driver.run(12);
+                 }),
+                 util::RankKilledError);
+  }
+  telemetry::FlightRegistry::instance().disarm();
+
+  const std::string bundle = dir + "/postmortem_rank-exception.json";
+  ASSERT_TRUE(std::filesystem::exists(bundle));
+  ASSERT_TRUE(
+      std::filesystem::exists(dir + "/postmortem_rank-exception.trace.json"));
+
+  // Strict JSON, and hemo_postmortem's renderer accepts it.
+  const std::string text = readFile(bundle);
+  util::JsonValue doc;
+  ASSERT_NO_THROW(doc = util::parseJson(text));
+  EXPECT_EQ(doc.stringOr("reason", ""), "rank-exception");
+  EXPECT_NE(doc.stringOr("detail", "").find("injected rank death"),
+            std::string::npos);
+  const auto* ranks = doc.find("ranks");
+  ASSERT_NE(ranks, nullptr);
+  EXPECT_EQ(ranks->array.size(), 2u);
+  // statusEvery=2 ran at least two windows before the step-7 kill.
+  bool sawWindow = false;
+  for (const auto& rk : ranks->array) {
+    const auto* windows = rk.find("windows");
+    ASSERT_NE(windows, nullptr);
+    if (!windows->array.empty()) sawWindow = true;
+  }
+  EXPECT_TRUE(sawWindow);
+
+  std::string report;
+  ASSERT_NO_THROW(report = telemetry::renderPostmortemFile(bundle));
+  EXPECT_NE(report.find("rank-exception"), std::string::npos);
+  EXPECT_NE(report.find("-- rank 0"), std::string::npos);
+  EXPECT_NE(report.find("-- rank 1"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+#endif  // HEMO_FAULTINJECT_DISABLED && HEMO_TELEMETRY_DISABLED
+
+// --- driver integration ------------------------------------------------------
+
+#ifndef HEMO_TELEMETRY_DISABLED
+TEST(Observability, DriverPublishesWaitGaugesAndFlightWindows) {
+  geometry::VoxelizeOptions opt;
+  opt.voxelSize = 0.3;
+  const auto lat =
+      geometry::voxelize(geometry::makeStraightTube(4.0, 1.0), opt);
+  const auto graph = partition::buildSiteGraph(lat);
+  partition::MultilevelKWayPartitioner kway;
+  const auto part = kway.partition(graph, 2);
+
+  core::DriverConfig cfg;
+  cfg.lb.tau = 0.8;
+  cfg.lb.bodyForce = {1e-5, 0, 0};
+  cfg.computeWss = false;
+  cfg.visEvery = 0;
+  cfg.statusEvery = 0;
+
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, part, comm.rank());
+    core::SimulationDriver driver(domain, comm, cfg);
+    driver.run(6);
+    const auto report = driver.computeStepReport();
+    EXPECT_GE(report.waitStragglerRank, 0);
+    EXPECT_LT(report.waitStragglerRank, 2);
+    EXPECT_GE(report.waitAttributedFraction, 0.0);
+    EXPECT_LE(report.waitAttributedFraction, 1.0);
+
+    const auto status = driver.computeStatus();
+    EXPECT_EQ(status.waitStragglerRank, report.waitStragglerRank);
+    EXPECT_GE(status.waitSeconds, 0.0);
+  });
+
+  for (int rank = 0; rank < 2; ++rank) {
+    auto& t = rt.telemetry(rank);
+    const auto& gauges = t.metrics().gauges();
+    ASSERT_TRUE(gauges.count("lb.wait.straggler_rank"));
+    ASSERT_TRUE(gauges.count("lb.wait.attributed_fraction"));
+    ASSERT_TRUE(gauges.count("lb.wait.late_sender_seconds"));
+    ASSERT_TRUE(gauges.count("trace.dropped"));
+    const auto windows = t.flightRecorder().windows();
+    ASSERT_FALSE(windows.empty());
+    bool sawMlups = false;
+    for (const auto& [name, value] : windows.back().metrics) {
+      if (name == "lb.mlups") sawMlups = true;
+    }
+    EXPECT_TRUE(sawMlups);
+  }
+}
+#endif  // HEMO_TELEMETRY_DISABLED
+
+}  // namespace
+}  // namespace hemo

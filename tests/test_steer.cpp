@@ -319,18 +319,35 @@ TEST(Protocol, StatusCarriesConsistencyStep) {
   EXPECT_EQ(back.consistencyStep, 195u);
 }
 
+// Trailing bytes appended to a status frame after the original layout:
+// the wait-state block (i32 straggler + u8 cause + f64 seconds) behind
+// the consistencyStep u64. Older encoders stop at earlier boundaries.
+constexpr std::size_t kStatusWaitBlock =
+    sizeof(std::int32_t) + sizeof(std::uint8_t) + sizeof(double);
+
 TEST(Protocol, StatusDecodeIsWireBackCompatible) {
-  // A frame from a build that predates consistencyStep is the same frame
-  // minus the trailing u64; the decoder must accept it and default the
-  // provenance step to the report step.
+  // Frames from older builds end at earlier field boundaries: before the
+  // wait-state block, and before that at consistencyStep. The decoder
+  // must accept both generations and default the missing fields.
   StatusReport s;
   s.step = 321;
   s.consistencyStep = 321;
+  s.waitStragglerRank = 3;
+  s.waitSeconds = 0.5;
   auto frame = encodeStatus(s);
-  frame.resize(frame.size() - sizeof(std::uint64_t));
-  const auto back = decodeStatus(frame);
-  EXPECT_EQ(back.step, 321u);
-  EXPECT_EQ(back.consistencyStep, 321u);
+
+  frame.resize(frame.size() - kStatusWaitBlock);  // pre-wait-state build
+  const auto mid = decodeStatus(frame);
+  EXPECT_EQ(mid.step, 321u);
+  EXPECT_EQ(mid.consistencyStep, 321u);
+  EXPECT_EQ(mid.waitStragglerRank, -1);
+  EXPECT_EQ(mid.waitSeconds, 0.0);
+
+  frame.resize(frame.size() - sizeof(std::uint64_t));  // pre-consistencyStep
+  const auto old = decodeStatus(frame);
+  EXPECT_EQ(old.step, 321u);
+  EXPECT_EQ(old.consistencyStep, 321u);
+  EXPECT_EQ(old.waitStragglerRank, -1);
 }
 
 TEST(Protocol, OversizedVectorCountIsATypedError) {
@@ -361,12 +378,16 @@ TEST(Protocol, TruncatedFramesYieldNulloptNotCrash) {
   StatusReport s;
   s.step = 9;
   const auto statusFrame = encodeStatus(s);
-  // All prefixes short of the optional trailing consistencyStep must fail.
-  for (std::size_t n = 0; n + sizeof(std::uint64_t) < statusFrame.size();
-       ++n) {
+  // Every prefix must fail except the legacy field boundaries: the frame
+  // minus the wait-state block, and minus the consistencyStep u64 too.
+  const std::size_t preWait = statusFrame.size() - kStatusWaitBlock;
+  const std::size_t preConsistency = preWait - sizeof(std::uint64_t);
+  for (std::size_t n = 0; n < statusFrame.size(); ++n) {
     const std::vector<std::byte> prefix(statusFrame.begin(),
                                         statusFrame.begin() + n);
-    EXPECT_FALSE(tryDecodeStatus(prefix).has_value()) << "prefix " << n;
+    const bool legacyBoundary = n == preWait || n == preConsistency;
+    EXPECT_EQ(tryDecodeStatus(prefix).has_value(), legacyBoundary)
+        << "prefix " << n;
   }
 }
 

@@ -654,6 +654,9 @@ double fusedMlups(const geometry::SparseLattice& lattice,
   double busy = 0.0;
   comm::Runtime rt(1);
   rt.telemetry(0).tracer().setEnabled(traceOn);
+  // The wait-state recorder hooks the same hot recv path as the tracer;
+  // the overhead budget must cover both or it measures the wrong thing.
+  rt.telemetry(0).waitState().setEnabled(traceOn);
   rt.run([&](comm::Communicator& comm) {
     lb::DomainMap domain(lattice, part, 0);
     lb::SolverD3Q19 solver(domain, comm, flowParams());
@@ -667,12 +670,18 @@ double fusedMlups(const geometry::SparseLattice& lattice,
                     : 0.0;
 }
 
+double medianOf3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
 TEST(Telemetry, HotLoopOverheadStaysWithinBudget) {
   // The ISSUE budget: instrumented MLUPS within 2% of the uninstrumented
-  // build. The in-binary proxy compares tracer-enabled vs tracer-disabled
-  // runs (the disabled path is the compiled-out baseline plus one relaxed
-  // load per span). Interleaved best-of-N with retries to ride out
-  // scheduler noise on shared machines.
+  // build. The in-binary proxy compares instrumented (tracer + wait-state
+  // recorder) against disabled runs (the compiled-out baseline plus one
+  // relaxed load per hook). Max-of-N is biased by a single lucky
+  // uninstrumented trial, so each attempt compares interleaved
+  // median-of-3 throughputs; retries ride out scheduler noise on shared
+  // machines.
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
   GTEST_SKIP() << "timing budget not meaningful under sanitizer slowdown";
 #elif defined(__has_feature)
@@ -683,19 +692,22 @@ TEST(Telemetry, HotLoopOverheadStaysWithinBudget) {
   const auto lattice = tube(0.12, 4.0);
   const auto part = kway(lattice, 1);
   const int steps = 30;
+  constexpr double kRelativeBudget = 0.02;  // instrumented within 2% of off
   double bestRatio = 0.0;
   for (int attempt = 0; attempt < 4; ++attempt) {
-    double on = 0.0, off = 0.0;
+    double on[3] = {}, off[3] = {};
     for (int trial = 0; trial < 3; ++trial) {
-      off = std::max(off, fusedMlups(lattice, part, false, steps));
-      on = std::max(on, fusedMlups(lattice, part, true, steps));
+      off[trial] = fusedMlups(lattice, part, false, steps);
+      on[trial] = fusedMlups(lattice, part, true, steps);
     }
-    ASSERT_GT(off, 0.0);
-    bestRatio = std::max(bestRatio, on / off);
-    if (bestRatio >= 0.98) break;
+    const double offMedian = medianOf3(off[0], off[1], off[2]);
+    const double onMedian = medianOf3(on[0], on[1], on[2]);
+    ASSERT_GT(offMedian, 0.0);
+    bestRatio = std::max(bestRatio, onMedian / offMedian);
+    if (bestRatio >= 1.0 - kRelativeBudget) break;
   }
-  EXPECT_GE(bestRatio, 0.98)
-      << "tracing overhead above the 2% MLUPS budget";
+  EXPECT_GE(bestRatio, 1.0 - kRelativeBudget)
+      << "instrumentation overhead above the 2% MLUPS budget";
 }
 #endif
 

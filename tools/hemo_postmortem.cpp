@@ -1,0 +1,36 @@
+// hemo_postmortem: pretty-print a flight-recorder postmortem bundle.
+//
+// Usage: hemo_postmortem <postmortem_*.json> [...]
+//
+// Exit status: 0 when every bundle rendered, 1 on usage error or when any
+// bundle failed to load/parse (remaining bundles still render).
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "telemetry/postmortem.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <postmortem_*.json> [...]\n"
+                 "Renders flight-recorder postmortem bundles written on "
+                 "crash/sentinel exhaustion.\n",
+                 argv[0]);
+    return 1;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      const std::string report =
+          hemo::telemetry::renderPostmortemFile(argv[i]);
+      if (argc > 2) std::printf("### %s\n", argv[i]);
+      std::fputs(report.c_str(), stdout);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
