@@ -8,14 +8,29 @@
 //   * shared-frame-cache hit rate and the render count — which must stay
 //     *independent of client count* (render once, serve M times),
 //   * raw/wire byte reduction once codecs are negotiated.
+// A second sweep measures the relay tier: clients {64, 256, 1024} x relay
+// tree depth {0 = direct, 1, 2 levels}, progressive codec on, and reports
+// broker session count (must track direct relays, not the client
+// population), solver MLUPS delta vs direct serving, the largest relay
+// frame cache (bounded by one burst, not by fan-out), refinement levels
+// shed under backpressure, and time-to-first-frame: bytes to the first
+// *usable* image for progressive (the coarse root) vs full-push delivery,
+// with seconds derived at a reference last-mile bandwidth.
 // Emits BENCH_serving.json.
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "io/serial.hpp"
 
 #include "common.hpp"
 #include "core/driver.hpp"
+#include "relay/relay.hpp"
 #include "serve/broker.hpp"
 #include "serve/client.hpp"
+#include "serve/progressive.hpp"
 
 namespace {
 
@@ -94,6 +109,228 @@ RunResult runConfig(const geometry::SparseLattice& lattice,
   return r;
 }
 
+// --- relay-tier sweep -------------------------------------------------------
+
+constexpr int kClientsPerLeaf = 64;   // leaf relays = ceil(clients / 64)
+constexpr int kLeavesPerMid = 4;      // depth-2 interior fan-out
+constexpr double kRefBandwidth = 1 << 20;  // 1 MiB/s reference last mile
+
+struct RelayRunResult {
+  double wallSeconds = 0.0;
+  double mlups = 0.0;
+  int brokerSessions = 0;
+  std::uint64_t brokerFramesSent = 0;
+  int numRelays = 0;
+  std::uint64_t maxCacheBytes = 0;
+  std::uint64_t framesForwarded = 0;
+  std::uint64_t levelsShed = 0;
+  std::uint64_t usableFrames = 0;
+  std::uint64_t clientsWithFrames = 0;
+  double ttffSeconds = -1.0;  // relay-side wall clock to first forwarded frame
+};
+
+RelayRunResult runRelayConfig(const geometry::SparseLattice& lattice,
+                              const partition::Partition& part,
+                              int numClients, int depth) {
+  serve::BrokerConfig bcfg;
+  bcfg.outboxCapacity = 16;  // bounded: the shed policy is part of the test
+  serve::SessionBroker broker(bcfg);
+  serve::CodecConfig codec;
+  codec.progressive = true;
+  codec.rleImage = true;
+
+  // Build the tree: depth 1 = leaves on the broker; depth 2 = interior
+  // relays on the broker, leaves spread across them round-robin.
+  std::vector<std::unique_ptr<relay::RelayNode>> relays;
+  std::vector<relay::RelayNode*> leaves;
+  if (depth >= 1) {
+    const int numLeaves =
+        (numClients + kClientsPerLeaf - 1) / kClientsPerLeaf;
+    std::vector<relay::RelayNode*> mids;
+    if (depth >= 2) {
+      const int numMids = (numLeaves + kLeavesPerMid - 1) / kLeavesPerMid;
+      for (int i = 0; i < numMids; ++i) {
+        relay::RelayConfig rcfg;
+        rcfg.depth = 1;
+        auto node =
+            std::make_unique<relay::RelayNode>(broker.connect(), rcfg);
+        node->start(codec);
+        mids.push_back(node.get());
+        relays.push_back(std::move(node));
+      }
+    }
+    for (int i = 0; i < numLeaves; ++i) {
+      relay::RelayConfig rcfg;
+      rcfg.depth = depth;
+      auto upstream = depth >= 2
+                          ? mids[static_cast<std::size_t>(i) % mids.size()]
+                                ->connect()
+                          : broker.connect();
+      auto node =
+          std::make_unique<relay::RelayNode>(std::move(upstream), rcfg);
+      node->start(codec);
+      leaves.push_back(node.get());
+      relays.push_back(std::move(node));
+    }
+  }
+
+  // Clients are raw channel sinks: subscribe, then count frames without
+  // decoding them. Real viewers decode on *their* machines; decoding 1024
+  // pyramids inside this process would charge remote work to the solver's
+  // box and drown the serving-plane cost the sweep is after.
+  std::vector<comm::ChannelEnd> sinks;
+  std::uint32_t cmdId = 1;
+  for (int c = 0; c < numClients; ++c) {
+    auto end = depth >= 1
+                   ? leaves[static_cast<std::size_t>(c) % leaves.size()]
+                         ->connect()
+                   : broker.connect();
+    if (depth == 0) {  // relays negotiate the codec upstream themselves
+      steer::Command sc;
+      sc.type = steer::MsgType::kSetCodec;
+      sc.commandId = cmdId++;
+      sc.codec = codec.mask();
+      end.send(steer::encodeCommand(sc));
+    }
+    steer::Command sub;
+    sub.type = steer::MsgType::kSubscribe;
+    sub.commandId = cmdId++;
+    sub.stream = static_cast<std::uint8_t>(serve::StreamKind::kImage);
+    sub.cadence = kCadence;
+    end.send(steer::encodeCommand(sub));
+    sinks.push_back(std::move(end));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> relayThreads;
+  for (auto& node : relays) {
+    relay::RelayNode* n = node.get();
+    relayThreads.emplace_back([n, &stop] {
+      while (!stop.load()) {
+        if (n->pump() == 0) {
+          // Image cadence is many solver steps; a coarse idle sleep keeps
+          // 16+ relay threads from stealing cycles from the rank threads.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      n->shutdown();  // drain the tail before hanging up
+    });
+  }
+  // Drain sinks from a small pool (a thread per client would swamp the
+  // box at 1024); each drainer owns a disjoint slice, so counts race-free.
+  // "Usable" counts delivered roots — the frame a viewer can display.
+  std::vector<std::uint64_t> usable(static_cast<std::size_t>(numClients), 0);
+  const auto drainSink = [&](int c) {
+    bool got = false;
+    while (auto frame = sinks[static_cast<std::size_t>(c)].tryRecv()) {
+      got = true;
+      if (steer::frameType(*frame) == steer::MsgType::kProgressiveImage) {
+        io::Reader r(*frame);
+        r.get<std::uint8_t>();
+        r.get<std::uint64_t>();  // step
+        if (r.get<std::int32_t>() == 0) ++usable[static_cast<std::size_t>(c)];
+      }
+    }
+    return got;
+  };
+  const int numDrainers = std::min(8, numClients);
+  std::vector<std::thread> drainers;
+  for (int d = 0; d < numDrainers; ++d) {
+    drainers.emplace_back([&, d] {
+      while (!stop.load()) {
+        bool idle = true;
+        for (int c = d; c < numClients; c += numDrainers) {
+          idle &= !drainSink(c);
+        }
+        if (idle) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  RelayRunResult r;
+  comm::Runtime rt(kRanks);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lattice, part, comm.rank());
+    core::DriverConfig cfg;
+    cfg.lb = flowParams(true);
+    cfg.visEvery = 0;
+    cfg.statusEvery = 0;
+    cfg.render.width = kImageSize;
+    cfg.render.height = kImageSize;
+    cfg.render.camera.position = {2.5, 1.0, 8.0};
+    cfg.render.camera.target = {2.5, 0.5, 0.0};
+    core::SimulationDriver driver(domain, comm, cfg);
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
+    comm.barrier();
+    WallTimer wall;
+    driver.run(kSteps);
+    if (comm.rank() == 0) {
+      r.wallSeconds = wall.seconds();
+      r.mlups = static_cast<double>(lattice.numFluidSites()) *
+                static_cast<double>(kSteps) / r.wallSeconds / 1e6;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& t : relayThreads) t.join();
+  for (auto& t : drainers) t.join();
+  broker.closeAll();
+
+  r.brokerSessions = broker.numClients();
+  r.brokerFramesSent = broker.stats().framesSent;
+  r.numRelays = static_cast<int>(relays.size());
+  for (int c = 0; c < numClients; ++c) {  // tail left after the drainers quit
+    drainSink(c);
+  }
+  for (const auto n : usable) {
+    r.usableFrames += n;
+    r.clientsWithFrames += n > 0 ? 1 : 0;
+  }
+  for (const auto& node : relays) {
+    r.maxCacheBytes = std::max(r.maxCacheBytes, node->cacheBytes());
+    r.framesForwarded += node->stats().framesForwarded;
+    r.levelsShed += node->stats().levelsShed;
+    if (node->stats().ttffSeconds >= 0.0 &&
+        (r.ttffSeconds < 0.0 || node->stats().ttffSeconds < r.ttffSeconds)) {
+      r.ttffSeconds = node->stats().ttffSeconds;
+    }
+  }
+  return r;
+}
+
+/// Bytes on the wire before the viewer has a *usable* image: the full
+/// RLE-coded frame for classic push, the coarse root for progressive.
+struct TtffBytes {
+  std::uint64_t fullPush = 0;
+  std::uint64_t progressive = 0;
+};
+
+TtffBytes measureTtffBytes() {
+  steer::ImageFrame frame;
+  frame.step = 1;
+  frame.width = kImageSize;
+  frame.height = kImageSize;
+  frame.rgb.resize(static_cast<std::size_t>(kImageSize) * kImageSize * 3);
+  for (int y = 0; y < kImageSize; ++y) {  // gradient + disc: codec-hostile
+    for (int x = 0; x < kImageSize; ++x) {
+      const std::size_t i = (static_cast<std::size_t>(y) * kImageSize + x) * 3;
+      const int dx = x - kImageSize / 2, dy = y - kImageSize / 2;
+      const bool disc = dx * dx + dy * dy < kImageSize * kImageSize / 16;
+      frame.rgb[i + 0] = static_cast<std::uint8_t>((x * 4) & 0xff);
+      frame.rgb[i + 1] = static_cast<std::uint8_t>((y * 4) & 0xff);
+      frame.rgb[i + 2] = disc ? 200 : 30;
+    }
+  }
+  serve::CodecConfig rleOnly;
+  rleOnly.rleImage = true;
+  serve::CodecConfig prog = rleOnly;
+  prog.progressive = true;
+  TtffBytes t;
+  t.fullPush = encodeImagePayload(frame, rleOnly).size();
+  t.progressive = serve::encodeProgressiveImage(frame, prog).front().size();
+  return t;
+}
+
 }  // namespace
 
 int main() {
@@ -170,16 +407,107 @@ int main() {
     }
   }
 
+  // --- relay tier: clients x tree depth ---------------------------------
+  printHeader("serving: relay tier, clients x tree depth (progressive)");
+  std::printf("%-8s %-6s %-7s %9s %9s %10s %10s %8s %10s %9s\n", "clients",
+              "depth", "relays", "MLUPS", "dMLUPS%", "broker", "bk frames",
+              "shed", "cache KB", "ttff ms");
+  // dMLUPS compares every row against a *no-client* run: the acceptance
+  // question is whether serving an audience perturbs the solver at all.
+  const auto baseline = runRelayConfig(lattice, part, 0, 0);
+  std::printf("%-8d %-6s %-7d %9.1f %9s %10d %10s %8s %10s %9s\n", 0, "-", 0,
+              baseline.mlups, "-", 0, "-", "-", "-", "-");
+  report.addRow("relay_baseline_noclients").set("mlups", baseline.mlups);
+  double worstRelayDelta = 0.0;
+  std::uint64_t maxRelayCache = 0;
+  bool fanoutBounded = true;
+  for (const int depth : {0, 1, 2}) {
+    for (const int numClients : {64, 256, 1024}) {
+      const auto r = runRelayConfig(lattice, part, numClients, depth);
+      const double deltaPct =
+          baseline.mlups > 0.0 ? (r.mlups / baseline.mlups - 1.0) * 100.0
+                               : 0.0;
+      if (depth > 0) {
+        worstRelayDelta = std::min(worstRelayDelta, deltaPct);
+        maxRelayCache = std::max(maxRelayCache, r.maxCacheBytes);
+        // Fan-out isolation: the broker serves its direct children only.
+        const int direct = depth >= 2
+                               ? (((numClients + kClientsPerLeaf - 1) /
+                                   kClientsPerLeaf) + kLeavesPerMid - 1) /
+                                     kLeavesPerMid
+                               : (numClients + kClientsPerLeaf - 1) /
+                                     kClientsPerLeaf;
+        fanoutBounded &= r.brokerSessions <= direct;
+      }
+      std::printf(
+          "%-8d %-6d %-7d %9.1f %+8.1f%% %10d %10llu %8llu %10.1f %9.2f\n",
+          numClients, depth, r.numRelays, r.mlups, deltaPct, r.brokerSessions,
+          static_cast<unsigned long long>(r.brokerFramesSent),
+          static_cast<unsigned long long>(r.levelsShed),
+          static_cast<double>(r.maxCacheBytes) / 1024.0,
+          r.ttffSeconds >= 0.0 ? r.ttffSeconds * 1e3 : -1.0);
+
+      auto& row = report.addRow("relay_d" + std::to_string(depth) + "_c" +
+                                std::to_string(numClients));
+      row.set("clients", static_cast<std::uint64_t>(numClients));
+      row.set("relayDepth", static_cast<std::uint64_t>(depth));
+      row.set("relays", static_cast<std::uint64_t>(r.numRelays));
+      row.set("mlups", r.mlups);
+      row.set("mlupsDeltaPct", deltaPct);
+      row.set("brokerSessions", static_cast<std::uint64_t>(r.brokerSessions));
+      row.set("brokerFramesSent", r.brokerFramesSent);
+      row.set("maxRelayCacheBytes", r.maxCacheBytes);
+      row.set("framesForwarded", r.framesForwarded);
+      row.set("levelsShed", r.levelsShed);
+      row.set("usableFrames", r.usableFrames);
+      row.set("clientsWithFrames", r.clientsWithFrames);
+      row.set("relayTtffSeconds", r.ttffSeconds);
+    }
+  }
+
+  const auto ttff = measureTtffBytes();
+  const double ttffRatio =
+      ttff.fullPush > 0
+          ? static_cast<double>(ttff.progressive) /
+                static_cast<double>(ttff.fullPush)
+          : 1.0;
+  std::printf("\nttff (bytes to first usable frame, %dx%d): full push %llu B "
+              "(%.1f ms at 1 MiB/s),\nprogressive root %llu B (%.2f ms) — "
+              "%.2fx of full push\n",
+              kImageSize, kImageSize,
+              static_cast<unsigned long long>(ttff.fullPush),
+              static_cast<double>(ttff.fullPush) / kRefBandwidth * 1e3,
+              static_cast<unsigned long long>(ttff.progressive),
+              static_cast<double>(ttff.progressive) / kRefBandwidth * 1e3,
+              ttffRatio);
+
   const double degradationPct =
       mlups1[0] > 0.0 ? (1.0 - mlups16[0] / mlups1[0]) * 100.0 : 0.0;
   report.setMetric("mlupsDegradation16ClientsPct", degradationPct);
   report.setMetric("renderCountIndependentOfClients",
                    static_cast<std::uint64_t>(renderCountStable ? 1 : 0));
+  report.setMetric("ttffFullPushBytes", ttff.fullPush);
+  report.setMetric("ttffProgressiveBytes", ttff.progressive);
+  report.setMetric("ttffProgressiveVsFullPush", ttffRatio);
+  report.setMetric("relayWorstMlupsDeltaPct", worstRelayDelta);
+  report.setMetric("relayMaxCacheBytes", maxRelayCache);
+  report.setMetric("relayBrokerFanoutBounded",
+                   static_cast<std::uint64_t>(fanoutBounded ? 1 : 0));
   report.write();
 
   std::printf("\nexpected shape: renders stay constant across client counts "
               "(render once,\nserve M times), codecs cut image bytes >= 2x, "
               "and MLUPS at 16 clients stays\nwithin a few %% of the 1-client "
-              "baseline (measured degradation: %.1f%%).\n", degradationPct);
+              "baseline (measured degradation: %.1f%%).\nrelay tier: broker "
+              "sessions AND broker frames sent track the direct relays,\nnot "
+              "the client count — rank-0 serving work is independent of "
+              "audience size —\nthe per-relay cache stays one burst deep, and "
+              "the progressive root reaches\nthe viewer in <= 0.5x the "
+              "full-push bytes. The MLUPS column is wall clock:\non a "
+              "many-core host the relay rows sit within ~5%% of the "
+              "no-client baseline;\non a box with fewer cores than ranks + "
+              "relays it shows timesharing, not\nserving cost (the broker "
+              "frame counts are the scheduler-independent signal).\n",
+              degradationPct);
   return 0;
 }

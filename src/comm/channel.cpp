@@ -32,8 +32,26 @@ bool ChannelEnd::send(std::vector<std::byte> frame) {
   if (out_->closed) return false;
   out_->bytesPushed += frame.size();
   ++out_->framesPushed;
-  if (out_->capacity > 0 && out_->frames.size() >= out_->capacity) {
-    // Latest-wins: evict the oldest undelivered frame to admit this one.
+  // Latest-wins: evict oldest undelivered frames to admit this one. A loop,
+  // not a single pop — a capacity shrunk below the current backlog must trim
+  // the whole excess on the next push, not one frame per push.
+  while (out_->capacity > 0 && out_->frames.size() >= out_->capacity) {
+    out_->frames.pop_front();
+    ++out_->framesDropped;
+  }
+  out_->frames.push_back(std::move(frame));
+  out_->cv.notify_all();
+  return true;
+}
+
+bool ChannelEnd::trySendCredited(std::vector<std::byte> frame) {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  if (out_->closed) return false;
+  if (!out_->creditsEnabled || out_->credits == 0) return false;
+  --out_->credits;
+  out_->bytesPushed += frame.size();
+  ++out_->framesPushed;
+  while (out_->capacity > 0 && out_->frames.size() >= out_->capacity) {
     out_->frames.pop_front();
     ++out_->framesDropped;
   }
@@ -75,6 +93,28 @@ bool ChannelEnd::eof() const {
 void ChannelEnd::setSendCapacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(out_->mutex);
   out_->capacity = capacity;
+}
+
+std::size_t ChannelEnd::sendQueueDepth() const {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  return out_->frames.size();
+}
+
+void ChannelEnd::setSendCredits(std::uint64_t credits) {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  out_->creditsEnabled = true;
+  out_->credits = credits;
+}
+
+void ChannelEnd::addSendCredits(std::uint64_t credits) {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  if (!out_->creditsEnabled) return;
+  out_->credits += credits;
+}
+
+std::uint64_t ChannelEnd::sendCredits() const {
+  std::lock_guard<std::mutex> lock(out_->mutex);
+  return out_->creditsEnabled ? out_->credits : 0;
 }
 
 std::uint64_t ChannelEnd::framesSent() const {

@@ -33,6 +33,11 @@ struct FrameQueue {
   std::uint64_t framesPushed = 0;
   std::uint64_t bytesPushed = 0;
   std::uint64_t framesDropped = 0;  ///< evicted by the bound, never delivered
+  /// Credit-based flow control (relay tier). The receiver grants credits;
+  /// each trySendCredited() spends one. `creditsEnabled == false` keeps the
+  /// legacy unmetered behaviour for plain steering channels.
+  bool creditsEnabled = false;
+  std::uint64_t credits = 0;
 };
 }  // namespace detail
 
@@ -66,8 +71,30 @@ class ChannelEnd {
   /// Bound the outgoing queue to `capacity` frames (0 restores unbounded).
   /// When full, send() evicts the oldest queued frame instead of blocking
   /// or failing — a stalled reader costs dropped frames, never a stalled
-  /// writer.
+  /// writer. A shrink takes effect on the next push: send() trims the
+  /// backlog down to the new bound before admitting the frame.
   void setSendCapacity(std::size_t capacity);
+
+  /// Frames currently queued on the outgoing side, i.e. pushed but not yet
+  /// received by the peer. The relay shed policy reads this as its
+  /// backpressure signal.
+  std::size_t sendQueueDepth() const;
+
+  /// Switch the outgoing direction to credit-metered sends and set the
+  /// balance. trySendCredited() spends one credit per frame; send() stays
+  /// unmetered (control traffic). Initially disabled.
+  void setSendCredits(std::uint64_t credits);
+
+  /// Add credits granted by the receiver (no-op until setSendCredits).
+  void addSendCredits(std::uint64_t credits);
+
+  /// Remaining credit balance (0 when metering is disabled).
+  std::uint64_t sendCredits() const;
+
+  /// Send one frame iff a credit is available, spending it. Returns false
+  /// — without queueing or spending — when the balance is 0 or metering is
+  /// off; the caller decides what to shed. Returns false on a closed peer.
+  bool trySendCredited(std::vector<std::byte> frame);
 
   /// Frames/bytes ever sent from this end (steering traffic accounting).
   std::uint64_t framesSent() const;

@@ -846,6 +846,12 @@ int SimulationDriver::run(int steps) {
         done % static_cast<std::uint64_t>(config_.statusEvery) == 0) {
       server_.sendStatus(*comm_, computeStatus());
       server_.sendTelemetry(*comm_, computeStepReport());
+      // Flush live serve.* counters every window: frames_dropped grows
+      // inside the client outboxes as they evict, so without this it only
+      // surfaced when some frame publish happened to run publishMetrics.
+      if (comm_->rank() == 0 && broker_ != nullptr) {
+        broker_->publishMetrics();
+      }
     }
   }
   return executed;

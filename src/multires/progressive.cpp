@@ -1,0 +1,186 @@
+#include "multires/progressive.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace hemo::multires {
+
+namespace {
+
+constexpr int kChannels = 3;
+
+std::size_t pixelBytes(int w, int h) {
+  return static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * kChannels;
+}
+
+/// Box-filter downsample by 2 in each dimension (dimensions round up, so
+/// edge cells average a partial box). Exact integer rounding: the coarse
+/// pixel is the rounded mean of the fine pixels it covers.
+std::vector<std::uint8_t> downsampleBox(int srcW, int srcH,
+                                        const std::vector<std::uint8_t>& src,
+                                        int dstW, int dstH) {
+  std::vector<std::uint8_t> dst(pixelBytes(dstW, dstH));
+  for (int y = 0; y < dstH; ++y) {
+    const int y0 = y * 2;
+    const int y1 = std::min(y0 + 2, srcH);
+    for (int x = 0; x < dstW; ++x) {
+      const int x0 = x * 2;
+      const int x1 = std::min(x0 + 2, srcW);
+      const int n = (x1 - x0) * (y1 - y0);
+      for (int c = 0; c < kChannels; ++c) {
+        unsigned sum = 0;
+        for (int sy = y0; sy < y1; ++sy) {
+          for (int sx = x0; sx < x1; ++sx) {
+            sum += src[(static_cast<std::size_t>(sy) * srcW + sx) * kChannels +
+                       c];
+          }
+        }
+        dst[(static_cast<std::size_t>(y) * dstW + x) * kChannels + c] =
+            static_cast<std::uint8_t>((sum + n / 2) / n);
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> upsampleNearest(int srcW, int srcH,
+                                          const std::vector<std::uint8_t>& src,
+                                          int dstW, int dstH) {
+  HEMO_CHECK(src.size() == pixelBytes(srcW, srcH));
+  std::vector<std::uint8_t> dst(pixelBytes(dstW, dstH));
+  for (int y = 0; y < dstH; ++y) {
+    // Invert the round-up halving chain: fine row y came from coarse row
+    // y/2 at each halving, so the nearest source row is y >> 1 when
+    // dstH == 2*srcH or 2*srcH-1; the general form maps proportionally.
+    const int sy = std::min(srcH - 1, y * srcH / dstH);
+    for (int x = 0; x < dstW; ++x) {
+      const int sx = std::min(srcW - 1, x * srcW / dstW);
+      const std::size_t s =
+          (static_cast<std::size_t>(sy) * srcW + sx) * kChannels;
+      const std::size_t d =
+          (static_cast<std::size_t>(y) * dstW + x) * kChannels;
+      for (int c = 0; c < kChannels; ++c) dst[d + c] = src[s + c];
+    }
+  }
+  return dst;
+}
+
+ImagePyramid buildImagePyramid(int width, int height,
+                               const std::vector<std::uint8_t>& rgb,
+                               int rootMaxDim) {
+  HEMO_CHECK(width > 0 && height > 0);
+  HEMO_CHECK(rgb.size() == pixelBytes(width, height));
+  HEMO_CHECK(rootMaxDim >= 1);
+
+  // Mip chain finest-to-coarsest: images[0] is the original.
+  struct Mip {
+    int w, h;
+    std::vector<std::uint8_t> pixels;
+  };
+  std::vector<Mip> mips;
+  mips.push_back({width, height, rgb});
+  while (std::max(mips.back().w, mips.back().h) > rootMaxDim) {
+    const int dw = (mips.back().w + 1) / 2;
+    const int dh = (mips.back().h + 1) / 2;
+    mips.push_back(
+        {dw, dh, downsampleBox(mips.back().w, mips.back().h,
+                               mips.back().pixels, dw, dh)});
+  }
+
+  ImagePyramid pyramid;
+  pyramid.fullWidth = width;
+  pyramid.fullHeight = height;
+  // Root: raw coarse pixels. Finer levels: mod-256 residual against the
+  // nearest-neighbour upsample of the level above — addition mod 256 on the
+  // consumer reproduces each mip exactly, so the finest level is bit-exact.
+  const auto& root = mips.back();
+  pyramid.levels.push_back({root.w, root.h, root.pixels});
+  for (auto it = mips.rbegin() + 1; it != mips.rend(); ++it) {
+    const auto& coarse = *(it - 1);
+    const auto predicted =
+        upsampleNearest(coarse.w, coarse.h, coarse.pixels, it->w, it->h);
+    ImageLevel lvl;
+    lvl.width = it->w;
+    lvl.height = it->h;
+    lvl.data.resize(it->pixels.size());
+    for (std::size_t i = 0; i < it->pixels.size(); ++i) {
+      lvl.data[i] =
+          static_cast<std::uint8_t>(it->pixels[i] - predicted[i]);
+    }
+    pyramid.levels.push_back(std::move(lvl));
+  }
+  return pyramid;
+}
+
+void ImageReassembly::apply(const ImageLevel& level, bool isRoot) {
+  HEMO_CHECK(level.data.size() == pixelBytes(level.width, level.height));
+  if (isRoot) {
+    width = level.width;
+    height = level.height;
+    rgb = level.data;
+    levelsApplied = 1;
+    return;
+  }
+  HEMO_CHECK_MSG(levelsApplied > 0, "refinement before root");
+  HEMO_CHECK_MSG(level.width >= width && level.height >= height,
+                 "refinement coarser than current state");
+  auto predicted = upsampleNearest(width, height, rgb, level.width,
+                                   level.height);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    predicted[i] = static_cast<std::uint8_t>(predicted[i] + level.data[i]);
+  }
+  width = level.width;
+  height = level.height;
+  rgb = std::move(predicted);
+  ++levelsApplied;
+}
+
+std::vector<std::uint8_t> ImageReassembly::renderAt(int fullWidth,
+                                                    int fullHeight) const {
+  if (width == fullWidth && height == fullHeight) return rgb;
+  return upsampleNearest(width, height, rgb, fullWidth, fullHeight);
+}
+
+std::vector<std::uint8_t> reconstructImage(const ImagePyramid& pyramid,
+                                           int uptoLevel) {
+  HEMO_CHECK(uptoLevel >= 0 &&
+             uptoLevel < static_cast<int>(pyramid.levels.size()));
+  ImageReassembly state;
+  for (int l = 0; l <= uptoLevel; ++l) {
+    state.apply(pyramid.levels[static_cast<std::size_t>(l)], l == 0);
+  }
+  return state.renderAt(pyramid.fullWidth, pyramid.fullHeight);
+}
+
+double meanAbsError(const std::vector<std::uint8_t>& a,
+                    const std::vector<std::uint8_t>& b) {
+  HEMO_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i]));
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+std::vector<TraversalEntry> progressiveTraversal(const FieldOctree& tree,
+                                                 const BoxI& roi,
+                                                 int finestLevel) {
+  const bool wholeDomain = roi.isEmpty();
+  const int last = finestLevel < 0
+                       ? tree.leafLevel()
+                       : std::min(finestLevel, tree.leafLevel());
+  std::vector<TraversalEntry> order;
+  for (int l = 0; l <= last; ++l) {
+    // level() is already key-ascending; query() preserves that order.
+    const auto nodes = wholeDomain ? tree.level(l) : tree.query(l, roi);
+    for (const auto& node : nodes) order.push_back({l, node});
+  }
+  return order;
+}
+
+}  // namespace hemo::multires

@@ -1,0 +1,102 @@
+#pragma once
+/// \file progressive.hpp
+/// \brief Coarse-to-fine level-delta decomposition for progressive
+/// streaming (relay tier, paper §V + §IV.C).
+///
+/// Two pieces, both free of any serving-layer dependency:
+///
+/// 1. **Image pyramid** — an RGB frame is decomposed into a mip chain:
+///    level 0 is a box-filtered root small enough to always fit one wire
+///    frame (max dimension ≤ `rootMaxDim`), and each finer level stores
+///    only the mod-256 residual against the nearest-neighbour upsample of
+///    the previous level. Applying all levels reproduces the original
+///    bit-exactly; stopping early yields the box-filtered coarse image
+///    (bounded error), so a consumer has a usable picture after the first
+///    frame and refinements land as bandwidth allows.
+///
+/// 2. **Progressive octree traversal** — the order in which ROI node data
+///    leaves the wire: every level-L cell intersecting the ROI strictly
+///    before any level-L+1 cell (coarse-before-fine invariant), keys
+///    ascending within a level.
+
+#include <cstdint>
+#include <vector>
+
+#include "multires/octree.hpp"
+#include "util/bbox.hpp"
+
+namespace hemo::multires {
+
+/// One level of the image pyramid. The root level carries box-filtered RGB
+/// pixels; every other level carries mod-256 residuals against the
+/// nearest-neighbour upsample of the level above it. Either way `data` is
+/// width*height*3 bytes.
+struct ImageLevel {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Coarse-to-fine decomposition of one RGB frame. levels[0] is the root;
+/// levels.back() refines to the original resolution bit-exactly.
+struct ImagePyramid {
+  int fullWidth = 0;
+  int fullHeight = 0;
+  std::vector<ImageLevel> levels;
+};
+
+/// Nearest-neighbour upsample of an RGB image (the prediction operator of
+/// the residual coding; also how a consumer blows a coarse level up to
+/// display size).
+std::vector<std::uint8_t> upsampleNearest(int srcW, int srcH,
+                                          const std::vector<std::uint8_t>& src,
+                                          int dstW, int dstH);
+
+/// Decompose `rgb` (width*height*3) into the mip chain. The root is the
+/// first level whose max dimension is ≤ `rootMaxDim` (the chain halves
+/// dimensions, rounding up, until that holds). A frame already at or below
+/// root size yields a single exact level.
+ImagePyramid buildImagePyramid(int width, int height,
+                               const std::vector<std::uint8_t>& rgb,
+                               int rootMaxDim = 8);
+
+/// Incremental pyramid reconstruction: feed levels coarse-to-fine.
+struct ImageReassembly {
+  int width = 0;   ///< resolution reached so far
+  int height = 0;
+  int levelsApplied = 0;
+  std::vector<std::uint8_t> rgb;
+
+  /// Apply the next level. `isRoot` resets the state (level 0 of a new
+  /// step); a refinement must match the expected next resolution.
+  void apply(const ImageLevel& level, bool isRoot);
+
+  /// Current picture scaled to the full frame resolution (coarse levels
+  /// upsampled; after the finest level this IS the original).
+  std::vector<std::uint8_t> renderAt(int fullWidth, int fullHeight) const;
+};
+
+/// Reconstruct the image after applying levels [0, uptoLevel] and upsample
+/// to the pyramid's full resolution. `uptoLevel == levels-1` is bit-exact.
+std::vector<std::uint8_t> reconstructImage(const ImagePyramid& pyramid,
+                                           int uptoLevel);
+
+/// Mean absolute per-channel error between two same-size RGB buffers.
+double meanAbsError(const std::vector<std::uint8_t>& a,
+                    const std::vector<std::uint8_t>& b);
+
+/// One step of the progressive ROI traversal: a node and the level it
+/// lives on.
+struct TraversalEntry {
+  int level = 0;
+  OctreeNode node;
+};
+
+/// All nodes intersecting `roi` (empty box = whole domain) in
+/// coarse-before-fine order: the entire level L before any of level L+1,
+/// keys ascending within a level. `finestLevel < 0` walks to the leaves.
+std::vector<TraversalEntry> progressiveTraversal(const FieldOctree& tree,
+                                                 const BoxI& roi,
+                                                 int finestLevel = -1);
+
+}  // namespace hemo::multires

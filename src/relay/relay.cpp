@@ -1,0 +1,349 @@
+#include "relay/relay.hpp"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hemo::relay {
+
+RelayNode::RelayNode(comm::ChannelEnd upstream, RelayConfig config)
+    : config_(config), client_(std::move(upstream)) {
+  client_.setKeepRawFrames(true);
+}
+
+void RelayNode::enableUpstreamReconnect(
+    std::function<comm::ChannelEnd()> connector,
+    serve::ReconnectConfig config) {
+  client_.enableReconnect(std::move(connector), config);
+}
+
+void RelayNode::start(const serve::CodecConfig& codec) {
+  HEMO_CHECK_MSG(!started_, "relay already started");
+  started_ = true;
+  startTime_ = std::chrono::steady_clock::now();
+  client_.announceRelay();
+  client_.setCodec(codec);
+  if (config_.creditWindow > 0) {
+    client_.sendCredit(config_.creditWindow);
+    stats_.creditsGranted += config_.creditWindow;
+  }
+}
+
+int RelayNode::addDownstream(comm::ChannelEnd end) {
+  HEMO_CHECK_MSG(end.valid(), "relay downstream end must be connected");
+  end.setSendCapacity(config_.outboxCapacity);
+  downstream_.push_back(Downstream{std::move(end)});
+  return static_cast<int>(downstream_.size()) - 1;
+}
+
+comm::ChannelEnd RelayNode::connect() {
+  auto [clientEnd, relayEnd] = comm::makeChannelPair();
+  addDownstream(std::move(relayEnd));
+  return clientEnd;
+}
+
+comm::ChannelEnd RelayNode::requestConnect() {
+  auto [clientEnd, relayEnd] = comm::makeChannelPair();
+  {
+    std::lock_guard<std::mutex> lock(pendingMutex_);
+    pendingConnects_.push_back(std::move(relayEnd));
+  }
+  return clientEnd;
+}
+
+void RelayNode::admitPending() {
+  std::vector<comm::ChannelEnd> pending;
+  {
+    std::lock_guard<std::mutex> lock(pendingMutex_);
+    pending.swap(pendingConnects_);
+  }
+  for (auto& end : pending) addDownstream(std::move(end));
+}
+
+int RelayNode::numAliveDownstream() const {
+  int alive = 0;
+  for (const auto& d : downstream_) {
+    if (d.alive) ++alive;
+  }
+  return alive;
+}
+
+int RelayNode::upstreamSubscriptionCount() const {
+  int active = 0;
+  for (const auto& sub : upstream_) {
+    if (sub.active) ++active;
+  }
+  return active;
+}
+
+std::uint64_t RelayNode::cacheBytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& level : imageBurst_) bytes += level.size();
+  for (const auto* frame :
+       {&lastStatus_, &lastTelemetry_, &lastObservable_, &lastRoi_}) {
+    if (frame->has_value()) bytes += (*frame)->size();
+  }
+  return bytes;
+}
+
+void RelayNode::ensureUpstream(serve::StreamKind kind, std::int32_t cadence) {
+  cadence = std::max<std::int32_t>(1, cadence);
+  auto& sub = upstream_[static_cast<int>(kind)];
+  // Subscribe-once: the upstream sees one subscription per stream kind,
+  // re-issued only when a downstream needs a *faster* cadence than the
+  // one already held.
+  if (sub.active && sub.cadence <= cadence) return;
+  sub.cadence = sub.active ? std::min(sub.cadence, cadence) : cadence;
+  sub.active = true;
+  client_.subscribe(kind, sub.cadence);
+  ++stats_.upstreamSubscribes;
+}
+
+void RelayNode::handleCommand(Downstream& d, const steer::Command& cmd) {
+  switch (cmd.type) {
+    case steer::MsgType::kSubscribe: {
+      if (static_cast<int>(cmd.stream) >= serve::kNumStreams) return;
+      d.subs[cmd.stream] = true;
+      d.cadence[cmd.stream] = std::max<std::int32_t>(1, cmd.cadence);
+      d.end.send(steer::encodeAck(cmd.commandId));
+      ensureUpstream(static_cast<serve::StreamKind>(cmd.stream),
+                     d.cadence[cmd.stream]);
+      // Replay the cache so a late joiner has a usable frame immediately
+      // instead of waiting out the upstream cadence.
+      sendCached(d, static_cast<serve::StreamKind>(cmd.stream));
+      break;
+    }
+    case steer::MsgType::kUnsubscribe: {
+      if (static_cast<int>(cmd.stream) >= serve::kNumStreams) return;
+      d.subs[cmd.stream] = false;
+      d.end.send(steer::encodeAck(cmd.commandId));
+      break;
+    }
+    case steer::MsgType::kSetCodec: {
+      // The relay forwards upstream-encoded frames verbatim; the wire
+      // format is whatever the relay negotiated upstream. Acked so the
+      // client's handshake completes.
+      d.end.send(steer::encodeAck(cmd.commandId));
+      break;
+    }
+    case steer::MsgType::kRelayHello: {
+      d.relay = true;  // a child relay: this node is an interior node
+      d.end.send(steer::encodeAck(cmd.commandId));
+      break;
+    }
+    default: {
+      // Steering commands pass through toward the simulation master;
+      // their acks terminate at this relay (fire-and-forget on the
+      // pass-through path — steering feedback wants a direct session).
+      client_.send(cmd);
+      break;
+    }
+  }
+}
+
+void RelayNode::drainDownstream() {
+  for (auto& d : downstream_) {
+    while (d.alive) {
+      auto frame = d.end.tryRecv();
+      if (!frame) {
+        if (d.end.eof()) d.alive = false;  // downstream hung up
+        break;
+      }
+      ++stats_.downstreamCommands;
+      try {
+        const auto type = steer::frameType(*frame);
+        if (type == steer::MsgType::kHeartbeatAck) continue;
+        if (type == steer::MsgType::kCredit) {
+          const auto credit = steer::decodeCredit(*frame);
+          if (!d.creditMetered) {
+            d.creditMetered = true;
+            d.end.setSendCredits(credit.credits);
+          } else {
+            d.end.addSendCredits(credit.credits);
+          }
+          continue;
+        }
+        handleCommand(d, steer::decodeCommand(*frame));
+      } catch (const CheckError&) {
+        // An undecodable frame condemns the downstream session, mirroring
+        // the broker: close and release its outbox.
+        d.end.close();
+        d.end = comm::ChannelEnd{};
+        d.alive = false;
+        HEMO_LOG_WARN() << "relay dropped downstream: undecodable frame";
+      }
+    }
+  }
+}
+
+void RelayNode::noteFirstFrame() {
+  if (stats_.ttffSeconds >= 0.0) return;
+  stats_.ttffSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    startTime_)
+          .count();
+}
+
+bool RelayNode::trySendFine(Downstream& d, const std::vector<std::byte>& frame) {
+  if (!d.alive) return false;
+  if (d.creditMetered) return d.end.trySendCredited(frame);
+  if (config_.outboxCapacity > 0 &&
+      d.end.sendQueueDepth() + 1 >= config_.outboxCapacity) {
+    return false;
+  }
+  return d.end.send(frame);
+}
+
+void RelayNode::forward(serve::StreamKind kind,
+                        const std::vector<std::byte>& frame, bool refinement) {
+  const int k = static_cast<int>(kind);
+  for (auto& d : downstream_) {
+    if (!d.alive || !d.subs[k]) continue;
+    if (refinement) {
+      if (trySendFine(d, frame)) {
+        ++stats_.framesForwarded;
+      } else {
+        ++d.levelsShed;
+        ++stats_.levelsShed;
+      }
+    } else {
+      // Root / full frames are never shed: worst case the bounded outbox
+      // applies latest-wins to a stale one.
+      if (d.end.send(frame)) ++stats_.framesForwarded;
+    }
+  }
+}
+
+void RelayNode::sendCached(Downstream& d, serve::StreamKind kind) {
+  const auto replay = [&](const std::vector<std::byte>& frame) {
+    if (d.end.send(frame)) {
+      ++stats_.framesForwarded;
+      ++stats_.cacheReplays;
+    }
+  };
+  switch (kind) {
+    case serve::StreamKind::kImage:
+      for (const auto& level : imageBurst_) replay(level);
+      break;
+    case serve::StreamKind::kStatus:
+      if (lastStatus_) replay(*lastStatus_);
+      break;
+    case serve::StreamKind::kTelemetry:
+      if (lastTelemetry_) replay(*lastTelemetry_);
+      break;
+    case serve::StreamKind::kObservable:
+      if (lastObservable_) replay(*lastObservable_);
+      break;
+    case serve::StreamKind::kRoi:
+      if (lastRoi_) replay(*lastRoi_);
+      break;
+    default:
+      break;
+  }
+}
+
+void RelayNode::handleUpstream(serve::ServeClient::Event& event) {
+  ++stats_.framesFromUpstream;
+  switch (event.type) {
+    case steer::MsgType::kProgressiveImage: {
+      if (event.progressiveLevel == 0) {
+        // New step: the cache holds exactly one burst — relay memory is
+        // bounded by frame size times level count, not by history or by
+        // downstream population.
+        imageBurst_.clear();
+        imageBurst_.push_back(event.raw);
+        forward(serve::StreamKind::kImage, event.raw, /*refinement=*/false);
+        noteFirstFrame();
+      } else if (event.progressiveReady) {
+        // Chain-intact refinement: cache + forward under the shed policy.
+        imageBurst_.push_back(event.raw);
+        forward(serve::StreamKind::kImage, event.raw, /*refinement=*/true);
+        ++consumedSinceGrant_;
+      }
+      // Replenish upstream credits once half the window is consumed,
+      // acking the newest level applied.
+      if (config_.creditWindow > 0 &&
+          consumedSinceGrant_ >= std::max<std::uint32_t>(
+                                     1, config_.creditWindow / 2)) {
+        client_.sendCredit(consumedSinceGrant_, client_.progressive().step(),
+                           client_.progressive().levelsApplied() - 1);
+        stats_.creditsGranted += consumedSinceGrant_;
+        consumedSinceGrant_ = 0;
+      }
+      break;
+    }
+    case steer::MsgType::kImageFrame:
+    case steer::MsgType::kCodedImage: {
+      imageBurst_.clear();
+      imageBurst_.push_back(event.raw);
+      forward(serve::StreamKind::kImage, event.raw, /*refinement=*/false);
+      noteFirstFrame();
+      break;
+    }
+    case steer::MsgType::kStatus:
+      lastStatus_ = event.raw;
+      forward(serve::StreamKind::kStatus, event.raw, false);
+      break;
+    case steer::MsgType::kTelemetry:
+      lastTelemetry_ = event.raw;
+      forward(serve::StreamKind::kTelemetry, event.raw, false);
+      break;
+    case steer::MsgType::kObservable:
+      lastObservable_ = event.raw;
+      forward(serve::StreamKind::kObservable, event.raw, false);
+      break;
+    case steer::MsgType::kRoiData:
+    case steer::MsgType::kCodedRoi:
+      lastRoi_ = event.raw;
+      forward(serve::StreamKind::kRoi, event.raw, false);
+      break;
+    default:
+      break;  // acks / rejects of the relay's own upstream commands
+  }
+}
+
+int RelayNode::pump() {
+  admitPending();
+  drainDownstream();
+  int processed = 0;
+  while (auto event = client_.pollEvent()) {
+    handleUpstream(*event);
+    ++processed;
+  }
+  publishMetrics();
+  return processed;
+}
+
+void RelayNode::shutdown(bool drain) {
+  if (drain) pump();  // forward the queued tail
+  for (auto& d : downstream_) {
+    if (d.alive) d.end.close();
+  }
+  client_.close();  // hang up upstream; the broker evicts us eventually
+}
+
+void RelayNode::publishMetrics() {
+  auto* t = telemetry::threadTelemetry();
+  if (t == nullptr) return;
+  auto& m = t->metrics();
+  auto setTotal = [&m](const char* name, std::uint64_t value) {
+    auto& c = m.counter(name);
+    const std::uint64_t now = c.value();
+    if (value > now) c.add(value - now);
+  };
+  setTotal("relay.frames_forwarded", stats_.framesForwarded);
+  setTotal("relay.levels_shed", stats_.levelsShed);
+  setTotal("relay.cache_replays", stats_.cacheReplays);
+  setTotal("relay.upstream_subscribes", stats_.upstreamSubscribes);
+  setTotal("relay.upstream_reconnects", client_.reconnects());
+  m.gauge("relay.depth").set(static_cast<double>(config_.depth));
+  m.gauge("relay.fanout").set(static_cast<double>(numAliveDownstream()));
+  m.gauge("relay.cache_bytes").set(static_cast<double>(cacheBytes()));
+  if (stats_.ttffSeconds >= 0.0) {
+    m.gauge("relay.ttff_seconds").set(stats_.ttffSeconds);
+  }
+}
+
+}  // namespace hemo::relay

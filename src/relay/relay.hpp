@@ -1,0 +1,183 @@
+#pragma once
+/// \file relay.hpp
+/// \brief Edge-relay serving tier: fan-out nodes between the rank-0
+/// broker and display clients.
+///
+/// The broker's egress is the in situ post-processing scaling wall the
+/// paper co-designs around: N clients cost the solver rank N outboxes and
+/// N encodes' worth of bandwidth. A RelayNode breaks that coupling. It
+/// subscribes **once** upstream — to the broker or to another relay,
+/// forming a tree — and re-serves K downstream sessions from a shared
+/// per-relay frame cache, so the broker's fan-out is the number of direct
+/// relays, independent of the client population.
+///
+/// Frames are forwarded *verbatim* (the upstream ServeClient runs in
+/// keep-raw mode): no re-encode on the relay path. Progressive image
+/// bursts (kProgressiveImage, coarse root first) get per-downstream
+/// quality adaptation: the root is never shed, refinements go through the
+/// same credit/backpressure shed policy the broker uses. The cached
+/// current burst is replayed to late joiners, so a client's time to first
+/// usable frame is one root frame, not one full-resolution push.
+///
+/// Lifecycle: construct with the upstream channel, start() announces the
+/// relay role (kRelayHello) + codec + initial upstream credits; pump()
+/// drains downstream commands and upstream frames (call it from the relay
+/// thread's loop); upstream loss is healed transparently by the
+/// ServeClient reconnect machinery (the session — hello, codec,
+/// subscriptions — replays on redial); shutdown() drains queued upstream
+/// frames once more, then closes every downstream outbox (drain-and-exit:
+/// downstream clients see the tail of the stream, then EOF, then redial
+/// through their own connectors).
+///
+/// Threading: pump()/shutdown() belong to one relay thread. Downstream
+/// client threads may only call requestConnect() (mutex-guarded admission,
+/// mirroring SessionBroker) and use their own ChannelEnd.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "serve/client.hpp"
+#include "serve/codec.hpp"
+#include "serve/progressive.hpp"
+
+namespace hemo::relay {
+
+struct RelayConfig {
+  /// Frames a downstream outbox holds before shed/eviction kicks in.
+  std::size_t outboxCapacity = 16;
+  /// Credits granted upstream (0 = rely on outbox backpressure only).
+  /// Replenished when half the window has been consumed.
+  std::uint32_t creditWindow = 32;
+  /// Tree depth of this node (1 = child of the broker); relay.depth gauge.
+  int depth = 1;
+};
+
+struct RelayStats {
+  std::uint64_t framesFromUpstream = 0;
+  std::uint64_t framesForwarded = 0;  ///< pushed into downstream outboxes
+  std::uint64_t levelsShed = 0;       ///< refinements withheld downstream
+  std::uint64_t upstreamSubscribes = 0;  ///< subscribe commands sent up
+  std::uint64_t cacheReplays = 0;     ///< cached frames served to joiners
+  std::uint64_t downstreamCommands = 0;
+  std::uint64_t creditsGranted = 0;   ///< credits sent upstream
+  /// Seconds from start() to the first usable (root or full) frame
+  /// forwarded downstream; < 0 until it happens.
+  double ttffSeconds = -1.0;
+};
+
+class RelayNode {
+ public:
+  /// `upstream` is a connected channel to the broker or a parent relay.
+  explicit RelayNode(comm::ChannelEnd upstream, RelayConfig config = {});
+
+  /// Arm upstream re-subscription on loss (typically
+  /// [&broker] { return broker.requestConnect(true); } or the parent
+  /// relay's requestConnect).
+  void enableUpstreamReconnect(std::function<comm::ChannelEnd()> connector,
+                               serve::ReconnectConfig config = {});
+
+  /// Announce the relay session upstream: kRelayHello, codec negotiation,
+  /// the initial credit grant. Call once before pumping.
+  void start(const serve::CodecConfig& codec);
+
+  // --- downstream admission ---------------------------------------------
+
+  /// Register a connected downstream session (relay thread only).
+  int addDownstream(comm::ChannelEnd end);
+
+  /// Relay-thread convenience: pair + register, returns the client side.
+  comm::ChannelEnd connect();
+
+  /// Thread-safe admission from client threads; adopted at the next
+  /// pump(). The downstream client's reconnect connector points here.
+  comm::ChannelEnd requestConnect();
+
+  // --- relay loop --------------------------------------------------------
+
+  /// Drain downstream commands, forward upstream frames, replenish
+  /// upstream credits. Returns the number of upstream frames processed.
+  int pump();
+
+  /// Drain once more, then close every downstream outbox (clients consume
+  /// the queued tail, then see EOF). `drain = false` models a crash: close
+  /// everything immediately without forwarding the queued tail, so
+  /// downstream clients exercise their reconnect paths.
+  void shutdown(bool drain = true);
+
+  // --- observability -----------------------------------------------------
+
+  const RelayStats& stats() const { return stats_; }
+  int numDownstream() const { return static_cast<int>(downstream_.size()); }
+  int numAliveDownstream() const;
+  /// Subscriptions currently held upstream — the subscribe-once invariant:
+  /// bounded by the number of stream kinds, never by downstream count.
+  int upstreamSubscriptionCount() const;
+  /// Bytes pinned by the shared frame cache (the relay's memory bound:
+  /// grows with frame size and level count, not with client count).
+  std::uint64_t cacheBytes() const;
+  std::uint64_t upstreamReconnects() const { return client_.reconnects(); }
+
+  /// Flush relay.* gauges to thread telemetry (no-op off rank threads).
+  void publishMetrics();
+
+ private:
+  struct Downstream {
+    comm::ChannelEnd end;
+    bool alive = true;
+    bool relay = false;          ///< a child relay (kRelayHello)
+    bool creditMetered = false;  ///< granted credits at least once
+    bool subs[serve::kNumStreams] = {};
+    std::int32_t cadence[serve::kNumStreams] = {};
+    std::uint64_t levelsShed = 0;
+  };
+
+  /// Upstream subscription state per stream kind (subscribe-once dedup).
+  struct UpstreamSub {
+    bool active = false;
+    std::int32_t cadence = 0;
+  };
+
+  void admitPending();
+  void drainDownstream();
+  void handleCommand(Downstream& d, const steer::Command& cmd);
+  /// Subscribe upstream for `kind` iff no subscription covers it yet (or
+  /// a faster cadence is now required).
+  void ensureUpstream(serve::StreamKind kind, std::int32_t cadence);
+  void handleUpstream(serve::ServeClient::Event& event);
+  /// Forward to every alive downstream subscribed to `kind`; root/full
+  /// frames unconditionally, refinements via the shed policy.
+  void forward(serve::StreamKind kind, const std::vector<std::byte>& frame,
+               bool refinement);
+  bool trySendFine(Downstream& d, const std::vector<std::byte>& frame);
+  void sendCached(Downstream& d, serve::StreamKind kind);
+  void noteFirstFrame();
+
+  RelayConfig config_;
+  serve::ServeClient client_;  ///< the single upstream session
+  UpstreamSub upstream_[serve::kNumStreams];
+  std::vector<Downstream> downstream_;
+
+  std::mutex pendingMutex_;
+  std::vector<comm::ChannelEnd> pendingConnects_;
+
+  /// Shared frame cache, replayed to late joiners: the current step's
+  /// progressive burst (coarse-to-fine, only chain-intact levels) plus
+  /// the latest frame of each non-image stream.
+  std::vector<std::vector<std::byte>> imageBurst_;
+  std::optional<std::vector<std::byte>> lastStatus_;
+  std::optional<std::vector<std::byte>> lastTelemetry_;
+  std::optional<std::vector<std::byte>> lastObservable_;
+  std::optional<std::vector<std::byte>> lastRoi_;
+
+  std::uint32_t consumedSinceGrant_ = 0;
+  std::chrono::steady_clock::time_point startTime_{};
+  bool started_ = false;
+  RelayStats stats_;
+};
+
+}  // namespace hemo::relay

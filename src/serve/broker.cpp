@@ -4,6 +4,8 @@
 #include <cstring>
 #include <tuple>
 
+#include "serve/progressive.hpp"
+
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/faultinject.hpp"
@@ -26,7 +28,8 @@ inline std::uint64_t mixInto(std::uint64_t h, std::uint64_t v) {
 /// Codec discriminator inside the frame cache key: only features that
 /// change the encoded image bytes participate.
 inline std::uint8_t imageCodecKey(const CodecConfig& codec) {
-  return codec.rleImage ? 1 : 0;
+  return static_cast<std::uint8_t>((codec.rleImage ? 1 : 0) |
+                                   (codec.progressive ? 2 : 0));
 }
 
 }  // namespace
@@ -87,6 +90,14 @@ void SessionBroker::admitPending() {
     addClient(std::move(pc.end));
     if (pc.isReconnect) ++stats_.reconnects;
   }
+}
+
+int SessionBroker::numRelaySessions() const {
+  int n = 0;
+  for (const auto& client : clients_) {
+    if (client.alive && client.relay) ++n;
+  }
+  return n;
 }
 
 int SessionBroker::numAliveClients() const {
@@ -176,8 +187,25 @@ std::vector<steer::Command> SessionBroker::drainCommands(
               std::max(client.hbAcked, steer::decodeHeartbeatSeq(*frame));
           continue;
         }
+        if (steer::frameType(*frame) == steer::MsgType::kCredit) {
+          // Credit grant: switch the outbox to metered fine-level sends on
+          // the first grant, then top the balance up.
+          const auto credit = steer::decodeCredit(*frame);
+          if (!client.creditMetered) {
+            client.creditMetered = true;
+            client.end.setSendCredits(credit.credits);
+          } else {
+            client.end.addSendCredits(credit.credits);
+          }
+          continue;
+        }
         auto cmd = steer::decodeCommand(*frame);
         switch (cmd.type) {
+          case steer::MsgType::kRelayHello: {
+            client.relay = true;
+            sendTo(comm, client, steer::encodeAck(cmd.commandId), 5);
+            break;
+          }
           case steer::MsgType::kSubscribe: {
             HEMO_CHECK_MSG(static_cast<int>(cmd.stream) < kNumStreams,
                            "bad stream kind");
@@ -317,10 +345,71 @@ const std::vector<std::byte>& SessionBroker::cachedImage(
   return it->second.bytes;
 }
 
+const std::vector<std::vector<std::byte>>& SessionBroker::cachedProgressive(
+    std::uint64_t view, const steer::ImageFrame& frame,
+    const CodecConfig& codec, std::uint64_t* rawBytesOut) {
+  if (frame.step != cacheStep_) {
+    cache_.clear();
+    cacheStep_ = frame.step;
+  }
+  const auto key = std::make_pair(view, imageCodecKey(codec));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.cacheMisses;
+    CacheEntry entry;
+    entry.levels = encodeProgressiveImage(frame, codec, 8, &entry.rawBytes);
+    it = cache_.emplace(key, std::move(entry)).first;
+  } else {
+    ++stats_.cacheHits;
+  }
+  if (rawBytesOut != nullptr) *rawBytesOut = it->second.rawBytes;
+  return it->second.levels;
+}
+
+bool SessionBroker::trySendFine(comm::Communicator& comm, Client& client,
+                                const std::vector<std::byte>& frame) {
+  if (!client.alive) return false;
+  if (client.creditMetered) {
+    if (!client.end.trySendCredited(frame)) return false;  // copy on success
+  } else {
+    // Outbox headroom check: a push that would evict an older frame means
+    // the consumer is behind — shed the refinement rather than churn.
+    if (config_.outboxCapacity > 0 &&
+        client.end.sendQueueDepth() + 1 >= config_.outboxCapacity) {
+      return false;
+    }
+    client.end.send(frame);
+  }
+  auto& counters = comm.counters().of(comm::Traffic::kSteer);
+  ++counters.messagesSent;
+  counters.bytesSent += frame.size();
+  ++stats_.framesSent;
+  stats_.wireBytes += frame.size();
+  return true;
+}
+
 void SessionBroker::publishImage(comm::Communicator& comm, std::uint64_t view,
                                  const steer::ImageFrame& frame) {
   for (auto& client : clients_) {
     if (!due(client.subs[static_cast<int>(StreamKind::kImage)], frame.step)) {
+      continue;
+    }
+    if (client.codec.progressive) {
+      std::uint64_t raw = 0;
+      const auto& levels = cachedProgressive(view, frame, client.codec, &raw);
+      // The coarse root is never shed — worst case the bounded outbox
+      // applies latest-wins to a stale root. Refinements go through the
+      // shed policy; once one level is shed the rest of the burst is
+      // useless downstream (residuals chain), so stop there.
+      sendTo(comm, client, levels.front(), raw);
+      for (std::size_t l = 1; l < levels.size(); ++l) {
+        if (!trySendFine(comm, client, levels[l])) {
+          const auto shed = static_cast<std::uint64_t>(levels.size() - l);
+          client.levelsShed += shed;
+          stats_.levelsShed += shed;
+          break;
+        }
+      }
       continue;
     }
     std::uint64_t raw = 0;
@@ -478,8 +567,10 @@ void SessionBroker::publishMetrics() {
   setTotal("serve.heartbeats", stats_.heartbeats);
   setTotal("serve.evictions", stats_.evictions);
   setTotal("serve.reconnects", stats_.reconnects);
+  setTotal("serve.levels_shed", stats_.levelsShed);
   setTotal("fault.injected", util::FaultInjector::instance().fired());
   m.gauge("serve.clients").set(static_cast<double>(numAliveClients()));
+  m.gauge("serve.relay_sessions").set(static_cast<double>(numRelaySessions()));
 }
 
 }  // namespace hemo::serve

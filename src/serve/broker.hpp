@@ -82,6 +82,9 @@ struct BrokerStats {
   std::uint64_t heartbeats = 0;   ///< probes sent
   std::uint64_t evictions = 0;    ///< clients dropped (wedged or corrupt)
   std::uint64_t reconnects = 0;   ///< clients re-admitted via requestConnect
+  /// Progressive refinement levels withheld by the shed policy (credits
+  /// exhausted or outbox backpressure). The coarse root is never shed.
+  std::uint64_t levelsShed = 0;
 };
 
 /// Deterministic key identifying a rendered view (camera + field + size):
@@ -163,6 +166,21 @@ class SessionBroker {
 
   const BrokerStats& stats() const { return stats_; }
 
+  /// Flush the serve.* counters/gauges to thread telemetry. Called
+  /// internally after every publish/respond, and by the driver once per
+  /// telemetry window so live counters (frames_dropped foremost — it grows
+  /// inside the channels, not through broker calls) surface even when no
+  /// frame happens to be published in the window.
+  void publishMetrics();
+
+  /// Sessions that announced themselves as relays (kRelayHello).
+  int numRelaySessions() const;
+
+  /// Progressive refinement levels shed toward one client / overall.
+  std::uint64_t levelsShed(int client) const {
+    return clients_[static_cast<std::size_t>(client)].levelsShed;
+  }
+
   /// Frames evicted from one client's bounded outbox so far (frozen at
   /// the eviction snapshot for evicted clients).
   std::uint64_t framesDropped(int client) const;
@@ -185,6 +203,9 @@ class SessionBroker {
     CodecConfig codec;
     Subscription subs[kNumStreams];
     bool alive = true;
+    bool relay = false;          ///< announced with kRelayHello
+    bool creditMetered = false;  ///< has granted credits at least once
+    std::uint64_t levelsShed = 0;
     std::uint64_t hbSent = 0;   ///< heartbeat probes pushed to this client
     std::uint64_t hbAcked = 0;  ///< highest sequence the client echoed
     // Counter snapshots taken at eviction (the ChannelEnd is released).
@@ -213,13 +234,23 @@ class SessionBroker {
   void sendTo(comm::Communicator& comm, Client& client,
               std::vector<std::byte> frame, std::uint64_t rawBytes);
 
+  /// Conditional push of a progressive refinement level: spends a credit
+  /// (metered sessions) or checks outbox headroom (unmetered). Returns
+  /// false — nothing queued, nothing charged — when the level must be
+  /// shed; the caller sheds the rest of the burst (residuals chain).
+  bool trySendFine(comm::Communicator& comm, Client& client,
+                   const std::vector<std::byte>& frame);
+
   /// Encoded image for a codec config via the shared per-step cache.
   const std::vector<std::byte>& cachedImage(std::uint64_t view,
                                             const steer::ImageFrame& frame,
                                             const CodecConfig& codec,
                                             std::uint64_t* rawBytesOut);
 
-  void publishMetrics();
+  /// Progressive level burst via the same cache (coarse-first wire frames).
+  const std::vector<std::vector<std::byte>>& cachedProgressive(
+      std::uint64_t view, const steer::ImageFrame& frame,
+      const CodecConfig& codec, std::uint64_t* rawBytesOut);
 
   /// Drop a wedged or misbehaving client: close + release its outbox
   /// (freeing queued frames once the client drains), deactivate its
@@ -254,8 +285,12 @@ class SessionBroker {
   std::vector<PendingConnect> pendingConnects_;
 
   // Shared frame cache: one step's encodings, keyed by (view, codec mask).
+  // A progressive entry holds the per-level wire frames instead of one
+  // monolithic frame; either way the cache is bounded by distinct
+  // (view, codec) pairs per step — independent of the client count.
   struct CacheEntry {
     std::vector<std::byte> bytes;
+    std::vector<std::vector<std::byte>> levels;
     std::uint64_t rawBytes = 0;
   };
   std::map<std::pair<std::uint64_t, std::uint8_t>, CacheEntry> cache_;

@@ -47,6 +47,23 @@ std::uint32_t ServeClient::unsubscribe(StreamKind stream) {
   return send(cmd);
 }
 
+std::uint32_t ServeClient::announceRelay() {
+  steer::Command cmd;
+  cmd.type = steer::MsgType::kRelayHello;
+  return send(cmd);
+}
+
+void ServeClient::sendCredit(std::uint32_t credits, std::uint64_t ackStep,
+                             std::int32_t ackLevel) {
+  steer::Credit credit;
+  credit.credits = credits;
+  credit.ackStep = ackStep;
+  credit.ackLevel = ackLevel;
+  // Best-effort: a closed upstream is detected by the event loop's EOF
+  // handling, not here — credits are advisory flow control.
+  end_.send(steer::encodeCredit(credit));
+}
+
 std::uint32_t ServeClient::setCodec(const CodecConfig& codec) {
   steer::Command cmd;
   cmd.type = steer::MsgType::kSetCodec;
@@ -73,6 +90,9 @@ void ServeClient::recordSessionState(const steer::Command& cmd) {
   switch (cmd.type) {
     case steer::MsgType::kSetCodec:
       codecCommand_ = cmd;
+      break;
+    case steer::MsgType::kRelayHello:
+      helloCommand_ = cmd;
       break;
     case steer::MsgType::kSubscribe: {
       for (auto& sub : activeSubscriptions_) {
@@ -126,6 +146,12 @@ bool ServeClient::tryReconnect() {
     // Replay the session (fresh command ids) so the broker restores this
     // client's codec and subscriptions and streams resume at the current
     // step. Sent directly — ServeClient::send would recurse on failure.
+    // The relay hello goes first: role before configuration.
+    if (helloCommand_) {
+      auto cmd = *helloCommand_;
+      cmd.commandId = nextCommandId_++;
+      end_.send(steer::encodeCommand(cmd));
+    }
     if (codecCommand_) {
       auto cmd = *codecCommand_;
       cmd.commandId = nextCommandId_++;
@@ -148,11 +174,40 @@ bool ServeClient::handleInternal(const std::vector<std::byte>& frame) {
   return false;
 }
 
-ServeClient::Event ServeClient::decode(
-    const std::vector<std::byte>& frame) const {
+ServeClient::Event ServeClient::decode(const std::vector<std::byte>& frame) {
   Event event;
   event.type = steer::frameType(frame);
   event.wireBytes = frame.size();
+  if (event.type == steer::MsgType::kProgressiveImage) {
+    // Level header always parsed — the caller (relay shed loop or display
+    // client) needs step/level even in raw mode. Reassembly only advances
+    // when the frame extends the chain; shed-broken refinements are
+    // skipped inside the assembler.
+    const auto pf = decodeProgressiveFrame(frame);
+    event.progressiveLevel = pf.level;
+    event.progressiveReady = assembler_.accept(pf);
+    if (keepRaw_) {
+      event.raw = frame;
+    } else if (event.progressiveReady) {
+      event.image = assembler_.current();
+    }
+    return event;
+  }
+  if (keepRaw_) {
+    switch (event.type) {
+      case steer::MsgType::kImageFrame:
+      case steer::MsgType::kCodedImage:
+      case steer::MsgType::kRoiData:
+      case steer::MsgType::kCodedRoi:
+      case steer::MsgType::kStatus:
+      case steer::MsgType::kObservable:
+      case steer::MsgType::kTelemetry:
+        event.raw = frame;  // forwarded verbatim; payload decode skipped
+        return event;
+      default:
+        break;  // acks/rejects fall through to the typed decode
+    }
+  }
   switch (event.type) {
     case steer::MsgType::kImageFrame:
     case steer::MsgType::kCodedImage:
@@ -232,6 +287,10 @@ std::optional<steer::ImageFrame> ServeClient::awaitImage() {
     if (!event) return std::nullopt;
     if (event->type == steer::MsgType::kImageFrame ||
         event->type == steer::MsgType::kCodedImage) {
+      return std::move(event->image);
+    }
+    if (event->type == steer::MsgType::kProgressiveImage &&
+        event->progressiveReady && !keepRaw_) {
       return std::move(event->image);
     }
   }

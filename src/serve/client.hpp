@@ -26,6 +26,7 @@
 #include "comm/channel.hpp"
 #include "serve/broker.hpp"
 #include "serve/codec.hpp"
+#include "serve/progressive.hpp"
 #include "steer/protocol.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +70,18 @@ class ServeClient {
   /// Send an arbitrary steering command (camera, tau, pause, ...).
   std::uint32_t send(steer::Command cmd);
 
+  /// Announce this session as a relay (kRelayHello). Replayed on
+  /// reconnect before codec/subscriptions, so the upstream re-learns the
+  /// session's role.
+  std::uint32_t announceRelay();
+
+  /// Grant the upstream `credits` more fine-level frames, acking the
+  /// newest progressive level consumed. Sent as a compact kCredit frame
+  /// (not a Command); the first grant switches the upstream's outbox to
+  /// credit-metered refinements.
+  void sendCredit(std::uint32_t credits, std::uint64_t ackStep = 0,
+                  std::int32_t ackLevel = -1);
+
   // --- event stream -------------------------------------------------------
 
   struct Event {
@@ -84,7 +97,22 @@ class ServeClient {
     std::uint32_t rejectId = 0;
     steer::RejectReason rejectReason = steer::RejectReason::kNone;
     std::uint64_t wireBytes = 0;          ///< frame size on the wire
+    /// kProgressiveImage: the level index this frame carried, and whether
+    /// it advanced the reassembly (then `image` holds the current
+    /// reconstruction at full resolution).
+    std::int32_t progressiveLevel = -1;
+    bool progressiveReady = false;
+    /// Raw wire bytes (keepRawFrames mode only) — what a relay forwards
+    /// verbatim downstream without re-encoding.
+    std::vector<std::byte> raw;
   };
+
+  /// Relay mode: payload frames (images, ROI, status, telemetry,
+  /// observables, progressive levels) are returned with `raw` filled and
+  /// payload decoding skipped — forwarding stays re-encoding-free.
+  /// Progressive frames still get their level header parsed (the shed /
+  /// credit logic needs it); acks and rejects are always decoded.
+  void setKeepRawFrames(bool keep) { keepRaw_ = keep; }
 
   /// Non-blocking: the next queued event, or nullopt when none is waiting.
   std::optional<Event> pollEvent();
@@ -112,8 +140,12 @@ class ServeClient {
   /// Frames dropped client-side because they failed to decode.
   std::uint64_t corruptFramesSkipped() const { return corruptFrames_; }
 
+  /// Progressive reassembly state (levels applied, frames skipped because
+  /// an upstream shed broke the residual chain, current image).
+  const ProgressiveAssembler& progressive() const { return assembler_; }
+
  private:
-  Event decode(const std::vector<std::byte>& frame) const;
+  Event decode(const std::vector<std::byte>& frame);
 
   /// Track subscriptions/codec so a reconnect can replay them.
   void recordSessionState(const steer::Command& cmd);
@@ -135,7 +167,10 @@ class ServeClient {
   std::uint64_t reconnects_ = 0;
   std::uint64_t corruptFrames_ = 0;
   std::optional<steer::Command> codecCommand_;
+  std::optional<steer::Command> helloCommand_;
   std::vector<steer::Command> activeSubscriptions_;
+  bool keepRaw_ = false;
+  ProgressiveAssembler assembler_;
 };
 
 }  // namespace hemo::serve

@@ -28,11 +28,13 @@ struct CodecConfig {
   bool rleImage = false;      ///< run-length-code image streams
   bool deltaIndices = false;  ///< delta+varint ROI keys/counts
   double quantError = 0.0;    ///< > 0: quantise ROI floats, |err| <= this
+  bool progressive = false;   ///< image streams as coarse-to-fine level deltas
 
   std::uint8_t mask() const {
     return static_cast<std::uint8_t>((rleImage ? 1 : 0) |
                                      (deltaIndices ? 2 : 0) |
-                                     (quantError > 0.0 ? 4 : 0));
+                                     (quantError > 0.0 ? 4 : 0) |
+                                     (progressive ? 8 : 0));
   }
 
   static CodecConfig fromCommand(const steer::Command& cmd) {
@@ -40,11 +42,12 @@ struct CodecConfig {
     c.rleImage = (cmd.codec & 1) != 0;
     c.deltaIndices = (cmd.codec & 2) != 0;
     c.quantError = (cmd.codec & 4) != 0 ? cmd.value : 0.0;
+    c.progressive = (cmd.codec & 8) != 0;
     return c;
   }
 
   bool anyEnabled() const {
-    return rleImage || deltaIndices || quantError > 0.0;
+    return rleImage || deltaIndices || quantError > 0.0 || progressive;
   }
 };
 

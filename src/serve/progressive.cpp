@@ -1,0 +1,135 @@
+#include "serve/progressive.hpp"
+
+#include "io/serial.hpp"
+#include "util/check.hpp"
+
+namespace hemo::serve {
+
+namespace {
+
+/// Plain encoding size an ImageFrame would have on the wire (header +
+/// pixels), without materialising it — the raw-bytes baseline.
+std::uint64_t plainImageBytes(const steer::ImageFrame& frame) {
+  return 1 /*type*/ + 8 /*step*/ + 4 + 4 /*dims*/ + 8 /*vec len*/ +
+         frame.rgb.size();
+}
+
+}  // namespace
+
+std::vector<std::byte> encodeProgressiveFrame(const ProgressiveFrame& frame,
+                                              bool rlePayload) {
+  io::Writer w;
+  w.put<std::uint8_t>(
+      static_cast<std::uint8_t>(steer::MsgType::kProgressiveImage));
+  w.put<std::uint64_t>(frame.step);
+  w.put<std::int32_t>(frame.level);
+  w.put<std::int32_t>(frame.numLevels);
+  w.put<std::int32_t>(frame.fullWidth);
+  w.put<std::int32_t>(frame.fullHeight);
+  w.put<std::int32_t>(frame.image.width);
+  w.put<std::int32_t>(frame.image.height);
+  w.put<std::uint8_t>(rlePayload ? 1 : 0);
+  if (rlePayload) {
+    w.putVec(rleEncode(frame.image.data.data(), frame.image.data.size()));
+  } else {
+    w.putVec(frame.image.data);
+  }
+  return w.take();
+}
+
+ProgressiveFrame decodeProgressiveFrame(const std::vector<std::byte>& bytes) {
+  io::Reader r(bytes);
+  HEMO_CHECK_MSG(static_cast<steer::MsgType>(r.get<std::uint8_t>()) ==
+                     steer::MsgType::kProgressiveImage,
+                 "not a progressive image frame");
+  ProgressiveFrame f;
+  f.step = r.get<std::uint64_t>();
+  f.level = r.get<std::int32_t>();
+  f.numLevels = r.get<std::int32_t>();
+  f.fullWidth = r.get<std::int32_t>();
+  f.fullHeight = r.get<std::int32_t>();
+  f.image.width = r.get<std::int32_t>();
+  f.image.height = r.get<std::int32_t>();
+  const bool rle = r.get<std::uint8_t>() != 0;
+  if (rle) {
+    f.image.data = rleDecode(r.getVec<std::byte>());
+  } else {
+    const auto raw = r.getVec<std::uint8_t>();
+    f.image.data = raw;
+  }
+  HEMO_CHECK(r.atEnd());
+  HEMO_CHECK_MSG(f.level >= 0 && f.level < f.numLevels, "bad level index");
+  HEMO_CHECK_MSG(f.image.width > 0 && f.image.height > 0, "bad level dims");
+  HEMO_CHECK_MSG(f.image.data.size() ==
+                     static_cast<std::size_t>(f.image.width) *
+                         static_cast<std::size_t>(f.image.height) * 3,
+                 "level payload size mismatch");
+  return f;
+}
+
+std::optional<ProgressiveFrame> tryDecodeProgressiveFrame(
+    const std::vector<std::byte>& bytes) {
+  try {
+    return decodeProgressiveFrame(bytes);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::vector<std::byte>> encodeProgressiveImage(
+    const steer::ImageFrame& frame, const CodecConfig& codec, int rootMaxDim,
+    std::uint64_t* rawBytesOut) {
+  const auto pyramid = multires::buildImagePyramid(frame.width, frame.height,
+                                                   frame.rgb, rootMaxDim);
+  if (rawBytesOut != nullptr) *rawBytesOut += plainImageBytes(frame);
+  std::vector<std::vector<std::byte>> wire;
+  wire.reserve(pyramid.levels.size());
+  for (std::size_t l = 0; l < pyramid.levels.size(); ++l) {
+    ProgressiveFrame pf;
+    pf.step = frame.step;
+    pf.level = static_cast<std::int32_t>(l);
+    pf.numLevels = static_cast<std::int32_t>(pyramid.levels.size());
+    pf.fullWidth = frame.width;
+    pf.fullHeight = frame.height;
+    pf.image = pyramid.levels[l];
+    wire.push_back(encodeProgressiveFrame(pf, codec.rleImage));
+  }
+  return wire;
+}
+
+bool ProgressiveAssembler::accept(const ProgressiveFrame& frame) {
+  if (frame.level == 0) {
+    // Root of a step: adopt unless it is older than what we already show.
+    if (hasImage() && frame.step < step_) {
+      ++framesSkipped_;
+      return false;
+    }
+    step_ = frame.step;
+    numLevels_ = frame.numLevels;
+    fullWidth_ = frame.fullWidth;
+    fullHeight_ = frame.fullHeight;
+    state_.apply(frame.image, /*isRoot=*/true);
+    return true;
+  }
+  // Refinement: must extend the current step's chain exactly, otherwise a
+  // shed level upstream broke the residual chain and the frame is useless.
+  if (!hasImage() || frame.step != step_ ||
+      frame.level != state_.levelsApplied) {
+    ++framesSkipped_;
+    return false;
+  }
+  state_.apply(frame.image, /*isRoot=*/false);
+  return true;
+}
+
+steer::ImageFrame ProgressiveAssembler::current() const {
+  HEMO_CHECK_MSG(hasImage(), "no progressive root received yet");
+  steer::ImageFrame frame;
+  frame.step = step_;
+  frame.width = fullWidth_;
+  frame.height = fullHeight_;
+  frame.rgb = state_.renderAt(fullWidth_, fullHeight_);
+  return frame;
+}
+
+}  // namespace hemo::serve

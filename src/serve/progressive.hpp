@@ -1,0 +1,87 @@
+#pragma once
+/// \file progressive.hpp
+/// \brief Wire framing for progressive (coarse-to-fine) image streams.
+///
+/// An image frame negotiated with the progressive codec bit leaves the
+/// broker as a burst of kProgressiveImage wire frames, one per pyramid
+/// level: the root first (small, always deliverable), then residual
+/// refinements. Each wire frame is self-describing — step, level index,
+/// total level count, full frame size — so a relay can forward levels
+/// verbatim, shed fine levels under backpressure, and a consumer can
+/// display after the first frame of a step. Residual payloads are RLE
+/// coded when the session also negotiated rleImage (residuals are mostly
+/// zero over flat regions).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "multires/progressive.hpp"
+#include "serve/codec.hpp"
+#include "steer/protocol.hpp"
+
+namespace hemo::serve {
+
+/// One decoded kProgressiveImage wire frame.
+struct ProgressiveFrame {
+  std::uint64_t step = 0;
+  std::int32_t level = 0;      ///< 0 = coarse root
+  std::int32_t numLevels = 0;  ///< levels this step's burst contains
+  std::int32_t fullWidth = 0;  ///< resolution the finest level reaches
+  std::int32_t fullHeight = 0;
+  multires::ImageLevel image;  ///< root pixels or mod-256 residuals
+};
+
+/// Decompose `frame` and encode every level as its own wire frame, coarse
+/// first. `rawBytesOut`, if given, accumulates the plain kImageFrame
+/// encoding size (the broker's raw-vs-wire accounting, same convention as
+/// encodeImagePayload).
+std::vector<std::vector<std::byte>> encodeProgressiveImage(
+    const steer::ImageFrame& frame, const CodecConfig& codec,
+    int rootMaxDim = 8, std::uint64_t* rawBytesOut = nullptr);
+
+std::vector<std::byte> encodeProgressiveFrame(const ProgressiveFrame& frame,
+                                              bool rlePayload);
+
+ProgressiveFrame decodeProgressiveFrame(const std::vector<std::byte>& bytes);
+
+/// Non-throwing decode for untrusted input.
+std::optional<ProgressiveFrame> tryDecodeProgressiveFrame(
+    const std::vector<std::byte>& bytes);
+
+/// Client-side reassembly of a progressive stream. Levels chain (each
+/// residual refines the previous reconstruction), so a frame is applied
+/// only if it is the root of a newer step or the exact next level of the
+/// current step; anything else — a stale step, a gap left by an upstream
+/// shed — is counted and ignored. After any accepted root the assembler
+/// always has a displayable image.
+class ProgressiveAssembler {
+ public:
+  /// Returns true when the frame improved the current image.
+  bool accept(const ProgressiveFrame& frame);
+
+  bool hasImage() const { return state_.levelsApplied > 0; }
+  std::uint64_t step() const { return step_; }
+  int levelsApplied() const { return state_.levelsApplied; }
+  int numLevels() const { return numLevels_; }
+  bool complete() const {
+    return hasImage() && state_.levelsApplied == numLevels_;
+  }
+
+  /// Frames ignored because a shed level broke the residual chain.
+  std::uint64_t framesSkipped() const { return framesSkipped_; }
+
+  /// Current picture upsampled to the stream's full resolution, tagged
+  /// with the step it shows. Requires hasImage().
+  steer::ImageFrame current() const;
+
+ private:
+  multires::ImageReassembly state_;
+  std::uint64_t step_ = 0;
+  std::int32_t numLevels_ = 0;
+  std::int32_t fullWidth_ = 0;
+  std::int32_t fullHeight_ = 0;
+  std::uint64_t framesSkipped_ = 0;
+};
+
+}  // namespace hemo::serve

@@ -371,4 +371,26 @@ std::uint64_t decodeHeartbeatSeq(const std::vector<std::byte>& frame) {
   return r.get<std::uint64_t>();
 }
 
+std::vector<std::byte> encodeCredit(const Credit& credit) {
+  io::Writer w;
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(MsgType::kCredit));
+  w.put<std::uint32_t>(credit.credits);
+  w.put<std::uint64_t>(credit.ackStep);
+  w.put<std::int32_t>(credit.ackLevel);
+  return w.take();
+}
+
+Credit decodeCredit(const std::vector<std::byte>& frame) {
+  io::Reader r(frame);
+  HEMO_CHECK_MSG(static_cast<MsgType>(r.get<std::uint8_t>()) ==
+                     MsgType::kCredit,
+                 "not a credit frame");
+  Credit credit;
+  credit.credits = r.get<std::uint32_t>();
+  credit.ackStep = r.get<std::uint64_t>();
+  credit.ackLevel = r.get<std::int32_t>();
+  HEMO_CHECK(r.atEnd());
+  return credit;
+}
+
 }  // namespace hemo::steer

@@ -46,6 +46,8 @@ enum class MsgType : std::uint8_t {
   kUnsubscribe,  ///< stream
   kSetCodec,     ///< codec mask + quantised-float max error (in `value`)
   kHeartbeatAck, ///< echoes a broker heartbeat's sequence number
+  kRelayHello,   ///< marks this session as a relay (edge-relay serving tier)
+  kCredit,       ///< downstream grants the upstream N more frames (flow ctl)
   // master -> client
   kAck = 64,
   kStatus,
@@ -59,6 +61,8 @@ enum class MsgType : std::uint8_t {
   kReject,      ///< typed NACK: command failed validation, state untouched
   kRejectedAfterRollback,  ///< retroactive NACK: command quarantined after a
                            ///< sentinel-triggered checkpoint rollback
+  kProgressiveImage,  ///< one octree-level delta of a progressive image
+                      ///< stream (coarse root first, refinements after)
 };
 
 /// Why a steering command was refused (carried in a kReject /
@@ -186,6 +190,19 @@ std::vector<std::byte> encodeAck(std::uint32_t commandId);
 std::vector<std::byte> encodeHeartbeat(std::uint64_t seq);
 std::vector<std::byte> encodeHeartbeatAck(std::uint64_t seq);
 std::uint64_t decodeHeartbeatSeq(const std::vector<std::byte>& frame);
+
+/// Credit grant (downstream -> upstream): the receiver is ready for
+/// `credits` more frames. `ackStep`/`ackLevel` report the newest
+/// progressive level fully consumed, closing the quality-adaptation loop
+/// (an upstream that sees stale acks sheds fine levels first).
+struct Credit {
+  std::uint32_t credits = 0;
+  std::uint64_t ackStep = 0;
+  std::int32_t ackLevel = -1;  ///< -1: no progressive frame consumed yet
+};
+
+std::vector<std::byte> encodeCredit(const Credit& credit);
+Credit decodeCredit(const std::vector<std::byte>& frame);
 
 std::vector<std::byte> encodeObservable(const ObservableReport& report);
 ObservableReport decodeObservable(const std::vector<std::byte>& frame);

@@ -18,12 +18,13 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHEMO_SANITIZE=thread
 cmake --build "$build_dir" -j --target test_lb test_lb_fused test_telemetry \
-  test_serve test_resilience
+  test_serve test_relay test_resilience
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "$build_dir/tests/test_lb"
 "$build_dir/tests/test_lb_fused"
 "$build_dir/tests/test_telemetry"
 "$build_dir/tests/test_serve"
+"$build_dir/tests/test_relay"
 "$build_dir/tests/test_resilience"
 echo "TSan run clean."

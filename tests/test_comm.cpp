@@ -438,6 +438,65 @@ TEST(Channel, BoundedCapacityKeepsDrainedReaderCurrent) {
   EXPECT_EQ(a.framesDropped(), 0u);
 }
 
+TEST(Channel, CapacityShrinkTrimsBacklogOnNextPush) {
+  // Regression: setSendCapacity used to only evict one frame per push, so
+  // shrinking the bound under a backlog left the queue oversized for many
+  // pushes. The next push must trim the whole excess.
+  auto [a, b] = makeChannelPair();
+  for (std::uint8_t i = 0; i < 8; ++i) a.send({std::byte{i}});
+  EXPECT_EQ(a.sendQueueDepth(), 8u);
+  a.setSendCapacity(2);
+  EXPECT_EQ(a.sendQueueDepth(), 8u);  // applies on next push, not eagerly
+  a.send({std::byte{8}});
+  EXPECT_EQ(a.sendQueueDepth(), 2u);
+  EXPECT_EQ(a.framesDropped(), 7u);
+  EXPECT_EQ((*b.recv())[0], std::byte{7});
+  EXPECT_EQ((*b.recv())[0], std::byte{8});
+  EXPECT_FALSE(b.tryRecv().has_value());
+}
+
+TEST(Channel, CapacityGrowKeepsBacklog) {
+  auto [a, b] = makeChannelPair();
+  a.setSendCapacity(2);
+  a.send({std::byte{0}});
+  a.send({std::byte{1}});
+  a.setSendCapacity(4);
+  a.send({std::byte{2}});
+  a.send({std::byte{3}});
+  EXPECT_EQ(a.framesDropped(), 0u);
+  for (std::uint8_t i = 0; i < 4; ++i) EXPECT_EQ((*b.recv())[0], std::byte{i});
+}
+
+TEST(Channel, CreditedSendSpendsBalanceThenRefuses) {
+  auto [a, b] = makeChannelPair();
+  // Metering off: credited sends refuse, plain sends unaffected.
+  EXPECT_FALSE(a.trySendCredited({std::byte{0}}));
+  EXPECT_EQ(a.sendCredits(), 0u);
+  a.setSendCredits(2);
+  EXPECT_TRUE(a.trySendCredited({std::byte{1}}));
+  EXPECT_TRUE(a.trySendCredited({std::byte{2}}));
+  EXPECT_FALSE(a.trySendCredited({std::byte{3}}));  // balance exhausted
+  EXPECT_EQ(a.sendCredits(), 0u);
+  a.addSendCredits(1);
+  EXPECT_TRUE(a.trySendCredited({std::byte{4}}));
+  // The refused frame was never queued; delivered frames are in order.
+  EXPECT_EQ((*b.recv())[0], std::byte{1});
+  EXPECT_EQ((*b.recv())[0], std::byte{2});
+  EXPECT_EQ((*b.recv())[0], std::byte{4});
+  EXPECT_FALSE(b.tryRecv().has_value());
+  // Control traffic bypasses the meter.
+  EXPECT_TRUE(a.send({std::byte{5}}));
+  EXPECT_EQ((*b.recv())[0], std::byte{5});
+}
+
+TEST(Channel, AddSendCreditsIsNoOpUntilEnabled) {
+  auto [a, b] = makeChannelPair();
+  a.addSendCredits(10);
+  EXPECT_EQ(a.sendCredits(), 0u);
+  EXPECT_FALSE(a.trySendCredited({std::byte{0}}));
+  (void)b;
+}
+
 TEST(Channel, ConcurrentSenderReceiverDrainThenEof) {
   // Close/EOF semantics with a live sender and receiver on separate
   // threads: the receiver must observe every sent frame in order, then a

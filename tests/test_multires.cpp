@@ -11,6 +11,7 @@
 #include "geometry/shapes.hpp"
 #include "geometry/voxelizer.hpp"
 #include "multires/octree.hpp"
+#include "multires/progressive.hpp"
 #include "multires/roi.hpp"
 #include "partition/partitioners.hpp"
 
@@ -310,6 +311,128 @@ TEST(Drilldown, RoiStagesAreCheaperThanContext) {
     EXPECT_LT(stats.bytesPerStage[stage], fullLeafBytes / 3)
         << "stage " << stage;
   }
+}
+
+// --- progressive level-delta streaming (relay tier wire format) -------------
+
+namespace {
+
+/// Synthetic render: a smooth gradient with a sharp disc, enough structure
+/// that coarse levels genuinely differ from the original.
+std::vector<std::uint8_t> testImage(int w, int h) {
+  std::vector<std::uint8_t> rgb(static_cast<std::size_t>(w) * h * 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t i = (static_cast<std::size_t>(y) * w + x) * 3;
+      rgb[i + 0] = static_cast<std::uint8_t>((x * 255) / std::max(1, w - 1));
+      rgb[i + 1] = static_cast<std::uint8_t>((y * 255) / std::max(1, h - 1));
+      const int dx = x - w / 2, dy = y - h / 2;
+      rgb[i + 2] = (dx * dx + dy * dy < (w / 4) * (w / 4)) ? 255 : 13;
+    }
+  }
+  return rgb;
+}
+
+}  // namespace
+
+TEST(Progressive, FinestLevelRoundTripIsBitExact) {
+  // Non-power-of-two on purpose: the round-up halving chain must still
+  // close exactly.
+  const int w = 101, h = 67;
+  const auto rgb = testImage(w, h);
+  const auto pyramid = buildImagePyramid(w, h, rgb, 8);
+  ASSERT_GE(pyramid.levels.size(), 3u);
+  EXPECT_LE(std::max(pyramid.levels[0].width, pyramid.levels[0].height), 8);
+  const auto full = reconstructImage(
+      pyramid, static_cast<int>(pyramid.levels.size()) - 1);
+  EXPECT_EQ(full, rgb);  // bit-exact against the direct full-res render
+}
+
+TEST(Progressive, EveryLevelRoundTripsWithBoundedError) {
+  const int w = 64, h = 48;
+  const auto rgb = testImage(w, h);
+  const auto pyramid = buildImagePyramid(w, h, rgb, 8);
+  double prevErr = 1e9;
+  for (int l = 0; l < static_cast<int>(pyramid.levels.size()); ++l) {
+    const auto recon = reconstructImage(pyramid, l);
+    ASSERT_EQ(recon.size(), rgb.size());
+    const double err = meanAbsError(recon, rgb);
+    // Coarse levels: bounded error (box-filter mean of uint8 data can never
+    // be off by a full dynamic range on average). Finer level: no worse.
+    EXPECT_LT(err, 128.0) << "level " << l;
+    EXPECT_LE(err, prevErr + 1e-9) << "refinement must not increase error";
+    prevErr = err;
+  }
+  EXPECT_EQ(prevErr, 0.0);  // the finest level closes exactly
+}
+
+TEST(Progressive, SingleLevelFrameIsExactRoot) {
+  // A frame already at root size decomposes into one exact level.
+  const int w = 8, h = 6;
+  const auto rgb = testImage(w, h);
+  const auto pyramid = buildImagePyramid(w, h, rgb, 8);
+  ASSERT_EQ(pyramid.levels.size(), 1u);
+  EXPECT_EQ(reconstructImage(pyramid, 0), rgb);
+}
+
+TEST(Progressive, ReassemblyMatchesBatchReconstruction) {
+  const int w = 40, h = 40;
+  const auto rgb = testImage(w, h);
+  const auto pyramid = buildImagePyramid(w, h, rgb, 8);
+  ImageReassembly state;
+  for (std::size_t l = 0; l < pyramid.levels.size(); ++l) {
+    state.apply(pyramid.levels[l], l == 0);
+    EXPECT_EQ(state.renderAt(w, h),
+              reconstructImage(pyramid, static_cast<int>(l)));
+  }
+  EXPECT_EQ(state.rgb, rgb);
+}
+
+TEST(Progressive, TraversalIsCoarseBeforeFineAndRoiClipped) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  const BoxI roi{{8, 8, 8}, {16, 16, 16}};
+  const auto order = progressiveTraversal(t.tree, roi);
+  ASSERT_FALSE(order.empty());
+  // Coarse-before-fine invariant: levels non-decreasing along the stream,
+  // keys ascending within a level, starting at the root.
+  EXPECT_EQ(order.front().level, 0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(order[i].level, order[i - 1].level);
+    if (order[i].level == order[i - 1].level) {
+      EXPECT_LT(order[i - 1].node.key, order[i].node.key);
+    }
+  }
+  // ROI clipping: every emitted cell intersects the ROI, and the stream
+  // matches query() level by level.
+  for (const auto& e : order) {
+    EXPECT_FALSE(
+        t.tree.cellBox(e.level, e.node.key).intersect(roi).isEmpty());
+  }
+  for (int l = 0; l <= t.tree.leafLevel(); ++l) {
+    const auto expected = t.tree.query(l, roi);
+    std::size_t seen = 0;
+    for (const auto& e : order) seen += (e.level == l) ? 1 : 0;
+    EXPECT_EQ(seen, expected.size()) << "level " << l;
+  }
+  // Clipped stream is a strict subset of the whole-domain stream.
+  const auto wholeDomain = progressiveTraversal(t.tree, BoxI::empty());
+  EXPECT_LT(order.size(), wholeDomain.size());
+  std::size_t total = 0;
+  for (int l = 0; l <= t.tree.leafLevel(); ++l) total += t.tree.level(l).size();
+  EXPECT_EQ(wholeDomain.size(), total);
+}
+
+TEST(Progressive, TraversalHonoursFinestLevelCap) {
+  SingleRankTree t;
+  const auto [s, v] = t.fields();
+  t.tree.update(s, v);
+  const auto capped = progressiveTraversal(t.tree, BoxI::empty(), 2);
+  for (const auto& e : capped) EXPECT_LE(e.level, 2);
+  std::size_t expected = 0;
+  for (int l = 0; l <= 2; ++l) expected += t.tree.level(l).size();
+  EXPECT_EQ(capped.size(), expected);
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// hemo_relay: single-process relay-tier soak harness.
+//
+// The repo's transport is the in-process channel (the stand-in for a
+// socket), so the "processes" of the relay tier — rank-0 broker, relay
+// nodes, display clients — run as threads of one binary wired through
+// channel pairs. The topology mirrors the deployment sketch: the solver
+// (2 comm ranks) publishes through a SessionBroker; relays subscribe once
+// upstream (broker, or relay 0 when --depth 2 builds a chain) and fan out
+// to --clients-per-relay downstream sessions each.
+//
+// --kill-relay N crashes relay N (no drain) once it has forwarded a few
+// frames; its clients must redial a surviving tier through their
+// reconnect connectors and keep receiving. Exit code 0 iff the solver run
+// completes, every client got at least one usable frame, clients of the
+// killed relay actually reconnected, and the broker never served more
+// sessions than direct relays.
+//
+// Usage: hemo_relay [--steps N] [--relays R] [--clients-per-relay K]
+//                   [--depth {1,2}] [--kill-relay N] [--cadence C]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/driver.hpp"
+#include "core/preprocess.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/voxelizer.hpp"
+#include "relay/relay.hpp"
+#include "serve/broker.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+struct Options {
+  int steps = 60;
+  int relays = 2;
+  int clientsPerRelay = 16;
+  int depth = 1;
+  int killRelay = -1;  ///< relay index to crash mid-stream; -1 = none
+  int cadence = 2;
+};
+
+Options parseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto eat = [&](const char* flag, int& slot) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        slot = std::atoi(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    if (eat("--steps", opt.steps) || eat("--relays", opt.relays) ||
+        eat("--clients-per-relay", opt.clientsPerRelay) ||
+        eat("--depth", opt.depth) || eat("--kill-relay", opt.killRelay) ||
+        eat("--cadence", opt.cadence)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    std::exit(2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hemo;
+  const Options opt = parseArgs(argc, argv);
+
+  geometry::VoxelizeOptions vopt;
+  vopt.voxelSize = 0.3;
+  const auto lat =
+      geometry::voxelize(geometry::makeAneurysmVessel(5.0, 1.0, 1.0), vopt);
+  const auto pre = core::preprocess(lat, 2, core::PreprocessConfig{});
+
+  serve::BrokerConfig bcfg;
+  bcfg.outboxCapacity = 32;
+  serve::SessionBroker broker(bcfg);
+
+  serve::CodecConfig codec;
+  codec.progressive = true;
+  codec.rleImage = true;
+
+  // --- relay tier --------------------------------------------------------
+  std::vector<std::unique_ptr<relay::RelayNode>> relays;
+  for (int r = 0; r < opt.relays; ++r) {
+    relay::RelayConfig rcfg;
+    const bool chained = opt.depth >= 2 && r > 0;
+    rcfg.depth = chained ? 2 : 1;
+    auto upstream = chained ? relays[0]->connect() : broker.connect();
+    auto node = std::make_unique<relay::RelayNode>(std::move(upstream), rcfg);
+    if (chained) {
+      relay::RelayNode* parent = relays[0].get();
+      node->enableUpstreamReconnect(
+          [parent] { return parent->requestConnect(); });
+    } else {
+      node->enableUpstreamReconnect(
+          [&broker] { return broker.requestConnect(true); });
+    }
+    node->start(codec);
+    relays.push_back(std::move(node));
+  }
+
+  // --- clients ----------------------------------------------------------
+  const int numClients = opt.relays * opt.clientsPerRelay;
+  std::vector<std::unique_ptr<serve::ServeClient>> clients;
+  for (int r = 0; r < opt.relays; ++r) {
+    for (int k = 0; k < opt.clientsPerRelay; ++k) {
+      auto client =
+          std::make_unique<serve::ServeClient>(relays[static_cast<std::size_t>(r)]->connect());
+      // On relay loss, redial the next relay (survivor) — never the broker,
+      // whose fan-out must stay bounded by the relay count.
+      relay::RelayNode* fallback =
+          relays[static_cast<std::size_t>((r + 1) % opt.relays)].get();
+      client->enableReconnect([fallback] { return fallback->requestConnect(); });
+      client->subscribe(serve::StreamKind::kImage, opt.cadence);
+      clients.push_back(std::move(client));
+    }
+  }
+
+  // --- threads ----------------------------------------------------------
+  std::atomic<bool> stop{false};
+  std::atomic<bool> kill{false};
+  std::vector<std::thread> relayThreads;
+  for (int r = 0; r < opt.relays; ++r) {
+    relay::RelayNode* node = relays[static_cast<std::size_t>(r)].get();
+    const bool victim = r == opt.killRelay;
+    relayThreads.emplace_back([node, victim, &stop, &kill] {
+      for (;;) {
+        if (victim && kill.load()) {
+          node->shutdown(/*drain=*/false);  // crash: no tail, instant EOF
+          return;
+        }
+        if (stop.load()) {
+          node->shutdown();
+          return;
+        }
+        if (node->pump() == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> framesGot(static_cast<std::size_t>(numClients), 0);
+  std::vector<std::thread> clientThreads;
+  for (int c = 0; c < numClients; ++c) {
+    serve::ServeClient* client = clients[static_cast<std::size_t>(c)].get();
+    auto* got = &framesGot[static_cast<std::size_t>(c)];
+    clientThreads.emplace_back([client, got, &stop] {
+      while (!stop.load()) {
+        bool idle = true;
+        while (auto event = client->pollEvent()) {
+          idle = false;
+          if (event->progressiveReady ||
+              event->type == steer::MsgType::kImageFrame ||
+              event->type == steer::MsgType::kCodedImage) {
+            ++*got;
+          }
+        }
+        if (idle) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  // Kill trigger: once the victim has forwarded a few frames mid-stream.
+  std::thread killer;
+  if (opt.killRelay >= 0 && opt.killRelay < opt.relays) {
+    relay::RelayNode* victim = relays[static_cast<std::size_t>(opt.killRelay)].get();
+    killer = std::thread([victim, &kill, &stop] {
+      while (!stop.load() && victim->stats().framesFromUpstream < 4) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      kill.store(true);
+    });
+  }
+
+  // --- solver run (blocks until the steps complete) ----------------------
+  int executed = 0;
+  comm::Runtime rt(2);
+  rt.run([&](comm::Communicator& comm) {
+    lb::DomainMap domain(lat, pre.partition, comm.rank());
+    core::DriverConfig dcfg;
+    dcfg.lb.tau = 0.8;
+    dcfg.lb.bodyForce = {1e-5, 0, 0};
+    dcfg.lb.computeStress = true;
+    dcfg.render.width = 48;
+    dcfg.render.height = 48;
+    dcfg.render.camera.position = {2.5, 0.5, 8.0};
+    dcfg.render.camera.target = {2.5, 0.5, 0.0};
+    dcfg.visEvery = 0;
+    dcfg.statusEvery = 0;
+    core::SimulationDriver driver(domain, comm, dcfg);
+    driver.attachBroker(comm.rank() == 0 ? &broker : nullptr);
+    const int done = driver.run(opt.steps);
+    if (comm.rank() == 0) executed = done;
+  });
+
+  // Let the tier drain the tail, then stop everything.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  kill.store(true);
+  if (killer.joinable()) killer.join();
+  for (auto& t : relayThreads) t.join();
+  for (auto& t : clientThreads) t.join();
+  broker.closeAll();
+
+  // --- verdict ----------------------------------------------------------
+  bool ok = true;
+  const auto fail = [&ok](const char* what) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ok = false;
+  };
+
+  if (executed != opt.steps) fail("solver run did not complete");
+  // The broker's session count is the direct-relay count (plus reconnect
+  // admissions), never the client population.
+  const int directRelays = opt.depth >= 2 ? 1 : opt.relays;
+  if (broker.numClients() >
+      directRelays + static_cast<int>(broker.stats().reconnects)) {
+    fail("broker fan-out exceeded direct relays");
+  }
+  std::uint64_t totalFrames = 0, clientsWithFrames = 0;
+  for (const auto n : framesGot) {
+    totalFrames += n;
+    clientsWithFrames += n > 0 ? 1 : 0;
+  }
+  if (clientsWithFrames != static_cast<std::uint64_t>(numClients)) {
+    fail("some client never received a usable frame");
+  }
+  if (opt.killRelay >= 0) {
+    std::uint64_t reconnected = 0;
+    for (int k = 0; k < opt.clientsPerRelay; ++k) {
+      const auto idx = static_cast<std::size_t>(
+          opt.killRelay * opt.clientsPerRelay + k);
+      reconnected += clients[idx]->reconnects() > 0 ? 1 : 0;
+    }
+    if (reconnected != static_cast<std::uint64_t>(opt.clientsPerRelay)) {
+      fail("clients of the killed relay did not all reconnect");
+    }
+  }
+  for (int r = 0; r < opt.relays; ++r) {
+    const auto& node = *relays[static_cast<std::size_t>(r)];
+    if (r != opt.killRelay && node.upstreamSubscriptionCount() > 1) {
+      fail("relay holds more than one upstream image subscription");
+    }
+    std::printf(
+        "relay %d: forwarded=%llu shed=%llu cache=%llu B fanout=%d "
+        "upstream_subs=%llu ttff=%.6fs\n",
+        r, static_cast<unsigned long long>(node.stats().framesForwarded),
+        static_cast<unsigned long long>(node.stats().levelsShed),
+        static_cast<unsigned long long>(node.cacheBytes()),
+        node.numDownstream(),
+        static_cast<unsigned long long>(node.stats().upstreamSubscribes),
+        node.stats().ttffSeconds);
+  }
+  std::printf(
+      "soak: steps=%d relays=%d depth=%d clients=%d frames=%llu "
+      "broker_sessions=%d broker_levels_shed=%llu %s\n",
+      executed, opt.relays, opt.depth, numClients,
+      static_cast<unsigned long long>(totalFrames), broker.numClients(),
+      static_cast<unsigned long long>(broker.stats().levelsShed),
+      ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
