@@ -10,11 +10,32 @@
 //   1. vis-blind partition (balance compute only — today's default),
 //   2. vis-aware partition (fold vis cost into the weights up front),
 //   3. vis-blind + mid-run diffusive repartition from measured costs.
+// A final section runs strategy 3 *live*: a real 8-rank driver with the
+// skewed render load emulated per step, migrating sites mid-run via
+// SimulationDriver::migrateNow and measuring the wall-clock MLUPS delta.
 
 #include <numeric>
+#include <thread>
 
 #include "common.hpp"
+#include "core/driver.hpp"
 #include "partition/repartition.hpp"
+
+namespace {
+
+/// Emulated per-site render cost: spin for a fixed amount of floating-point
+/// work per ROI site so the skew shows up in wall clock, not just the model.
+void spinVisWork(std::uint64_t roiSites) {
+  volatile double sink = 0.0;
+  for (std::uint64_t s = 0; s < roiSites; ++s) {
+    double x = 1.0 + static_cast<double>(s % 7);
+    for (int i = 0; i < 600; ++i) x = x * 1.0000001 + 1e-9;
+    sink += x;
+  }
+  (void)sink;
+}
+
+}  // namespace
 
 int main() {
   using namespace hemobench;
@@ -48,6 +69,13 @@ int main() {
     return imbalanceFactor(loads);
   };
 
+  BenchReport report("vis_aware_balance");
+  report.setParam("workload", "aneurysm");
+  report.setParam("voxelSize", 0.12);
+  report.setParam("sites", static_cast<std::int64_t>(graph.numVertices));
+  report.setParam("roiSites", static_cast<std::int64_t>(roiSites));
+  report.setParam("visFactor", visFactor);
+
   printHeader("P3: the balance equation with visualisation cost");
   std::printf("%-7s %16s %16s %18s %14s\n", "parts", "vis-blind",
               "vis-aware", "blind+repartition", "sites moved");
@@ -70,6 +98,12 @@ int main() {
                 trueImbalance(blind), trueImbalance(aware),
                 trueImbalance(repart.partition),
                 static_cast<unsigned long long>(repart.sitesMoved));
+    auto& row = report.addRow("modeled_parts_" + std::to_string(parts));
+    row.set("parts", static_cast<std::uint64_t>(parts));
+    row.set("imbalanceVisBlind", trueImbalance(blind));
+    row.set("imbalanceVisAware", trueImbalance(aware));
+    row.set("imbalanceRepartitioned", trueImbalance(repart.partition));
+    row.set("sitesMoved", repart.sitesMoved);
   }
 
   // End-to-end effect on a full in situ step: model the per-step time as
@@ -106,9 +140,115 @@ int main() {
                 stepTime(repart.partition),
                 100.0 * stepTime(repart.partition) / ideal);
   }
+  // Live migration on a real 8-rank driver. The skewed ROI render load is
+  // emulated per step (spin work per owned ROI site); mid-run the driver
+  // migrates sites onto the measured-cost partition and the wall clock shows
+  // the recovered throughput.
+  printHeader("P3: live mid-run migration, 8 ranks, skewed ROI render load");
+  {
+    const int parts = 8;
+    const int kSteps = 40;  // per measured phase (before / after migration)
+    auto blindGraph = graph;
+    blindGraph.vertexWeight.assign(graph.numVertices, 1.0);
+    partition::MultilevelKWayPartitioner kway;
+    const auto blind = kway.partition(blindGraph, parts);
+
+    double mlupsBefore = 0.0, mlupsAfter = 0.0;
+    core::MigrationOutcome outcome;
+    comm::Runtime rt(parts);
+    rt.run([&](comm::Communicator& comm) {
+      lb::DomainMap domain(lattice, blind, comm.rank());
+      core::DriverConfig cfg;
+      cfg.lb = flowParams();
+      cfg.computeWss = false;
+      cfg.visEvery = 0;
+      cfg.statusEvery = 0;
+      core::SimulationDriver driver(domain, comm, cfg);
+
+      auto ownedRoi = [&]() {
+        std::uint64_t n = 0;
+        const auto& d = driver.domain();
+        for (std::uint32_t e = 0; e < d.numOwned(); ++e) {
+          if (inRoi(lattice.siteWorld(d.globalOf(e)))) ++n;
+        }
+        return n;
+      };
+      auto timedPhase = [&](int steps) {
+        const std::uint64_t roi = ownedRoi();
+        comm.barrier();
+        WallTimer wall;
+        for (int s = 0; s < steps; ++s) {
+          driver.run(1);
+          spinVisWork(roi);
+          comm.barrier();  // a step completes when the slowest rank does
+        }
+        return wall.seconds();
+      };
+
+      const double secondsBefore = timedPhase(kSteps);
+      const auto out = driver.migrateNow(trueCost);
+      const double secondsAfter = timedPhase(kSteps);
+      if (comm.rank() == 0) {
+        outcome = out;
+        mlupsBefore = static_cast<double>(lattice.numFluidSites()) * kSteps /
+                      secondsBefore / 1e6;
+        mlupsAfter = static_cast<double>(lattice.numFluidSites()) * kSteps /
+                     secondsAfter / 1e6;
+      }
+    });
+
+    const double deltaPct =
+        mlupsBefore > 0.0 ? (mlupsAfter / mlupsBefore - 1.0) * 100.0 : 0.0;
+    // On a machine with fewer cores than ranks the rank threads timeshare,
+    // so wall clock tracks *total* work and balancing cannot move it; the
+    // modeled delta from the measured imbalance is the hardware-independent
+    // number (exact when each rank has its own core).
+    const double modeledDeltaPct =
+        outcome.imbalanceAfter > 0.0
+            ? (outcome.imbalanceBefore / outcome.imbalanceAfter - 1.0) * 100.0
+            : 0.0;
+    std::printf("%-22s %12s %12s %12s %12s %10s\n", "phase", "imbalance",
+                "MLUPS", "dMLUPS%", "sites moved", "mig sec");
+    std::printf("%-22s %12.3f %12.2f %12s %12s %10s\n", "before migration",
+                outcome.imbalanceBefore, mlupsBefore, "-", "-", "-");
+    std::printf("%-22s %12.3f %12.2f %+11.1f%% %12llu %10.4f\n",
+                "after migration", outcome.imbalanceAfter, mlupsAfter,
+                deltaPct, static_cast<unsigned long long>(outcome.sitesMoved),
+                outcome.seconds);
+    std::printf("modeled dMLUPS (one core per rank): %+.1f%%\n",
+                modeledDeltaPct);
+    if (std::thread::hardware_concurrency() < static_cast<unsigned>(parts)) {
+      std::printf("note: %u hardware threads < %d ranks — ranks timeshare, "
+                  "so the wall-clock\ndelta is muted; the modeled delta is "
+                  "the meaningful number here.\n",
+                  std::thread::hardware_concurrency(), parts);
+    }
+
+    auto& before = report.addRow("live_before_migration");
+    before.set("ranks", static_cast<std::uint64_t>(parts));
+    before.set("imbalance", outcome.imbalanceBefore);
+    before.set("mlups", mlupsBefore);
+    auto& after = report.addRow("live_after_migration");
+    after.set("ranks", static_cast<std::uint64_t>(parts));
+    after.set("imbalance", outcome.imbalanceAfter);
+    after.set("mlups", mlupsAfter);
+    after.set("mlupsDeltaPct", deltaPct);
+    after.set("modeledMlupsDeltaPct", modeledDeltaPct);
+    after.set("sitesMoved", outcome.sitesMoved);
+    after.set("migrationSeconds", outcome.seconds);
+    report.setMetric("liveImbalanceBefore", outcome.imbalanceBefore);
+    report.setMetric("liveImbalanceAfter", outcome.imbalanceAfter);
+    report.setMetric("liveMlupsDeltaPct", deltaPct);
+    report.setMetric("liveModeledMlupsDeltaPct", modeledDeltaPct);
+  }
+
+  report.write();
   std::printf("\nexpected shape: vis-blind imbalance grows with the vis "
               "share; folding\nvis cost into the balance equation (or "
               "repartitioning mid-run from\nmeasured costs) restores "
-              "near-ideal step time — the paper's argument.\n");
+              "near-ideal step time — the paper's argument. The live\n"
+              "section shows the same recovery in wall clock: imbalance "
+              ">=1.10 before\nmigration drops to <=1.05 after, and MLUPS "
+              "under the skewed render load rises.\n");
   return 0;
 }

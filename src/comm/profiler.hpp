@@ -22,6 +22,7 @@ enum class Traffic {
   kSteer,       ///< steering command/report fan-out
   kIo,          ///< geometry read + redistribution
   kPartition,   ///< partitioner traffic
+  kRepart,      ///< live repartitioning site-block migration
   kCount_
 };
 
@@ -34,6 +35,7 @@ inline const char* trafficName(Traffic t) {
     case Traffic::kSteer: return "steer";
     case Traffic::kIo: return "io";
     case Traffic::kPartition: return "partition";
+    case Traffic::kRepart: return "repart";
     default: return "?";
   }
 }

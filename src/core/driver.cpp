@@ -4,6 +4,7 @@
 #include <fstream>
 #include <thread>
 
+#include "lb/migration.hpp"
 #include "lb/wss.hpp"
 #include "util/check.hpp"
 #include "util/faultinject.hpp"
@@ -19,8 +20,9 @@ SimulationDriver::SimulationDriver(const lb::DomainMap& domain,
       comm_(&comm),
       config_(config),
       solver_(std::make_unique<lb::SolverD3Q19>(domain, comm, config.lb)),
-      ghosts_(domain, comm, /*rings=*/2),
-      octree_(domain, config.octreeLeafLog2),
+      ghosts_(std::make_unique<vis::GhostedField>(domain, comm, /*rings=*/2)),
+      octree_(std::make_unique<multires::FieldOctree>(domain,
+                                                      config.octreeLeafLog2)),
       server_(std::move(steerEnd)),
       sentinel_(config.sentinel) {
   HEMO_CHECK_MSG(!config.computeWss || config.lb.computeStress,
@@ -90,8 +92,8 @@ void SimulationDriver::runPipelineNow() {
   ctx.comm = comm_;
   ctx.domain = domain_;
   ctx.macro = &solver_->macro();
-  ctx.ghosts = &ghosts_;
-  ctx.octree = &octree_;
+  ctx.ghosts = ghosts_.get();
+  ctx.octree = octree_.get();
   ctx.step = solver_->stepsDone();
   lastOutputs_ = pipeline_.run(ctx);
 
@@ -362,12 +364,12 @@ void SimulationDriver::applyCommand(const steer::Command& cmd) {
       ctx.comm = comm_;
       ctx.domain = domain_;
       ctx.macro = &solver_->macro();
-      ctx.ghosts = &ghosts_;
-      ctx.octree = &octree_;
+      ctx.ghosts = ghosts_.get();
+      ctx.octree = octree_.get();
       ctx.step = solver_->stepsDone();
       ExtractStage().run(ctx);
-      const int level = std::clamp(cmd.roiLevel, 0, octree_.leafLevel());
-      auto nodes = multires::gatherRoi(*comm_, octree_, level, cmd.roi);
+      const int level = std::clamp(cmd.roiLevel, 0, octree_->leafLevel());
+      auto nodes = multires::gatherRoi(*comm_, *octree_, level, cmd.roi);
       steer::RoiData roi;
       roi.step = solver_->stepsDone();
       roi.level = level;
@@ -704,6 +706,7 @@ telemetry::StepReport SimulationDriver::computeStepReport() {
 
   const auto perRank = comm_->allgather(local);
   lastStepReport_ = telemetry::aggregateStepReports(perRank);
+  lastPerRankReports_ = perRank;
 
   // Publish the rank-visible aggregate to this rank's metrics registry.
   if (auto* t = telemetry::threadTelemetry()) {
@@ -805,6 +808,14 @@ int SimulationDriver::run(int steps) {
     if (sentinel_.enabled() && sentinel_.due(done)) {
       if (!sentinelGuard(done)) continue;
     }
+    // Closing the loop: periodic imbalance check feeding measured costs
+    // into a live diffusive repartition + site migration.
+    if (config_.repartition.repartitionEvery > 0 &&
+        done % static_cast<std::uint64_t>(
+                   config_.repartition.repartitionEvery) ==
+            0) {
+      maybeRepartition();
+    }
     bool renderDue =
         config_.visEvery > 0 &&
         done % static_cast<std::uint64_t>(config_.visEvery) == 0;
@@ -855,6 +866,212 @@ int SimulationDriver::run(int steps) {
     }
   }
   return executed;
+}
+
+std::vector<double> SimulationDriver::measuredSiteCosts() const {
+  const auto& lat = domain_->lattice();
+  const auto& partOf = domain_->partition().partOfSite;
+  const int numRanks = comm_->size();
+
+  // Effective load per rank from the last window's per-rank reports: the
+  // rank's own busy + vis seconds, plus the wait time other ranks' blame
+  // vectors charge to it (a rank everyone waits on carries more effective
+  // load than its own timers admit — PR 7's attribution closing the loop).
+  std::vector<double> load(static_cast<std::size_t>(numRanks), 0.0);
+  std::vector<double> blame(static_cast<std::size_t>(numRanks), 0.0);
+  std::vector<std::uint64_t> sites(static_cast<std::size_t>(numRanks), 0);
+  const std::size_t n =
+      std::min(lastPerRankReports_.size(), static_cast<std::size_t>(numRanks));
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& rep = lastPerRankReports_[r];
+    load[r] = rep.busySeconds() + rep.visSeconds;
+    sites[r] = rep.sites;
+    if (rep.waitBlamedRank >= 0 && rep.waitBlamedRank < numRanks) {
+      blame[static_cast<std::size_t>(rep.waitBlamedRank)] +=
+          rep.waitBlamedSeconds;
+    }
+  }
+  double totalLoad = 0.0;
+  for (int r = 0; r < numRanks; ++r) {
+    load[static_cast<std::size_t>(r)] += blame[static_cast<std::size_t>(r)];
+    totalLoad += load[static_cast<std::size_t>(r)];
+  }
+
+  // Spread each rank's effective load uniformly over its owned sites. With
+  // no usable telemetry (fresh window, telemetry compiled out) fall back to
+  // uniform cost, which rebalances site counts.
+  std::vector<double> perSite(static_cast<std::size_t>(numRanks), 1.0);
+  if (totalLoad > 0.0) {
+    for (int r = 0; r < numRanks; ++r) {
+      const auto s = sites[static_cast<std::size_t>(r)];
+      if (s > 0) {
+        perSite[static_cast<std::size_t>(r)] =
+            std::max(load[static_cast<std::size_t>(r)], 1e-12 * totalLoad) /
+            static_cast<double>(s);
+      }
+    }
+  }
+  std::vector<double> cost(lat.numFluidSites());
+  for (std::uint64_t g = 0; g < lat.numFluidSites(); ++g) {
+    cost[static_cast<std::size_t>(g)] = perSite[static_cast<std::size_t>(
+        partOf[static_cast<std::size_t>(g)])];
+  }
+  return cost;
+}
+
+void SimulationDriver::maybeRepartition() {
+  const auto& rc = config_.repartition;
+  // Collective window aggregation: every rank sees the identical report,
+  // so the trigger decision below needs no extra votes.
+  const auto report = computeStepReport();
+  if (repartCooldown_ > 0) {
+    --repartCooldown_;
+    overThresholdWindows_ = 0;
+    return;
+  }
+  if (report.stepsCovered == 0 ||
+      report.loadImbalance <= rc.imbalanceThreshold) {
+    overThresholdWindows_ = 0;
+    return;
+  }
+  ++overThresholdWindows_;
+  if (overThresholdWindows_ < rc.triggerWindows) return;
+  if (migrationsDone_ >= rc.maxMigrations) return;
+  // Sentinel gate: never migrate poisoned state. A migration right before
+  // a rollback would launder diverged populations into a fresh partition
+  // the checkpoint machinery then trusts.
+  if (sentinel_.enabled()) {
+    const auto verdict =
+        sentinel_.check(*comm_, solver_->macro(), solver_->stepsDone());
+    if (!verdict.ok) {
+      if (auto* t = telemetry::threadTelemetry()) {
+        t->metrics().counter("repart.vetoed").add(1);
+      }
+      noteFlight("repartition vetoed by sentinel at step " +
+                 std::to_string(solver_->stepsDone()));
+      overThresholdWindows_ = 0;
+      return;
+    }
+  }
+  const auto outcome = migrateNow(measuredSiteCosts());
+  overThresholdWindows_ = 0;
+  if (outcome.migrated) repartCooldown_ = rc.cooldownWindows;
+}
+
+MigrationOutcome SimulationDriver::migrateNow(
+    const std::vector<double>& siteCost) {
+  HEMO_TSPAN(kPartition, "driver.migrate");
+  const auto& lat = domain_->lattice();
+  HEMO_CHECK(siteCost.size() == lat.numFluidSites());
+  MigrationOutcome out;
+
+  if (!repartGraph_) {
+    repartGraph_ = std::make_unique<partition::SiteGraph>(
+        partition::buildSiteGraph(lat));
+  }
+  auto plan = partition::rebalance(*repartGraph_, domain_->partition(),
+                                   siteCost, config_.repartition.options);
+  out.sitesMoved = plan.sitesMoved;
+  out.imbalanceBefore = plan.imbalanceBefore;
+  out.imbalanceAfter = plan.imbalanceAfter;
+  // The plan is a pure function of (graph, partition, siteCost), all
+  // identical on every rank; a diverging plan would deadlock the transfer,
+  // so verify cheaply before touching any state.
+  HEMO_CHECK_MSG(comm_->allreduceMax(plan.sitesMoved) ==
+                     comm_->allreduceMin(plan.sitesMoved),
+                 "repartition plan diverged across ranks");
+  if (auto* t = telemetry::threadTelemetry()) {
+    auto& m = t->metrics();
+    m.counter("repart.triggers").add(1);
+    m.gauge("repart.imbalance_before").set(plan.imbalanceBefore);
+    m.gauge("repart.imbalance_after").set(plan.imbalanceAfter);
+  }
+  if (plan.sitesMoved == 0) {
+    if (auto* t = telemetry::threadTelemetry()) {
+      t->metrics().counter("repart.skipped").add(1);
+    }
+    return out;
+  }
+
+  WallTimer migrateTimer;
+  const std::uint64_t stepsDone = solver_->stepsDone();
+  auto newPartition =
+      std::make_unique<partition::Partition>(std::move(plan.partition));
+  auto newDomain =
+      std::make_unique<lb::DomainMap>(lat, *newPartition, comm_->rank());
+
+  // Data plane: repack distributions onto the new ownership (collective,
+  // layout-agnostic, traffic class kRepart).
+  std::vector<std::vector<double>> columns;
+  const auto stats =
+      lb::migrateDistributions(*solver_, *newDomain, *comm_, columns);
+
+  // Rebuild the solver over the new domain, carrying every piece of
+  // steerable state: LbParams (tau/body force already reflect steering),
+  // iolet overrides, the step counter, and finally the populations.
+  auto newSolver = std::make_unique<lb::SolverD3Q19>(*newDomain, *comm_,
+                                                     solver_->params());
+  for (std::size_t io = 0; io < lat.iolets().size(); ++io) {
+    newSolver->setIoletDensity(io, solver_->ioletDensity(io));
+    if (solver_->ioletIsVelocityBc(io)) {
+      newSolver->setIoletVelocity(io, solver_->ioletVelocity(io));
+    }
+  }
+  newSolver->setDistributions(columns);
+  newSolver->setStepsDone(stepsDone);
+
+  solver_ = std::move(newSolver);
+  domain_ = newDomain.get();
+  // Vis plumbing follows ownership: halo ghosts and the multires octree
+  // are domain-shaped, so rebuild both (collective); pipeline stages and
+  // serve subscriptions are domain-stateless and carry over untouched.
+  ghosts_ = std::make_unique<vis::GhostedField>(*newDomain, *comm_,
+                                                /*rings=*/2);
+  octree_ =
+      std::make_unique<multires::FieldOctree>(*newDomain,
+                                              config_.octreeLeafLog2);
+  liveDomain_ = std::move(newDomain);
+  livePartition_ = std::move(newPartition);
+  ++migrationEpoch_;
+  ++migrationsDone_;
+  out.migrated = true;
+  out.seconds = migrateTimer.seconds();
+
+  // The rebuilt solver's timers restart at zero — rebase the telemetry
+  // window baselines or the next StepReport window would go negative.
+  windowStartStep_ = stepsDone;
+  windowTimer_.reset();
+  windowCollide_ = solver_->collideTimer().total();
+  windowStream_ = solver_->streamTimer().total();
+  windowComm_ = solver_->commTimer().total();
+  windowRecvWait_ = solver_->recvWaitTimer().total();
+  double visTotal = 0.0;
+  for (std::size_t i = 0; i < pipeline_.numStages(); ++i) {
+    visTotal += pipeline_.stageSeconds(i);
+  }
+  windowVis_ = visTotal;
+  windowCounters_ = comm_->counters();
+
+  if (auto* t = telemetry::threadTelemetry()) {
+    auto& m = t->metrics();
+    m.counter("repart.migrations").add(1);
+    m.counter("repart.sites_moved").add(stats.sitesMoved);
+    m.gauge("repart.migration_seconds").set(out.seconds);
+    m.gauge("repart.epoch").set(static_cast<double>(migrationEpoch_));
+  }
+  noteFlight("live repartition at step " + std::to_string(stepsDone) +
+             ": moved " + std::to_string(stats.sitesMoved) +
+             " sites, imbalance " + std::to_string(out.imbalanceBefore) +
+             " -> " + std::to_string(out.imbalanceAfter));
+  if (comm_->rank() == 0) {
+    HEMO_LOG_INFO() << "live repartition (epoch " << migrationEpoch_
+                    << ") at step " << stepsDone << ": moved "
+                    << stats.sitesMoved << " sites ("
+                    << stats.bytesMoved / 1024 << " KiB), imbalance "
+                    << out.imbalanceBefore << " -> " << out.imbalanceAfter
+                    << " in " << out.seconds << " s";
+  }
+  return out;
 }
 
 }  // namespace hemo::core

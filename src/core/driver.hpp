@@ -26,6 +26,7 @@
 #include "core/sentinel.hpp"
 #include "lb/checkpoint.hpp"
 #include "lb/solver.hpp"
+#include "partition/repartition.hpp"
 #include "serve/broker.hpp"
 #include "steer/guard.hpp"
 #include "steer/server.hpp"
@@ -86,6 +87,43 @@ struct DriverConfig {
     bool installCrashHandlers = false;
   };
   FlightConfig flight;
+  /// Closing the loop (ROADMAP item 3): telemetry-driven live
+  /// repartitioning. Every `repartitionEvery` steps the driver aggregates
+  /// the telemetry window; when the measured imbalance (per-rank busy + vis
+  /// time, with cross-rank wait blame charged to the rank being waited on)
+  /// stays above `imbalanceThreshold` for `triggerWindows` consecutive
+  /// checks, the partition is diffusively rebalanced under measured
+  /// per-site costs and the moved sites migrate live — distributions,
+  /// halos, octree ownership and serve subscriptions all rebuilt in place.
+  struct RepartitionConfig {
+    /// Steps between imbalance checks; 0 disables live repartitioning.
+    int repartitionEvery = 0;
+    /// Measured imbalance (max/mean effective load) that arms a trigger.
+    double imbalanceThreshold = 1.10;
+    /// Consecutive over-threshold windows required before migrating
+    /// (hysteresis: one noisy window never triggers a migration).
+    int triggerWindows = 2;
+    /// Checks skipped after a migration before re-arming (lets the new
+    /// partition produce a clean measurement window first).
+    int cooldownWindows = 2;
+    /// Upper bound on migrations per run() lifetime (safety valve).
+    int maxMigrations = 8;
+    /// Passed through to partition::rebalance.
+    partition::RepartitionOptions options;
+  };
+  RepartitionConfig repartition;
+};
+
+/// Result of one live-migration attempt (identical on every rank).
+struct MigrationOutcome {
+  bool migrated = false;
+  /// Distinct sites that changed owner.
+  std::uint64_t sitesMoved = 0;
+  /// Cost-model imbalance of the partition before/after rebalancing.
+  double imbalanceBefore = 1.0;
+  double imbalanceAfter = 1.0;
+  /// Wall seconds the migration itself took (plan + transfer + rebuild).
+  double seconds = 0.0;
 };
 
 class SimulationDriver {
@@ -149,6 +187,30 @@ class SimulationDriver {
   /// SentinelConfig::maxRollbacks).
   int rollbacksDone() const { return rollbacksDone_; }
 
+  /// Collective: rebalance the live partition under an explicit per-site
+  /// cost field (size = lattice.numFluidSites(), identical on every rank)
+  /// and, if any site moves, migrate solver state and rebuild the
+  /// vis/octree plumbing in place. The run() trigger policy calls this with
+  /// measured costs; tests and benches call it directly with synthetic
+  /// fields for determinism.
+  MigrationOutcome migrateNow(const std::vector<double>& siteCost);
+
+  /// Number of live migrations executed so far (the "migration epoch").
+  /// Checkpoints written before and after an epoch stay mutually
+  /// restorable — readCheckpoint routes sites by current ownership.
+  std::uint64_t migrationEpoch() const { return migrationEpoch_; }
+
+  /// The domain the solver currently runs on. After a live migration this
+  /// is the driver-owned rebuilt domain, not the one passed at
+  /// construction.
+  const lb::DomainMap& domain() const { return *domain_; }
+
+  /// Per-rank StepReports from the last computeStepReport() window, in
+  /// rank order (the allgathered inputs of lastStepReport()).
+  const std::vector<telemetry::StepReport>& lastPerRankReports() const {
+    return lastPerRankReports_;
+  }
+
  private:
   /// One applied state-mutating steered change, with enough of the prior
   /// state to revert it under quarantine.
@@ -177,13 +239,19 @@ class SimulationDriver {
   void noteFlight(const std::string& what);
   /// Rank 0: write the graceful-degradation diagnostic dump.
   void writeDiagnosticDump(const SentinelVerdict& verdict);
+  /// Trigger-policy check run every repartitionEvery steps (collective).
+  void maybeRepartition();
+  /// Per-site cost field derived from the last window's per-rank reports:
+  /// each rank's effective load (busy + vis + wait blame charged to it)
+  /// spread uniformly over its owned sites. Identical on every rank.
+  std::vector<double> measuredSiteCosts() const;
 
   const lb::DomainMap* domain_;
   comm::Communicator* comm_;
   DriverConfig config_;
   std::unique_ptr<lb::SolverD3Q19> solver_;
-  vis::GhostedField ghosts_;
-  multires::FieldOctree octree_;
+  std::unique_ptr<vis::GhostedField> ghosts_;
+  std::unique_ptr<multires::FieldOctree> octree_;
   InSituPipeline pipeline_;
   RenderStage* renderStage_ = nullptr;  // owned by pipeline_
   steer::SteeringServer server_;
@@ -208,8 +276,21 @@ class SimulationDriver {
   WallTimer runTimer_;
   std::uint64_t stepsThisRun_ = 0;
 
+  // Live repartitioning state. The driver starts on a caller-owned domain;
+  // after the first migration it runs on its own rebuilt partition/domain
+  // (liveDomain_/livePartition_ keep them alive for the solver's raw
+  // pointers).
+  std::unique_ptr<partition::SiteGraph> repartGraph_;
+  std::unique_ptr<partition::Partition> livePartition_;
+  std::unique_ptr<lb::DomainMap> liveDomain_;
+  std::uint64_t migrationEpoch_ = 0;
+  int overThresholdWindows_ = 0;
+  int repartCooldown_ = 0;
+  int migrationsDone_ = 0;
+
   // Telemetry window state (snapshots at the last computeStepReport()).
   telemetry::StepReport lastStepReport_;
+  std::vector<telemetry::StepReport> lastPerRankReports_;
   WallTimer windowTimer_;
   std::uint64_t windowStartStep_ = 0;
   double windowCollide_ = 0.0, windowStream_ = 0.0, windowComm_ = 0.0;

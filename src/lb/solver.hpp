@@ -357,6 +357,31 @@ class Solver {
     refreshMacros();
   }
 
+  /// Overwrite all kQ distributions at once from external-order columns,
+  /// refreshing the cached macro fields a single time (bulk restore path
+  /// used by live migration).
+  void setDistributions(const std::vector<std::vector<double>>& columns) {
+    HEMO_CHECK(columns.size() == static_cast<std::size_t>(kQ));
+    const std::size_t s = f_.siteStride();
+    for (int i = 0; i < kQ; ++i) {
+      const auto& values = columns[static_cast<std::size_t>(i)];
+      HEMO_CHECK(values.size() == domain_->numOwned());
+      double* fi = f_.dirBase(i);
+      for (std::size_t e = 0; e < values.size(); ++e) {
+        fi[static_cast<std::size_t>(reorder_.internalOf[e]) * s] = values[e];
+      }
+    }
+    refreshMacros();
+  }
+
+  /// Whether iolet `ioletId` currently imposes a velocity (true) or density
+  /// (false) boundary condition — including steered overrides; migration
+  /// carries this over to the rebuilt solver.
+  bool ioletIsVelocityBc(std::size_t ioletId) const {
+    HEMO_CHECK(ioletId < ioletIsVelocityBc_.size());
+    return ioletIsVelocityBc_[ioletId] != 0;
+  }
+
  private:
   enum class PullKind : std::uint8_t { kLocal, kRecv, kWall, kIolet };
   struct PullSrc {

@@ -30,6 +30,11 @@ RepartitionResult rebalance(const SiteGraph& graph, const Partition& start,
     counts[p] += 1;
     total += siteCost[static_cast<std::size_t>(v)];
   }
+  // `mean` is invariant across passes: every move subtracts the same weight
+  // from one part that it adds to another, so `total` (and `numParts`) never
+  // change. Recomputing it inside the loop would yield the same value;
+  // repeated rebalance calls with *updated* costs each recompute it from
+  // their own inputs, so nothing here can stall on stale data.
   const double mean = total / numParts;
   result.imbalanceBefore = imbalanceFactor(loads);
 
@@ -42,21 +47,35 @@ RepartitionResult rebalance(const SiteGraph& graph, const Partition& start,
       const int own = partOf[static_cast<std::size_t>(v)];
       if (loads[static_cast<std::size_t>(own)] <= mean) continue;
       if (counts[static_cast<std::size_t>(own)] <= 1) continue;
-      // Candidate target: the least-loaded adjacent part.
       std::fill(connect.begin(), connect.end(), 0.0);
-      int best = own;
       for (std::uint64_t e = graph.xadj[static_cast<std::size_t>(v)];
            e < graph.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
         const int np = partOf[static_cast<std::size_t>(
             graph.adjncy[static_cast<std::size_t>(e)])];
         connect[static_cast<std::size_t>(np)] += 1.0;
-        if (np != own && (best == own ||
-                          loads[static_cast<std::size_t>(np)] <
-                              loads[static_cast<std::size_t>(best)])) {
-          best = np;
+      }
+      // Boundary-shred guard: only the foreign part(s) touching this site
+      // with the most links may receive it. Handing a site to a part it
+      // barely touches (e.g. one diagonal link) grows thin fingers that a
+      // later pass can sever into single-site islands. Among the
+      // maximally-connected foreign parts, pick the least loaded.
+      double maxForeign = 0.0;
+      for (int p = 0; p < numParts; ++p) {
+        if (p != own) {
+          maxForeign = std::max(maxForeign, connect[static_cast<std::size_t>(p)]);
         }
       }
-      if (best == own) continue;
+      if (maxForeign <= 0.0) continue;  // interior site
+      int best = own;
+      for (int p = 0; p < numParts; ++p) {
+        if (p == own || connect[static_cast<std::size_t>(p)] < maxForeign) {
+          continue;
+        }
+        if (best == own || loads[static_cast<std::size_t>(p)] <
+                               loads[static_cast<std::size_t>(best)]) {
+          best = p;
+        }
+      }
       const double w = siteCost[static_cast<std::size_t>(v)];
       // Move only if it genuinely shifts load downhill (keeps the
       // diffusion monotone and prevents oscillation).
@@ -64,18 +83,21 @@ RepartitionResult rebalance(const SiteGraph& graph, const Partition& start,
           loads[static_cast<std::size_t>(best)] + w) {
         continue;
       }
-      // Prefer not to shred the boundary: require the receiving part to
-      // already touch this site with at least as many links as any other
-      // foreign part does.
       partOf[static_cast<std::size_t>(v)] = best;
       loads[static_cast<std::size_t>(own)] -= w;
       loads[static_cast<std::size_t>(best)] += w;
       counts[static_cast<std::size_t>(own)] -= 1;
       counts[static_cast<std::size_t>(best)] += 1;
-      ++result.sitesMoved;
       moved = true;
     }
+    result.passImbalance.push_back(imbalanceFactor(loads));
     if (!moved) break;
+  }
+  for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+    if (partOf[static_cast<std::size_t>(v)] !=
+        start.partOfSite[static_cast<std::size_t>(v)]) {
+      ++result.sitesMoved;
+    }
   }
   result.imbalanceAfter = imbalanceFactor(loads);
   return result;

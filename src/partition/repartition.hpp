@@ -23,11 +23,18 @@ struct RepartitionOptions {
 
 struct RepartitionResult {
   Partition partition;
-  /// Number of sites that changed part (data-migration volume).
+  /// Number of *distinct* sites whose final part differs from their part in
+  /// `start` — the data-migration volume. A site that bounces through an
+  /// intermediate part (or returns home) across passes is counted at most
+  /// once, and not at all if it ends up where it started.
   std::uint64_t sitesMoved = 0;
   double imbalanceBefore = 0.0;
   double imbalanceAfter = 0.0;
   int passesUsed = 0;
+  /// Imbalance (max/mean) measured at the end of each executed pass.
+  /// Every accepted move is strictly downhill, so this sequence is
+  /// non-increasing; tests assert the property.
+  std::vector<double> passImbalance;
 };
 
 /// Diffusively rebalance `start` under per-site weights `siteCost` (size =

@@ -226,6 +226,173 @@ TEST_F(PartitionFixture, RebalanceNoopWhenBalanced) {
   EXPECT_LE(r.imbalanceAfter, r.imbalanceBefore + 1e-12);
 }
 
+// --- Repartitioner regression/property tests on a hand-built grid graph ---
+
+/// W x H grid with 8-neighbourhood links (a 2-D slice of the lattice
+/// adjacency) — small enough to reason about boundary shapes exactly.
+SiteGraph makeGridGraph(int w, int h) {
+  SiteGraph g;
+  g.numVertices = static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h);
+  g.xadj.push_back(0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const int nx = x + dx;
+          const int ny = y + dy;
+          if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+          g.adjncy.push_back(static_cast<std::uint64_t>(ny) * w + nx);
+        }
+      }
+      g.xadj.push_back(g.adjncy.size());
+      g.vertexWeight.push_back(1.0);
+      g.coords.push_back({x, y, 0});
+    }
+  }
+  return g;
+}
+
+/// Number of connected components of the subgraph induced by part `p`.
+int partComponents(const SiteGraph& g, const std::vector<int>& partOf, int p) {
+  std::vector<char> seen(g.numVertices, 0);
+  int comps = 0;
+  for (std::uint64_t s = 0; s < g.numVertices; ++s) {
+    if (partOf[s] != p || seen[s]) continue;
+    ++comps;
+    std::vector<std::uint64_t> stack{s};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      const auto v = stack.back();
+      stack.pop_back();
+      for (std::uint64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        const auto u = g.adjncy[e];
+        if (partOf[u] == p && !seen[u]) {
+          seen[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+/// Sites with no same-part neighbour (in a part of size > 1).
+int singleSiteIslands(const SiteGraph& g, const std::vector<int>& partOf,
+                      int numParts) {
+  std::vector<std::uint64_t> count(static_cast<std::size_t>(numParts), 0);
+  for (const int p : partOf) ++count[static_cast<std::size_t>(p)];
+  int islands = 0;
+  for (std::uint64_t v = 0; v < g.numVertices; ++v) {
+    if (count[static_cast<std::size_t>(partOf[v])] <= 1) continue;
+    bool hasFriend = false;
+    for (std::uint64_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+      if (partOf[g.adjncy[e]] == partOf[v]) {
+        hasFriend = true;
+        break;
+      }
+    }
+    if (!hasFriend) ++islands;
+  }
+  return islands;
+}
+
+// Regression for the boundary-shred guard: this exact configuration (4x5
+// grid, three vertical strips, measured costs below) fragments under the
+// pre-fix diffusion — which picked the least-loaded *adjacent* part with no
+// regard for connectivity, detaching a single-site island and splitting a
+// part into two components. With the guard (receiver must touch the site
+// with at least as many links as any other foreign part) every part stays
+// connected.
+TEST(RebalanceGuard, PreventsBoundaryFragmentation) {
+  const int w = 4;
+  const int h = 5;
+  const SiteGraph g = makeGridGraph(w, h);
+  Partition start;
+  start.numParts = 3;
+  start.partOfSite = {0, 0, 1, 2, 0, 0, 1, 2, 0, 0, 1, 2,
+                      0, 0, 1, 2, 0, 0, 1, 2};
+  const std::vector<double> cost = {22.8, 12.0, 25.5, 11.0, 19.2, 12.0, 27.0,
+                                    14.0, 14.4, 14.4, 22.5, 16.0, 15.6, 22.8,
+                                    15.0, 14.0, 14.4, 21.6, 19.5, 13.0};
+  const auto r = rebalance(g, start, cost);
+  EXPECT_LT(r.imbalanceAfter, r.imbalanceBefore);
+  for (int p = 0; p < start.numParts; ++p) {
+    EXPECT_LE(partComponents(g, r.partition.partOfSite, p), 1)
+        << "part " << p << " fragmented";
+  }
+  EXPECT_EQ(singleSiteIslands(g, r.partition.partOfSite, start.numParts), 0);
+}
+
+TEST_F(PartitionFixture, RebalanceCountsDistinctMigratedSites) {
+  MultilevelKWayPartitioner kway;
+  const auto p = kway.partition(*graph_, 4);
+  std::vector<double> cost(static_cast<std::size_t>(graph_->numVertices), 1.0);
+  const int midX = lattice_->dims().x / 2;
+  for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+    if (graph_->coords[v].x > midX) cost[v] = 6.0;
+  }
+  const auto r = rebalance(*graph_, p, cost);
+  // sitesMoved is the *distinct* migration volume: exactly the sites whose
+  // final owner differs from their starting owner, never more than the
+  // lattice holds.
+  std::uint64_t distinct = 0;
+  for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+    if (r.partition.partOfSite[v] != p.partOfSite[v]) ++distinct;
+  }
+  EXPECT_EQ(r.sitesMoved, distinct);
+  EXPECT_LE(r.sitesMoved, graph_->numVertices);
+  EXPECT_GT(r.sitesMoved, 0u);
+}
+
+TEST_F(PartitionFixture, RebalanceImbalanceMonotonePerPass) {
+  MultilevelKWayPartitioner kway;
+  const auto p = kway.partition(*graph_, 4);
+  std::vector<double> cost(static_cast<std::size_t>(graph_->numVertices), 1.0);
+  const int midX = lattice_->dims().x / 2;
+  for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+    if (graph_->coords[v].x > midX) cost[v] = 8.0;
+  }
+  const auto r = rebalance(*graph_, p, cost);
+  ASSERT_EQ(static_cast<int>(r.passImbalance.size()), r.passesUsed);
+  ASSERT_GT(r.passesUsed, 0);
+  // Every accepted move is strictly downhill, so the measured imbalance
+  // never rises between passes and ends exactly at imbalanceAfter.
+  double prev = r.imbalanceBefore;
+  for (const double f : r.passImbalance) {
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(r.passImbalance.back(), r.imbalanceAfter);
+}
+
+TEST_F(PartitionFixture, RebalanceRepeatedCallsDoNotStall) {
+  // Satellite check for the (proven-invariant) pass-loop mean: feeding the
+  // result of one rebalance into the next with *updated* measured costs must
+  // keep improving the measured imbalance, not stall above target.
+  MultilevelKWayPartitioner kway;
+  auto current = kway.partition(*graph_, 4);
+  const int midX = lattice_->dims().x / 2;
+  auto costWith = [&](double hot) {
+    std::vector<double> cost(static_cast<std::size_t>(graph_->numVertices),
+                             1.0);
+    for (std::uint64_t v = 0; v < graph_->numVertices; ++v) {
+      if (graph_->coords[v].x > midX) cost[v] = hot;
+    }
+    return cost;
+  };
+  RepartitionOptions opt;
+  opt.maxPasses = 8;  // deliberately too few to converge in one call
+  const auto first = rebalance(*graph_, current, costWith(6.0), opt);
+  // Costs drift between windows (the hot region cooled a little).
+  const auto second =
+      rebalance(*graph_, first.partition, costWith(5.0), opt);
+  EXPECT_LT(second.imbalanceAfter, second.imbalanceBefore + 1e-12);
+  const auto third =
+      rebalance(*graph_, second.partition, costWith(5.0), opt);
+  EXPECT_LE(third.imbalanceAfter, second.imbalanceAfter + 1e-12);
+}
+
 TEST_F(PartitionFixture, RebalanceMovesScaleWithImbalance) {
   MultilevelKWayPartitioner kway;
   const auto p = kway.partition(*graph_, 4);
