@@ -1,5 +1,6 @@
 // Resilience-layer cost bench: what do the fault-tolerance features cost
-// when nothing is failing? Two sweeps on the aneurysm workload:
+// when nothing is failing — and what does recovery cost when it is? Sweeps
+// on the aneurysm workload:
 //
 //   1. Checkpoint bandwidth vs stripe count {1, 2, 4, 8} on 8 ranks —
 //      the v2 format's point is that striped leader writes scale the
@@ -11,6 +12,17 @@
 //      aggressive probing the broker supports). The probe path must be
 //      noise — the §III resiliency machinery cannot perturb the solver.
 //
+//   3. MTTR: wall time from an injected rank kill to resume-ready, vs
+//      checkpoint cadence {5, 10, 20}, disk vs diskless buddy restore,
+//      decomposed into detect+agree / restore. Plus the work replayed
+//      (steps lost since the last snapshot) — the cadence trade-off.
+//
+//   4. Steady-state recovery-machinery overhead: MLUPS with liveness
+//      heartbeats alone, then buddy mirroring on top at cadence {10, 50},
+//      vs all off. Liveness must be free; mirror cost is one blob
+//      encode+CRC+ring-send amortised over the cadence (acceptance: <= 3%
+//      at a production cadence).
+//
 // Emits BENCH_resilience.json.
 
 #include <cstdio>
@@ -18,9 +30,12 @@
 
 #include "common.hpp"
 #include "core/driver.hpp"
+#include "core/recovery.hpp"
+#include "lb/buddy.hpp"
 #include "lb/checkpoint.hpp"
 #include "serve/broker.hpp"
 #include "serve/client.hpp"
+#include "util/faultinject.hpp"
 
 namespace {
 
@@ -147,6 +162,101 @@ double runSentinelConfig(const geometry::SparseLattice& lattice,
   return mlups;
 }
 
+struct MttrResult {
+  bool completed = false;
+  double agreeSeconds = 0.0;
+  double restoreSeconds = 0.0;
+  double totalSeconds = 0.0;
+  std::uint64_t restoredStep = 0;
+  bool usedBuddy = false;
+};
+
+/// Kill world rank 2 at step `killStep` and recover through
+/// ResilientRunner; returns the recovery event's timeline.
+MttrResult runMttr(const geometry::SparseLattice& lattice, int cadence,
+                   bool buddy, int killStep, int steps) {
+  const std::string dir = "/tmp/hemo_bench_resilience_mttr";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  core::DriverConfig cfg;
+  cfg.lb = flowParams();
+  cfg.computeWss = false;
+  cfg.visEvery = 0;
+  cfg.statusEvery = 0;
+  cfg.checkpointEvery = cadence;
+  if (!buddy) cfg.checkpointDir = dir;
+
+  core::RecoveryConfig rcfg;
+  rcfg.liveness = {true, 2000, 5};
+  rcfg.buddy = buddy;
+
+  util::FaultScope scope(97);
+  util::FaultRule rule;
+  rule.site = util::FaultSite::kDriverStep;
+  rule.action = util::FaultAction::kKill;
+  rule.rank = 2;
+  rule.afterHits = static_cast<std::uint64_t>(killStep - 1);
+  rule.maxFires = 1;
+  scope.rule(rule);
+
+  partition::MultilevelKWayPartitioner kway;
+  core::ResilientRunner runner(lattice, kway, cfg, rcfg);
+  const auto result = runner.run(kRanks, steps);
+
+  MttrResult r;
+  r.completed = result.completed && result.events.size() == 1;
+  if (r.completed) {
+    const auto& ev = result.events[0];
+    r.agreeSeconds = ev.agreeSeconds;
+    r.restoreSeconds = ev.restoreSeconds;
+    r.totalSeconds = ev.totalSeconds;
+    r.restoredStep = ev.restoredStep;
+    r.usedBuddy = ev.usedBuddy;
+  }
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+/// Solver MLUPS with the recovery machinery staged in: liveness heartbeats +
+/// bounded waits alone, then buddy mirroring on top (at the given cadence,
+/// 0 = off), vs entirely off.
+double runRecoveryOverheadConfig(const geometry::SparseLattice& lattice,
+                                 const partition::Partition& part,
+                                 bool liveness, int mirrorEvery, int steps) {
+  lb::BuddyStore store;
+  double mlups = 0.0;
+  comm::Runtime rt(kRanks);
+  if (liveness) rt.setLiveness({true, 2000, 5});
+  comm::RunOptions opt;
+  opt.tolerateRankDeath = liveness;
+  rt.run(
+      [&](comm::Communicator& comm) {
+        lb::DomainMap domain(lattice, part, comm.rank());
+        core::DriverConfig cfg;
+        cfg.lb = flowParams(true);
+        cfg.computeWss = false;
+        cfg.visEvery = 0;
+        cfg.statusEvery = 0;
+        if (mirrorEvery > 0) {
+          cfg.buddy.store = &store;
+          cfg.buddy.mirrorEvery = mirrorEvery;
+        }
+        core::SimulationDriver driver(domain, comm, cfg);
+
+        comm.barrier();
+        WallTimer wall;
+        driver.run(steps);
+        const double seconds = wall.seconds();
+        if (comm.rank() == 0) {
+          mlups = static_cast<double>(lattice.numFluidSites()) *
+                  static_cast<double>(steps) / seconds / 1e6;
+        }
+      },
+      opt);
+  return mlups;
+}
+
 }  // namespace
 
 int main() {
@@ -197,7 +307,69 @@ int main() {
   rowOn.set("mlups", on);
   rowOn.set("fractionOfBaseline", on / off);
 
-  printHeader("R3: stability-sentinel overhead (per-window reduction)");
+  printHeader("R3: MTTR — injected kill at step 23, recovery wall time");
+  std::printf("%-8s %-6s %10s %10s %10s %10s %10s\n", "cadence", "mode",
+              "agree ms", "restore ms", "total ms", "from step",
+              "replayed");
+  const int mttrSteps = 40;
+  const int killStep = 23;
+  for (const int cadence : {5, 10, 20}) {
+    for (const bool buddy : {false, true}) {
+      const auto r = runMttr(lattice, cadence, buddy, killStep, mttrSteps);
+      if (!r.completed) {
+        std::printf("%-8d %-6s %10s\n", cadence, buddy ? "buddy" : "disk",
+                    "FAILED");
+        continue;
+      }
+      const auto replayed =
+          static_cast<std::uint64_t>(killStep) - r.restoredStep;
+      std::printf("%-8d %-6s %10.1f %10.1f %10.1f %10llu %10llu\n", cadence,
+                  buddy ? "buddy" : "disk", r.agreeSeconds * 1e3,
+                  r.restoreSeconds * 1e3, r.totalSeconds * 1e3,
+                  static_cast<unsigned long long>(r.restoredStep),
+                  static_cast<unsigned long long>(replayed));
+
+      auto& row = report.addRow(std::string("mttr_") +
+                                (buddy ? "buddy" : "disk") + "_cadence_" +
+                                std::to_string(cadence));
+      row.set("cadence", static_cast<std::uint64_t>(cadence));
+      row.set("buddy", static_cast<std::uint64_t>(buddy ? 1 : 0));
+      row.set("agreeSeconds", r.agreeSeconds);
+      row.set("restoreSeconds", r.restoreSeconds);
+      row.set("totalSeconds", r.totalSeconds);
+      row.set("restoredStep", r.restoredStep);
+      row.set("stepsReplayed", replayed);
+    }
+  }
+
+  printHeader("R4: recovery-machinery steady-state overhead");
+  std::printf("%-32s %12s\n", "config", "MLUPS");
+  const double machOff =
+      runRecoveryOverheadConfig(lattice, part, false, 0, steps);
+  std::printf("%-32s %12.2f\n", "liveness+buddy off", machOff);
+  const double machLive =
+      runRecoveryOverheadConfig(lattice, part, true, 0, steps);
+  std::printf("%-32s %12.2f  (%.1f%% of baseline)\n", "liveness on", machLive,
+              100.0 * machLive / machOff);
+  auto& rowMachOff = report.addRow("recovery_machinery_off");
+  rowMachOff.set("mlups", machOff);
+  auto& rowMachLive = report.addRow("recovery_liveness_on");
+  rowMachLive.set("mlups", machLive);
+  rowMachLive.set("fractionOfBaseline", machLive / machOff);
+  for (const int mirrorEvery : {10, 50}) {
+    const double machOn =
+        runRecoveryOverheadConfig(lattice, part, true, mirrorEvery, steps);
+    std::printf("liveness on, buddy mirror/%-6d %12.2f  (%.1f%% of "
+                "baseline)\n",
+                mirrorEvery, machOn, 100.0 * machOn / machOff);
+    auto& rowMachOn = report.addRow("recovery_machinery_on_mirror_" +
+                                    std::to_string(mirrorEvery));
+    rowMachOn.set("mirrorEvery", static_cast<std::uint64_t>(mirrorEvery));
+    rowMachOn.set("mlups", machOn);
+    rowMachOn.set("fractionOfBaseline", machOn / machOff);
+  }
+
+  printHeader("R5: stability-sentinel overhead (per-window reduction)");
   std::printf("%-24s %12s\n", "config", "MLUPS");
   const double sentinelOff = runSentinelConfig(lattice, part, 0, steps);
   std::printf("%-24s %12.2f\n", "sentinel off", sentinelOff);
@@ -217,7 +389,11 @@ int main() {
   report.write();
   std::printf("\nexpected shape: write bandwidth rises with stripe count "
               "(concurrent leader\nwrites) until the filesystem saturates; "
-              "heartbeat probing and the sentinel's\nper-window reduction "
-              "both stay within noise of their off baselines.\n");
+              "heartbeat probing, liveness tracking\nand the sentinel's "
+              "per-window reduction all stay within noise of their off\n"
+              "baselines; buddy mirror overhead is one blob encode+CRC+ring-"
+              "send amortised\nover the cadence, shrinking toward noise as "
+              "the cadence grows; buddy MTTR\nbeats disk at every cadence, "
+              "and replayed work scales with cadence.\n");
   return 0;
 }

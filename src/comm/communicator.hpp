@@ -52,6 +52,34 @@ class Communicator {
   int worldRank() const { return groupToWorld_[static_cast<std::size_t>(rank_)]; }
   std::uint64_t context() const { return context_; }
 
+  /// Group-rank → world-rank map (stable, sorted for world/shrunken comms).
+  const std::vector<int>& group() const { return groupToWorld_; }
+
+  /// World rank of group rank `r`.
+  int worldRankOf(int r) const {
+    return groupToWorld_[static_cast<std::size_t>(r)];
+  }
+
+  /// The runtime recovery epoch this communicator was born at (0 for the
+  /// world communicator; the board's epoch at shrink() time afterwards).
+  /// Bounded waits on a communicator older than the board's current epoch
+  /// surface PeerDeadError — a death anywhere invalidates the generation.
+  std::uint32_t bornEpoch() const { return bornEpoch_; }
+
+  /// Refresh this rank's liveness heartbeat (no-op when liveness is off).
+  /// Sends and bounded-wait slices do this implicitly; compute-heavy loops
+  /// that go long without communicating may call it explicitly.
+  void noteAlive();
+
+  /// Derive the survivor communicator after `deadWorldRanks` (sorted,
+  /// agreement output — every survivor must pass the identical set) have
+  /// been declared dead. Purely local: survivors keep their relative
+  /// order, the context id is re-derived from the dead set + recovery
+  /// epoch (identical on every survivor), and this rank's mailbox drops
+  /// all traffic queued for the abandoned generation. The calling rank
+  /// must not be in the dead set.
+  Communicator shrink(const std::vector<int>& deadWorldRanks) const;
+
   /// Traffic class applied to subsequent sends/receives on this handle.
   void setTraffic(Traffic t) { traffic_ = t; }
   Traffic traffic() const { return traffic_; }
@@ -359,12 +387,21 @@ class Communicator {
   /// arrow. Falls through to a plain pop when no telemetry is attached.
   Envelope popClassified(int source, int tag);
 
+  /// The blocking pop primitive. With liveness off this is the legacy
+  /// unbounded pop (120 s deadlock backstop). With liveness on it waits in
+  /// pollMs slices, refreshing this rank's heartbeat each slice, and
+  /// throws PeerDeadError when (a) the awaited peer is declared dead or
+  /// went silent past the staleness timeout, or (b) any death bumped the
+  /// recovery epoch past this communicator's birth epoch.
+  Envelope popBounded(int source, int tag);
+
   Runtime* rt_;
   std::uint64_t context_;
   int rank_;
   std::vector<int> groupToWorld_;
   std::uint64_t collectiveSeq_ = 0;
   Traffic traffic_ = Traffic::kOther;
+  std::uint32_t bornEpoch_ = 0;
 };
 
 }  // namespace hemo::comm

@@ -23,12 +23,19 @@ inline constexpr int kMaxUserTag = 1 << 20;
 /// step epoch, so the receiver can classify its blocked time as
 /// late-sender vs late-receiver without any extra messages. Zero when the
 /// sender ran without an attached telemetry context.
+///
+/// `shrinkEpoch` is the liveness piggyback (comm/liveness.hpp): the
+/// sender's communicator generation (number of declared rank deaths it was
+/// born after). Receivers on a post-recovery communicator discard
+/// envelopes from older generations, so in-flight traffic from before a
+/// death can never match a post-shrink receive.
 struct Envelope {
   std::uint64_t context = 0;
   int source = 0;
   int tag = 0;
   std::int64_t postTsNs = 0;
   std::uint64_t epoch = 0;
+  std::uint32_t shrinkEpoch = 0;
   std::vector<std::byte> payload;
 };
 

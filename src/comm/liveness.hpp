@@ -1,0 +1,160 @@
+#pragma once
+/// \file liveness.hpp
+/// \brief Rank-liveness tracking for shrink-and-continue failure recovery.
+///
+/// At exascale a rank death is a when, not an if; the failure mode that
+/// actually kills jobs is not the crash itself but the *survivors hanging
+/// forever* in blocked receives and collectives. This file holds the shared
+/// state the runtime uses to turn "peer went silent" into a typed,
+/// recoverable event (ULFM-style):
+///
+///   * `DeathBoard` — one per Runtime: per-world-rank last-seen
+///     timestamps (heartbeats piggybacked on every send and on every
+///     bounded-wait slice), exit state (finished cleanly vs crashed), and
+///     the monotone declared-dead set. Declaring a rank dead bumps the
+///     board's *recovery epoch*; communicators remember the epoch they
+///     were born at, so every blocked receive on a pre-death communicator
+///     surfaces `PeerDeadError` within one poll slice.
+///   * `PeerDeadError` — thrown out of bounded waits instead of hanging;
+///     carries the dead world rank so the recovery driver can seed the
+///     agreement round.
+///   * `LivenessConfig` — opt-in knobs (off by default: zero overhead for
+///     runs that prefer the legacy abort-the-group semantics).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hemo::comm {
+
+/// Opt-in liveness detection knobs (Runtime::setLiveness).
+struct LivenessConfig {
+  /// Off: blocked receives keep the legacy unbounded-with-deadlock-timeout
+  /// semantics and no per-send heartbeat stores happen.
+  bool enabled = false;
+  /// A peer silent for longer than this while we block on it is accused
+  /// and declared dead. Generous default: the thread-rank runtime
+  /// timeshares many ranks on few cores.
+  int timeoutMs = 2000;
+  /// Bounded-wait slice: how often a blocked receive re-checks the board
+  /// (and refreshes its own heartbeat).
+  int pollMs = 10;
+};
+
+/// Thrown out of a bounded receive when the awaited peer (or any group
+/// member, for post-death epochs) has been declared dead. The recovery
+/// layer catches this, runs the agreement round, shrinks and resumes;
+/// without a recovery layer it propagates like any rank failure.
+class PeerDeadError : public std::runtime_error {
+ public:
+  PeerDeadError(int deadWorldRank, const std::string& what)
+      : std::runtime_error(what), deadWorldRank_(deadWorldRank) {}
+  /// World rank of the peer that triggered detection (one element of the
+  /// dead set; agreement converges on the full set).
+  int deadWorldRank() const { return deadWorldRank_; }
+
+ private:
+  int deadWorldRank_;
+};
+
+/// Shared per-Runtime liveness state. All mutators are thread-safe; the
+/// hot paths (noteAlive, dead, epoch) are single relaxed atomics.
+class DeathBoard {
+ public:
+  explicit DeathBoard(int size)
+      : lastSeen_(static_cast<std::size_t>(size)),
+        state_(static_cast<std::size_t>(size)) {
+    reset();
+  }
+
+  static std::int64_t nowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Clear all state for a fresh run(): everyone alive, epoch 0.
+  void reset() {
+    const std::int64_t now = nowNs();
+    for (auto& t : lastSeen_) t.store(now, std::memory_order_relaxed);
+    for (auto& s : state_) s.store(0, std::memory_order_relaxed);
+    epoch_.store(0, std::memory_order_release);
+  }
+
+  int size() const { return static_cast<int>(state_.size()); }
+
+  /// Heartbeat: called on every send and every bounded-wait slice.
+  void noteAlive(int worldRank) {
+    lastSeen_[static_cast<std::size_t>(worldRank)].store(
+        nowNs(), std::memory_order_relaxed);
+  }
+
+  std::int64_t lastSeenNs(int worldRank) const {
+    return lastSeen_[static_cast<std::size_t>(worldRank)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Rank's thread returned from rankMain normally.
+  void markFinished(int worldRank) { orState(worldRank, kFinished); }
+
+  /// Rank's thread exited via an exception (simulated crash).
+  void markCrashed(int worldRank) { orState(worldRank, kCrashed); }
+
+  /// Thread no longer executes rankMain (either way). Evidence for an
+  /// immediate accusation — no need to wait out the staleness timeout.
+  bool exited(int worldRank) const {
+    return (load(worldRank) & (kFinished | kCrashed)) != 0;
+  }
+
+  bool finished(int worldRank) const {
+    return (load(worldRank) & kFinished) != 0;
+  }
+
+  /// Declare a rank dead; idempotent. Returns true when newly declared
+  /// (and then bumps the recovery epoch, waking every bounded wait).
+  bool declareDead(int worldRank) {
+    const auto prev = state_[static_cast<std::size_t>(worldRank)].fetch_or(
+        kDead, std::memory_order_acq_rel);
+    if ((prev & kDead) != 0) return false;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+
+  bool dead(int worldRank) const { return (load(worldRank) & kDead) != 0; }
+
+  /// Recovery epoch: number of declared deaths so far. Communicators born
+  /// at an older epoch surface PeerDeadError from their bounded waits.
+  std::uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Sorted world ranks currently declared dead.
+  std::vector<int> deadSet() const {
+    std::vector<int> out;
+    for (int r = 0; r < size(); ++r) {
+      if (dead(r)) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint8_t kFinished = 1;
+  static constexpr std::uint8_t kCrashed = 2;
+  static constexpr std::uint8_t kDead = 4;
+
+  std::uint8_t load(int worldRank) const {
+    return state_[static_cast<std::size_t>(worldRank)].load(
+        std::memory_order_acquire);
+  }
+  void orState(int worldRank, std::uint8_t bits) {
+    state_[static_cast<std::size_t>(worldRank)].fetch_or(
+        bits, std::memory_order_acq_rel);
+  }
+
+  std::vector<std::atomic<std::int64_t>> lastSeen_;
+  std::vector<std::atomic<std::uint8_t>> state_;
+  std::atomic<std::uint32_t> epoch_{0};
+};
+
+}  // namespace hemo::comm

@@ -56,6 +56,39 @@ class Mailbox {
     }
   }
 
+  /// Bounded matched receive: waits up to `wait` for a match. True and
+  /// fills `out` on a match, false on timeout (the liveness layer's
+  /// bounded-wait slice — the caller re-checks the death board and calls
+  /// again). Throws AbortError if the runtime aborted.
+  bool popFor(std::uint64_t context, int source, int tag,
+              std::chrono::milliseconds wait, Envelope& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + wait;
+    for (;;) {
+      if (aborted_.load(std::memory_order_relaxed)) {
+        throw AbortError("receive aborted: runtime shutting down");
+      }
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (matches(*it, context, source, tag)) {
+          out = std::move(*it);
+          queue_.erase(it);
+          return true;
+        }
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // Final scan: a push may have raced the timeout.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (matches(*it, context, source, tag)) {
+            out = std::move(*it);
+            queue_.erase(it);
+            return true;
+          }
+        }
+        return false;
+      }
+    }
+  }
+
   /// Non-blocking matched receive.
   bool tryPop(std::uint64_t context, int source, int tag, Envelope& out) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -84,6 +117,41 @@ class Mailbox {
     return queue_.size();
   }
 
+  /// Discard every queued envelope belonging to `context`. Called after a
+  /// communicator shrink: in-flight traffic addressed to the abandoned
+  /// pre-death communicator generation (including anything the dead rank
+  /// sent before dying) must never match a post-recovery receive. Returns
+  /// the number of envelopes dropped.
+  std::size_t purgeContext(std::uint64_t context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t dropped = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->context == context) {
+        it = queue_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
+  /// Discard every queued envelope stamped with a shrink epoch older than
+  /// `minEpoch` (belt-and-braces against stale pre-death traffic).
+  std::size_t purgeStaleEpochs(std::uint32_t minEpoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t dropped = 0;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->shrinkEpoch < minEpoch) {
+        it = queue_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
   /// Wake all blocked receivers with AbortError.
   void abort() {
     aborted_.store(true, std::memory_order_relaxed);
@@ -92,15 +160,16 @@ class Mailbox {
 
   void resetAbort() { aborted_.store(false, std::memory_order_relaxed); }
 
+  // Generous: the in-process runtime timeshares many ranks on few cores.
+  // Public so the liveness layer's kAnySource waits share the same bound.
+  static constexpr std::chrono::seconds kDeadlockTimeout{120};
+
  private:
   static bool matches(const Envelope& env, std::uint64_t context, int source,
                       int tag) {
     return env.context == context && env.tag == tag &&
            (source == kAnySource || env.source == source);
   }
-
-  // Generous: the in-process runtime timeshares many ranks on few cores.
-  static constexpr std::chrono::seconds kDeadlockTimeout{120};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,6 +1,8 @@
 #include "comm/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <numeric>
@@ -51,15 +53,22 @@ void Communicator::sendBytes(int dest, int tag, const void* data,
         case util::FaultAction::kKill:
           throw util::RankKilledError("injected rank death on rank " +
                                       std::to_string(worldRank()));
+        case util::FaultAction::kHang:
+          // Block at the fault site until the survivors declare this rank
+          // dead (exercises the timeout/agreement detection path), then
+          // die for real so the thread can be joined.
+          fi.hangUntilReleased(worldRank());
         default:
           break;
       }
     }
   }
+  noteAlive();
   Envelope env;
   env.context = context_;
   env.source = rank_;
   env.tag = tag;
+  env.shrinkEpoch = bornEpoch_;
   env.payload.resize(n);
   if (n > 0) std::memcpy(env.payload.data(), data, n);
 #ifndef HEMO_TELEMETRY_DISABLED
@@ -86,12 +95,97 @@ void Communicator::sendBytes(int dest, int tag, const void* data,
       .push(std::move(env));
 }
 
+void Communicator::noteAlive() {
+  if (rt_->liveness().enabled) rt_->deathBoard().noteAlive(worldRank());
+}
+
+Envelope Communicator::popBounded(int source, int tag) {
+  Mailbox& mb = rt_->mailbox(worldRank());
+  const LivenessConfig& cfg = rt_->liveness();
+  if (!cfg.enabled) return mb.pop(context_, source, tag);
+
+  DeathBoard& board = rt_->deathBoard();
+  const int me = worldRank();
+  const int srcWorld =
+      source == kAnySource ? -1 : groupToWorld_[static_cast<std::size_t>(source)];
+  const std::int64_t waitStartNs = DeathBoard::nowNs();
+  const std::int64_t timeoutNs =
+      static_cast<std::int64_t>(cfg.timeoutMs) * 1'000'000;
+  const auto slice = std::chrono::milliseconds(cfg.pollMs > 0 ? cfg.pollMs : 1);
+  Envelope env;
+  for (;;) {
+    if (mb.popFor(context_, source, tag, slice, env)) {
+      // Discard stale pre-shrink traffic (context separation makes this a
+      // belt-and-braces check; the purge at shrink() does the bulk).
+      if (env.shrinkEpoch < bornEpoch_) continue;
+      return env;
+    }
+    // Each empty slice doubles as this rank's own heartbeat: a rank
+    // blocked on one peer must not look dead to a third.
+    board.noteAlive(me);
+    if (srcWorld >= 0 && board.dead(srcWorld)) {
+      throw PeerDeadError(srcWorld, "rank " + std::to_string(me) +
+                                        " blocked on declared-dead rank " +
+                                        std::to_string(srcWorld) +
+                                        " (tag=" + std::to_string(tag) + ")");
+    }
+    if (board.epoch() != bornEpoch_) {
+      // A death anywhere invalidates this communicator generation: every
+      // survivor must unwind to the recovery layer, not just the ranks
+      // that were talking to the dead peer.
+      int culprit = -1;
+      for (const int w : groupToWorld_) {
+        if (w != me && board.dead(w)) {
+          culprit = w;
+          break;
+        }
+      }
+      const auto ds = board.deadSet();
+      if (culprit < 0 && !ds.empty()) culprit = ds.front();
+      throw PeerDeadError(
+          culprit, "rank " + std::to_string(me) +
+                       " abandoning communicator epoch " +
+                       std::to_string(bornEpoch_) + ": " +
+                       std::to_string(ds.size()) + " rank(s) declared dead");
+    }
+    if (srcWorld >= 0) {
+      if (board.exited(srcWorld)) {
+        board.declareDead(srcWorld);
+        throw PeerDeadError(
+            srcWorld,
+            "rank " + std::to_string(me) + " waiting on rank " +
+                std::to_string(srcWorld) +
+                (board.finished(srcWorld) ? " which already finished"
+                                          : " which crashed") +
+                " (tag=" + std::to_string(tag) + ")");
+      }
+      const std::int64_t seen =
+          std::max(board.lastSeenNs(srcWorld), waitStartNs);
+      if (DeathBoard::nowNs() - seen > timeoutNs) {
+        board.declareDead(srcWorld);
+        throw PeerDeadError(srcWorld,
+                            "rank " + std::to_string(me) + " accuses rank " +
+                                std::to_string(srcWorld) + ": silent for " +
+                                std::to_string(cfg.timeoutMs) +
+                                " ms (tag=" + std::to_string(tag) + ")");
+      }
+    } else if (DeathBoard::nowNs() - waitStartNs >
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Mailbox::kDeadlockTimeout)
+                   .count()) {
+      // kAnySource: nobody specific to accuse; keep the legacy backstop.
+      throw AbortError("receive timed out (likely deadlock): tag=" +
+                       std::to_string(tag));
+    }
+  }
+}
+
 Envelope Communicator::popClassified(int source, int tag) {
 #ifndef HEMO_TELEMETRY_DISABLED
   auto* t = telemetry::threadTelemetry();
   if (t != nullptr && t->waitState().enabled()) {
     const std::int64_t waitBegin = telemetry::traceNowNs();
-    Envelope env = rt_->mailbox(worldRank()).pop(context_, source, tag);
+    Envelope env = popBounded(source, tag);
     const std::int64_t waitEnd = telemetry::traceNowNs();
     const int srcWorld =
         groupToWorld_[static_cast<std::size_t>(env.source)];
@@ -106,7 +200,7 @@ Envelope Communicator::popClassified(int source, int tag) {
     return env;
   }
 #endif
-  return rt_->mailbox(worldRank()).pop(context_, source, tag);
+  return popBounded(source, tag);
 }
 
 std::vector<std::byte> Communicator::recvBytes(int source, int tag,
@@ -233,6 +327,46 @@ Communicator Communicator::split(int color, int key) {
   return Communicator(rt_, ctx, newRank, std::move(newGroupToWorld));
 }
 
+Communicator Communicator::shrink(const std::vector<int>& deadWorldRanks) const {
+  const auto isDead = [&](int w) {
+    return std::find(deadWorldRanks.begin(), deadWorldRanks.end(), w) !=
+           deadWorldRanks.end();
+  };
+  std::vector<int> survivors;
+  survivors.reserve(groupToWorld_.size());
+  int newRank = -1;
+  for (int gr = 0; gr < size(); ++gr) {
+    const int w = groupToWorld_[static_cast<std::size_t>(gr)];
+    if (isDead(w)) continue;
+    if (gr == rank_) newRank = static_cast<int>(survivors.size());
+    survivors.push_back(w);
+  }
+  HEMO_CHECK_MSG(newRank >= 0, "shrink: calling rank is in the dead set");
+  HEMO_CHECK_MSG(!survivors.empty(), "shrink: no survivors");
+  // Context derived from (old context, dead set, recovery epoch). The epoch
+  // is the dead-set size — identical to the board's epoch for a consistent
+  // snapshot (it counts declared deaths), but, crucially, a pure function of
+  // the agreed argument: reading the live board here would race with a
+  // *concurrent* new death and let survivors derive different contexts. If
+  // the board has already moved past this epoch, the first bounded wait on
+  // the new communicator notices and triggers the next recovery round.
+  const auto epoch = static_cast<std::uint32_t>(deadWorldRanks.size());
+  std::uint64_t key = detail::mix64(0x73687269'6e6b0000ULL, epoch);
+  for (const int w : deadWorldRanks) {
+    key = detail::mix64(key, static_cast<std::uint64_t>(w) + 1);
+  }
+  Communicator out(rt_, detail::mix64(context_, key), newRank,
+                   std::move(survivors));
+  out.bornEpoch_ = epoch;
+  out.traffic_ = traffic_;
+  // Drop traffic queued for the abandoned generation: anything the dead
+  // rank (or a pre-shrink survivor) sent on the old context must never
+  // match a post-recovery receive.
+  rt_->mailbox(worldRank()).purgeContext(context_);
+  rt_->mailbox(worldRank()).purgeStaleEpochs(epoch);
+  return out;
+}
+
 TrafficCounters& Communicator::counters() { return rt_->counters(worldRank()); }
 
 const TrafficCounters& Communicator::counters() const {
@@ -241,7 +375,7 @@ const TrafficCounters& Communicator::counters() const {
 
 // --- Runtime ----------------------------------------------------------------
 
-Runtime::Runtime(int size) : size_(size) {
+Runtime::Runtime(int size) : size_(size), board_(size) {
   HEMO_CHECK_MSG(size >= 1, "runtime needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(size));
   telemetry_.reserve(static_cast<std::size_t>(size));
@@ -263,28 +397,62 @@ Runtime::~Runtime() {
   }
 }
 
-void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
+void Runtime::run(const std::function<void(Communicator&)>& rankMain,
+                  const RunOptions& options) {
   for (auto& mb : mailboxes_) mb->resetAbort();
+  board_.reset();
+  tolerated_.clear();
 
   std::vector<int> worldGroup(static_cast<std::size_t>(size_));
   std::iota(worldGroup.begin(), worldGroup.end(), 0);
 
-  std::mutex errMutex;
+  // All teardown state shares one mutex: first error, per-rank done flags,
+  // and the completion count the bounded join waits on.
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
   std::exception_ptr firstError;
+  std::vector<char> done(static_cast<std::size_t>(size_), 0);
+  int doneCount = 0;
+
+  // A rank hung at a kHang fault site is released (throws RankKilledError)
+  // the moment the group declares it dead — by liveness accusation, or by
+  // the bounded join below when recovery is off.
+  util::FaultInjector::instance().setHangRelease(
+      [this](int r) { return board_.dead(r); });
 
   auto threadMain = [&](int rank) {
     setThreadLogRank(rank);
     telemetry::ThreadTelemetryScope tscope(
         telemetry_[static_cast<std::size_t>(rank)].get());
     Communicator comm(this, /*context=*/1, rank, worldGroup);
+    std::exception_ptr err;
+    bool toleratedDeath = false;
     try {
       rankMain(comm);
+      board_.markFinished(rank);
+    } catch (const util::RankKilledError& e) {
+      board_.markCrashed(rank);
+      if (options.tolerateRankDeath) {
+        // Tolerated death: mark the rank dead (waking every bounded wait
+        // blocked on it) and let the survivors shrink and continue.
+        toleratedDeath = true;
+        board_.declareDead(rank);
+        HEMO_LOG_WARN() << "rank " << rank
+                        << " died (tolerated, survivors continue): "
+                        << e.what();
+      } else {
+        err = std::current_exception();
+      }
     } catch (...) {
+      board_.markCrashed(rank);
+      err = std::current_exception();
+    }
+    if (err) {
       bool isFirst = false;
       {
-        std::lock_guard<std::mutex> lock(errMutex);
+        std::lock_guard<std::mutex> lock(doneMutex);
         if (!firstError) {
-          firstError = std::current_exception();
+          firstError = err;
           isFirst = true;
         }
       }
@@ -296,7 +464,7 @@ void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
       if (isFirst) {
         std::string detail = "unknown exception";
         try {
-          throw;
+          std::rethrow_exception(err);
         } catch (const std::exception& e) {
           detail = e.what();
         } catch (...) {
@@ -305,6 +473,13 @@ void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
         if (registry.armed()) registry.flush("rank-exception", detail);
       }
     }
+    {
+      std::lock_guard<std::mutex> lock(doneMutex);
+      done[static_cast<std::size_t>(rank)] = 1;
+      ++doneCount;
+      if (toleratedDeath) tolerated_.push_back(rank);
+    }
+    doneCv.notify_all();
   };
 
   std::vector<std::thread> threads;
@@ -312,9 +487,82 @@ void Runtime::run(const std::function<void(Communicator&)>& rankMain) {
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back(threadMain, r);
   }
+
+  // Bounded join. While the group is healthy there is no deadline — a
+  // long simulation is not a hang. Once a rank has aborted the group
+  // (firstError set), the rest must unwind within joinTimeout: blocked
+  // receives were woken by abort(), so a straggler is either hung at a
+  // fault site or spinning without communicating. First expiry: declare
+  // the stragglers dead (releases kHang loops, surfaces PeerDeadError to
+  // anything still waiting on them) and re-abort. Second expiry: flush the
+  // flight recorder, log the stuck ranks and abort the process — an
+  // unjoinable thread leaves no honest alternative.
+  const auto joinTimeout = std::chrono::milliseconds(
+      static_cast<std::int64_t>(options.joinTimeoutSeconds * 1000.0));
+  {
+    std::unique_lock<std::mutex> lock(doneMutex);
+    bool armed = false;
+    std::chrono::steady_clock::time_point deadline{};
+    int escalation = 0;
+    while (doneCount < size_) {
+      if (!armed) {
+        doneCv.wait_for(lock, std::chrono::milliseconds(50));
+        if (firstError) {
+          armed = true;
+          deadline = std::chrono::steady_clock::now() + joinTimeout;
+        }
+        continue;
+      }
+      if (doneCv.wait_until(lock, deadline) != std::cv_status::timeout ||
+          doneCount >= size_) {
+        continue;
+      }
+      std::string stuck;
+      for (int r = 0; r < size_; ++r) {
+        if (done[static_cast<std::size_t>(r)] == 0) {
+          stuck += (stuck.empty() ? "" : ", ") + std::to_string(r);
+        }
+      }
+      ++escalation;
+      if (escalation == 1) {
+        HEMO_LOG_ERROR() << "teardown stuck: rank(s) " << stuck
+                         << " did not exit within "
+                         << options.joinTimeoutSeconds
+                         << " s of group abort; declaring dead and "
+                            "re-aborting";
+        lock.unlock();
+        for (int r = 0; r < size_; ++r) {
+          bool wasDone;
+          {
+            std::lock_guard<std::mutex> relock(doneMutex);
+            wasDone = done[static_cast<std::size_t>(r)] != 0;
+          }
+          if (!wasDone) board_.declareDead(r);
+        }
+        for (auto& mb : mailboxes_) mb->abort();
+        lock.lock();
+        deadline = std::chrono::steady_clock::now() + joinTimeout;
+      } else {
+        HEMO_LOG_ERROR() << "teardown still stuck: rank(s) " << stuck
+                         << " are unjoinable (hung outside the comm layer); "
+                            "flushing flight recorder and aborting process";
+        auto& registry = telemetry::FlightRegistry::instance();
+        if (registry.armed()) {
+          registry.flush("teardown-stuck", "unjoinable rank(s) " + stuck);
+        }
+        std::abort();
+      }
+    }
+  }
   for (auto& t : threads) t.join();
+  util::FaultInjector::instance().clearHangRelease();
 
   if (firstError) std::rethrow_exception(firstError);
+  if (options.tolerateRankDeath &&
+      static_cast<int>(tolerated_.size()) == size_) {
+    throw util::RankKilledError("all " + std::to_string(size_) +
+                                " ranks died; nothing left to recover onto");
+  }
 }
 
 const TrafficCounters& Runtime::counters(int worldRank) const {

@@ -10,12 +10,31 @@
 #include <string>
 
 #include "comm/communicator.hpp"
+#include "comm/liveness.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/profiler.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace hemo::comm {
+
+/// Per-run() policy knobs.
+struct RunOptions {
+  /// When true, a rank thread dying with util::RankKilledError is a
+  /// *tolerated* death: the rank is marked dead on the DeathBoard and the
+  /// group keeps running (shrink-and-continue recovery). When false
+  /// (legacy), any rank exception aborts every mailbox and is rethrown
+  /// from run(). Non-kill exceptions always keep the legacy semantics.
+  bool tolerateRankDeath = false;
+  /// Teardown bound: once any rank has aborted the group, the remaining
+  /// threads must exit within this window. Stragglers (e.g. a rank hung at
+  /// a kHang fault site, or spinning without communicating) are declared
+  /// dead — which releases hang loops and wakes their waiters — and given
+  /// one more window; a second expiry logs a diagnostic naming the stuck
+  /// ranks, flushes the flight recorder and aborts the process (the only
+  /// honest option for an unjoinable thread).
+  double joinTimeoutSeconds = 120.0;
+};
 
 /// Owns the mailboxes, traffic counters and telemetry contexts for a group
 /// of thread-ranks. A Runtime may execute several run() "jobs" sequentially;
@@ -32,8 +51,29 @@ class Runtime {
 
   /// Run `rankMain(comm)` on every rank concurrently and join. If any rank
   /// throws, all blocked receives are aborted and the first exception is
-  /// rethrown here after all threads have joined.
-  void run(const std::function<void(Communicator&)>& rankMain);
+  /// rethrown here after all threads have joined. The join is bounded (see
+  /// RunOptions::joinTimeoutSeconds) so one dead rank can never leave the
+  /// caller blocked forever.
+  void run(const std::function<void(Communicator&)>& rankMain) {
+    run(rankMain, RunOptions{});
+  }
+
+  /// run() with explicit policy (rank-death tolerance, teardown bound).
+  void run(const std::function<void(Communicator&)>& rankMain,
+           const RunOptions& options);
+
+  /// Liveness detection config. Set before run(); applies to every
+  /// communicator of that run. Off by default (legacy semantics).
+  void setLiveness(const LivenessConfig& cfg) { liveness_ = cfg; }
+  const LivenessConfig& liveness() const { return liveness_; }
+
+  /// Per-run liveness state: heartbeats, exit flags, declared-dead set.
+  DeathBoard& deathBoard() { return board_; }
+  const DeathBoard& deathBoard() const { return board_; }
+
+  /// World ranks whose RankKilledError was tolerated during the last
+  /// run(..., {tolerateRankDeath=true}); empty after a clean run.
+  const std::vector<int>& toleratedDeaths() const { return tolerated_; }
 
   /// Convenience: one-shot runtime.
   static void runOnce(int size,
@@ -76,6 +116,9 @@ class Runtime {
 
  private:
   int size_;
+  LivenessConfig liveness_;
+  DeathBoard board_;
+  std::vector<int> tolerated_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<TrafficCounters> counters_;
   // unique_ptr: RankTelemetry holds atomics, so it is neither movable nor

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <thread>
 
+#include "lb/buddy.hpp"
 #include "lb/migration.hpp"
 #include "lb/wss.hpp"
 #include "util/check.hpp"
@@ -763,6 +764,9 @@ int SimulationDriver::run(int steps) {
   int executed = 0;
   while (executed < steps && !terminated_) {
     pollSteering();
+    // Liveness heartbeat once per step: a rank that is healthy but between
+    // communications (long render, paused peer) must not be accused.
+    comm_->noteAlive();
     if (terminated_) break;
     if (paused_) {
       // Paused: keep servicing steering commands without advancing.
@@ -773,14 +777,21 @@ int SimulationDriver::run(int steps) {
     if (util::FaultInjector::instance().armed()) {
       using util::FaultAction;
       util::FaultRule rule;
+      // World rank: injection rules stay addressed to the original rank
+      // numbering even after a recovery shrink renumbers the group.
       switch (util::FaultInjector::instance().decide(
-          util::FaultSite::kDriverStep, comm_->rank(), &rule)) {
+          util::FaultSite::kDriverStep, comm_->worldRank(), &rule)) {
         case FaultAction::kKill:
           throw util::RankKilledError("injected rank death on rank " +
-                                      std::to_string(comm_->rank()));
+                                      std::to_string(comm_->worldRank()));
+        case FaultAction::kHang:
+          // Goes silent here (no unwind, no sends) until the liveness
+          // layer declares this rank dead, then dies like kKill.
+          util::FaultInjector::instance().hangUntilReleased(
+              comm_->worldRank());
         case FaultAction::kFail:
           throw util::InjectedFaultError("injected step failure on rank " +
-                                         std::to_string(comm_->rank()));
+                                         std::to_string(comm_->worldRank()));
         case FaultAction::kDelay:
           util::FaultInjector::sleepFor(rule.delayMillis);
           break;
@@ -851,6 +862,14 @@ int SimulationDriver::run(int steps) {
                           {config_.checkpointStripes});
       if (comm_->rank() == 0 && config_.checkpointKeep > 0) {
         lb::pruneCheckpoints(config_.checkpointDir, config_.checkpointKeep);
+      }
+    }
+    if (config_.buddy.store != nullptr) {
+      const int every = config_.buddy.mirrorEvery > 0
+                            ? config_.buddy.mirrorEvery
+                            : config_.checkpointEvery;
+      if (every > 0 && done % static_cast<std::uint64_t>(every) == 0) {
+        lb::mirrorBuddy(*solver_, *comm_, *config_.buddy.store);
       }
     }
     if (config_.statusEvery > 0 &&

@@ -34,6 +34,10 @@
 #include "telemetry/telemetry.hpp"
 #include "util/timer.hpp"
 
+namespace hemo::lb {
+class BuddyStore;  // lb/buddy.hpp — diskless buddy checkpoint store
+}
+
 namespace hemo::core {
 
 struct DriverConfig {
@@ -112,6 +116,18 @@ struct DriverConfig {
     partition::RepartitionOptions options;
   };
   RepartitionConfig repartition;
+  /// Diskless buddy checkpointing (lb/buddy.hpp): each mirror interval the
+  /// rank's distribution blob is kept in its own slot *and* ring-copied
+  /// into rank+1's memory, so after any single rank death the survivors
+  /// still hold a complete snapshot and recovery needs no filesystem.
+  struct BuddyConfig {
+    /// Store shared by all ranks (owned by the caller, e.g.
+    /// ResilientRunner); nullptr disables mirroring.
+    lb::BuddyStore* store = nullptr;
+    /// Steps between mirrors; 0 follows checkpointEvery.
+    int mirrorEvery = 0;
+  };
+  BuddyConfig buddy;
 };
 
 /// Result of one live-migration attempt (identical on every rank).

@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -46,25 +47,50 @@
 
 namespace hemo::lb {
 
-// --- CRC32 (IEEE 802.3, table-based) ---------------------------------------
+// --- CRC32 (IEEE 802.3, slicing-by-8) ---------------------------------------
 
 inline std::uint32_t crc32(const std::byte* data, std::size_t n) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
+  // Eight derived tables let the hot loop fold 8 bytes per iteration
+  // (Intel's "slicing-by-8"), ~6x the byte-at-a-time loop. Checkpoints and
+  // buddy mirrors CRC multi-MB distribution blobs on the solver's critical
+  // path, so this is bandwidth that comes straight out of step time.
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[s][i] = c;
+      }
     }
     return t;
   }();
   std::uint32_t crc = 0xffffffffu;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ static_cast<std::uint32_t>(
-                           static_cast<std::uint8_t>(data[i]))) &
-                0xffu] ^
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; i + 8 <= n; i += 8) {
+      std::uint32_t lo = 0;
+      std::uint32_t hi = 0;
+      std::memcpy(&lo, data + i, 4);
+      std::memcpy(&hi, data + i + 4, 4);
+      lo ^= crc;
+      crc = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+            tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+            tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+            tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+    }
+  }
+  for (; i < n; ++i) {
+    crc = tables[0][(crc ^ static_cast<std::uint32_t>(
+                               static_cast<std::uint8_t>(data[i]))) &
+                    0xffu] ^
           (crc >> 8);
   }
   return crc ^ 0xffffffffu;

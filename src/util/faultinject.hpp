@@ -23,6 +23,7 @@
 #ifndef HEMO_FAULTINJECT_DISABLED
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -55,6 +56,13 @@ enum class FaultAction : std::uint8_t {
   kCorrupt,   ///< flip bits (`corruptXor`) at a seeded byte position
   kFail,      ///< make the operation fail (send returns false / throws)
   kKill,      ///< throw RankKilledError out of the calling rank thread
+  kHang,      ///< block at the fault site until released, then die. A kKill
+              ///< unwinds cleanly and is detected instantly (thread exit);
+              ///< kHang keeps the thread alive but silent, forcing the
+              ///< liveness timeout + agreement detection path. The comm
+              ///< runtime installs the release predicate ("this rank was
+              ///< declared dead"), at which point the hang turns into a
+              ///< RankKilledError so the thread stays joinable.
 };
 
 /// One armed fault. Matches by (site, rank); `afterHits` matching hits
@@ -178,6 +186,38 @@ class FaultInjector {
     }
   }
 
+  /// Install the predicate that frees kHang'd ranks (called with the hung
+  /// world rank; true = release). comm::Runtime::run installs "this rank
+  /// was declared dead" for its lifetime. Process-global like the injector
+  /// itself: with several concurrent Runtimes the last installer wins.
+  void setHangRelease(std::function<bool(int)> release) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hangRelease_ = std::move(release);
+  }
+
+  void clearHangRelease() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hangRelease_ = nullptr;
+  }
+
+  /// A kHang fault site parks here: silent (no sends, no heartbeats) until
+  /// the release predicate fires, then dies with RankKilledError so the
+  /// thread unwinds and stays joinable.
+  [[noreturn]] void hangUntilReleased(int rank) {
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::function<bool(int)> release;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        release = hangRelease_;
+      }
+      if (release && release(rank)) {
+        throw RankKilledError("rank " + std::to_string(rank) +
+                              " hung at fault site until declared dead");
+      }
+    }
+  }
+
   std::uint64_t fired() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return totalFired_;
@@ -206,6 +246,7 @@ class FaultInjector {
 
   mutable std::mutex mutex_;
   std::atomic<bool> armed_{false};
+  std::function<bool(int)> hangRelease_;
   std::vector<RuleState> rules_;
   Rng rng_{0};
   std::uint64_t totalFired_ = 0;
@@ -246,6 +287,14 @@ class FaultInjector {
   template <typename ByteVec>
   void applyBufferFault(FaultSite, int, ByteVec&) {}
   static void sleepFor(int) {}
+  template <typename F>
+  void setHangRelease(F&&) {}
+  void clearHangRelease() {}
+  [[noreturn]] void hangUntilReleased(int rank) {
+    // Unreachable (decide() never returns kHang when disabled); keep the
+    // contract anyway.
+    throw RankKilledError("rank " + std::to_string(rank) + " hang released");
+  }
   std::uint64_t fired() const { return 0; }
   std::uint64_t fired(FaultSite) const { return 0; }
 };

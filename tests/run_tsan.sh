@@ -18,7 +18,7 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHEMO_SANITIZE=thread
 cmake --build "$build_dir" -j --target test_lb test_lb_fused test_telemetry \
-  test_serve test_relay test_resilience test_migration
+  test_serve test_relay test_resilience test_recovery test_migration
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "$build_dir/tests/test_lb"
@@ -27,5 +27,6 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "$build_dir/tests/test_serve"
 "$build_dir/tests/test_relay"
 "$build_dir/tests/test_resilience"
+"$build_dir/tests/test_recovery"
 "$build_dir/tests/test_migration"
 echo "TSan run clean."
